@@ -1,0 +1,125 @@
+// Experiment T9 — ablations of the design choices DESIGN.md calls out:
+//   (a) the union-overlap discount in the cost model's UCQ row estimate
+//       (without it, grouped fragments look overpriced and GCov degrades
+//       to pitfall covers);
+//   (b) the per-union-member overhead (without it, the UCQ strategy's
+//       parse/plan blow-up is invisible to the model);
+//   (c) the closed-form product reformulation vs the general worklist
+//       (same UCQ, very different construction cost).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+
+namespace rdfref {
+namespace bench {
+namespace {
+
+void PrintAblationTable() {
+  api::QueryAnswerer* answerer = SharedLubm();
+  query::Cq q = Example1Query(answerer);
+  reformulation::Reformulator reformulator(&answerer->schema());
+
+  std::printf("\n== T9: ablations ==\n");
+  std::printf("(a/b) cost-model variants on the Example 1 query:\n");
+  std::printf("%-34s %-28s %12s\n", "variant", "GCov cover", "measured(ms)");
+  struct Variant {
+    const char* name;
+    cost::CostParams params;
+  };
+  cost::CostParams no_overlap;
+  no_overlap.union_overlap = 1.0;  // plain sum of member estimates
+  cost::CostParams no_member_overhead;
+  no_member_overhead.per_union_member = 0.0;
+  cost::CostParams pair_stats;
+  pair_stats.use_pair_statistics = true;
+  const Variant variants[] = {
+      {"default", cost::CostParams{}},
+      {"no union-overlap discount", no_overlap},
+      {"no per-member overhead", no_member_overhead},
+      {"attribute-pair statistics", pair_stats},
+  };
+  for (const Variant& v : variants) {
+    cost::CostModel model(&answerer->ref_store().stats(), v.params);
+    optimizer::CoverOptimizer optimizer(&reformulator, &model);
+    auto cover = optimizer.Greedy(q);
+    if (!cover.ok()) continue;
+    api::AnswerOptions options;
+    options.cover = *cover;
+    api::AnswerProfile profile;
+    auto table =
+        answerer->Answer(q, api::Strategy::kRefJucq, &profile, options);
+    std::printf("%-34s %-28s %12.3f\n", v.name,
+                cover->ToString().c_str(),
+                table.ok() ? profile.eval_millis : -1.0);
+  }
+
+  std::printf("\n(c) reformulation construction, product vs worklist "
+              "(3-atom fragment):\n");
+  query::Cq fragment = ParseUb(
+      answerer,
+      "SELECT ?x ?u WHERE { ?x rdf:type ?u . "
+      "?x ub:mastersDegreeFrom <http://www.University1.edu> . "
+      "?x ub:memberOf ?z . }");
+  {
+    Timer t;
+    auto ucq = reformulator.Reformulate(fragment);
+    double product_ms = t.ElapsedMillis();
+    reformulation::ReformulationOptions force;
+    force.force_worklist = true;
+    reformulation::Reformulator slow(&answerer->schema(), force);
+    Timer t2;
+    auto ucq2 = slow.Reformulate(fragment);
+    double worklist_ms = t2.ElapsedMillis();
+    if (ucq.ok() && ucq2.ok()) {
+      std::printf("  product: %zu CQs in %.3f ms; worklist: %zu CQs in "
+                  "%.3f ms (%.0fx)\n\n",
+                  ucq->size(), product_ms, ucq2->size(), worklist_ms,
+                  product_ms > 0 ? worklist_ms / product_ms : 0.0);
+    }
+  }
+}
+
+void BM_ReformulateProduct(benchmark::State& state) {
+  api::QueryAnswerer* answerer = SharedLubm();
+  query::Cq q = ParseUb(
+      answerer,
+      "SELECT ?x ?u WHERE { ?x rdf:type ?u . "
+      "?x ub:memberOf ?z . }");
+  reformulation::Reformulator reformulator(&answerer->schema());
+  for (auto _ : state) {
+    auto ucq = reformulator.Reformulate(q);
+    benchmark::DoNotOptimize(ucq);
+  }
+}
+BENCHMARK(BM_ReformulateProduct)->Unit(benchmark::kMicrosecond);
+
+void BM_ReformulateWorklist(benchmark::State& state) {
+  api::QueryAnswerer* answerer = SharedLubm();
+  query::Cq q = ParseUb(
+      answerer,
+      "SELECT ?x ?u WHERE { ?x rdf:type ?u . "
+      "?x ub:memberOf ?z . }");
+  reformulation::ReformulationOptions force;
+  force.force_worklist = true;
+  reformulation::Reformulator reformulator(&answerer->schema(), force);
+  for (auto _ : state) {
+    auto ucq = reformulator.Reformulate(q);
+    benchmark::DoNotOptimize(ucq);
+  }
+}
+BENCHMARK(BM_ReformulateWorklist)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfref
+
+int main(int argc, char** argv) {
+  rdfref::bench::PrintAblationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Experiment T6 — demo step 4: "propose modifications to the available RDF
+// data and constraints ... constraints and query modifications, in
+// particular, may have a dramatic impact" on Ref performance.
+//
+// Schema variants over the same instance data:
+//   full        — the complete univ-bench RDFS ontology
+//   no-dr       — domain/range constraints removed
+//   flat        — class/property hierarchies removed (only domain/range)
+//   none        — no constraints at all
+// Rows: variant → reformulation size of the Example 1 query, eval time of
+// the GCov strategy, and answer count of a membership query.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+
+namespace rdfref {
+namespace bench {
+namespace {
+
+enum class Variant { kFull, kNoDomainRange, kFlatHierarchies, kNone };
+
+const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kFull:
+      return "full";
+    case Variant::kNoDomainRange:
+      return "no-dr";
+    case Variant::kFlatHierarchies:
+      return "flat";
+    case Variant::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+std::unique_ptr<api::QueryAnswerer> MakeVariant(Variant v) {
+  datagen::LubmConfig config;
+  config.universities = 2;
+  rdf::Graph original;
+  datagen::Lubm::Generate(config, &original);
+  rdf::Graph filtered;
+  for (const rdf::Triple& t : original.SortedTriples()) {
+    bool drop = false;
+    switch (v) {
+      case Variant::kFull:
+        break;
+      case Variant::kNoDomainRange:
+        drop = t.p == rdf::vocab::kDomainId || t.p == rdf::vocab::kRangeId;
+        break;
+      case Variant::kFlatHierarchies:
+        drop = t.p == rdf::vocab::kSubClassOfId ||
+               t.p == rdf::vocab::kSubPropertyOfId;
+        break;
+      case Variant::kNone:
+        drop = rdf::vocab::IsSchemaProperty(t.p);
+        break;
+    }
+    if (drop) continue;
+    const rdf::Dictionary& dict = original.dict();
+    filtered.Add(dict.Lookup(t.s), dict.Lookup(t.p), dict.Lookup(t.o));
+  }
+  return std::make_unique<api::QueryAnswerer>(std::move(filtered));
+}
+
+void PrintConstraintImpact() {
+  std::printf("\n== T6: schema variants — impact on Ref ==\n");
+  std::printf("%-8s %12s %14s %12s %12s\n", "variant", "E1 #CQs",
+              "gcov eval(ms)", "membership", "constraints");
+  for (Variant v : {Variant::kFull, Variant::kNoDomainRange,
+                    Variant::kFlatHierarchies, Variant::kNone}) {
+    std::unique_ptr<api::QueryAnswerer> answerer = MakeVariant(v);
+    query::Cq e1 = Example1Query(answerer.get());
+    reformulation::Reformulator reformulator(&answerer->schema());
+    auto count = reformulator.CountReformulations(e1);
+
+    api::AnswerProfile profile;
+    auto e1_table = answerer->Answer(e1, api::Strategy::kRefGcov, &profile);
+
+    query::Cq membership =
+        ParseUb(answerer.get(), "SELECT ?x ?z WHERE { ?x ub:memberOf ?z . }");
+    auto members = answerer->Answer(membership, api::Strategy::kRefUcq);
+
+    std::printf("%-8s %12llu %14.2f %12zu %12zu\n", VariantName(v),
+                count.ok() ? static_cast<unsigned long long>(*count) : 0ull,
+                e1_table.ok() ? profile.eval_millis : -1.0,
+                members.ok() ? members->NumRows() : 0,
+                answerer->schema().NumConstraints());
+  }
+  std::printf("(membership = answers to ?x ub:memberOf ?z; shrinking "
+              "schemas shrink reformulations AND lose answers)\n\n");
+}
+
+void BM_GcovUnderVariant(benchmark::State& state) {
+  static std::unique_ptr<api::QueryAnswerer> answerers[4] = {
+      MakeVariant(Variant::kFull), MakeVariant(Variant::kNoDomainRange),
+      MakeVariant(Variant::kFlatHierarchies), MakeVariant(Variant::kNone)};
+  api::QueryAnswerer* answerer = answerers[state.range(0)].get();
+  query::Cq q = Example1Query(answerer);
+  for (auto _ : state) {
+    auto table = answerer->Answer(q, api::Strategy::kRefGcov);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_GcovUnderVariant)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfref
+
+int main(int argc, char** argv) {
+  rdfref::bench::PrintConstraintImpact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

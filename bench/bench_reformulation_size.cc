@@ -1,0 +1,97 @@
+// Experiment T3 — "reformulated queries may be syntactically huge"
+// (Section 1): UCQ reformulation sizes and reformulation wall-time per
+// query, and their growth with schema richness.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+
+namespace rdfref {
+namespace bench {
+namespace {
+
+void PrintReformulationSizes() {
+  api::QueryAnswerer* answerer = SharedLubm();
+  reformulation::Reformulator reformulator(&answerer->schema());
+
+  reformulation::ReformulationOptions minimize_options;
+  minimize_options.minimize = true;
+  reformulation::Reformulator minimizing(&answerer->schema(),
+                                         minimize_options);
+
+  std::printf("\n== T3: UCQ reformulation sizes ==\n");
+  std::printf("%-18s %12s %12s %14s\n", "query", "#CQs", "minimized",
+              "reform(ms)");
+  for (const auto& [name, text] : LubmQuerySuite()) {
+    query::Cq q = ParseUb(answerer, text);
+    Timer timer;
+    auto count = reformulator.CountReformulations(q);
+    double count_ms = timer.ElapsedMillis();
+    auto pruned = minimizing.Reformulate(q);
+    if (count.ok()) {
+      std::printf("%-18s %12llu %12zu %14.3f\n", name.c_str(),
+                  static_cast<unsigned long long>(*count),
+                  pruned.ok() ? pruned->size() : 0, count_ms);
+    } else {
+      std::printf("%-18s %12s %12s %14.3f (%s)\n", name.c_str(), "overflow",
+                  "-", count_ms, count.status().ToString().c_str());
+    }
+  }
+
+  query::Cq example1 = Example1Query(answerer);
+  auto count = reformulator.CountReformulations(example1);
+  if (count.ok()) {
+    std::printf("%-18s %12llu %14s  <- Example 1 (paper: 318,096)\n",
+                "E1-query", static_cast<unsigned long long>(*count), "-");
+  }
+
+  // Per-atom member counts of Example 1 (paper: (t1)ref and (t2)ref are
+  // the dominant factors).
+  std::printf("\nper-atom reformulation sizes of the Example 1 query:\n");
+  for (size_t i = 0; i < example1.body().size(); ++i) {
+    size_t members =
+        reformulator.ReformulateAtom(example1, example1.body()[i]).size();
+    std::printf("  (t%zu)ref: %zu member(s)\n", i + 1, members);
+  }
+  std::printf("\n");
+}
+
+void BM_ReformulateSuiteQuery(benchmark::State& state) {
+  api::QueryAnswerer* answerer = SharedLubm();
+  const auto& suite = LubmQuerySuite();
+  query::Cq q =
+      ParseUb(answerer, suite[static_cast<size_t>(state.range(0))].second);
+  reformulation::Reformulator reformulator(&answerer->schema());
+  for (auto _ : state) {
+    auto ucq = reformulator.Reformulate(q);
+    benchmark::DoNotOptimize(ucq);
+  }
+}
+BENCHMARK(BM_ReformulateSuiteQuery)
+    ->DenseRange(0, 5)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CountExample1(benchmark::State& state) {
+  api::QueryAnswerer* answerer = SharedLubm();
+  query::Cq q = Example1Query(answerer);
+  reformulation::Reformulator reformulator(&answerer->schema());
+  for (auto _ : state) {
+    auto count = reformulator.CountReformulations(q);
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_CountExample1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfref
+
+int main(int argc, char** argv) {
+  rdfref::bench::PrintReformulationSizes();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Quickstart: load an RDF graph with RDFS constraints from Turtle text,
+// then answer a query with every technique of the paper and compare.
+//
+//   ./quickstart
+//
+// Walks the typical library flow: parse → QueryAnswerer → ParseSparql →
+// Answer(strategy) → decode the table.
+
+#include <cstdio>
+#include <string>
+
+#include "api/query_answering.h"
+#include "query/sparql_parser.h"
+#include "rdf/parser.h"
+
+namespace {
+
+constexpr const char* kData = R"(
+@prefix ex: <http://example.org/company/> .
+
+# --- RDFS constraints (the "schema") --------------------------------
+ex:Manager rdfs:subClassOf ex:Employee .
+ex:Employee rdfs:subClassOf ex:Person .
+ex:manages rdfs:domain ex:Manager .
+ex:manages rdfs:range ex:Project .
+ex:leads rdfs:subPropertyOf ex:manages .
+
+# --- data ------------------------------------------------------------
+ex:ann a ex:Manager .
+ex:bob a ex:Employee .
+ex:carl ex:leads ex:apollo .
+ex:dana ex:manages ex:hermes .
+ex:apollo ex:name "Apollo" .
+)";
+
+}  // namespace
+
+int main() {
+  using rdfref::api::QueryAnswerer;
+  using rdfref::api::Strategy;
+  using rdfref::api::StrategyName;
+
+  // 1. Parse the data (constraints are ordinary triples).
+  rdfref::rdf::Graph graph;
+  rdfref::Status st =
+      rdfref::rdf::TurtleParser::ParseString(kData, &graph);
+  if (!st.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu explicit triples\n", graph.size());
+
+  // 2. Build the answerer (extracts + saturates the schema, indexes).
+  QueryAnswerer answerer(std::move(graph));
+
+  // 3. Ask for all employees. ann (a Manager) and carl/dana (who manage
+  //    something, hence are Managers by domain) are implicit answers.
+  auto query = rdfref::query::ParseSparql(
+      "PREFIX ex: <http://example.org/company/>\n"
+      "SELECT ?x WHERE { ?x a ex:Employee . }",
+      &answerer.dict());
+  if (!query.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+
+  const Strategy strategies[] = {
+      Strategy::kSaturation,    Strategy::kRefUcq,  Strategy::kRefScq,
+      Strategy::kRefGcov,       Strategy::kDatalog, Strategy::kRefIncomplete,
+  };
+  for (Strategy s : strategies) {
+    auto table = answerer.Answer(*query, s);
+    if (!table.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", StrategyName(s),
+                   table.status().ToString().c_str());
+      continue;
+    }
+    table->Sort();
+    std::printf("\n%s -> %zu answer(s)\n", StrategyName(s),
+                table->NumRows());
+    std::printf("%s", table->ToString(answerer.dict()).c_str());
+  }
+  std::printf(
+      "\nNote how REF-INCOMPLETE (the Virtuoso/AllegroGraph-style fixed\n"
+      "strategy) misses carl and dana: it ignores domain constraints.\n");
+  return 0;
+}

@@ -1,0 +1,271 @@
+#include "api/query_answering.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace rdfref {
+namespace api {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kSaturation:
+      return "SAT";
+    case Strategy::kRefUcq:
+      return "REF-UCQ";
+    case Strategy::kRefScq:
+      return "REF-SCQ";
+    case Strategy::kRefJucq:
+      return "REF-JUCQ";
+    case Strategy::kRefGcov:
+      return "REF-GCOV";
+    case Strategy::kRefIncomplete:
+      return "REF-INCOMPLETE";
+    case Strategy::kDatalog:
+      return "DATALOG";
+  }
+  return "UNKNOWN";
+}
+
+QueryAnswerer::QueryAnswerer(rdf::Graph graph) : graph_(std::move(graph)) {
+  schema_ = schema::Schema::FromGraph(graph_);
+  schema_.Saturate();
+  // Per [9], the (small) schema component of the database is stored
+  // saturated: reformulated queries may then mention any entailed
+  // constraint, and schema-level queries are answerable directly.
+  schema_.EmitTriples(&graph_);
+  ref_store_ = std::make_unique<storage::Store>(graph_);
+  ref_delta_ = std::make_unique<storage::DeltaStore>(ref_store_.get());
+}
+
+Status QueryAnswerer::InsertTriple(const rdf::Triple& t) {
+  if (rdf::vocab::IsSchemaProperty(t.p)) {
+    return Status::Unimplemented(
+        "constraint updates change the schema; rebuild the QueryAnswerer");
+  }
+  if (!graph_.dict().Contains(t.s) || !graph_.dict().Contains(t.p) ||
+      !graph_.dict().Contains(t.o)) {
+    return Status::InvalidArgument("triple references unknown term ids");
+  }
+  ref_delta_->Insert(t);
+  if (graph_saturated_) {
+    reasoner::Saturator saturator(&schema_);
+    if (saturator.Insert(&graph_, t) > 0) sat_snapshot_dirty_ = true;
+  } else {
+    graph_.Add(t);
+  }
+  dat_.reset();  // the Datalog program re-reads the explicit source lazily
+  return Status::OK();
+}
+
+Status QueryAnswerer::RemoveTriple(const rdf::Triple& t) {
+  if (rdf::vocab::IsSchemaProperty(t.p)) {
+    return Status::Unimplemented(
+        "constraint updates change the schema; rebuild the QueryAnswerer");
+  }
+  if (!ref_delta_->Contains(t)) {
+    return Status::NotFound("triple is not in the explicit database");
+  }
+  ref_delta_->Remove(t);
+  if (graph_saturated_) {
+    reasoner::Saturator saturator(&schema_);
+    size_t removed = saturator.Delete(
+        &graph_, t,
+        [this](const rdf::Triple& x) { return ref_delta_->Contains(x); });
+    if (removed > 0) sat_snapshot_dirty_ = true;
+  } else {
+    graph_.Remove(t);
+  }
+  dat_.reset();
+  return Status::OK();
+}
+
+const storage::Store& QueryAnswerer::sat_store() {
+  if (sat_store_ == nullptr) {
+    Timer timer;
+    reasoner::Saturator saturator(&schema_);
+    saturation_added_ = saturator.Saturate(&graph_);
+    sat_store_ = std::make_unique<storage::Store>(graph_);
+    saturation_millis_ = timer.ElapsedMillis();
+    graph_saturated_ = true;
+  } else if (sat_snapshot_dirty_) {
+    // graph_ was maintained incrementally (Insert / DRed Delete); refresh
+    // the index snapshot.
+    sat_store_ = std::make_unique<storage::Store>(graph_);
+    sat_snapshot_dirty_ = false;
+  }
+  return *sat_store_;
+}
+
+Result<engine::Table> QueryAnswerer::AnswerJucq(
+    const query::Cq& q, const query::Cover& cover,
+    const reformulation::Reformulator& ref, AnswerProfile* profile) {
+  RDFREF_RETURN_NOT_OK(cover.Validate(q));
+  Timer prepare;
+  std::vector<query::Cq> fragment_queries = cover.FragmentQueries(q);
+  std::vector<query::Ucq> fragment_ucqs;
+  fragment_ucqs.reserve(fragment_queries.size());
+  uint64_t total_cqs = 0;
+  for (const query::Cq& fq : fragment_queries) {
+    RDFREF_ASSIGN_OR_RETURN(query::Ucq ucq, ref.Reformulate(fq));
+    total_cqs += ucq.size();
+    fragment_ucqs.push_back(std::move(ucq));
+  }
+  double prepare_ms = prepare.ElapsedMillis();
+
+  Timer eval;
+  engine::Evaluator evaluator(ref_delta_.get());
+  engine::JucqProfile jucq_profile;
+  engine::Table table =
+      evaluator.EvaluateJucq(q, fragment_queries, fragment_ucqs,
+                             &jucq_profile);
+  for (size_t i = 0; i < jucq_profile.fragments.size(); ++i) {
+    jucq_profile.fragments[i].cover_fragment = query::Cover(
+        {cover.fragments()[i]}).ToString();
+  }
+  if (profile != nullptr) {
+    profile->prepare_millis += prepare_ms;
+    profile->eval_millis = eval.ElapsedMillis();
+    profile->reformulation_cqs = total_cqs;
+    profile->cover = cover;
+    profile->jucq = std::move(jucq_profile);
+  }
+  return table;
+}
+
+Result<engine::Table> QueryAnswerer::AnswerUnion(
+    const query::Ucq& user_union, Strategy strategy, AnswerProfile* profile,
+    const AnswerOptions& options) {
+  if (user_union.empty()) {
+    return Status::InvalidArgument("empty union query");
+  }
+  engine::Table result;
+  AnswerProfile branch_profile;
+  if (profile != nullptr) *profile = AnswerProfile{};
+  for (size_t i = 0; i < user_union.members().size(); ++i) {
+    const query::Cq& branch = user_union.members()[i];
+    if (branch.head().size() != user_union.members()[0].head().size()) {
+      return Status::InvalidArgument("union branches differ in arity");
+    }
+    RDFREF_ASSIGN_OR_RETURN(
+        engine::Table branch_table,
+        Answer(branch, strategy, &branch_profile, options));
+    if (i == 0) {
+      result = std::move(branch_table);
+    } else {
+      result.rows.insert(result.rows.end(), branch_table.rows.begin(),
+                         branch_table.rows.end());
+    }
+    if (profile != nullptr) {
+      profile->prepare_millis += branch_profile.prepare_millis;
+      profile->eval_millis += branch_profile.eval_millis;
+      profile->reformulation_cqs += branch_profile.reformulation_cqs;
+    }
+  }
+  result.Dedup();
+  return result;
+}
+
+Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
+                                            Strategy strategy,
+                                            AnswerProfile* profile,
+                                            const AnswerOptions& options) {
+  if (!q.IsSafe()) {
+    return Status::InvalidArgument(
+        "unsafe query: every head variable must occur in the body");
+  }
+  if (profile != nullptr) *profile = AnswerProfile{};
+  switch (strategy) {
+    case Strategy::kSaturation: {
+      const bool first = sat_store_ == nullptr;
+      const storage::Store& store = sat_store();
+      Timer eval;
+      engine::Evaluator evaluator(&store);
+      engine::Table table = evaluator.EvaluateCq(q);
+      if (profile != nullptr) {
+        profile->prepare_millis = first ? saturation_millis_ : 0.0;
+        profile->eval_millis = eval.ElapsedMillis();
+      }
+      return table;
+    }
+    case Strategy::kRefUcq: {
+      reformulation::Reformulator ref(&schema_, options.reform,
+                                      &graph_.dict());
+      Timer prepare;
+      RDFREF_ASSIGN_OR_RETURN(query::Ucq ucq, ref.Reformulate(q));
+      double prepare_ms = prepare.ElapsedMillis();
+      Timer eval;
+      engine::Evaluator evaluator(ref_delta_.get());
+      engine::Table table = evaluator.EvaluateUcq(ucq);
+      if (profile != nullptr) {
+        profile->prepare_millis = prepare_ms;
+        profile->eval_millis = eval.ElapsedMillis();
+        profile->reformulation_cqs = ucq.size();
+        profile->cover = query::Cover::SingleFragment(q.body().size());
+      }
+      return table;
+    }
+    case Strategy::kRefScq: {
+      reformulation::Reformulator ref(&schema_, options.reform,
+                                      &graph_.dict());
+      return AnswerJucq(q, query::Cover::Singletons(q.body().size()), ref,
+                        profile);
+    }
+    case Strategy::kRefJucq: {
+      reformulation::Reformulator ref(&schema_, options.reform,
+                                      &graph_.dict());
+      return AnswerJucq(q, options.cover, ref, profile);
+    }
+    case Strategy::kRefGcov: {
+      reformulation::Reformulator ref(&schema_, options.reform,
+                                      &graph_.dict());
+      cost::CostModel cost_model(&ref_store_->stats());
+      optimizer::CoverOptimizer optimizer(&ref, &cost_model);
+      Timer search;
+      optimizer::GcovTrace trace;
+      RDFREF_ASSIGN_OR_RETURN(query::Cover cover, optimizer.Greedy(q, &trace));
+      double search_ms = search.ElapsedMillis();
+      if (profile != nullptr) {
+        profile->gcov = trace;
+        profile->prepare_millis = search_ms;  // AnswerJucq adds to this
+      }
+      return AnswerJucq(q, cover, ref, profile);
+    }
+    case Strategy::kRefIncomplete: {
+      reformulation::IncompleteReformulator ref(&schema_, options.reform,
+                                                &graph_.dict());
+      Timer prepare;
+      RDFREF_ASSIGN_OR_RETURN(query::Ucq ucq, ref.Reformulate(q));
+      double prepare_ms = prepare.ElapsedMillis();
+      Timer eval;
+      engine::Evaluator evaluator(ref_delta_.get());
+      engine::Table table = evaluator.EvaluateUcq(ucq);
+      if (profile != nullptr) {
+        profile->prepare_millis = prepare_ms;
+        profile->eval_millis = eval.ElapsedMillis();
+        profile->reformulation_cqs = ucq.size();
+      }
+      return table;
+    }
+    case Strategy::kDatalog: {
+      if (dat_ == nullptr) {
+        dat_ = std::make_unique<datalog::DatalogAnswerer>(ref_delta_.get());
+      }
+      const double closure_before = dat_->closure_millis();
+      Timer eval;
+      RDFREF_ASSIGN_OR_RETURN(engine::Table table, dat_->Answer(q));
+      if (profile != nullptr) {
+        // The closure runs inside the first Answer call.
+        profile->prepare_millis = dat_->closure_millis() - closure_before;
+        profile->eval_millis =
+            eval.ElapsedMillis() - profile->prepare_millis;
+      }
+      return table;
+    }
+  }
+  return Status::InvalidArgument("unknown strategy");
+}
+
+}  // namespace api
+}  // namespace rdfref

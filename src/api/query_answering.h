@@ -1,0 +1,152 @@
+#ifndef RDFREF_API_QUERY_ANSWERING_H_
+#define RDFREF_API_QUERY_ANSWERING_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "datalog/rdf_datalog.h"
+#include "engine/evaluator.h"
+#include "engine/table.h"
+#include "optimizer/gcov.h"
+#include "query/cover.h"
+#include "query/cq.h"
+#include "reasoner/saturation.h"
+#include "reformulation/reformulator.h"
+#include "rdf/graph.h"
+#include "schema/schema.h"
+#include "storage/delta_store.h"
+#include "storage/store.h"
+
+namespace rdfref {
+namespace api {
+
+/// \brief The query answering techniques the demonstration compares
+/// (Sections 1 and 5).
+enum class Strategy {
+  kSaturation,     ///< Sat: saturate once, evaluate directly
+  kRefUcq,         ///< Ref with the classic UCQ reformulation [7,8,9,12,16]
+  kRefScq,         ///< Ref with the SCQ reformulation of [15]
+  kRefJucq,        ///< Ref with an explicit user-chosen cover (JUCQ)
+  kRefGcov,        ///< Ref with the GCov cost-selected cover [5]
+  kRefIncomplete,  ///< fixed incomplete Ref (Virtuoso/AllegroGraph-style)
+  kDatalog,        ///< Dat: Datalog encoding + semi-naive (LogicBlox-style)
+};
+
+/// \brief Short display name, e.g. "REF-GCOV".
+const char* StrategyName(Strategy s);
+
+/// \brief Per-call options.
+struct AnswerOptions {
+  /// Cover for kRefJucq (ignored otherwise).
+  query::Cover cover;
+  /// Reformulation budget (the UCQ size beyond which Ref "fails", as the
+  /// 318,096-CQ reformulation of Example 1 does on real systems).
+  reformulation::ReformulationOptions reform;
+};
+
+/// \brief Measurements of one Answer() call — what the demonstration's
+/// screens display.
+struct AnswerProfile {
+  /// Time preparing the strategy: saturation (first Sat call), Datalog
+  /// closure (first Dat call), reformulation, or GCov search.
+  double prepare_millis = 0.0;
+  /// Time evaluating against the store.
+  double eval_millis = 0.0;
+  /// Total CQs across the evaluated UCQ(s).
+  uint64_t reformulation_cqs = 0;
+  /// Cover used (Ref strategies on covers).
+  query::Cover cover;
+  /// Per-fragment detail (JUCQ-style strategies).
+  engine::JucqProfile jucq;
+  /// Search trace (kRefGcov).
+  optimizer::GcovTrace gcov;
+};
+
+/// \brief One-stop query answering over an RDF graph with RDFS constraints
+/// — the public entry point of the library.
+///
+/// On construction the answerer extracts the schema, saturates it (schema
+/// saturation is cheap and is the standing assumption of the reformulation
+/// rules [9]), stores the saturated constraints back, and indexes the
+/// explicit triples (the Ref database). The saturated database (Sat) and
+/// the Datalog program (Dat) are built lazily on first use.
+class QueryAnswerer {
+ public:
+  /// \brief Takes ownership of the graph (data + constraint triples).
+  explicit QueryAnswerer(rdf::Graph graph);
+
+  QueryAnswerer(const QueryAnswerer&) = delete;
+  QueryAnswerer& operator=(const QueryAnswerer&) = delete;
+
+  /// \brief Answers q using the given strategy. All strategies return the
+  /// same (complete) answer except kRefIncomplete, which may miss tuples.
+  Result<engine::Table> Answer(const query::Cq& q, Strategy strategy,
+                               AnswerProfile* profile = nullptr,
+                               const AnswerOptions& options = {});
+
+  /// \brief Answers a union of BGPs (the paper's full query dialect):
+  /// every branch is answered with `strategy` and the results are unioned
+  /// with duplicate elimination. Branch heads must share arity.
+  Result<engine::Table> AnswerUnion(const query::Ucq& user_union,
+                                    Strategy strategy,
+                                    AnswerProfile* profile = nullptr,
+                                    const AnswerOptions& options = {});
+
+  /// \brief Inserts an explicit instance triple. Ref strategies see it
+  /// immediately (two hash operations); Sat maintenance chases its
+  /// consequences incrementally; Dat rebuilds its program lazily.
+  /// Constraint (schema) triples are a schema change and are rejected —
+  /// rebuild the answerer for those.
+  Status InsertTriple(const rdf::Triple& t);
+
+  /// \brief Removes an explicit instance triple (DRed maintenance on the
+  /// Sat side). Same restrictions as InsertTriple.
+  Status RemoveTriple(const rdf::Triple& t);
+
+  /// \brief The current explicit database (base snapshot + update
+  /// overlay) that Ref strategies evaluate against.
+  const storage::DeltaStore& explicit_source() const { return *ref_delta_; }
+
+  /// \brief Dictionary for parsing queries against this database.
+  rdf::Dictionary& dict() { return graph_.dict(); }
+
+  const schema::Schema& schema() const { return schema_; }
+
+  /// \brief The explicit database (with saturated schema triples).
+  const storage::Store& ref_store() const { return *ref_store_; }
+
+  /// \brief The saturated database; saturates lazily on first call.
+  const storage::Store& sat_store();
+
+  /// \brief Milliseconds the lazy saturation took (0 before it ran).
+  double saturation_millis() const { return saturation_millis_; }
+
+  /// \brief Triples added by saturation (0 before it ran).
+  size_t saturation_added() const { return saturation_added_; }
+
+  /// \brief Number of explicit triples (incl. saturated schema).
+  size_t num_explicit_triples() const { return ref_store_->size(); }
+
+ private:
+  Result<engine::Table> AnswerJucq(const query::Cq& q,
+                                   const query::Cover& cover,
+                                   const reformulation::Reformulator& ref,
+                                   AnswerProfile* profile);
+
+  rdf::Graph graph_;
+  schema::Schema schema_;
+  std::unique_ptr<storage::Store> ref_store_;
+  std::unique_ptr<storage::DeltaStore> ref_delta_;
+  std::unique_ptr<storage::Store> sat_store_;
+  std::unique_ptr<datalog::DatalogAnswerer> dat_;
+  double saturation_millis_ = 0.0;
+  size_t saturation_added_ = 0;
+  bool graph_saturated_ = false;  // graph_ holds G∞ (kept so by updates)
+  bool sat_snapshot_dirty_ = false;
+};
+
+}  // namespace api
+}  // namespace rdfref
+
+#endif  // RDFREF_API_QUERY_ANSWERING_H_

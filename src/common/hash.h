@@ -1,0 +1,58 @@
+#ifndef RDFREF_COMMON_HASH_H_
+#define RDFREF_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rdfref {
+
+/// \brief Mixes a 64-bit value into a running hash (a 64-bit variant of
+/// boost::hash_combine using the splitmix64 finalizer).
+inline size_t HashCombine(size_t seed, uint64_t value) {
+  uint64_t x = value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x = x ^ (x >> 31);
+  return static_cast<size_t>(seed ^ x);
+}
+
+/// \brief Hashes a vector of 64-bit ids (used for multi-column join keys).
+inline size_t HashIds(const std::vector<uint64_t>& ids) {
+  size_t seed = 0xcbf29ce484222325ULL;
+  for (uint64_t id : ids) seed = HashCombine(seed, id);
+  return seed;
+}
+
+/// \brief A deterministic, portable xorshift64* random generator used by the
+/// synthetic data generators and the property tests (seeded, reproducible).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed == 0 ? 0x2545F4914F6CDD1DULL : seed) {}
+
+  /// \brief Next raw 64-bit value.
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// \brief Uniform integer in [0, bound); bound must be positive.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// \brief Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0;
+  }
+
+  /// \brief Bernoulli trial with probability p.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace rdfref
+
+#endif  // RDFREF_COMMON_HASH_H_

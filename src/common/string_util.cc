@@ -1,0 +1,55 @@
+#include "common/string_util.h"
+
+namespace rdfref {
+
+std::vector<std::string> Split(std::string_view input, char sep) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(input.substr(start));
+      break;
+    }
+    pieces.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  size_t begin = 0;
+  while (begin < input.size() &&
+         (input[begin] == ' ' || input[begin] == '\t' || input[begin] == '\r' ||
+          input[begin] == '\n')) {
+    ++begin;
+  }
+  size_t end = input.size();
+  while (end > begin && (input[end - 1] == ' ' || input[end - 1] == '\t' ||
+                         input[end - 1] == '\r' || input[end - 1] == '\n')) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view input, std::string_view prefix) {
+  return input.size() >= prefix.size() &&
+         input.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view input, std::string_view suffix) {
+  return input.size() >= suffix.size() &&
+         input.substr(input.size() - suffix.size()) == suffix;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+}  // namespace rdfref

@@ -1,0 +1,38 @@
+#ifndef RDFREF_COMMON_TIMER_H_
+#define RDFREF_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rdfref {
+
+/// \brief A monotonic wall-clock stopwatch used by the evaluation profiles
+/// and the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// \brief Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed time since construction or the last Reset, in
+  /// microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// \brief Elapsed time in milliseconds (fractional).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rdfref
+
+#endif  // RDFREF_COMMON_TIMER_H_

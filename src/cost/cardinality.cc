@@ -1,0 +1,132 @@
+#include "cost/cardinality.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace cost {
+
+namespace {
+using query::Atom;
+using query::Cq;
+using query::QTerm;
+using query::VarId;
+
+double SafeDiv(double num, double den) { return den < 1.0 ? num : num / den; }
+}  // namespace
+
+double CardinalityEstimator::EstimateAtom(const Atom& atom) const {
+  const double total = static_cast<double>(stats_->total_triples());
+  if (!atom.p.is_var) {
+    const rdf::TermId p = atom.p.term();
+    if (p == rdf::vocab::kTypeId && !atom.o.is_var) {
+      // (s?, τ, c): exact per-class cardinality.
+      double card = static_cast<double>(stats_->ClassCardinality(atom.o.term()));
+      if (!atom.s.is_var) {
+        card = SafeDiv(card, static_cast<double>(
+                                 stats_->ForProperty(p).distinct_subjects));
+      }
+      return card;
+    }
+    storage::PropertyStats ps = stats_->ForProperty(p);
+    double card = static_cast<double>(ps.count);
+    if (!atom.s.is_var) {
+      card = SafeDiv(card, static_cast<double>(ps.distinct_subjects));
+    }
+    if (!atom.o.is_var) {
+      card = SafeDiv(card, static_cast<double>(ps.distinct_objects));
+    }
+    return card;
+  }
+  // Variable property: fall back to whole-table uniformity.
+  double card = total;
+  if (!atom.s.is_var) {
+    card = SafeDiv(card, static_cast<double>(stats_->distinct_subjects()));
+  }
+  if (!atom.o.is_var) {
+    card = SafeDiv(card, static_cast<double>(stats_->distinct_objects()));
+  }
+  return card;
+}
+
+double CardinalityEstimator::DistinctValues(const Atom& atom,
+                                            VarId v) const {
+  const double card = EstimateAtom(atom);
+  double distinct = card;
+  if (!atom.p.is_var) {
+    storage::PropertyStats ps = stats_->ForProperty(atom.p.term());
+    if (atom.s.is_var && atom.s.var() == v) {
+      distinct = static_cast<double>(ps.distinct_subjects);
+    } else if (atom.o.is_var && atom.o.var() == v) {
+      distinct = static_cast<double>(ps.distinct_objects);
+    }
+  } else {
+    if (atom.p.var() == v) {
+      distinct = static_cast<double>(stats_->distinct_properties());
+    } else if (atom.s.is_var && atom.s.var() == v) {
+      distinct = static_cast<double>(stats_->distinct_subjects());
+    } else if (atom.o.is_var && atom.o.var() == v) {
+      distinct = static_cast<double>(stats_->distinct_objects());
+    }
+  }
+  // A relation of `card` rows cannot hold more than `card` distinct values.
+  return std::max(1.0, std::min(distinct, std::max(card, 1.0)));
+}
+
+double CardinalityEstimator::PairCorrection(const Cq& q) const {
+  // For each variable appearing in subject position of several atoms with
+  // constant non-type properties, rescale by the observed co-occurrence of
+  // the first two properties: P(p1 ∧ p2) / (P(p1) · P(p2)).
+  double correction = 1.0;
+  const double n = static_cast<double>(stats_->distinct_subjects());
+  if (n < 1.0) return 1.0;
+  std::map<VarId, std::vector<rdf::TermId>> subject_props;
+  for (const Atom& a : q.body()) {
+    if (a.s.is_var && !a.p.is_var &&
+        a.p.term() != rdf::vocab::kTypeId) {
+      subject_props[a.s.var()].push_back(a.p.term());
+    }
+  }
+  for (const auto& [v, props] : subject_props) {
+    if (props.size() < 2) continue;
+    double ds1 = static_cast<double>(
+        stats_->ForProperty(props[0]).distinct_subjects);
+    double ds2 = static_cast<double>(
+        stats_->ForProperty(props[1]).distinct_subjects);
+    if (ds1 < 1.0 || ds2 < 1.0) continue;
+    double both =
+        static_cast<double>(stats_->SubjectPairCount(props[0], props[1]));
+    double factor = (both * n) / (ds1 * ds2);
+    correction *= std::clamp(factor, 0.01, 100.0);
+  }
+  return correction;
+}
+
+double CardinalityEstimator::EstimateCqRows(const Cq& q) const {
+  const std::vector<Atom>& body = q.body();
+  if (body.empty()) return 0.0;
+  double rows = 1.0;
+  for (const Atom& a : body) rows *= EstimateAtom(a);
+
+  // Per shared variable: divide by the k-1 largest distinct-value counts
+  // (the k-way generalization of |R ⋈ S| = |R||S| / max(V(R,v), V(S,v))).
+  std::map<VarId, std::vector<double>> distinct_per_var;
+  for (const Atom& a : body) {
+    for (VarId v : Cq::AtomVars(a)) {
+      distinct_per_var[v].push_back(DistinctValues(a, v));
+    }
+  }
+  for (auto& [v, ds] : distinct_per_var) {
+    if (ds.size() < 2) continue;
+    std::sort(ds.begin(), ds.end(), std::greater<double>());
+    for (size_t i = 0; i + 1 < ds.size(); ++i) rows /= std::max(ds[i], 1.0);
+  }
+  if (use_pair_statistics_) rows *= PairCorrection(q);
+  return rows;
+}
+
+}  // namespace cost
+}  // namespace rdfref

@@ -1,0 +1,48 @@
+#ifndef RDFREF_COST_CARDINALITY_H_
+#define RDFREF_COST_CARDINALITY_H_
+
+#include "query/cq.h"
+#include "storage/statistics.h"
+
+namespace rdfref {
+namespace cost {
+
+/// \brief Cardinality estimation from the store's exact statistics, using
+/// the classic uniformity and independence assumptions of the relational
+/// textbook (the demo paper: "in [5] we computed c based on database
+/// textbook formulas").
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const storage::Statistics* stats,
+                                bool use_pair_statistics = false)
+      : stats_(stats), use_pair_statistics_(use_pair_statistics) {}
+
+  /// \brief Estimated matches of a single triple pattern (variables free).
+  double EstimateAtom(const query::Atom& atom) const;
+
+  /// \brief Estimated number of distinct values variable `v` takes in the
+  /// matches of `atom` (V(R, v) in System-R terms).
+  double DistinctValues(const query::Atom& atom, query::VarId v) const;
+
+  /// \brief Estimated result cardinality of a CQ: the product of atom
+  /// cardinalities discounted by one equi-join selectivity
+  /// 1/max(V(Ri,v), V(Rj,v)) per additional occurrence of each shared
+  /// variable.
+  double EstimateCqRows(const query::Cq& q) const;
+
+  const storage::Statistics& stats() const { return *stats_; }
+
+ private:
+  /// Correlation correction from the attribute-pair distribution: the
+  /// independence assumption misjudges star joins whose properties
+  /// co-occur more (or less) often than chance.
+  double PairCorrection(const query::Cq& q) const;
+
+  const storage::Statistics* stats_;
+  bool use_pair_statistics_;
+};
+
+}  // namespace cost
+}  // namespace rdfref
+
+#endif  // RDFREF_COST_CARDINALITY_H_

@@ -1,0 +1,45 @@
+#include "datagen/bibliography.h"
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace datagen {
+
+std::string Bibliography::Uri(const std::string& local) {
+  return std::string(kNs) + local;
+}
+
+void Bibliography::AddFigure2Graph(rdf::Graph* graph) {
+  rdf::Dictionary& dict = graph->dict();
+  namespace vocab = rdf::vocab;
+
+  const rdf::TermId doi1 = dict.InternUri(Uri("doi1"));
+  const rdf::TermId b1 = dict.InternBlank("b1");
+  const rdf::TermId book = dict.InternUri(Uri("Book"));
+  const rdf::TermId publication = dict.InternUri(Uri("Publication"));
+  const rdf::TermId person = dict.InternUri(Uri("Person"));
+  const rdf::TermId written_by = dict.InternUri(Uri("writtenBy"));
+  const rdf::TermId has_author = dict.InternUri(Uri("hasAuthor"));
+  const rdf::TermId has_title = dict.InternUri(Uri("hasTitle"));
+  const rdf::TermId has_name = dict.InternUri(Uri("hasName"));
+  const rdf::TermId published_in = dict.InternUri(Uri("publishedIn"));
+
+  // G = { doi1 rdf:type Book, doi1 writtenBy _:b1,
+  //       doi1 hasTitle "El Aleph", _:b1 hasName "J. L. Borges",
+  //       doi1 publishedIn "1949" }
+  graph->Add(doi1, vocab::kTypeId, book);
+  graph->Add(doi1, written_by, b1);
+  graph->Add(doi1, has_title, dict.InternLiteral("El Aleph"));
+  graph->Add(b1, has_name, dict.InternLiteral("J. L. Borges"));
+  graph->Add(doi1, published_in, dict.InternLiteral("1949"));
+
+  // Constraints: books are publications; writing something means being an
+  // author; writtenBy is a relation between books and people.
+  graph->Add(book, vocab::kSubClassOfId, publication);
+  graph->Add(written_by, vocab::kSubPropertyOfId, has_author);
+  graph->Add(written_by, vocab::kDomainId, book);
+  graph->Add(written_by, vocab::kRangeId, person);
+}
+
+}  // namespace datagen
+}  // namespace rdfref

@@ -1,0 +1,35 @@
+#ifndef RDFREF_DATAGEN_BIBLIOGRAPHY_H_
+#define RDFREF_DATAGEN_BIBLIOGRAPHY_H_
+
+#include <string>
+
+#include "rdf/graph.h"
+
+namespace rdfref {
+namespace datagen {
+
+/// \brief The sample RDF graph of Figure 2 of the paper: a book (doi1) with
+/// its author, title and publication year, plus the four RDFS constraints
+/// of Section 3 (books are publications; writing means being an author;
+/// writtenBy relates books to people).
+///
+/// The query of Section 3,
+///   q(x3) :- x1 hasAuthor x2, x2 hasName x3, x1 x4 "1949"
+/// answers {"J. L. Borges"} against the saturation (and the empty set
+/// against the explicit triples only) — see examples/bibliography.cc.
+class Bibliography {
+ public:
+  /// Example namespace used for the bibliographic vocabulary.
+  static constexpr const char* kNs = "http://example.org/bib/";
+
+  /// \brief Adds the Figure 2 graph (data + constraints) to `graph`.
+  static void AddFigure2Graph(rdf::Graph* graph);
+
+  /// \brief URI of a bib: name, e.g. Uri("hasAuthor").
+  static std::string Uri(const std::string& local);
+};
+
+}  // namespace datagen
+}  // namespace rdfref
+
+#endif  // RDFREF_DATAGEN_BIBLIOGRAPHY_H_

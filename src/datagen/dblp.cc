@@ -1,0 +1,115 @@
+#include "datagen/dblp.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace datagen {
+
+namespace {
+namespace vocab = rdf::vocab;
+}  // namespace
+
+std::string Dblp::Uri(const std::string& local) {
+  return std::string(kNs) + local;
+}
+
+void Dblp::AddOntology(rdf::Graph* graph) {
+  rdf::Dictionary& dict = graph->dict();
+  auto u = [&](const char* local) { return dict.InternUri(Uri(local)); };
+  auto sub_class = [&](const char* sub, const char* super) {
+    graph->Add(u(sub), vocab::kSubClassOfId, u(super));
+  };
+
+  sub_class("Publication", "Work");
+  sub_class("Article", "Publication");
+  sub_class("InProceedings", "Publication");
+  sub_class("Book", "Publication");
+  sub_class("PhdThesis", "Publication");
+  sub_class("Author", "Person");
+  sub_class("Editor", "Person");
+  sub_class("Journal", "Venue");
+  sub_class("Conference", "Venue");
+
+  graph->Add(u("creator"), vocab::kDomainId, u("Publication"));
+  graph->Add(u("creator"), vocab::kRangeId, u("Author"));
+  graph->Add(u("editedBy"), vocab::kDomainId, u("Publication"));
+  graph->Add(u("editedBy"), vocab::kRangeId, u("Editor"));
+  graph->Add(u("publishedIn"), vocab::kDomainId, u("Publication"));
+  graph->Add(u("publishedIn"), vocab::kRangeId, u("Venue"));
+  graph->Add(u("cites"), vocab::kDomainId, u("Publication"));
+  graph->Add(u("cites"), vocab::kRangeId, u("Publication"));
+  graph->Add(u("firstAuthor"), vocab::kSubPropertyOfId, u("creator"));
+}
+
+void Dblp::Generate(const DblpConfig& config, rdf::Graph* graph) {
+  AddOntology(graph);
+  rdf::Dictionary& dict = graph->dict();
+  Rng rng(config.seed);
+  auto u = [&](const std::string& local) {
+    return dict.InternUri(Uri(local));
+  };
+
+  const rdf::TermId type = vocab::kTypeId;
+  const rdf::TermId c_article = u("Article");
+  const rdf::TermId c_inproc = u("InProceedings");
+  const rdf::TermId c_book = u("Book");
+  const rdf::TermId c_thesis = u("PhdThesis");
+  const rdf::TermId c_journal = u("Journal");
+  const rdf::TermId c_conference = u("Conference");
+  const rdf::TermId p_creator = u("creator");
+  const rdf::TermId p_first_author = u("firstAuthor");
+  const rdf::TermId p_published_in = u("publishedIn");
+  const rdf::TermId p_cites = u("cites");
+  const rdf::TermId p_year = u("yearOfPublication");
+  const rdf::TermId p_title = u("title");
+
+  // Authors and venues pools scale with the publication count.
+  const int num_authors = std::max(10, config.publications / 4);
+  const int num_venues = std::max(4, config.publications / 200);
+  std::vector<rdf::TermId> authors(num_authors);
+  for (int i = 0; i < num_authors; ++i) {
+    authors[i] = u("author/a" + std::to_string(i));
+    // Authors are *not* typed explicitly: their Author/Person types are
+    // implied by the range of creator — reasoning must supply them.
+  }
+  std::vector<rdf::TermId> venues(num_venues);
+  for (int i = 0; i < num_venues; ++i) {
+    venues[i] = u("venue/v" + std::to_string(i));
+    graph->Add(venues[i], type, (i % 2 == 0) ? c_journal : c_conference);
+  }
+
+  std::vector<rdf::TermId> pubs;
+  pubs.reserve(config.publications);
+  for (int i = 0; i < config.publications; ++i) {
+    rdf::TermId pub = u("pub/p" + std::to_string(i));
+    pubs.push_back(pub);
+    double kind = rng.UniformDouble();
+    rdf::TermId klass = kind < 0.5 ? c_article
+                        : kind < 0.85 ? c_inproc
+                        : kind < 0.95 ? c_book
+                                      : c_thesis;
+    graph->Add(pub, type, klass);
+    graph->Add(pub, p_title, dict.InternLiteral("Title" + std::to_string(i)));
+    graph->Add(pub, p_year,
+               dict.InternLiteral(
+                   std::to_string(1970 + static_cast<int>(rng.Uniform(55)))));
+    graph->Add(pub, p_published_in, venues[rng.Uniform(venues.size())]);
+    const int coauthors = 1 + static_cast<int>(rng.Uniform(4));
+    graph->Add(pub, p_first_author, authors[rng.Uniform(authors.size())]);
+    for (int a = 1; a < coauthors; ++a) {
+      graph->Add(pub, p_creator, authors[rng.Uniform(authors.size())]);
+    }
+    const int cited = static_cast<int>(rng.Uniform(4));
+    for (int c = 0; c < cited && !pubs.empty(); ++c) {
+      graph->Add(pub, p_cites, pubs[rng.Uniform(pubs.size())]);
+    }
+  }
+}
+
+}  // namespace datagen
+}  // namespace rdfref

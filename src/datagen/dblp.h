@@ -1,0 +1,39 @@
+#ifndef RDFREF_DATAGEN_DBLP_H_
+#define RDFREF_DATAGEN_DBLP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rdf/graph.h"
+
+namespace rdfref {
+namespace datagen {
+
+/// \brief Configuration of the DBLP-style bibliographic generator (one of
+/// the demonstration's alternative scenarios, Section 5).
+struct DblpConfig {
+  int publications = 10000;
+  uint64_t seed = 7;
+};
+
+/// \brief Synthetic DBLP-like bibliography: a publication-type hierarchy,
+/// author/editor roles, venues and citations, with RDFS constraints (e.g.
+/// authoring implies being a Person via the range of dblp:creator) that
+/// make reasoning necessary for complete answers.
+class Dblp {
+ public:
+  static constexpr const char* kNs = "http://example.org/dblp/";
+
+  /// \brief Adds the DBLP-style ontology constraints.
+  static void AddOntology(rdf::Graph* graph);
+
+  /// \brief Generates ontology + instances (deterministic per config).
+  static void Generate(const DblpConfig& config, rdf::Graph* graph);
+
+  static std::string Uri(const std::string& local);
+};
+
+}  // namespace datagen
+}  // namespace rdfref
+
+#endif  // RDFREF_DATAGEN_DBLP_H_

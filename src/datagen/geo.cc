@@ -1,0 +1,124 @@
+#include "datagen/geo.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace datagen {
+
+namespace {
+namespace vocab = rdf::vocab;
+}  // namespace
+
+std::string Geo::Uri(const std::string& local) {
+  return std::string(kNs) + local;
+}
+
+void Geo::AddOntology(rdf::Graph* graph) {
+  rdf::Dictionary& dict = graph->dict();
+  auto u = [&](const char* local) { return dict.InternUri(Uri(local)); };
+  auto sub_class = [&](const char* sub, const char* super) {
+    graph->Add(u(sub), vocab::kSubClassOfId, u(super));
+  };
+
+  sub_class("AdministrativeUnit", "GeographicalUnit");
+  sub_class("Region", "AdministrativeUnit");
+  sub_class("Departement", "AdministrativeUnit");
+  sub_class("Arrondissement", "AdministrativeUnit");
+  sub_class("Commune", "AdministrativeUnit");
+  sub_class("Prefecture", "Commune");
+  sub_class("NaturalFeature", "GeographicalUnit");
+  sub_class("River", "NaturalFeature");
+  sub_class("Mountain", "NaturalFeature");
+
+  graph->Add(u("partOf"), vocab::kSubPropertyOfId, u("locatedIn"));
+  graph->Add(u("locatedIn"), vocab::kDomainId, u("GeographicalUnit"));
+  graph->Add(u("locatedIn"), vocab::kRangeId, u("AdministrativeUnit"));
+  graph->Add(u("crosses"), vocab::kDomainId, u("NaturalFeature"));
+  graph->Add(u("crosses"), vocab::kRangeId, u("AdministrativeUnit"));
+  graph->Add(u("chefLieuOf"), vocab::kDomainId, u("Prefecture"));
+  graph->Add(u("chefLieuOf"), vocab::kRangeId, u("Departement"));
+  graph->Add(u("population"), vocab::kDomainId, u("AdministrativeUnit"));
+  graph->Add(u("inseeCode"), vocab::kDomainId, u("AdministrativeUnit"));
+}
+
+void Geo::Generate(const GeoConfig& config, rdf::Graph* graph) {
+  AddOntology(graph);
+  rdf::Dictionary& dict = graph->dict();
+  Rng rng(config.seed);
+  auto u = [&](const std::string& local) {
+    return dict.InternUri(Uri(local));
+  };
+
+  const rdf::TermId type = vocab::kTypeId;
+  const rdf::TermId c_region = u("Region");
+  const rdf::TermId c_departement = u("Departement");
+  const rdf::TermId c_arrondissement = u("Arrondissement");
+  const rdf::TermId c_commune = u("Commune");
+  const rdf::TermId c_prefecture = u("Prefecture");
+  const rdf::TermId c_river = u("River");
+  const rdf::TermId p_part_of = u("partOf");
+  const rdf::TermId p_crosses = u("crosses");
+  const rdf::TermId p_chef_lieu = u("chefLieuOf");
+  const rdf::TermId p_population = u("population");
+  const rdf::TermId p_insee = u("inseeCode");
+
+  std::vector<rdf::TermId> communes;
+  int dept_counter = 0, arr_counter = 0, commune_counter = 0;
+  for (int r = 0; r < config.regions; ++r) {
+    rdf::TermId region = u("region/R" + std::to_string(r));
+    graph->Add(region, type, c_region);
+    const int departements = 4 + static_cast<int>(rng.Uniform(5));
+    for (int d = 0; d < departements; ++d) {
+      rdf::TermId dept = u("departement/D" + std::to_string(dept_counter++));
+      graph->Add(dept, type, c_departement);
+      graph->Add(dept, p_part_of, region);
+      graph->Add(dept, p_insee,
+                 dict.InternLiteral(std::to_string(dept_counter)));
+      bool prefecture_placed = false;
+      const int arrondissements = 3 + static_cast<int>(rng.Uniform(3));
+      for (int a = 0; a < arrondissements; ++a) {
+        rdf::TermId arr =
+            u("arrondissement/A" + std::to_string(arr_counter++));
+        graph->Add(arr, type, c_arrondissement);
+        graph->Add(arr, p_part_of, dept);
+        const int ncommunes = 10 + static_cast<int>(rng.Uniform(21));
+        for (int c = 0; c < ncommunes; ++c) {
+          rdf::TermId commune =
+              u("commune/C" + std::to_string(commune_counter++));
+          if (!prefecture_placed) {
+            graph->Add(commune, type, c_prefecture);
+            graph->Add(commune, p_chef_lieu, dept);
+            prefecture_placed = true;
+          } else {
+            graph->Add(commune, type, c_commune);
+          }
+          graph->Add(commune, p_part_of, arr);
+          graph->Add(
+              commune, p_population,
+              dict.InternLiteral(std::to_string(100 + rng.Uniform(100000))));
+          communes.push_back(commune);
+        }
+      }
+    }
+  }
+
+  // Rivers cross several communes; rivers are typed only through the
+  // domain of `crosses`.
+  const int rivers = std::max(1, static_cast<int>(communes.size()) / 200);
+  for (int i = 0; i < rivers; ++i) {
+    rdf::TermId river = u("river/F" + std::to_string(i));
+    if (rng.Chance(0.5)) graph->Add(river, type, c_river);
+    const int crossed = 2 + static_cast<int>(rng.Uniform(8));
+    for (int c = 0; c < crossed; ++c) {
+      graph->Add(river, p_crosses, communes[rng.Uniform(communes.size())]);
+    }
+  }
+}
+
+}  // namespace datagen
+}  // namespace rdfref

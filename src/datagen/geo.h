@@ -1,0 +1,39 @@
+#ifndef RDFREF_DATAGEN_GEO_H_
+#define RDFREF_DATAGEN_GEO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rdf/graph.h"
+
+namespace rdfref {
+namespace datagen {
+
+/// \brief Configuration of the geographic generator.
+struct GeoConfig {
+  int regions = 13;
+  uint64_t seed = 11;
+};
+
+/// \brief Synthetic French-statistics-flavoured geographic data, standing
+/// in for the INSEE / IGN datasets of the demonstration (Section 5): an
+/// administrative hierarchy (régions / départements / arrondissements /
+/// communes), natural features crossing administrative units, and RDFS
+/// constraints tying them together.
+class Geo {
+ public:
+  static constexpr const char* kNs = "http://example.org/geo/";
+
+  /// \brief Adds the geographic ontology constraints.
+  static void AddOntology(rdf::Graph* graph);
+
+  /// \brief Generates ontology + instances (deterministic per config).
+  static void Generate(const GeoConfig& config, rdf::Graph* graph);
+
+  static std::string Uri(const std::string& local);
+};
+
+}  // namespace datagen
+}  // namespace rdfref
+
+#endif  // RDFREF_DATAGEN_GEO_H_

@@ -1,0 +1,336 @@
+#include "datagen/lubm.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace datagen {
+
+namespace {
+using rdf::Graph;
+using rdf::TermId;
+namespace vocab = rdf::vocab;
+
+// Interning helpers bound to one graph.
+struct Ns {
+  Graph* g;
+
+  TermId U(const std::string& local) {
+    return g->dict().InternUri(Lubm::Uri(local));
+  }
+  TermId Lit(const std::string& value) {
+    return g->dict().InternLiteral(value);
+  }
+};
+
+}  // namespace
+
+std::string Lubm::Uri(const std::string& local) {
+  return std::string(kNs) + local;
+}
+
+std::string Lubm::UniversityUri(int i) {
+  return "http://www.University" + std::to_string(i) + ".edu";
+}
+
+void Lubm::AddOntology(rdf::Graph* graph) {
+  Ns ns{graph};
+  auto sub_class = [&](const char* sub, const char* super) {
+    graph->Add(ns.U(sub), vocab::kSubClassOfId, ns.U(super));
+  };
+  auto sub_property = [&](const char* sub, const char* super) {
+    graph->Add(ns.U(sub), vocab::kSubPropertyOfId, ns.U(super));
+  };
+  auto domain = [&](const char* p, const char* c) {
+    graph->Add(ns.U(p), vocab::kDomainId, ns.U(c));
+  };
+  auto range = [&](const char* p, const char* c) {
+    graph->Add(ns.U(p), vocab::kRangeId, ns.U(c));
+  };
+
+  // --- Class hierarchy (univ-bench, RDFS fragment) ---
+  sub_class("University", "Organization");
+  sub_class("College", "Organization");
+  sub_class("Department", "Organization");
+  sub_class("Institute", "Organization");
+  sub_class("Program", "Organization");
+  sub_class("ResearchGroup", "Organization");
+
+  sub_class("Employee", "Person");
+  sub_class("Faculty", "Employee");
+  sub_class("Professor", "Faculty");
+  sub_class("FullProfessor", "Professor");
+  sub_class("AssociateProfessor", "Professor");
+  sub_class("AssistantProfessor", "Professor");
+  sub_class("VisitingProfessor", "Professor");
+  sub_class("Chair", "Professor");
+  sub_class("Dean", "Professor");
+  sub_class("Lecturer", "Faculty");
+  sub_class("PostDoc", "Faculty");
+  sub_class("AdministrativeStaff", "Employee");
+  sub_class("ClericalStaff", "AdministrativeStaff");
+  sub_class("SystemsStaff", "AdministrativeStaff");
+  sub_class("Student", "Person");
+  sub_class("UndergraduateStudent", "Student");
+  sub_class("GraduateStudent", "Student");
+  sub_class("TeachingAssistant", "Person");
+  sub_class("ResearchAssistant", "Person");
+  sub_class("Director", "Person");
+
+  sub_class("Course", "Work");
+  sub_class("GraduateCourse", "Course");
+  sub_class("Research", "Work");
+  sub_class("Schedule", "Work");
+
+  sub_class("Article", "Publication");
+  sub_class("ConferencePaper", "Article");
+  sub_class("JournalArticle", "Article");
+  sub_class("TechnicalReport", "Article");
+  sub_class("Book", "Publication");
+  sub_class("Manual", "Publication");
+  sub_class("Software", "Publication");
+  sub_class("Specification", "Publication");
+  sub_class("UnofficialPublication", "Publication");
+
+  // --- Property hierarchy ---
+  sub_property("worksFor", "memberOf");
+  sub_property("headOf", "worksFor");
+  sub_property("undergraduateDegreeFrom", "degreeFrom");
+  sub_property("mastersDegreeFrom", "degreeFrom");
+  sub_property("doctoralDegreeFrom", "degreeFrom");
+
+  // --- Domains and ranges ---
+  domain("memberOf", "Person");
+  range("memberOf", "Organization");
+  domain("subOrganizationOf", "Organization");
+  range("subOrganizationOf", "Organization");
+  domain("degreeFrom", "Person");
+  range("degreeFrom", "University");
+  domain("teacherOf", "Faculty");
+  range("teacherOf", "Course");
+  domain("takesCourse", "Student");
+  range("takesCourse", "Course");
+  domain("teachingAssistantOf", "TeachingAssistant");
+  range("teachingAssistantOf", "Course");
+  domain("advisor", "Person");
+  range("advisor", "Professor");
+  domain("publicationAuthor", "Publication");
+  range("publicationAuthor", "Person");
+  domain("researchInterest", "Person");
+  domain("emailAddress", "Person");
+  domain("telephone", "Person");
+  domain("title", "Person");
+  domain("researchProject", "ResearchGroup");
+  range("researchProject", "Research");
+  domain("tenured", "Professor");
+  domain("officeNumber", "Faculty");
+  domain("age", "Person");
+  domain("affiliatedOrganizationOf", "Organization");
+  range("affiliatedOrganizationOf", "Organization");
+  domain("affiliateOf", "Organization");
+  range("affiliateOf", "Person");
+  domain("hasAlumnus", "University");
+  range("hasAlumnus", "Person");
+  domain("listedCourse", "Schedule");
+  range("listedCourse", "Course");
+  domain("orgPublication", "Organization");
+  range("orgPublication", "Publication");
+  domain("publicationDate", "Publication");
+  domain("publicationResearch", "Publication");
+  range("publicationResearch", "Research");
+  domain("softwareDocumentation", "Software");
+  domain("softwareVersion", "Software");
+}
+
+void Lubm::Generate(const LubmConfig& config, rdf::Graph* graph) {
+  AddOntology(graph);
+  Ns ns{graph};
+  Rng rng(config.seed);
+
+  const TermId type = vocab::kTypeId;
+  // Pre-intern the vocabulary used in the hot loops.
+  const TermId c_university = ns.U("University");
+  const TermId c_department = ns.U("Department");
+  const TermId c_research_group = ns.U("ResearchGroup");
+  const TermId c_full_prof = ns.U("FullProfessor");
+  const TermId c_assoc_prof = ns.U("AssociateProfessor");
+  const TermId c_asst_prof = ns.U("AssistantProfessor");
+  const TermId c_lecturer = ns.U("Lecturer");
+  const TermId c_ugrad = ns.U("UndergraduateStudent");
+  const TermId c_grad = ns.U("GraduateStudent");
+  const TermId c_ta = ns.U("TeachingAssistant");
+  const TermId c_ra = ns.U("ResearchAssistant");
+  const TermId c_course = ns.U("Course");
+  const TermId c_grad_course = ns.U("GraduateCourse");
+  const TermId c_journal = ns.U("JournalArticle");
+  const TermId c_conf = ns.U("ConferencePaper");
+  const TermId c_tech = ns.U("TechnicalReport");
+
+  const TermId p_works_for = ns.U("worksFor");
+  const TermId p_member_of = ns.U("memberOf");
+  const TermId p_head_of = ns.U("headOf");
+  const TermId p_sub_org = ns.U("subOrganizationOf");
+  const TermId p_ug_degree = ns.U("undergraduateDegreeFrom");
+  const TermId p_ms_degree = ns.U("mastersDegreeFrom");
+  const TermId p_dr_degree = ns.U("doctoralDegreeFrom");
+  const TermId p_teacher_of = ns.U("teacherOf");
+  const TermId p_takes = ns.U("takesCourse");
+  const TermId p_ta_of = ns.U("teachingAssistantOf");
+  const TermId p_advisor = ns.U("advisor");
+  const TermId p_pub_author = ns.U("publicationAuthor");
+  const TermId p_email = ns.U("emailAddress");
+  const TermId p_interest = ns.U("researchInterest");
+  const TermId p_name = ns.U("name");
+
+  const int pool = std::max(config.referenced_universities,
+                            config.universities);
+  std::vector<TermId> university_pool(pool);
+  for (int i = 0; i < pool; ++i) {
+    university_pool[i] = graph->dict().InternUri(UniversityUri(i));
+  }
+  auto random_university = [&]() {
+    return university_pool[rng.Uniform(static_cast<uint64_t>(pool))];
+  };
+
+  std::vector<std::string> interests = {
+      "Databases",  "SemanticWeb", "Reasoning", "QueryOptimization",
+      "Networking", "Systems",     "Theory",    "MachineLearning"};
+
+  auto scaled = [&](int base) {
+    int value = static_cast<int>(base * config.scale);
+    return value < 1 ? 1 : value;
+  };
+
+  for (int u = 0; u < config.universities; ++u) {
+    const TermId univ = university_pool[u];
+    graph->Add(univ, type, c_university);
+    const int departments = 3 + static_cast<int>(rng.Uniform(3));
+    for (int d = 0; d < departments; ++d) {
+      const std::string dept_base = "http://www.Department" +
+                                    std::to_string(d) + ".University" +
+                                    std::to_string(u) + ".edu";
+      const TermId dept = graph->dict().InternUri(dept_base);
+      graph->Add(dept, type, c_department);
+      graph->Add(dept, p_sub_org, univ);
+      auto entity = [&](const std::string& label, int i) {
+        return graph->dict().InternUri(dept_base + "/" + label +
+                                       std::to_string(i));
+      };
+
+      // Research groups.
+      const int groups = scaled(5);
+      for (int i = 0; i < groups; ++i) {
+        TermId group = entity("ResearchGroup", i);
+        graph->Add(group, type, c_research_group);
+        graph->Add(group, p_sub_org, dept);
+      }
+
+      // Faculty. Chairs get headOf (a sub-sub-property of memberOf).
+      struct FacultySpec {
+        TermId klass;
+        const char* label;
+        int count;
+      };
+      const FacultySpec faculty_specs[] = {
+          {c_full_prof, "FullProfessor", scaled(7)},
+          {c_assoc_prof, "AssociateProfessor", scaled(10)},
+          {c_asst_prof, "AssistantProfessor", scaled(8)},
+          {c_lecturer, "Lecturer", scaled(5)},
+      };
+      std::vector<TermId> faculty;
+      std::vector<TermId> professors;
+      std::vector<TermId> courses;
+      int course_counter = 0;
+      for (const FacultySpec& spec : faculty_specs) {
+        for (int i = 0; i < spec.count; ++i) {
+          TermId f = entity(spec.label, i);
+          graph->Add(f, type, spec.klass);
+          faculty.push_back(f);
+          if (spec.klass != c_lecturer) professors.push_back(f);
+          if (spec.klass == c_full_prof && i == 0) {
+            graph->Add(f, p_head_of, dept);  // the chair
+          } else {
+            graph->Add(f, p_works_for, dept);
+          }
+          graph->Add(f, p_ug_degree, random_university());
+          graph->Add(f, p_ms_degree, random_university());
+          graph->Add(f, p_dr_degree, random_university());
+          graph->Add(f, p_name,
+                     ns.Lit(std::string(spec.label) + std::to_string(i)));
+          graph->Add(f, p_email,
+                     ns.Lit(std::string(spec.label) + std::to_string(i) +
+                            "@Department" + std::to_string(d) + ".University" +
+                            std::to_string(u) + ".edu"));
+          graph->Add(
+              f, p_interest,
+              ns.Lit(interests[rng.Uniform(interests.size())]));
+          // Courses taught.
+          const int taught = 1 + static_cast<int>(rng.Uniform(2));
+          for (int t = 0; t < taught; ++t) {
+            TermId course = entity("Course", course_counter);
+            graph->Add(course, type,
+                       rng.Chance(0.3) ? c_grad_course : c_course);
+            graph->Add(f, p_teacher_of, course);
+            courses.push_back(course);
+            ++course_counter;
+          }
+          // Publications.
+          const int pubs = 2 + static_cast<int>(rng.Uniform(4));
+          for (int pb = 0; pb < pubs; ++pb) {
+            TermId pub = graph->dict().InternUri(
+                dept_base + "/" + spec.label + std::to_string(i) +
+                "/Publication" + std::to_string(pb));
+            double kind = rng.UniformDouble();
+            graph->Add(pub, type,
+                       kind < 0.4 ? c_journal
+                                  : (kind < 0.8 ? c_conf : c_tech));
+            graph->Add(pub, p_pub_author, f);
+          }
+        }
+      }
+
+      // Graduate students: ~3 per faculty member.
+      const int grads = static_cast<int>(faculty.size()) * 3;
+      for (int i = 0; i < grads; ++i) {
+        TermId s = entity("GraduateStudent", i);
+        graph->Add(s, type, c_grad);
+        graph->Add(s, p_member_of, dept);
+        graph->Add(s, p_ug_degree, random_university());
+        graph->Add(s, p_advisor,
+                   professors[rng.Uniform(professors.size())]);
+        graph->Add(s, p_name, ns.Lit("GraduateStudent" + std::to_string(i)));
+        const int taken = 1 + static_cast<int>(rng.Uniform(3));
+        for (int t = 0; t < taken; ++t) {
+          graph->Add(s, p_takes, courses[rng.Uniform(courses.size())]);
+        }
+        if (rng.Chance(0.2)) {
+          graph->Add(s, type, c_ta);
+          graph->Add(s, p_ta_of, courses[rng.Uniform(courses.size())]);
+        } else if (rng.Chance(0.1)) {
+          graph->Add(s, type, c_ra);
+        }
+      }
+
+      // Undergraduate students: ~10 per faculty member.
+      const int ugrads = static_cast<int>(faculty.size()) * 10;
+      for (int i = 0; i < ugrads; ++i) {
+        TermId s = entity("UndergraduateStudent", i);
+        graph->Add(s, type, c_ugrad);
+        graph->Add(s, p_member_of, dept);
+        graph->Add(s, p_name,
+                   ns.Lit("UndergraduateStudent" + std::to_string(i)));
+        const int taken = 2 + static_cast<int>(rng.Uniform(3));
+        for (int t = 0; t < taken; ++t) {
+          graph->Add(s, p_takes, courses[rng.Uniform(courses.size())]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace datagen
+}  // namespace rdfref

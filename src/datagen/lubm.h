@@ -1,0 +1,62 @@
+#ifndef RDFREF_DATAGEN_LUBM_H_
+#define RDFREF_DATAGEN_LUBM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rdf/graph.h"
+
+namespace rdfref {
+namespace datagen {
+
+/// \brief Configuration of the LUBM-style generator.
+///
+/// The original LUBM benchmark [11] scales by number of universities; one
+/// university yields roughly 100K triples, and the paper's experiments use
+/// LUBM 100M (about 1000 universities). `scale` additionally multiplies the
+/// per-department population, so small, fast test datasets keep the same
+/// shape.
+struct LubmConfig {
+  int universities = 1;
+  uint64_t seed = 42;
+  double scale = 1.0;
+  /// Size of the pool of university URIs used as degreeFrom targets (LUBM
+  /// references many more universities than it instantiates).
+  int referenced_universities = 100;
+};
+
+/// \brief Generator for LUBM-style RDF data: the univ-bench ontology
+/// restricted to its RDFS constraints (subclass / subproperty / domain /
+/// range — exactly the DB fragment) plus a synthetic university instance
+/// graph with LUBM-like cardinality ratios.
+///
+/// Faithfulness notes (see DESIGN.md §1): instances are typed with their
+/// most specific class only, faculty are attached with ub:worksFor (a strict
+/// sub-property of ub:memberOf) and degrees with the three specific
+/// degreeFrom properties — so reformulation or saturation is *required* for
+/// complete answers, as in the paper's Example 1.
+class Lubm {
+ public:
+  /// The ub: namespace of univ-bench.
+  static constexpr const char* kNs =
+      "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+
+  /// \brief Adds the ontology's constraint triples to `graph`.
+  static void AddOntology(rdf::Graph* graph);
+
+  /// \brief Generates ontology + instances into `graph` (deterministic for
+  /// a given config).
+  static void Generate(const LubmConfig& config, rdf::Graph* graph);
+
+  /// \brief URI of university `i` in the referenced pool, e.g.
+  /// "http://www.University532.edu" — the degreeFrom constant of Example 1.
+  static std::string UniversityUri(int i);
+
+  /// \brief URI of a ub: class or property, e.g. Uri("memberOf").
+  static std::string Uri(const std::string& local);
+};
+
+}  // namespace datagen
+}  // namespace rdfref
+
+#endif  // RDFREF_DATAGEN_LUBM_H_

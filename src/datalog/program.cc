@@ -1,0 +1,64 @@
+#include "datalog/program.h"
+
+#include <set>
+
+namespace rdfref {
+namespace datalog {
+
+PredId Program::AddPredicate(std::string name, size_t arity) {
+  PredId id = static_cast<PredId>(names_.size());
+  names_.push_back(std::move(name));
+  arities_.push_back(arity);
+  facts_.emplace_back();
+  return id;
+}
+
+Status Program::AddFact(PredId pred, std::vector<rdf::TermId> tuple) {
+  if (pred >= names_.size()) {
+    return Status::InvalidArgument("unknown predicate");
+  }
+  if (tuple.size() != arities_[pred]) {
+    return Status::InvalidArgument("arity mismatch for fact of " +
+                                   names_[pred]);
+  }
+  facts_[pred].push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Status Program::AddRule(DlRule rule) {
+  auto check_atom = [this](const DlAtom& atom) -> Status {
+    if (atom.pred >= names_.size()) {
+      return Status::InvalidArgument("unknown predicate in rule");
+    }
+    if (atom.args.size() != arities_[atom.pred]) {
+      return Status::InvalidArgument("arity mismatch in rule atom of " +
+                                     names_[atom.pred]);
+    }
+    return Status::OK();
+  };
+  RDFREF_RETURN_NOT_OK(check_atom(rule.head));
+  if (rule.body.empty()) {
+    return Status::InvalidArgument("rules must have a non-empty body");
+  }
+  std::set<uint32_t> body_vars;
+  for (const DlAtom& atom : rule.body) {
+    RDFREF_RETURN_NOT_OK(check_atom(atom));
+    if (atom.args.size() > kMaxBodyArity) {
+      return Status::InvalidArgument("body atom arity exceeds kMaxBodyArity");
+    }
+    for (const DlTerm& t : atom.args) {
+      if (t.is_var) body_vars.insert(t.id);
+    }
+  }
+  for (const DlTerm& t : rule.head.args) {
+    if (t.is_var && !body_vars.count(t.id)) {
+      return Status::InvalidArgument(
+          "rule is not range-restricted: head variable not in body");
+    }
+  }
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+}  // namespace datalog
+}  // namespace rdfref

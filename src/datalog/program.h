@@ -1,0 +1,86 @@
+#ifndef RDFREF_DATALOG_PROGRAM_H_
+#define RDFREF_DATALOG_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace rdfref {
+namespace datalog {
+
+/// \brief Predicate identifier within a Program.
+using PredId = uint32_t;
+
+/// \brief Maximum arity of a rule body atom (bounds a fixed-size binding
+/// scratch buffer in the evaluator).
+inline constexpr size_t kMaxBodyArity = 16;
+
+/// \brief A term of a Datalog atom: a rule-local variable or a constant
+/// (constants are rdf::TermIds, since our EDB is an RDF store).
+struct DlTerm {
+  bool is_var = false;
+  uint32_t id = 0;
+
+  static DlTerm Var(uint32_t v) { return DlTerm{true, v}; }
+  static DlTerm Const(rdf::TermId c) { return DlTerm{false, c}; }
+
+  friend bool operator==(const DlTerm& a, const DlTerm& b) {
+    return a.is_var == b.is_var && a.id == b.id;
+  }
+};
+
+/// \brief A Datalog atom p(a1, ..., ak).
+struct DlAtom {
+  PredId pred = 0;
+  std::vector<DlTerm> args;
+
+  DlAtom() = default;
+  DlAtom(PredId p, std::vector<DlTerm> a) : pred(p), args(std::move(a)) {}
+};
+
+/// \brief A positive Datalog rule head :- body.
+struct DlRule {
+  DlAtom head;
+  std::vector<DlAtom> body;
+};
+
+/// \brief A positive Datalog program: predicates, facts (the EDB) and rules
+/// (defining the IDB). This is the encoding target of the paper's Dat
+/// technique ("a simple encoding of the RDF data, constraints and queries
+/// into Datalog programs", Section 5 — the LogicBlox alternative).
+class Program {
+ public:
+  Program() = default;
+
+  /// \brief Declares a predicate; returns its id.
+  PredId AddPredicate(std::string name, size_t arity);
+
+  /// \brief Adds an EDB fact; the tuple arity must match the predicate's.
+  Status AddFact(PredId pred, std::vector<rdf::TermId> tuple);
+
+  /// \brief Adds a rule; checks arities and range restriction (every head
+  /// variable occurs in the body).
+  Status AddRule(DlRule rule);
+
+  size_t num_predicates() const { return names_.size(); }
+  const std::string& name(PredId p) const { return names_[p]; }
+  size_t arity(PredId p) const { return arities_[p]; }
+  const std::vector<DlRule>& rules() const { return rules_; }
+  const std::vector<std::vector<std::vector<rdf::TermId>>>& facts() const {
+    return facts_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<size_t> arities_;
+  std::vector<std::vector<std::vector<rdf::TermId>>> facts_;  // per predicate
+  std::vector<DlRule> rules_;
+};
+
+}  // namespace datalog
+}  // namespace rdfref
+
+#endif  // RDFREF_DATALOG_PROGRAM_H_

@@ -1,0 +1,211 @@
+#include "datalog/seminaive.h"
+
+#include <algorithm>
+
+namespace rdfref {
+namespace datalog {
+
+namespace {
+constexpr rdf::TermId kUnbound = rdf::kInvalidTermId;
+const std::vector<size_t> kNoMatches;
+}  // namespace
+
+bool DlRelation::Insert(const std::vector<rdf::TermId>& tuple) {
+  if (!set_.insert(tuple).second) return false;
+  tuples_.push_back(tuple);
+  return true;
+}
+
+const std::vector<size_t>& DlRelation::Matching(size_t col,
+                                                rdf::TermId value) const {
+  ColumnIndex& index = indexes_[col];
+  // Extend the index over tuples appended since the last lookup.
+  for (size_t i = index.built_upto; i < tuples_.size(); ++i) {
+    index.map[tuples_[i][col]].push_back(i);
+  }
+  index.built_upto = tuples_.size();
+  auto it = index.map.find(value);
+  return it == index.map.end() ? kNoMatches : it->second;
+}
+
+SemiNaive::SemiNaive(const Program* program) : program_(program) {
+  relations_.reserve(program->num_predicates());
+  for (PredId p = 0; p < program->num_predicates(); ++p) {
+    relations_.emplace_back(program->arity(p));
+  }
+}
+
+size_t SemiNaive::CountRuleVars(const DlRule& rule) {
+  uint32_t max_var = 0;
+  bool any = false;
+  auto visit = [&](const DlAtom& atom) {
+    for (const DlTerm& t : atom.args) {
+      if (t.is_var) {
+        max_var = std::max(max_var, t.id);
+        any = true;
+      }
+    }
+  };
+  visit(rule.head);
+  for (const DlAtom& a : rule.body) visit(a);
+  return any ? max_var + 1 : 0;
+}
+
+void SemiNaive::JoinBody(const DlAtom& head,
+                         const std::vector<const DlAtom*>& order,
+                         size_t depth, const DlRelation* first_override,
+                         std::vector<rdf::TermId>* bindings,
+                         std::vector<std::vector<rdf::TermId>>* out) const {
+  if (depth == order.size()) {
+    std::vector<rdf::TermId> tuple;
+    tuple.reserve(head.args.size());
+    for (const DlTerm& t : head.args) {
+      tuple.push_back(t.is_var ? (*bindings)[t.id] : t.id);
+    }
+    out->push_back(std::move(tuple));
+    return;
+  }
+  const DlAtom& atom = *order[depth];
+  const DlRelation& rel = (depth == 0 && first_override != nullptr)
+                              ? *first_override
+                              : relations_[atom.pred];
+
+  // Pick an access path: an index lookup on the first constant-or-bound
+  // argument, else a full scan.
+  int key_col = -1;
+  rdf::TermId key_value = kUnbound;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const DlTerm& t = atom.args[i];
+    if (!t.is_var) {
+      key_col = static_cast<int>(i);
+      key_value = t.id;
+      break;
+    }
+    if ((*bindings)[t.id] != kUnbound) {
+      key_col = static_cast<int>(i);
+      key_value = (*bindings)[t.id];
+      break;
+    }
+  }
+
+  auto try_tuple = [&](const std::vector<rdf::TermId>& tuple) {
+    // Program::AddRule bounds body-atom arity to kMaxBodyArity.
+    uint32_t newly[kMaxBodyArity];
+    int num_new = 0;
+    bool ok = true;
+    for (size_t i = 0; i < atom.args.size() && ok; ++i) {
+      const DlTerm& t = atom.args[i];
+      if (!t.is_var) {
+        ok = tuple[i] == t.id;
+      } else {
+        rdf::TermId& slot = (*bindings)[t.id];
+        if (slot == kUnbound) {
+          slot = tuple[i];
+          newly[num_new++] = t.id;
+        } else {
+          ok = slot == tuple[i];
+        }
+      }
+    }
+    if (ok) JoinBody(head, order, depth + 1, first_override, bindings, out);
+    for (int k = 0; k < num_new; ++k) (*bindings)[newly[k]] = kUnbound;
+  };
+
+  if (key_col >= 0) {
+    // Matching() returns a reference into the index, which recursive calls
+    // may extend (same-predicate joins); copy the candidate list.
+    std::vector<size_t> candidates =
+        rel.Matching(static_cast<size_t>(key_col), key_value);
+    for (size_t idx : candidates) try_tuple(rel.tuples()[idx]);
+  } else {
+    // Iterate by position: recursion may append tuples to this relation's
+    // backing vector, so no iterators; new tuples are handled next round.
+    const size_t limit = rel.tuples().size();
+    for (size_t idx = 0; idx < limit; ++idx) try_tuple(rel.tuples()[idx]);
+  }
+}
+
+void SemiNaive::Run() {
+  if (ran_) return;
+  ran_ = true;
+
+  // Load the EDB; the first delta is everything.
+  std::vector<DlRelation> delta;
+  delta.reserve(relations_.size());
+  for (PredId p = 0; p < program_->num_predicates(); ++p) {
+    delta.emplace_back(program_->arity(p));
+    for (const std::vector<rdf::TermId>& fact : program_->facts()[p]) {
+      if (relations_[p].Insert(fact)) delta[p].Insert(fact);
+    }
+  }
+
+  iterations_ = 0;
+  std::vector<std::vector<rdf::TermId>> derived;
+  while (true) {
+    ++iterations_;
+    std::vector<DlRelation> next_delta;
+    next_delta.reserve(relations_.size());
+    for (PredId p = 0; p < program_->num_predicates(); ++p) {
+      next_delta.emplace_back(program_->arity(p));
+    }
+    bool any_new = false;
+    for (const DlRule& rule : program_->rules()) {
+      std::vector<rdf::TermId> bindings(CountRuleVars(rule), kUnbound);
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (delta[rule.body[i].pred].size() == 0) continue;
+        // Evaluate with body atom i restricted to the delta, and moved to
+        // the front of the join order so the delta drives the join.
+        std::vector<const DlAtom*> order;
+        order.reserve(rule.body.size());
+        order.push_back(&rule.body[i]);
+        for (size_t j = 0; j < rule.body.size(); ++j) {
+          if (j != i) order.push_back(&rule.body[j]);
+        }
+        derived.clear();
+        JoinBody(rule.head, order, 0, &delta[rule.body[i].pred], &bindings,
+                 &derived);
+        for (const std::vector<rdf::TermId>& tuple : derived) {
+          if (relations_[rule.head.pred].Insert(tuple)) {
+            next_delta[rule.head.pred].Insert(tuple);
+            any_new = true;
+          }
+        }
+      }
+    }
+    if (!any_new) break;
+    delta = std::move(next_delta);
+  }
+}
+
+size_t SemiNaive::TotalTuples() const {
+  size_t total = 0;
+  for (const DlRelation& r : relations_) total += r.size();
+  return total;
+}
+
+std::vector<std::vector<rdf::TermId>> SemiNaive::EvaluateRuleOnce(
+    const DlRule& rule) const {
+  std::vector<rdf::TermId> bindings(CountRuleVars(rule), kUnbound);
+  std::vector<std::vector<rdf::TermId>> out;
+  std::vector<const DlAtom*> order;
+  order.reserve(rule.body.size());
+  // Constants-first ordering: atoms with more constant arguments are more
+  // selective leading scans.
+  for (const DlAtom& a : rule.body) order.push_back(&a);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const DlAtom* a, const DlAtom* b) {
+                     auto consts = [](const DlAtom* atom) {
+                       size_t n = 0;
+                       for (const DlTerm& t : atom->args) {
+                         if (!t.is_var) ++n;
+                       }
+                       return n;
+                     };
+                     return consts(a) > consts(b);
+                   });
+  JoinBody(rule.head, order, 0, /*first_override=*/nullptr, &bindings, &out);
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace rdfref

@@ -1,0 +1,95 @@
+#ifndef RDFREF_DATALOG_SEMINAIVE_H_
+#define RDFREF_DATALOG_SEMINAIVE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "datalog/program.h"
+#include "engine/table.h"
+
+namespace rdfref {
+namespace datalog {
+
+/// \brief A materialized Datalog relation: a duplicate-free tuple store
+/// with lazily built per-column hash indexes (so rule bodies join with
+/// index lookups rather than full scans).
+class DlRelation {
+ public:
+  explicit DlRelation(size_t arity) : arity_(arity), indexes_(arity) {}
+
+  /// \brief Inserts a tuple; returns true when new.
+  bool Insert(const std::vector<rdf::TermId>& tuple);
+
+  size_t size() const { return tuples_.size(); }
+  size_t arity() const { return arity_; }
+  const std::vector<std::vector<rdf::TermId>>& tuples() const {
+    return tuples_;
+  }
+
+  /// \brief Indexes of tuples whose column `col` equals `value` (builds or
+  /// extends the column index on demand).
+  const std::vector<size_t>& Matching(size_t col, rdf::TermId value) const;
+
+ private:
+  struct ColumnIndex {
+    std::unordered_map<rdf::TermId, std::vector<size_t>> map;
+    size_t built_upto = 0;
+  };
+
+  size_t arity_;
+  std::vector<std::vector<rdf::TermId>> tuples_;
+  std::unordered_set<std::vector<rdf::TermId>, engine::RowHash> set_;
+  mutable std::vector<ColumnIndex> indexes_;
+};
+
+/// \brief Bottom-up evaluation of a positive Datalog program by the
+/// semi-naive fixpoint algorithm: each iteration joins every rule with at
+/// least one atom restricted to the previous iteration's delta, so no
+/// derivation is recomputed from scratch.
+class SemiNaive {
+ public:
+  /// \brief `program` must outlive the evaluator.
+  explicit SemiNaive(const Program* program);
+
+  /// \brief Runs to fixpoint (idempotent).
+  void Run();
+
+  /// \brief Number of fixpoint iterations of the last Run.
+  size_t iterations() const { return iterations_; }
+
+  /// \brief Total tuples across all relations.
+  size_t TotalTuples() const;
+
+  const DlRelation& relation(PredId pred) const { return relations_[pred]; }
+
+  /// \brief Evaluates one extra rule once against the current (fixpoint)
+  /// relations and returns the derived head tuples (used for query rules —
+  /// queries need one pass, not another fixpoint). Constant head arguments
+  /// are emitted as-is.
+  std::vector<std::vector<rdf::TermId>> EvaluateRuleOnce(
+      const DlRule& rule) const;
+
+ private:
+  // Joins the body atoms in `order` starting at `depth`; when
+  // `first_override` is non-null, the first atom of the order reads from it
+  // (the semi-naive delta) instead of its full relation. Emits instantiated
+  // head tuples into `out`.
+  void JoinBody(const DlAtom& head, const std::vector<const DlAtom*>& order,
+                size_t depth, const DlRelation* first_override,
+                std::vector<rdf::TermId>* bindings,
+                std::vector<std::vector<rdf::TermId>>* out) const;
+
+  static size_t CountRuleVars(const DlRule& rule);
+
+  const Program* program_;
+  std::vector<DlRelation> relations_;
+  bool ran_ = false;
+  size_t iterations_ = 0;
+};
+
+}  // namespace datalog
+}  // namespace rdfref
+
+#endif  // RDFREF_DATALOG_SEMINAIVE_H_

@@ -1,0 +1,299 @@
+#include "engine/evaluator.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "common/timer.h"
+#include "storage/store.h"
+
+namespace rdfref {
+namespace engine {
+
+namespace {
+
+using query::Atom;
+using query::Cq;
+using query::QTerm;
+using query::VarId;
+
+constexpr rdf::TermId kUnbound = rdf::kInvalidTermId;
+
+// Resolves a query term under the current bindings: a constant, a bound
+// variable's value, or kAny when still free.
+rdf::TermId Resolve(const QTerm& t, const std::vector<rdf::TermId>& bindings) {
+  if (!t.is_var) return t.term();
+  rdf::TermId v = bindings[t.var()];
+  return v == kUnbound ? storage::kAny : v;
+}
+
+// Greedy join order: start from the atom with the smallest index-estimated
+// match count (variables wildcarded), then repeatedly append the
+// smallest-count atom connected to the already-ordered ones.
+std::vector<int> OrderAtoms(const storage::TripleSource& store, const Cq& q) {
+  const std::vector<Atom>& body = q.body();
+  const int n = static_cast<int>(body.size());
+  std::vector<uint64_t> base(n);
+  for (int i = 0; i < n; ++i) {
+    rdf::TermId s = body[i].s.is_var ? storage::kAny : body[i].s.term();
+    rdf::TermId p = body[i].p.is_var ? storage::kAny : body[i].p.term();
+    rdf::TermId o = body[i].o.is_var ? storage::kAny : body[i].o.term();
+    base[i] = store.CountMatches(s, p, o);
+  }
+  std::vector<int> order;
+  std::vector<bool> used(n, false);
+  std::set<VarId> bound_vars;
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    uint64_t best_count = std::numeric_limits<uint64_t>::max();
+    bool best_connected = false;
+    for (int i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      std::set<VarId> vars = Cq::AtomVars(body[i]);
+      bool connected =
+          step == 0 || std::any_of(vars.begin(), vars.end(), [&](VarId v) {
+            return bound_vars.count(v) > 0;
+          });
+      // Prefer connected atoms; among equals, the smaller base count.
+      if (best == -1 || (connected && !best_connected) ||
+          (connected == best_connected && base[i] < best_count)) {
+        best = i;
+        best_count = base[i];
+        best_connected = connected;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    std::set<VarId> vars = Cq::AtomVars(body[best]);
+    bound_vars.insert(vars.begin(), vars.end());
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<int> Evaluator::AtomOrder(const query::Cq& q) const {
+  return OrderAtoms(*store_, q);
+}
+
+std::string Evaluator::ExplainCq(const Cq& q) const {
+  std::ostringstream out;
+  std::vector<int> order = AtomOrder(q);
+  out << "CQ plan (index nested-loop join):\n";
+  for (size_t depth = 0; depth < order.size(); ++depth) {
+    const Atom& atom = q.body()[order[depth]];
+    rdf::TermId s = atom.s.is_var ? storage::kAny : atom.s.term();
+    rdf::TermId p = atom.p.is_var ? storage::kAny : atom.p.term();
+    rdf::TermId o = atom.o.is_var ? storage::kAny : atom.o.term();
+    out << "  " << (depth == 0 ? "scan " : "probe") << " t"
+        << order[depth] << "  (~" << store_->CountMatches(s, p, o)
+        << " index matches unbound)\n";
+  }
+  return out.str();
+}
+
+std::string Evaluator::ExplainJucq(
+    const Cq& q, const std::vector<Cq>& fragment_queries,
+    const std::vector<query::Ucq>& fragment_ucqs) const {
+  (void)q;
+  std::ostringstream out;
+  out << "JUCQ plan: materialize " << fragment_queries.size()
+      << " fragment(s), then hash-join smallest-connected-first:\n";
+  for (size_t i = 0; i < fragment_queries.size(); ++i) {
+    out << "  fragment " << i << ": UCQ of " << fragment_ucqs[i].size()
+        << " CQ(s), head arity " << fragment_queries[i].head().size()
+        << "\n";
+    if (!fragment_ucqs[i].empty()) {
+      out << "    first member plan:\n";
+      std::string member = ExplainCq(fragment_ucqs[i].members()[0]);
+      // Indent the nested plan.
+      size_t pos = 0;
+      while ((pos = member.find('\n', pos)) != std::string::npos &&
+             pos + 1 < member.size()) {
+        member.insert(pos + 1, "    ");
+        pos += 5;
+      }
+      out << "    " << member;
+    }
+  }
+  return out.str();
+}
+
+void Evaluator::EvaluateCqInto(
+    const Cq& q, std::vector<std::vector<rdf::TermId>>* out) const {
+  const std::vector<Atom>& body = q.body();
+  if (body.empty()) return;
+  std::vector<int> order = OrderAtoms(*store_, q);
+  std::vector<rdf::TermId> bindings(q.num_vars(), kUnbound);
+  // Resource-constrained variables (reformulation rules 3/7) reject
+  // literal bindings: a literal cannot be the subject of an entailed
+  // rdf:type triple.
+  std::vector<char> resource_only(q.num_vars(), 0);
+  for (VarId v : q.resource_vars()) resource_only[v] = 1;
+  const rdf::Dictionary& dict = store_->dict();
+
+  // Recursive index nested-loop join over the ordered atoms.
+  auto emit = [&]() {
+    std::vector<rdf::TermId> row;
+    row.reserve(q.head().size());
+    for (const QTerm& h : q.head()) {
+      row.push_back(h.is_var ? bindings[h.var()] : h.term());
+    }
+    out->push_back(std::move(row));
+  };
+
+  std::function<void(size_t)> recurse = [&](size_t depth) {
+    if (depth == order.size()) {
+      emit();
+      return;
+    }
+    const Atom& atom = body[order[depth]];
+    rdf::TermId ps = Resolve(atom.s, bindings);
+    rdf::TermId pp = Resolve(atom.p, bindings);
+    rdf::TermId po = Resolve(atom.o, bindings);
+    store_->Scan(ps, pp, po, [&](const rdf::Triple& t) {
+      // Bind free variables, honoring repeated variables within the atom.
+      VarId newly[3];
+      int num_new = 0;
+      auto bind = [&](const QTerm& qt, rdf::TermId value) -> bool {
+        if (!qt.is_var) return true;  // matched by the scan pattern
+        rdf::TermId& slot = bindings[qt.var()];
+        if (slot == kUnbound) {
+          if (resource_only[qt.var()] && dict.Lookup(value).is_literal()) {
+            return false;
+          }
+          slot = value;
+          newly[num_new++] = qt.var();
+          return true;
+        }
+        return slot == value;
+      };
+      bool ok = bind(atom.s, t.s) && bind(atom.p, t.p) && bind(atom.o, t.o);
+      if (ok) recurse(depth + 1);
+      for (int k = 0; k < num_new; ++k) bindings[newly[k]] = kUnbound;
+    });
+  };
+  recurse(0);
+}
+
+Table Evaluator::EvaluateCq(const Cq& q) const {
+  Table table;
+  for (const QTerm& h : q.head()) {
+    table.columns.push_back(h.is_var ? h.var()
+                                     : std::numeric_limits<VarId>::max());
+  }
+  EvaluateCqInto(q, &table.rows);
+  table.Dedup();
+  return table;
+}
+
+Table Evaluator::EvaluateUcq(const query::Ucq& ucq) const {
+  Table table;
+  if (!ucq.empty()) {
+    for (const QTerm& h : ucq.members()[0].head()) {
+      table.columns.push_back(h.is_var ? h.var()
+                                       : std::numeric_limits<VarId>::max());
+    }
+  }
+  for (const Cq& member : ucq.members()) {
+    EvaluateCqInto(member, &table.rows);
+  }
+  table.Dedup();
+  return table;
+}
+
+Table Evaluator::EvaluateJucq(const Cq& q,
+                              const std::vector<Cq>& fragment_queries,
+                              const std::vector<query::Ucq>& fragment_ucqs,
+                              JucqProfile* profile) const {
+  Timer total;
+  // 1. Materialize every fragment.
+  std::vector<Table> tables;
+  tables.reserve(fragment_ucqs.size());
+  for (size_t i = 0; i < fragment_ucqs.size(); ++i) {
+    Timer t;
+    Table table = EvaluateUcq(fragment_ucqs[i]);
+    // Columns must reflect the *fragment query* head variables (member
+    // heads may have constants substituted in, but slot i is still the
+    // value of head variable i of the fragment subquery).
+    table.columns.clear();
+    for (const QTerm& h : fragment_queries[i].head()) {
+      table.columns.push_back(h.var());
+    }
+    if (profile != nullptr) {
+      FragmentProfile fp;
+      fp.ucq_members = fragment_ucqs[i].size();
+      fp.result_rows = table.NumRows();
+      fp.millis = t.ElapsedMillis();
+      profile->fragments.push_back(fp);
+    }
+    tables.push_back(std::move(table));
+  }
+
+  // 2. Join fragments: start from the smallest, then greedily pick the
+  // smallest fragment *connected* to the joined columns (avoiding cross
+  // products, as an RDBMS join-order heuristic would).
+  Timer join_timer;
+  std::vector<bool> joined(tables.size(), false);
+  size_t first = 0;
+  for (size_t i = 1; i < tables.size(); ++i) {
+    if (tables[i].NumRows() < tables[first].NumRows()) first = i;
+  }
+  joined[first] = true;
+  std::set<VarId> joined_cols(tables[first].columns.begin(),
+                              tables[first].columns.end());
+  Table result = std::move(tables[first]);
+  for (size_t step = 1; step < tables.size(); ++step) {
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (joined[i]) continue;
+      bool connected =
+          std::any_of(tables[i].columns.begin(), tables[i].columns.end(),
+                      [&](VarId v) { return joined_cols.count(v) > 0; });
+      if (best == -1 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           tables[i].NumRows() <
+               tables[static_cast<size_t>(best)].NumRows())) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    joined[static_cast<size_t>(best)] = true;
+    joined_cols.insert(tables[static_cast<size_t>(best)].columns.begin(),
+                       tables[static_cast<size_t>(best)].columns.end());
+    result = HashJoin(result, tables[static_cast<size_t>(best)]);
+  }
+
+  // 3. Project the original head.
+  Table answer;
+  for (const QTerm& h : q.head()) {
+    answer.columns.push_back(h.is_var ? h.var()
+                                      : std::numeric_limits<VarId>::max());
+  }
+  std::vector<int> proj;
+  proj.reserve(q.head().size());
+  for (const QTerm& h : q.head()) {
+    proj.push_back(h.is_var ? result.ColumnOf(h.var()) : -1);
+  }
+  answer.rows.reserve(result.rows.size());
+  for (const std::vector<rdf::TermId>& row : result.rows) {
+    std::vector<rdf::TermId> out;
+    out.reserve(proj.size());
+    for (size_t i = 0; i < proj.size(); ++i) {
+      out.push_back(proj[i] >= 0 ? row[proj[i]] : q.head()[i].term());
+    }
+    answer.rows.push_back(std::move(out));
+  }
+  answer.Dedup();
+  if (profile != nullptr) {
+    profile->join_millis = join_timer.ElapsedMillis();
+    profile->total_millis = total.ElapsedMillis();
+  }
+  return answer;
+}
+
+}  // namespace engine
+}  // namespace rdfref

@@ -1,0 +1,88 @@
+#include "engine/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rdfref {
+namespace engine {
+
+void Table::Dedup() {
+  std::unordered_set<std::vector<rdf::TermId>, RowHash> seen;
+  seen.reserve(rows.size());
+  std::vector<std::vector<rdf::TermId>> unique;
+  unique.reserve(rows.size());
+  for (std::vector<rdf::TermId>& row : rows) {
+    if (seen.insert(row).second) unique.push_back(std::move(row));
+  }
+  rows = std::move(unique);
+}
+
+void Table::Sort() { std::sort(rows.begin(), rows.end()); }
+
+std::string Table::ToString(const rdf::Dictionary& dict,
+                            size_t max_rows) const {
+  std::ostringstream out;
+  out << rows.size() << " row(s)\n";
+  for (size_t i = 0; i < rows.size() && i < max_rows; ++i) {
+    out << "  <";
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      if (j > 0) out << ", ";
+      out << dict.Lookup(rows[i][j]).ToString();
+    }
+    out << ">\n";
+  }
+  if (rows.size() > max_rows) {
+    out << "  ... (" << (rows.size() - max_rows) << " more)\n";
+  }
+  return out.str();
+}
+
+Table HashJoin(const Table& left, const Table& right) {
+  // Shared columns and the right columns to carry over.
+  std::vector<int> left_key, right_key;
+  std::vector<int> right_carry;
+  for (size_t j = 0; j < right.columns.size(); ++j) {
+    int li = left.ColumnOf(right.columns[j]);
+    if (li >= 0) {
+      left_key.push_back(li);
+      right_key.push_back(static_cast<int>(j));
+    } else {
+      right_carry.push_back(static_cast<int>(j));
+    }
+  }
+
+  Table out;
+  out.columns = left.columns;
+  for (int j : right_carry) out.columns.push_back(right.columns[j]);
+
+  // Build on the right side.
+  std::unordered_map<std::vector<rdf::TermId>, std::vector<size_t>, RowHash>
+      build;
+  build.reserve(right.rows.size());
+  std::vector<rdf::TermId> key(right_key.size());
+  for (size_t r = 0; r < right.rows.size(); ++r) {
+    for (size_t k = 0; k < right_key.size(); ++k) {
+      key[k] = right.rows[r][right_key[k]];
+    }
+    build[key].push_back(r);
+  }
+
+  // Probe with the left side.
+  std::vector<rdf::TermId> probe(left_key.size());
+  for (const std::vector<rdf::TermId>& lrow : left.rows) {
+    for (size_t k = 0; k < left_key.size(); ++k) probe[k] = lrow[left_key[k]];
+    auto it = build.find(probe);
+    if (it == build.end()) continue;
+    for (size_t r : it->second) {
+      std::vector<rdf::TermId> row = lrow;
+      for (int j : right_carry) row.push_back(right.rows[r][j]);
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace engine
+}  // namespace rdfref

@@ -1,0 +1,64 @@
+#ifndef RDFREF_ENGINE_TABLE_H_
+#define RDFREF_ENGINE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "query/cq.h"
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace rdfref {
+namespace engine {
+
+/// \brief Hash functor for a result row (vector of TermIds).
+struct RowHash {
+  size_t operator()(const std::vector<rdf::TermId>& row) const {
+    size_t seed = 0x51ed270b;
+    for (rdf::TermId id : row) seed = HashCombine(seed, id);
+    return seed;
+  }
+};
+
+/// \brief A materialized intermediate or final result: a bag of rows with
+/// one column per (fragment-)head slot.
+///
+/// `columns` carries the VarId of each column for fragment tables, so the
+/// JUCQ join can match columns across fragments; for final query answers
+/// the columns are positional and `columns` mirrors the head slots that are
+/// variables (constant head slots still produce a value in every row).
+struct Table {
+  std::vector<query::VarId> columns;
+  std::vector<std::vector<rdf::TermId>> rows;
+
+  size_t NumRows() const { return rows.size(); }
+
+  /// \brief Index of the column bound to variable v, or -1.
+  int ColumnOf(query::VarId v) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// \brief Removes duplicate rows (set semantics).
+  void Dedup();
+
+  /// \brief Sorts rows lexicographically (deterministic output for tests).
+  void Sort();
+
+  /// \brief Renders up to `max_rows` rows with dictionary-decoded values.
+  std::string ToString(const rdf::Dictionary& dict,
+                       size_t max_rows = 20) const;
+};
+
+/// \brief Hash-joins two tables on their shared columns (natural join).
+/// With no shared column this is the cross product. Output columns are
+/// left.columns followed by the non-shared right columns.
+Table HashJoin(const Table& left, const Table& right);
+
+}  // namespace engine
+}  // namespace rdfref
+
+#endif  // RDFREF_ENGINE_TABLE_H_

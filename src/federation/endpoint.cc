@@ -1,0 +1,23 @@
+#include "federation/endpoint.h"
+
+namespace rdfref {
+namespace federation {
+
+size_t Endpoint::Request(
+    rdf::TermId s, rdf::TermId p, rdf::TermId o,
+    const std::function<void(const rdf::Triple&)>& fn) const {
+  ++requests_served_;
+  const size_t cap = options_.max_answers_per_request;
+  size_t delivered = 0;
+  // The store's Scan has no early-exit; the cap models a server that
+  // truncates its response, so we simply stop forwarding.
+  store_->Scan(s, p, o, [&](const rdf::Triple& t) {
+    if (cap != 0 && delivered >= cap) return;
+    fn(t);
+    ++delivered;
+  });
+  return delivered;
+}
+
+}  // namespace federation
+}  // namespace rdfref

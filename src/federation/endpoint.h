@@ -1,0 +1,69 @@
+#ifndef RDFREF_FEDERATION_ENDPOINT_H_
+#define RDFREF_FEDERATION_ENDPOINT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "rdf/graph.h"
+#include "storage/store.h"
+
+namespace rdfref {
+namespace federation {
+
+/// \brief Behaviour of one independent RDF source.
+struct EndpointOptions {
+  /// Maximum triples returned per pattern request, 0 = unlimited. Models
+  /// public SPARQL endpoints that "return only restricted answers (e.g.,
+  /// the first 50) to a query, to avoid overloading their servers"
+  /// (Section 1 of the paper).
+  size_t max_answers_per_request = 0;
+  /// Whether this source saturated its *local* data with its *local*
+  /// constraints before publishing. Cross-endpoint consequences (a fact in
+  /// one source entailed by a constraint in another) are still missing —
+  /// that is precisely why "computing the complete (distributed) set of
+  /// consequences in this setting is unfeasible".
+  bool locally_saturated = false;
+};
+
+/// \brief An independent RDF endpoint, as in the Linked Open Data cloud:
+/// its own triples, possibly its own constraints, possibly rate-limited.
+///
+/// Triples are encoded against the *federation's* shared dictionary (URIs
+/// are global identifiers; the mediator interns them once).
+class Endpoint {
+ public:
+  /// \brief Wraps a store whose triples are encoded against the shared
+  /// federation dictionary (Federation::AddEndpoint builds it).
+  Endpoint(std::string name, std::unique_ptr<storage::Store> store,
+           EndpointOptions options)
+      : name_(std::move(name)),
+        options_(options),
+        store_(std::move(store)) {}
+
+  Endpoint(Endpoint&&) = default;
+  Endpoint& operator=(Endpoint&&) = default;
+
+  const std::string& name() const { return name_; }
+  const EndpointOptions& options() const { return options_; }
+  const storage::Store& store() const { return *store_; }
+
+  /// \brief Pattern request, honoring the per-request answer cap; returns
+  /// the number of triples delivered.
+  size_t Request(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                 const std::function<void(const rdf::Triple&)>& fn) const;
+
+  /// \brief Total requests served (for the demo's cost displays).
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  std::string name_;
+  EndpointOptions options_;
+  std::unique_ptr<storage::Store> store_;
+  mutable uint64_t requests_served_ = 0;
+};
+
+}  // namespace federation
+}  // namespace rdfref
+
+#endif  // RDFREF_FEDERATION_ENDPOINT_H_

@@ -1,0 +1,183 @@
+#include "optimizer/gcov.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <set>
+#include <sstream>
+
+namespace rdfref {
+namespace optimizer {
+
+namespace {
+using query::Cover;
+using query::Cq;
+using query::Ucq;
+using query::VarId;
+}  // namespace
+
+std::string GcovTrace::ToString(size_t max_entries) const {
+  std::ostringstream out;
+  out << "GCov explored " << explored.size() << " cover(s) in " << iterations
+      << " iteration(s); chose " << chosen.ToString() << " at cost "
+      << chosen_cost << "\n";
+  for (size_t i = 0; i < explored.size() && i < max_entries; ++i) {
+    out << (explored[i].accepted ? "  * " : "    ")
+        << explored[i].cover.ToString() << "  cost=" << explored[i].cost
+        << "\n";
+  }
+  if (explored.size() > max_entries) {
+    out << "    ... (" << (explored.size() - max_entries) << " more)\n";
+  }
+  return out.str();
+}
+
+Result<double> CoverOptimizer::CostOfCoverCached(const Cq& q,
+                                                 const Cover& cover,
+                                                 FragmentCache* cache) const {
+  std::vector<Cq> fragment_queries = cover.FragmentQueries(q);
+  std::vector<cost::CostModel::FragmentCostInput> inputs;
+  inputs.reserve(fragment_queries.size());
+  for (const Cq& fq : fragment_queries) {
+    std::string key = fq.CanonicalKey();
+    auto it = cache->find(key);
+    if (it == cache->end()) {
+      RDFREF_ASSIGN_OR_RETURN(Ucq ucq, reformulator_->Reformulate(fq));
+      FragmentCost fc;
+      fc.eval_cost = cost_model_->CostUcq(ucq);
+      fc.rows = cost_model_->EstimateUcqRows(ucq);
+      it = cache->emplace(std::move(key), fc).first;
+    }
+    cost::CostModel::FragmentCostInput in;
+    in.eval_cost = it->second.eval_cost;
+    in.rows = it->second.rows;
+    in.fragment_query = &fq;
+    inputs.push_back(in);
+  }
+  return cost_model_->CostJucqFromFragments(inputs);
+}
+
+Result<double> CoverOptimizer::CostOfCover(const Cq& q,
+                                           const Cover& cover) const {
+  RDFREF_RETURN_NOT_OK(cover.Validate(q));
+  FragmentCache cache;
+  return CostOfCoverCached(q, cover, &cache);
+}
+
+Result<Cover> CoverOptimizer::Greedy(const Cq& q, GcovTrace* trace) const {
+  const size_t n = q.body().size();
+  if (n == 0) return Status::InvalidArgument("query has no atoms");
+  FragmentCache cache;
+
+  // Moves whose estimated cost lands within this factor of the current
+  // cover still get taken (once): estimate noise otherwise blocks
+  // multi-move improvements such as the overlapping cover of Example 1,
+  // which needs two near-neutral steps before the payoff. The visited set
+  // guarantees termination.
+  constexpr double kPlateauFactor = 1.05;
+
+  Cover current = Cover::Singletons(n);
+  RDFREF_ASSIGN_OR_RETURN(double current_cost,
+                          CostOfCoverCached(q, current, &cache));
+  Cover overall_best = current;
+  double overall_best_cost = current_cost;
+  std::set<std::string> visited = {current.ToString()};
+  if (trace != nullptr) {
+    trace->explored.push_back({current, current_cost, true});
+  }
+
+  size_t iterations = 0;
+  while (true) {
+    ++iterations;
+    bool moved = false;
+    Cover best_cover = current;
+    double best_cost = std::numeric_limits<double>::max();
+
+    // Moves: add one atom to one fragment (the atom must share a variable
+    // with the fragment so the extended fragment stays connected).
+    const std::vector<std::vector<int>>& fragments = current.fragments();
+    for (size_t f = 0; f < fragments.size(); ++f) {
+      std::set<VarId> fragment_vars;
+      std::set<int> members(fragments[f].begin(), fragments[f].end());
+      for (int idx : fragments[f]) {
+        std::set<VarId> vars = Cq::AtomVars(q.body()[idx]);
+        fragment_vars.insert(vars.begin(), vars.end());
+      }
+      for (int a = 0; a < static_cast<int>(n); ++a) {
+        if (members.count(a)) continue;
+        std::set<VarId> avars = Cq::AtomVars(q.body()[a]);
+        bool connected = std::any_of(
+            avars.begin(), avars.end(),
+            [&fragment_vars](VarId v) { return fragment_vars.count(v) > 0; });
+        if (!connected) continue;
+        std::vector<std::vector<int>> next_fragments = fragments;
+        next_fragments[f].push_back(a);
+        Cover candidate = Cover(std::move(next_fragments)).Reduced();
+        if (visited.count(candidate.ToString())) continue;
+        Result<double> cost = CostOfCoverCached(q, candidate, &cache);
+        if (!cost.ok()) continue;  // fragment UCQ exploded: skip the move
+        if (trace != nullptr) {
+          trace->explored.push_back({candidate, *cost, false});
+        }
+        if (*cost < best_cost) {
+          best_cost = *cost;
+          best_cover = candidate;
+          moved = true;
+        }
+      }
+    }
+    if (!moved || best_cost > current_cost * kPlateauFactor) break;
+    current = best_cover;
+    current_cost = best_cost;
+    visited.insert(current.ToString());
+    if (current_cost < overall_best_cost) {
+      overall_best = current;
+      overall_best_cost = current_cost;
+    }
+    if (trace != nullptr) {
+      trace->explored.push_back({current, current_cost, true});
+    }
+  }
+  if (trace != nullptr) {
+    trace->chosen = overall_best;
+    trace->chosen_cost = overall_best_cost;
+    trace->iterations = iterations;
+  }
+  return overall_best;
+}
+
+Result<std::vector<Cover>> CoverOptimizer::EnumeratePartitionCovers(
+    const Cq& q, size_t max_atoms) const {
+  const size_t n = q.body().size();
+  if (n == 0) return Status::InvalidArgument("query has no atoms");
+  if (n > max_atoms) {
+    return Status::ResourceExhausted(
+        "refusing to enumerate partitions of more than " +
+        std::to_string(max_atoms) + " atoms");
+  }
+  // Enumerate set partitions via restricted growth strings.
+  std::vector<Cover> covers;
+  std::vector<int> assignment(n, 0);
+  std::function<void(size_t, int)> recurse = [&](size_t i, int max_block) {
+    if (i == n) {
+      int blocks = max_block + 1;
+      std::vector<std::vector<int>> fragments(blocks);
+      for (size_t k = 0; k < n; ++k) {
+        fragments[assignment[k]].push_back(static_cast<int>(k));
+      }
+      Cover cover(std::move(fragments));
+      if (cover.Validate(q).ok()) covers.push_back(std::move(cover));
+      return;
+    }
+    for (int b = 0; b <= max_block + 1; ++b) {
+      assignment[i] = b;
+      recurse(i + 1, std::max(max_block, b));
+    }
+  };
+  assignment[0] = 0;
+  recurse(1, 0);
+  return covers;
+}
+
+}  // namespace optimizer
+}  // namespace rdfref

@@ -1,0 +1,84 @@
+#ifndef RDFREF_OPTIMIZER_GCOV_H_
+#define RDFREF_OPTIMIZER_GCOV_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "query/cover.h"
+#include "query/cq.h"
+#include "reformulation/reformulator.h"
+
+namespace rdfref {
+namespace optimizer {
+
+/// \brief One cover considered during the greedy search, with its estimated
+/// cost — the "space of explored alternatives, and their estimated costs"
+/// the demonstration lets attendees inspect (Section 5, step 3).
+struct ExploredCover {
+  query::Cover cover;
+  double cost = 0.0;
+  bool accepted = false;  ///< became the current best of its iteration
+};
+
+/// \brief Trace of a GCov run.
+struct GcovTrace {
+  std::vector<ExploredCover> explored;
+  query::Cover chosen;
+  double chosen_cost = 0.0;
+  size_t iterations = 0;
+
+  std::string ToString(size_t max_entries = 30) const;
+};
+
+/// \brief GCov, the greedy cost-based cover selection of [5] (Section 4):
+/// starts from the cover where each atom is alone in a fragment and
+/// repeatedly applies the best cost-improving move "add one atom to one
+/// fragment" (dropping fragments that become subsumed), until no move
+/// improves the estimated cost.
+class CoverOptimizer {
+ public:
+  /// \brief Both pointees must outlive the optimizer.
+  CoverOptimizer(const reformulation::Reformulator* reformulator,
+                 const cost::CostModel* cost_model)
+      : reformulator_(reformulator), cost_model_(cost_model) {}
+
+  /// \brief Estimated cost of answering q through the JUCQ induced by
+  /// `cover` (reformulates each fragment; fails if a fragment's UCQ
+  /// explodes past the reformulator's budget).
+  Result<double> CostOfCover(const query::Cq& q,
+                             const query::Cover& cover) const;
+
+  /// \brief Runs the greedy search; returns the selected cover.
+  Result<query::Cover> Greedy(const query::Cq& q,
+                              GcovTrace* trace = nullptr) const;
+
+  /// \brief Enumerates every *partition* cover of q whose fragments are
+  /// connected (for exhaustive-optimum validation on small queries;
+  /// exponential — refuse above `max_atoms` atoms).
+  Result<std::vector<query::Cover>> EnumeratePartitionCovers(
+      const query::Cq& q, size_t max_atoms = 8) const;
+
+ private:
+  // Cache of per-fragment reformulation costs, keyed by the fragment
+  // subquery's canonical form (isomorphic fragments cost the same).
+  struct FragmentCost {
+    double eval_cost;
+    double rows;
+  };
+  using FragmentCache = std::map<std::string, FragmentCost>;
+
+  Result<double> CostOfCoverCached(const query::Cq& q,
+                                   const query::Cover& cover,
+                                   FragmentCache* cache) const;
+
+  const reformulation::Reformulator* reformulator_;
+  const cost::CostModel* cost_model_;
+};
+
+}  // namespace optimizer
+}  // namespace rdfref
+
+#endif  // RDFREF_OPTIMIZER_GCOV_H_

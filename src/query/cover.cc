@@ -1,0 +1,143 @@
+#include "query/cover.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rdfref {
+namespace query {
+
+Cover Cover::SingleFragment(size_t num_atoms) {
+  std::vector<int> all(num_atoms);
+  for (size_t i = 0; i < num_atoms; ++i) all[i] = static_cast<int>(i);
+  return Cover({all});
+}
+
+Cover Cover::Singletons(size_t num_atoms) {
+  std::vector<std::vector<int>> fragments;
+  fragments.reserve(num_atoms);
+  for (size_t i = 0; i < num_atoms; ++i) {
+    fragments.push_back({static_cast<int>(i)});
+  }
+  return Cover(std::move(fragments));
+}
+
+void Cover::Normalize() {
+  for (std::vector<int>& f : fragments_) {
+    std::sort(f.begin(), f.end());
+    f.erase(std::unique(f.begin(), f.end()), f.end());
+  }
+  std::sort(fragments_.begin(), fragments_.end());
+  fragments_.erase(std::unique(fragments_.begin(), fragments_.end()),
+                   fragments_.end());
+}
+
+Status Cover::Validate(const Cq& q) const {
+  const int n = static_cast<int>(q.body().size());
+  if (n == 0) return Status::InvalidArgument("query has no atoms");
+  if (fragments_.empty()) return Status::InvalidArgument("empty cover");
+  std::vector<bool> covered(n, false);
+  for (const std::vector<int>& f : fragments_) {
+    if (f.empty()) return Status::InvalidArgument("empty fragment");
+    for (int idx : f) {
+      if (idx < 0 || idx >= n) {
+        return Status::OutOfRange("atom index " + std::to_string(idx) +
+                                  " out of range");
+      }
+      covered[idx] = true;
+    }
+    // Connectivity of the fragment through shared variables.
+    if (f.size() > 1) {
+      std::vector<bool> reached(f.size(), false);
+      reached[0] = true;
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (size_t i = 0; i < f.size(); ++i) {
+          if (reached[i]) continue;
+          std::set<VarId> vi = Cq::AtomVars(q.body()[f[i]]);
+          for (size_t j = 0; j < f.size(); ++j) {
+            if (!reached[j]) continue;
+            std::set<VarId> vj = Cq::AtomVars(q.body()[f[j]]);
+            bool shares = std::any_of(vi.begin(), vi.end(), [&vj](VarId v) {
+              return vj.count(v) > 0;
+            });
+            if (shares) {
+              reached[i] = true;
+              grew = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!std::all_of(reached.begin(), reached.end(),
+                       [](bool b) { return b; })) {
+        return Status::InvalidArgument(
+            "fragment is not connected through shared variables");
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (!covered[i]) {
+      return Status::InvalidArgument("atom t" + std::to_string(i) +
+                                     " not covered");
+    }
+  }
+  return Status::OK();
+}
+
+std::set<VarId> Cover::SharedVars(const Cq& q, size_t i) const {
+  std::set<VarId> mine;
+  for (int idx : fragments_[i]) {
+    std::set<VarId> vars = Cq::AtomVars(q.body()[idx]);
+    mine.insert(vars.begin(), vars.end());
+  }
+  std::set<VarId> shared;
+  for (size_t j = 0; j < fragments_.size(); ++j) {
+    if (j == i) continue;
+    for (int idx : fragments_[j]) {
+      for (VarId v : Cq::AtomVars(q.body()[idx])) {
+        if (mine.count(v)) shared.insert(v);
+      }
+    }
+  }
+  return shared;
+}
+
+std::vector<Cq> Cover::FragmentQueries(const Cq& q) const {
+  std::vector<Cq> out;
+  out.reserve(fragments_.size());
+  for (size_t i = 0; i < fragments_.size(); ++i) {
+    out.push_back(q.FragmentQuery(fragments_[i], SharedVars(q, i)));
+  }
+  return out;
+}
+
+Cover Cover::Reduced() const {
+  std::vector<std::vector<int>> kept;
+  for (size_t i = 0; i < fragments_.size(); ++i) {
+    bool subsumed = false;
+    for (size_t j = 0; j < fragments_.size() && !subsumed; ++j) {
+      if (i == j || fragments_[i].size() >= fragments_[j].size()) continue;
+      subsumed = std::includes(fragments_[j].begin(), fragments_[j].end(),
+                               fragments_[i].begin(), fragments_[i].end());
+    }
+    if (!subsumed) kept.push_back(fragments_[i]);
+  }
+  return Cover(std::move(kept));
+}
+
+std::string Cover::ToString() const {
+  std::ostringstream out;
+  for (const std::vector<int>& f : fragments_) {
+    out << "{";
+    for (size_t i = 0; i < f.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "t" << f[i];
+    }
+    out << "}";
+  }
+  return out.str();
+}
+
+}  // namespace query
+}  // namespace rdfref

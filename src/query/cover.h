@@ -1,0 +1,78 @@
+#ifndef RDFREF_QUERY_COVER_H_
+#define RDFREF_QUERY_COVER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/cq.h"
+
+namespace rdfref {
+namespace query {
+
+/// \brief A cover of a conjunctive query q [5]: a set of fragments, each a
+/// set of body-atom indexes, whose union is all of q's atoms. Fragments may
+/// overlap (overlap is precisely what made q'' of Example 1 fast).
+///
+/// Every cover induces a query answering strategy (a JUCQ): reformulate each
+/// fragment subquery into a UCQ, evaluate the UCQs, join their results, and
+/// project q's head. The classic strategies are special covers:
+///   - the UCQ strategy  = the one-fragment cover {{t1,...,tα}}
+///   - the SCQ strategy  = the singleton cover {{t1},...,{tα}} [15]
+class Cover {
+ public:
+  Cover() = default;
+  explicit Cover(std::vector<std::vector<int>> fragments)
+      : fragments_(std::move(fragments)) {
+    Normalize();
+  }
+
+  /// \brief The one-fragment cover of a query with `num_atoms` atoms.
+  static Cover SingleFragment(size_t num_atoms);
+
+  /// \brief The singleton cover {{0},...,{num_atoms-1}} (the SCQ strategy).
+  static Cover Singletons(size_t num_atoms);
+
+  /// \brief Checks that the fragments exactly cover q's atoms, that every
+  /// fragment is connected through shared variables (so its subquery has no
+  /// cartesian product), and that indexes are in range.
+  Status Validate(const Cq& q) const;
+
+  const std::vector<std::vector<int>>& fragments() const { return fragments_; }
+  size_t num_fragments() const { return fragments_.size(); }
+
+  /// \brief For fragment `i`, the variables it shares with any other
+  /// fragment (they become distinguished in the fragment subquery).
+  std::set<VarId> SharedVars(const Cq& q, size_t i) const;
+
+  /// \brief Builds all fragment subqueries of q under this cover.
+  std::vector<Cq> FragmentQueries(const Cq& q) const;
+
+  /// \brief Returns this cover without subsumed fragments (fragments that
+  /// are strict subsets of another fragment): their subqueries would be
+  /// redundant joins. GCov applies this after every extension move.
+  Cover Reduced() const;
+
+  /// \brief Canonical text form, e.g. "{t0,t2}{t1,t3}".
+  std::string ToString() const;
+
+  friend bool operator==(const Cover& a, const Cover& b) {
+    return a.fragments_ == b.fragments_;
+  }
+  friend bool operator<(const Cover& a, const Cover& b) {
+    return a.fragments_ < b.fragments_;
+  }
+
+ private:
+  /// Sorts atom indexes inside fragments and fragments lexicographically,
+  /// and drops duplicate fragments, so equal covers compare equal.
+  void Normalize();
+
+  std::vector<std::vector<int>> fragments_;
+};
+
+}  // namespace query
+}  // namespace rdfref
+
+#endif  // RDFREF_QUERY_COVER_H_

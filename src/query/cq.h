@@ -1,0 +1,140 @@
+#ifndef RDFREF_QUERY_CQ_H_
+#define RDFREF_QUERY_CQ_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace rdfref {
+namespace query {
+
+/// \brief Query-local variable identifier.
+using VarId = uint32_t;
+
+/// \brief A term of a triple pattern: either a query variable or an RDF
+/// value (dictionary-encoded constant).
+struct QTerm {
+  bool is_var = false;
+  uint32_t id = 0;  ///< a VarId when is_var, otherwise an rdf::TermId
+
+  static QTerm Var(VarId v) { return QTerm{true, v}; }
+  static QTerm Const(rdf::TermId t) { return QTerm{false, t}; }
+
+  VarId var() const { return id; }
+  rdf::TermId term() const { return id; }
+
+  friend bool operator==(const QTerm& a, const QTerm& b) {
+    return a.is_var == b.is_var && a.id == b.id;
+  }
+  friend bool operator!=(const QTerm& a, const QTerm& b) { return !(a == b); }
+  friend bool operator<(const QTerm& a, const QTerm& b) {
+    if (a.is_var != b.is_var) return a.is_var < b.is_var;
+    return a.id < b.id;
+  }
+};
+
+/// \brief A triple pattern (atom of a BGP): subject, property, object, any of
+/// which may be a variable — the DB fragment allows variables in *all*
+/// positions, including property and class positions.
+struct Atom {
+  QTerm s, p, o;
+
+  Atom() = default;
+  Atom(QTerm subject, QTerm property, QTerm object)
+      : s(subject), p(property), o(object) {}
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (!(a.s == b.s)) return a.s < b.s;
+    if (!(a.p == b.p)) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+
+/// \brief A conjunctive query (basic graph pattern query):
+/// q(head) :- t1, ..., tα.
+///
+/// Head slots are QTerms rather than variables because reformulation may
+/// bind a distinguished variable to a schema constant (rules 5-13); such a
+/// union member contributes the constant to its answer tuples.
+class Cq {
+ public:
+  Cq() = default;
+
+  /// \brief Declares a new variable with a display name; returns its id.
+  VarId AddVar(std::string name);
+
+  /// \brief Declares a fresh non-distinguished variable (names _f0, _f1, …).
+  VarId FreshVar();
+
+  /// \brief Appends a head slot.
+  void AddHead(QTerm t) { head_.push_back(t); }
+
+  /// \brief Appends a body atom.
+  void AddAtom(const Atom& a) { body_.push_back(a); }
+
+  const std::vector<QTerm>& head() const { return head_; }
+  const std::vector<Atom>& body() const { return body_; }
+  std::vector<Atom>* mutable_body() { return &body_; }
+  std::vector<QTerm>* mutable_head() { return &head_; }
+
+  size_t num_vars() const { return var_names_.size(); }
+  const std::string& var_name(VarId v) const { return var_names_[v]; }
+
+  /// \brief Replaces variable `v` by constant `c` in the head and every
+  /// body atom (used when a reformulation rule binds a variable).
+  void Substitute(VarId v, rdf::TermId c);
+
+  /// \brief All variables occurring in the body.
+  std::set<VarId> BodyVars() const;
+
+  /// \brief Variables of one atom.
+  static std::set<VarId> AtomVars(const Atom& a);
+
+  /// \brief Head variables (skipping constant head slots).
+  std::set<VarId> HeadVars() const;
+
+  /// \brief True when every head variable occurs in the body (safety).
+  bool IsSafe() const;
+
+  /// \brief Marks a variable as resource-constrained: it may only bind
+  /// URIs and blank nodes, never literals. Reformulation rules 3 and 7
+  /// impose this on the subject they move into object position (a literal
+  /// cannot be the subject of an entailed rdf:type triple).
+  void AddResourceVar(VarId v) { resource_vars_.insert(v); }
+  const std::set<VarId>& resource_vars() const { return resource_vars_; }
+
+  /// \brief A canonical string key: equal for CQs identical modulo
+  /// renaming of variables (by order of first occurrence in head then
+  /// body). Used to deduplicate reformulations.
+  std::string CanonicalKey() const;
+
+  /// \brief Renders q(head) :- atom, atom, ... with dictionary-decoded
+  /// constants.
+  std::string ToString(const rdf::Dictionary& dict) const;
+
+  /// \brief Builds the subquery of a cover fragment: body = the atoms at
+  /// `atom_indexes`, head = this query's head restricted to variables in the
+  /// fragment, plus `extra_distinguished` variables occurring in it (the
+  /// shared-with-other-fragments variables).
+  Cq FragmentQuery(const std::vector<int>& atom_indexes,
+                   const std::set<VarId>& extra_distinguished) const;
+
+ private:
+  std::vector<QTerm> head_;
+  std::vector<Atom> body_;
+  std::set<VarId> resource_vars_;
+  std::vector<std::string> var_names_;
+  uint32_t fresh_counter_ = 0;
+};
+
+}  // namespace query
+}  // namespace rdfref
+
+#endif  // RDFREF_QUERY_CQ_H_

@@ -1,0 +1,95 @@
+#include "query/minimize.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace rdfref {
+namespace query {
+
+namespace {
+
+using Mapping = std::unordered_map<VarId, QTerm>;
+
+// Tries to extend `mapping` so that h(from) = to; constants must match.
+bool Unify(const QTerm& from, const QTerm& to, Mapping* mapping) {
+  if (!from.is_var) return from == to;
+  auto it = mapping->find(from.var());
+  if (it != mapping->end()) return it->second == to;
+  mapping->emplace(from.var(), to);
+  return true;
+}
+
+// Backtracking search mapping container.body()[depth..] into contained.
+bool MatchAtoms(const Cq& container, const Cq& contained, size_t depth,
+                Mapping* mapping) {
+  if (depth == container.body().size()) return true;
+  const Atom& atom = container.body()[depth];
+  for (const Atom& target : contained.body()) {
+    Mapping saved = *mapping;
+    if (Unify(atom.s, target.s, mapping) &&
+        Unify(atom.p, target.p, mapping) &&
+        Unify(atom.o, target.o, mapping) &&
+        MatchAtoms(container, contained, depth + 1, mapping)) {
+      return true;
+    }
+    *mapping = std::move(saved);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CqContains(const Cq& container, const Cq& contained,
+                const rdf::Dictionary* dict) {
+  if (container.head().size() != contained.head().size()) return false;
+
+  // Heads must map slot-wise.
+  Mapping mapping;
+  for (size_t i = 0; i < container.head().size(); ++i) {
+    if (!Unify(container.head()[i], contained.head()[i], &mapping)) {
+      return false;
+    }
+  }
+  if (!MatchAtoms(container, contained, 0, &mapping)) return false;
+
+  // A resource-constrained variable of the container restricts its
+  // answers; the image must provably never be a literal.
+  for (VarId v : container.resource_vars()) {
+    auto it = mapping.find(v);
+    if (it == mapping.end()) continue;  // variable unused: vacuous
+    const QTerm& image = it->second;
+    if (image.is_var) {
+      if (!contained.resource_vars().count(image.var())) return false;
+    } else {
+      if (dict == nullptr || !dict->Contains(image.term()) ||
+          dict->Lookup(image.term()).is_literal()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Ucq MinimizeUcq(const Ucq& ucq, const rdf::Dictionary* dict) {
+  const std::vector<Cq>& members = ucq.members();
+  const size_t n = members.size();
+  std::vector<bool> redundant(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n && !redundant[i]; ++j) {
+      if (i == j || redundant[j]) continue;
+      if (!CqContains(members[j], members[i], dict)) continue;
+      // members[i] ⊆ members[j]: drop i, unless they are equivalent and i
+      // comes first (keep the earliest of an equivalence class).
+      if (j > i && CqContains(members[i], members[j], dict)) continue;
+      redundant[i] = true;
+    }
+  }
+  Ucq out;
+  for (size_t i = 0; i < n; ++i) {
+    if (!redundant[i]) out.Add(members[i]);
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace rdfref

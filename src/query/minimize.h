@@ -1,0 +1,34 @@
+#ifndef RDFREF_QUERY_MINIMIZE_H_
+#define RDFREF_QUERY_MINIMIZE_H_
+
+#include "query/cq.h"
+#include "query/ucq.h"
+#include "rdf/dictionary.h"
+
+namespace rdfref {
+namespace query {
+
+/// \brief True when every answer of `contained` is an answer of
+/// `container` on every database — decided by the classic homomorphism
+/// theorem: a mapping h from container's terms to contained's terms that
+/// is the identity on constants, maps head slot i to head slot i, and maps
+/// every body atom into contained's body.
+///
+/// Resource-constrained variables (reformulation rules 3/7) restrict the
+/// container's answers, so a constrained variable may only map to a
+/// constant known to be a non-literal (checked via `dict`, when given) or
+/// to a variable carrying the same constraint.
+bool CqContains(const Cq& container, const Cq& contained,
+                const rdf::Dictionary* dict = nullptr);
+
+/// \brief Drops union members subsumed by other members (keeping the first
+/// of mutually-equivalent ones). Reformulation UCQs routinely contain
+/// redundant members — e.g. (x τ Book) alongside (x τ Publication) when
+/// only saturated data is queried — and every dropped member saves one
+/// parse/plan/evaluate round trip.
+Ucq MinimizeUcq(const Ucq& ucq, const rdf::Dictionary* dict = nullptr);
+
+}  // namespace query
+}  // namespace rdfref
+
+#endif  // RDFREF_QUERY_MINIMIZE_H_

@@ -1,0 +1,289 @@
+#include "query/sparql_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace query {
+
+namespace {
+
+struct Token {
+  enum Kind {
+    kKeyword,  // SELECT / WHERE / PREFIX (uppercased)
+    kVar,      // ?name (text = name)
+    kUri,      // <iri> (text = iri)
+    kPName,    // pfx:local
+    kLiteral,  // "..." (text = contents)
+    kA,        // the 'a' keyword
+    kLBrace,
+    kRBrace,
+    kDot,
+  };
+  Kind kind;
+  std::string text;
+};
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.' || c == '/' || c == '#';
+}
+
+Status Lex(std::string_view text, std::vector<Token>* out) {
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '{') {
+      out->push_back({Token::kLBrace, "{"});
+      ++i;
+    } else if (c == '}') {
+      out->push_back({Token::kRBrace, "}"});
+      ++i;
+    } else if (c == '.') {
+      out->push_back({Token::kDot, "."});
+      ++i;
+    } else if (c == '?' || c == '$') {
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '_')) {
+        ++j;
+      }
+      if (j == i + 1) return Status::ParseError("empty variable name");
+      out->push_back({Token::kVar, std::string(text.substr(i + 1, j - i - 1))});
+      i = j;
+    } else if (c == '<') {
+      size_t close = text.find('>', i + 1);
+      if (close == std::string_view::npos) {
+        return Status::ParseError("unterminated IRI");
+      }
+      out->push_back({Token::kUri, std::string(text.substr(i + 1, close - i - 1))});
+      i = close + 1;
+    } else if (c == '"') {
+      std::string value;
+      size_t j = i + 1;
+      while (j < n && text[j] != '"') {
+        if (text[j] == '\\' && j + 1 < n) {
+          value.push_back(text[j + 1]);
+          j += 2;
+        } else {
+          value.push_back(text[j]);
+          ++j;
+        }
+      }
+      if (j >= n) return Status::ParseError("unterminated literal");
+      out->push_back({Token::kLiteral, std::move(value)});
+      i = j + 1;
+    } else if (IsWordChar(c)) {
+      size_t j = i;
+      while (j < n && IsWordChar(text[j])) ++j;
+      std::string word(text.substr(i, j - i));
+      // Words ending in '.' would have been split by the dot handler only if
+      // '.' were not a word char; strip a trailing dot so "ns:x." works.
+      bool trailing_dot = false;
+      while (!word.empty() && word.back() == '.') {
+        word.pop_back();
+        --j;
+        trailing_dot = true;
+      }
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), [](char ch) {
+        return static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      });
+      if (upper == "SELECT" || upper == "WHERE" || upper == "PREFIX" ||
+          upper == "UNION") {
+        out->push_back({Token::kKeyword, upper});
+      } else if (word == "a") {
+        out->push_back({Token::kA, word});
+      } else if (word.find(':') != std::string::npos) {
+        out->push_back({Token::kPName, word});
+      } else {
+        return Status::ParseError("unexpected token '" + word + "'");
+      }
+      if (trailing_dot) out->push_back({Token::kDot, "."});
+      i = j;
+      while (i < n && text[i] == '.') {
+        // already emitted one dot above; skip the consumed dots
+        ++i;
+        break;
+      }
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace {
+
+// Parses one { tp... } group into a Cq with its own variable table; the
+// head is built from `head_names` (each must occur in the group).
+Result<Cq> ParseGroup(const std::vector<Token>& tokens, size_t* pos,
+                      const std::vector<std::string>& head_names,
+                      const std::unordered_map<std::string, std::string>&
+                          prefixes,
+                      rdf::Dictionary* dict) {
+  auto at_end = [&]() { return *pos >= tokens.size(); };
+  if (at_end() || tokens[*pos].kind != Token::kLBrace) {
+    return Status::ParseError("expected '{'");
+  }
+  ++*pos;
+
+  Cq cq;
+  std::unordered_map<std::string, VarId> vars;
+  auto var_id = [&](const std::string& name) {
+    auto it = vars.find(name);
+    if (it != vars.end()) return it->second;
+    VarId id = cq.AddVar(name);
+    vars.emplace(name, id);
+    return id;
+  };
+  auto resolve = [&](const Token& tok) -> Result<QTerm> {
+    switch (tok.kind) {
+      case Token::kVar:
+        return QTerm::Var(var_id(tok.text));
+      case Token::kUri:
+        return QTerm::Const(dict->InternUri(tok.text));
+      case Token::kLiteral:
+        return QTerm::Const(dict->InternLiteral(tok.text));
+      case Token::kA:
+        return QTerm::Const(rdf::vocab::kTypeId);
+      case Token::kPName: {
+        size_t colon = tok.text.find(':');
+        std::string pfx = tok.text.substr(0, colon);
+        auto it = prefixes.find(pfx);
+        if (it == prefixes.end()) {
+          return Status::ParseError("undefined prefix '" + pfx + ":'");
+        }
+        return QTerm::Const(
+            dict->InternUri(it->second + tok.text.substr(colon + 1)));
+      }
+      default:
+        return Status::ParseError("expected a term in triple pattern");
+    }
+  };
+
+  while (!at_end() && tokens[*pos].kind != Token::kRBrace) {
+    if (tokens[*pos].kind == Token::kDot) {  // stray separators are fine
+      ++*pos;
+      continue;
+    }
+    if (*pos + 2 >= tokens.size()) {
+      return Status::ParseError("incomplete triple pattern");
+    }
+    RDFREF_ASSIGN_OR_RETURN(QTerm st, resolve(tokens[*pos]));
+    RDFREF_ASSIGN_OR_RETURN(QTerm pt, resolve(tokens[*pos + 1]));
+    RDFREF_ASSIGN_OR_RETURN(QTerm ot, resolve(tokens[*pos + 2]));
+    cq.AddAtom(Atom(st, pt, ot));
+    *pos += 3;
+  }
+  if (at_end()) return Status::ParseError("expected '}'");
+  ++*pos;  // consume '}'
+
+  for (const std::string& name : head_names) {
+    auto it = vars.find(name);
+    if (it == vars.end()) {
+      return Status::ParseError("head variable ?" + name +
+                                " does not occur in every UNION branch");
+    }
+    cq.AddHead(QTerm::Var(it->second));
+  }
+  if (cq.body().empty()) return Status::ParseError("empty BGP");
+  return cq;
+}
+
+}  // namespace
+
+Result<Ucq> ParseSparqlUnion(std::string_view text, rdf::Dictionary* dict) {
+  std::vector<Token> tokens;
+  RDFREF_RETURN_NOT_OK(Lex(text, &tokens));
+
+  std::unordered_map<std::string, std::string> prefixes = {
+      {"rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#"},
+      {"rdfs", "http://www.w3.org/2000/01/rdf-schema#"},
+  };
+
+  size_t pos = 0;
+  auto at_end = [&]() { return pos >= tokens.size(); };
+
+  while (!at_end() && tokens[pos].kind == Token::kKeyword &&
+         tokens[pos].text == "PREFIX") {
+    ++pos;
+    if (pos + 1 >= tokens.size() || tokens[pos].kind != Token::kPName ||
+        tokens[pos + 1].kind != Token::kUri) {
+      return Status::ParseError("malformed PREFIX declaration");
+    }
+    std::string pname = tokens[pos].text;
+    if (pname.empty() || pname.back() != ':') {
+      return Status::ParseError("prefix must end with ':'");
+    }
+    prefixes[pname.substr(0, pname.size() - 1)] = tokens[pos + 1].text;
+    pos += 2;
+  }
+
+  if (at_end() || tokens[pos].kind != Token::kKeyword ||
+      tokens[pos].text != "SELECT") {
+    return Status::ParseError("expected SELECT");
+  }
+  ++pos;
+
+  std::vector<std::string> head_names;
+  while (!at_end() && tokens[pos].kind == Token::kVar) {
+    head_names.push_back(tokens[pos].text);
+    ++pos;
+  }
+  if (head_names.empty()) {
+    return Status::ParseError("SELECT needs at least one variable");
+  }
+
+  if (at_end() || tokens[pos].kind != Token::kKeyword ||
+      tokens[pos].text != "WHERE") {
+    return Status::ParseError("expected WHERE");
+  }
+  ++pos;
+
+  Ucq ucq;
+  while (true) {
+    RDFREF_ASSIGN_OR_RETURN(Cq branch,
+                            ParseGroup(tokens, &pos, head_names, prefixes,
+                                       dict));
+    ucq.Add(std::move(branch));
+    if (!at_end() && tokens[pos].kind == Token::kKeyword &&
+        tokens[pos].text == "UNION") {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  if (!at_end()) {
+    return Status::ParseError("unexpected trailing input after the BGP");
+  }
+  return ucq;
+}
+
+Result<Cq> ParseSparql(std::string_view text, rdf::Dictionary* dict) {
+  RDFREF_ASSIGN_OR_RETURN(Ucq ucq, ParseSparqlUnion(text, dict));
+  if (ucq.size() != 1) {
+    return Status::ParseError(
+        "query has UNION branches; use ParseSparqlUnion");
+  }
+  return ucq.members()[0];
+}
+
+}  // namespace query
+}  // namespace rdfref

@@ -1,0 +1,36 @@
+#ifndef RDFREF_QUERY_SPARQL_PARSER_H_
+#define RDFREF_QUERY_SPARQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "query/cq.h"
+#include "query/ucq.h"
+
+namespace rdfref {
+namespace query {
+
+/// \brief Parser for the conjunctive (BGP) dialect of SPARQL that the paper
+/// considers (Section 3: "(unions of) basic graph pattern queries").
+///
+/// Grammar (case-insensitive keywords):
+///   PREFIX pfx: <iri>                       (rdf: and rdfs: are built in)
+///   SELECT ?v1 ... ?vn WHERE { tp1 . tp2 . ... }
+///   tp ::= term term term
+///   term ::= ?var | <iri> | pfx:local | "literal" | a
+///
+/// Constants are interned into `dict`: a query may mention values absent
+/// from the data (they simply match nothing).
+Result<Cq> ParseSparql(std::string_view text, rdf::Dictionary* dict);
+
+/// \brief Parses the full "(unions of) BGP" dialect:
+///   SELECT ?v... WHERE { tp... } [UNION { tp... }]...
+/// Every branch must bind all selected variables. A query without UNION
+/// yields a one-member UCQ.
+Result<Ucq> ParseSparqlUnion(std::string_view text, rdf::Dictionary* dict);
+
+}  // namespace query
+}  // namespace rdfref
+
+#endif  // RDFREF_QUERY_SPARQL_PARSER_H_

@@ -1,0 +1,23 @@
+#include "query/ucq.h"
+
+#include <sstream>
+
+namespace rdfref {
+namespace query {
+
+std::string Ucq::ToString(const rdf::Dictionary& dict,
+                          size_t max_members) const {
+  std::ostringstream out;
+  out << "UCQ[" << members_.size() << "]{\n";
+  for (size_t i = 0; i < members_.size() && i < max_members; ++i) {
+    out << "  " << members_[i].ToString(dict) << "\n";
+  }
+  if (members_.size() > max_members) {
+    out << "  ... (" << (members_.size() - max_members) << " more)\n";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace query
+}  // namespace rdfref

@@ -1,0 +1,32 @@
+#include "rdf/dictionary.h"
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace rdf {
+
+Dictionary::Dictionary() {
+  // Built-ins occupy ids 0..4 in vocab.h order.
+  InternUri(vocab::kRdfType);
+  InternUri(vocab::kRdfsSubClassOf);
+  InternUri(vocab::kRdfsSubPropertyOf);
+  InternUri(vocab::kRdfsDomain);
+  InternUri(vocab::kRdfsRange);
+}
+
+TermId Dictionary::Intern(const Term& term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(term, id);
+  return id;
+}
+
+TermId Dictionary::Find(const Term& term) const {
+  auto it = index_.find(term);
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+}  // namespace rdf
+}  // namespace rdfref

@@ -1,0 +1,64 @@
+#ifndef RDFREF_RDF_DICTIONARY_H_
+#define RDFREF_RDF_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rdfref {
+namespace rdf {
+
+/// \brief Bidirectional mapping between RDF terms and dense integer ids.
+///
+/// This is the classic dictionary encoding used by RDBMS-backed RDF stores
+/// [4, 14]: strings are interned once and all downstream processing (storage,
+/// indexes, joins, reformulation) handles fixed-width TermIds. The five RDF /
+/// RDFS built-ins of vocab.h are interned at construction with stable ids.
+class Dictionary {
+ public:
+  Dictionary();
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// \brief Interns a term, returning its id (existing or fresh).
+  TermId Intern(const Term& term);
+
+  /// \brief Interns a URI given by its IRI string.
+  TermId InternUri(const std::string& iri) { return Intern(Term::Uri(iri)); }
+
+  /// \brief Interns a literal.
+  TermId InternLiteral(const std::string& value) {
+    return Intern(Term::Literal(value));
+  }
+
+  /// \brief Interns a blank node by label.
+  TermId InternBlank(const std::string& label) {
+    return Intern(Term::Blank(label));
+  }
+
+  /// \brief Looks up a term without interning; kInvalidTermId when absent.
+  TermId Find(const Term& term) const;
+
+  /// \brief Returns the term for an id; id must be valid.
+  const Term& Lookup(TermId id) const { return terms_[id]; }
+
+  /// \brief True when `id` names an interned term.
+  bool Contains(TermId id) const { return id < terms_.size(); }
+
+  /// \brief Number of interned terms (including built-ins).
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::vector<Term> terms_;
+  std::unordered_map<Term, TermId, TermHash> index_;
+};
+
+}  // namespace rdf
+}  // namespace rdfref
+
+#endif  // RDFREF_RDF_DICTIONARY_H_

@@ -1,0 +1,23 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+
+namespace rdfref {
+namespace rdf {
+
+std::vector<Triple> Graph::SortedTriples() const {
+  std::vector<Triple> out(triples_.begin(), triples_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t Graph::CountSchemaTriples() const {
+  size_t n = 0;
+  for (const Triple& t : triples_) {
+    if (vocab::IsSchemaProperty(t.p)) ++n;
+  }
+  return n;
+}
+
+}  // namespace rdf
+}  // namespace rdfref

@@ -1,0 +1,211 @@
+#include "rdf/parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace rdf {
+
+namespace {
+
+// A lexical token of the Turtle subset.
+struct Token {
+  enum Kind { kUri, kPName, kLiteral, kBlank, kA, kDot, kPrefixDirective };
+  Kind kind;
+  std::string text;  // IRI / pname / literal contents / blank label
+};
+
+// Tokenizes one logical line; literals may contain spaces, '#' and '.'.
+Status Tokenize(std::string_view line, int line_no, std::vector<Token>* out) {
+  size_t i = 0;
+  const size_t n = line.size();
+  auto err = [line_no](const std::string& what) {
+    return Status::ParseError("line " + std::to_string(line_no) + ": " + what);
+  };
+  while (i < n) {
+    char c = line[i];
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') break;  // comment to end of line
+    if (c == '<') {
+      size_t close = line.find('>', i + 1);
+      if (close == std::string_view::npos) return err("unterminated IRI");
+      out->push_back({Token::kUri, std::string(line.substr(i + 1, close - i - 1))});
+      i = close + 1;
+    } else if (c == '"') {
+      std::string value;
+      size_t j = i + 1;
+      while (j < n && line[j] != '"') {
+        if (line[j] == '\\' && j + 1 < n) {
+          value.push_back(line[j + 1]);
+          j += 2;
+        } else {
+          value.push_back(line[j]);
+          ++j;
+        }
+      }
+      if (j >= n) return err("unterminated literal");
+      // Skip optional datatype / language tag suffixes (^^<...>, @lang).
+      i = j + 1;
+      if (i + 1 < n && line[i] == '^' && line[i + 1] == '^') {
+        i += 2;
+        if (i < n && line[i] == '<') {
+          size_t close = line.find('>', i);
+          if (close == std::string_view::npos) return err("bad datatype IRI");
+          i = close + 1;
+        }
+      } else if (i < n && line[i] == '@') {
+        while (i < n && line[i] != ' ' && line[i] != '\t' && line[i] != '.') ++i;
+      }
+      out->push_back({Token::kLiteral, std::move(value)});
+    } else if (c == '_' && i + 1 < n && line[i + 1] == ':') {
+      size_t j = i + 2;
+      while (j < n && line[j] != ' ' && line[j] != '\t' && line[j] != '\r')
+        ++j;
+      // A trailing '.' terminates the statement, not the label.
+      size_t end = j;
+      if (end > i + 2 && line[end - 1] == '.') --end;
+      out->push_back({Token::kBlank, std::string(line.substr(i + 2, end - i - 2))});
+      i = end;
+    } else if (c == '.') {
+      out->push_back({Token::kDot, "."});
+      ++i;
+    } else if (c == '@') {
+      size_t j = i;
+      while (j < n && line[j] != ' ' && line[j] != '\t') ++j;
+      std::string directive(line.substr(i, j - i));
+      if (directive != "@prefix") return err("unknown directive " + directive);
+      out->push_back({Token::kPrefixDirective, directive});
+      i = j;
+    } else {
+      // Bare word: either 'a' or a prefixed name pfx:local.
+      size_t j = i;
+      while (j < n && line[j] != ' ' && line[j] != '\t' && line[j] != '\r')
+        ++j;
+      size_t end = j;
+      if (end > i && line[end - 1] == '.') --end;
+      std::string word(line.substr(i, end - i));
+      if (word == "a") {
+        out->push_back({Token::kA, word});
+      } else if (word.find(':') != std::string::npos) {
+        out->push_back({Token::kPName, word});
+      } else if (!word.empty()) {
+        return err("unrecognized token '" + word + "'");
+      }
+      i = end;
+    }
+  }
+  return Status::OK();
+}
+
+// Resolves a token into a Term using the prefix table.
+Status ResolveTerm(const Token& tok, int line_no,
+                   const std::unordered_map<std::string, std::string>& prefixes,
+                   Term* out) {
+  switch (tok.kind) {
+    case Token::kUri:
+      *out = Term::Uri(tok.text);
+      return Status::OK();
+    case Token::kLiteral:
+      *out = Term::Literal(tok.text);
+      return Status::OK();
+    case Token::kBlank:
+      *out = Term::Blank(tok.text);
+      return Status::OK();
+    case Token::kA:
+      *out = Term::Uri(vocab::kRdfType);
+      return Status::OK();
+    case Token::kPName: {
+      size_t colon = tok.text.find(':');
+      std::string pfx = tok.text.substr(0, colon);
+      auto it = prefixes.find(pfx);
+      if (it == prefixes.end()) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": undefined prefix '" + pfx + ":'");
+      }
+      *out = Term::Uri(it->second + tok.text.substr(colon + 1));
+      return Status::OK();
+    }
+    default:
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected a term");
+  }
+}
+
+}  // namespace
+
+Status TurtleParser::ParseString(std::string_view text, Graph* graph) {
+  // rdf: and rdfs: are built in, as in the SPARQL parser.
+  std::unordered_map<std::string, std::string> prefixes = {
+      {"rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#"},
+      {"rdfs", "http://www.w3.org/2000/01/rdf-schema#"},
+  };
+  int line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<Token> tokens;
+    RDFREF_RETURN_NOT_OK(Tokenize(line, line_no, &tokens));
+    if (tokens.empty()) continue;
+    auto err = [line_no](const std::string& what) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                what);
+    };
+    if (tokens[0].kind == Token::kPrefixDirective) {
+      // @prefix pfx: <iri> .
+      if (tokens.size() < 3 || tokens[1].kind != Token::kPName ||
+          tokens[2].kind != Token::kUri) {
+        return err("malformed @prefix (expected '@prefix p: <iri> .')");
+      }
+      std::string pname = tokens[1].text;
+      if (pname.empty() || pname.back() != ':') {
+        return err("prefix name must end with ':'");
+      }
+      prefixes[pname.substr(0, pname.size() - 1)] = tokens[2].text;
+      continue;
+    }
+    // Regular triple statement: s p o .
+    size_t count = tokens.size();
+    bool has_dot = tokens.back().kind == Token::kDot;
+    if (has_dot) --count;
+    if (count != 3) return err("expected exactly 3 terms in statement");
+    Term s, p, o;
+    RDFREF_RETURN_NOT_OK(ResolveTerm(tokens[0], line_no, prefixes, &s));
+    RDFREF_RETURN_NOT_OK(ResolveTerm(tokens[1], line_no, prefixes, &p));
+    RDFREF_RETURN_NOT_OK(ResolveTerm(tokens[2], line_no, prefixes, &o));
+    if (s.is_literal()) return err("literal in subject position");
+    if (!p.is_uri()) return err("property must be a URI");
+    graph->Add(s, p, o);
+  }
+  return Status::OK();
+}
+
+Status TurtleParser::ParseFile(const std::string& path, Graph* graph) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return ParseString(contents.str(), graph);
+}
+
+std::string ToNTriples(const Graph& graph) {
+  std::ostringstream out;
+  const Dictionary& dict = graph.dict();
+  // PName handling: a PName prefix part ends with ':'. The tokenizer keeps
+  // the whole pfx:local word; resolution happens in ResolveTerm.
+  for (const Triple& t : graph.SortedTriples()) {
+    out << dict.Lookup(t.s).ToString() << " " << dict.Lookup(t.p).ToString()
+        << " " << dict.Lookup(t.o).ToString() << " .\n";
+  }
+  return out.str();
+}
+
+}  // namespace rdf
+}  // namespace rdfref

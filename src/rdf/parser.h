@@ -1,0 +1,43 @@
+#ifndef RDFREF_RDF_PARSER_H_
+#define RDFREF_RDF_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+
+namespace rdfref {
+namespace rdf {
+
+/// \brief Parser for a practical subset of Turtle / N-Triples.
+///
+/// Supported syntax, one statement per '.' terminator:
+///   @prefix pfx: <iri> .      — rdf: and rdfs: are pre-declared
+///   <s> <p> <o> .            — URIs
+///   pfx:local ...            — prefixed names
+///   "value"                  — literals (objects)
+///   _:label                  — blank nodes
+///   a                        — abbreviation for rdf:type
+///   # line comments and blank lines
+///
+/// This is the loading path for the demonstration's scenarios (data +
+/// constraints are plain triples, per the DB fragment).
+class TurtleParser {
+ public:
+  /// \brief Parses `text`, inserting triples into `graph`.
+  /// On error, reports the 1-based line number in the message.
+  static Status ParseString(std::string_view text, Graph* graph);
+
+  /// \brief Reads and parses a file.
+  static Status ParseFile(const std::string& path, Graph* graph);
+};
+
+/// \brief Serializes a graph to N-Triples text (sorted, deterministic).
+std::string ToNTriples(const Graph& graph);
+
+}  // namespace rdf
+}  // namespace rdfref
+
+#endif  // RDFREF_RDF_PARSER_H_

@@ -1,0 +1,19 @@
+#include "rdf/term.h"
+
+namespace rdfref {
+namespace rdf {
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case TermKind::kUri:
+      return "<" + lexical + ">";
+    case TermKind::kLiteral:
+      return "\"" + lexical + "\"";
+    case TermKind::kBlank:
+      return "_:" + lexical;
+  }
+  return lexical;
+}
+
+}  // namespace rdf
+}  // namespace rdfref

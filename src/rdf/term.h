@@ -1,0 +1,82 @@
+#ifndef RDFREF_RDF_TERM_H_
+#define RDFREF_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace rdfref {
+namespace rdf {
+
+/// \brief Dictionary-encoded identifier of an RDF term (value).
+///
+/// Terms are interned in a Dictionary; all triple storage, query evaluation
+/// and reformulation work on TermIds. The well-known RDF Schema property ids
+/// occupy the first slots (see vocab.h).
+using TermId = uint32_t;
+
+/// \brief Sentinel for "no term".
+inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+/// \brief The three kinds of RDF values: URIs (U), literals (L) and blank
+/// nodes (B), per the W3C RDF specification (Section 3 of the paper).
+enum class TermKind : uint8_t {
+  kUri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+/// \brief An RDF value: a kind plus its lexical form.
+///
+/// The lexical form of a URI is the IRI string, of a literal its contents
+/// (without surrounding quotes), of a blank node its local label (without
+/// the "_:" prefix).
+struct Term {
+  TermKind kind = TermKind::kUri;
+  std::string lexical;
+
+  Term() = default;
+  Term(TermKind k, std::string lex) : kind(k), lexical(std::move(lex)) {}
+
+  /// \brief Convenience factories.
+  static Term Uri(std::string iri) {
+    return Term(TermKind::kUri, std::move(iri));
+  }
+  static Term Literal(std::string value) {
+    return Term(TermKind::kLiteral, std::move(value));
+  }
+  static Term Blank(std::string label) {
+    return Term(TermKind::kBlank, std::move(label));
+  }
+
+  bool is_uri() const { return kind == TermKind::kUri; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+  bool is_blank() const { return kind == TermKind::kBlank; }
+
+  /// \brief Renders the term in N-Triples syntax: <iri>, "literal", _:label.
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind == b.kind && a.lexical == b.lexical;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.lexical < b.lexical;
+  }
+};
+
+/// \brief Hash functor so Term can key unordered containers.
+struct TermHash {
+  size_t operator()(const Term& t) const {
+    size_t seed = std::hash<std::string>()(t.lexical);
+    return HashCombine(seed, static_cast<uint64_t>(t.kind));
+  }
+};
+
+}  // namespace rdf
+}  // namespace rdfref
+
+#endif  // RDFREF_RDF_TERM_H_

@@ -1,0 +1,48 @@
+#ifndef RDFREF_RDF_TRIPLE_H_
+#define RDFREF_RDF_TRIPLE_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+#include "rdf/term.h"
+
+namespace rdfref {
+namespace rdf {
+
+/// \brief A dictionary-encoded RDF triple "s p o": subject s has property p
+/// with value o.
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  Triple() = default;
+  Triple(TermId subject, TermId property, TermId object)
+      : s(subject), p(property), o(object) {}
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+  friend bool operator!=(const Triple& a, const Triple& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Triple& a, const Triple& b) {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+
+/// \brief Hash functor so Triple can key unordered containers.
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    size_t seed = HashCombine(0x9e3779b9u, t.s);
+    seed = HashCombine(seed, t.p);
+    return HashCombine(seed, t.o);
+  }
+};
+
+}  // namespace rdf
+}  // namespace rdfref
+
+#endif  // RDFREF_RDF_TRIPLE_H_

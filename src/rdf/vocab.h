@@ -1,0 +1,47 @@
+#ifndef RDFREF_RDF_VOCAB_H_
+#define RDFREF_RDF_VOCAB_H_
+
+#include "rdf/term.h"
+
+namespace rdfref {
+namespace rdf {
+namespace vocab {
+
+/// RDF / RDFS vocabulary used by the DB fragment (Figure 1 of the paper).
+/// These five properties are the only built-ins whose semantics the fragment
+/// interprets: rdf:type for class assertions, and the four RDF Schema
+/// constraint properties.
+inline constexpr const char* kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr const char* kRdfsSubClassOf =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr const char* kRdfsSubPropertyOf =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+inline constexpr const char* kRdfsDomain =
+    "http://www.w3.org/2000/01/rdf-schema#domain";
+inline constexpr const char* kRdfsRange =
+    "http://www.w3.org/2000/01/rdf-schema#range";
+
+/// Stable dictionary ids: every Dictionary interns the five built-ins first,
+/// in this order, so code all over the library can compare against these
+/// constants without a dictionary lookup.
+inline constexpr TermId kTypeId = 0;
+inline constexpr TermId kSubClassOfId = 1;
+inline constexpr TermId kSubPropertyOfId = 2;
+inline constexpr TermId kDomainId = 3;
+inline constexpr TermId kRangeId = 4;
+
+/// Number of pre-interned built-in terms.
+inline constexpr TermId kNumBuiltins = 5;
+
+/// \brief True when `p` is one of the four RDFS constraint properties.
+inline bool IsSchemaProperty(TermId p) {
+  return p == kSubClassOfId || p == kSubPropertyOfId || p == kDomainId ||
+         p == kRangeId;
+}
+
+}  // namespace vocab
+}  // namespace rdf
+}  // namespace rdfref
+
+#endif  // RDFREF_RDF_VOCAB_H_

@@ -1,0 +1,131 @@
+#include "reasoner/saturation.h"
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace reasoner {
+
+namespace {
+bool IsLiteral(const rdf::Graph& graph, rdf::TermId id) {
+  return graph.dict().Lookup(id).is_literal();
+}
+}  // namespace
+
+// Immediate consequences of one triple under the instance-level rules
+// (shared by forward chaining and the DRed over-delete).
+static void ImmediateConsequences(const schema::Schema& schema,
+                                  const rdf::Graph& graph,
+                                  const rdf::Triple& t,
+                                  std::vector<rdf::Triple>* out) {
+  if (t.p == rdf::vocab::kTypeId) {
+    for (rdf::TermId super : schema.SuperClassesOf(t.o)) {
+      out->emplace_back(t.s, rdf::vocab::kTypeId, super);
+    }
+  } else if (!rdf::vocab::IsSchemaProperty(t.p)) {
+    for (rdf::TermId super : schema.SuperPropertiesOf(t.p)) {
+      out->emplace_back(t.s, super, t.o);
+    }
+    for (rdf::TermId c : schema.DomainsOf(t.p)) {
+      out->emplace_back(t.s, rdf::vocab::kTypeId, c);
+    }
+    if (!IsLiteral(graph, t.o)) {
+      for (rdf::TermId c : schema.RangesOf(t.p)) {
+        out->emplace_back(t.o, rdf::vocab::kTypeId, c);
+      }
+    }
+  }
+}
+
+size_t Saturator::AddWithConsequences(rdf::Graph* graph,
+                                      const rdf::Triple& seed) const {
+  size_t added = 0;
+  std::deque<rdf::Triple> worklist;
+  if (graph->Add(seed)) ++added;
+  // The seed's consequences are chased even when the seed itself was
+  // already present (Saturate feeds every existing triple through here).
+  worklist.push_back(seed);
+  std::vector<rdf::Triple> derived;
+  while (!worklist.empty()) {
+    rdf::Triple t = worklist.front();
+    worklist.pop_front();
+    derived.clear();
+    // (rdfs9) / (rdfs7) / (rdfs2) / (rdfs3).
+    ImmediateConsequences(*schema_, *graph, t, &derived);
+    for (const rdf::Triple& d : derived) {
+      if (graph->Add(d)) {
+        ++added;
+        worklist.push_back(d);
+      }
+    }
+  }
+  return added;
+}
+
+size_t Saturator::Saturate(rdf::Graph* graph) const {
+  size_t added = 0;
+  // Schema component: the saturated constraints become explicit triples.
+  size_t before = graph->size();
+  schema_->EmitTriples(graph);
+  added += graph->size() - before;
+
+  // Instance component: one pass over a snapshot; AddWithConsequences
+  // chases each triple's derivations to fixpoint, so no global iteration is
+  // needed (the schema is saturated, collapsing rule chains).
+  std::vector<rdf::Triple> snapshot = graph->SortedTriples();
+  for (const rdf::Triple& t : snapshot) {
+    added += AddWithConsequences(graph, t);
+  }
+  return added;
+}
+
+size_t Saturator::Insert(rdf::Graph* graph, const rdf::Triple& t) const {
+  return AddWithConsequences(graph, t);
+}
+
+size_t Saturator::Delete(
+    rdf::Graph* graph, const rdf::Triple& t,
+    const std::function<bool(const rdf::Triple&)>& is_explicit) const {
+  if (!graph->Contains(t)) return 0;
+  const size_t size_before = graph->size();
+
+  // 1. Over-delete: everything transitively derivable from t that is
+  // present in the graph and is not itself an asserted fact.
+  std::unordered_set<rdf::Triple, rdf::TripleHash> deleted;
+  std::deque<rdf::Triple> worklist;
+  deleted.insert(t);
+  worklist.push_back(t);
+  std::vector<rdf::Triple> derived;
+  while (!worklist.empty()) {
+    rdf::Triple d = worklist.front();
+    worklist.pop_front();
+    derived.clear();
+    ImmediateConsequences(*schema_, *graph, d, &derived);
+    for (const rdf::Triple& c : derived) {
+      if (graph->Contains(c) && !is_explicit(c) && deleted.insert(c).second) {
+        worklist.push_back(c);
+      }
+    }
+  }
+  for (const rdf::Triple& d : deleted) graph->Remove(d);
+
+  // 2. Rederive: a deleted triple may still follow from the remaining
+  // data. Every instance-level derivation of a triple with subject s
+  // starts from a triple whose subject or object is s, so chasing the
+  // remaining triples touching the deleted subjects suffices.
+  std::unordered_set<rdf::TermId> affected;
+  for (const rdf::Triple& d : deleted) affected.insert(d.s);
+  std::vector<rdf::Triple> snapshot;
+  for (const rdf::Triple& r : graph->triples()) {
+    if (affected.count(r.s) || affected.count(r.o)) snapshot.push_back(r);
+  }
+  for (const rdf::Triple& r : snapshot) AddWithConsequences(graph, r);
+
+  return size_before - graph->size();
+}
+
+}  // namespace reasoner
+}  // namespace rdfref

@@ -1,0 +1,62 @@
+#ifndef RDFREF_REASONER_SATURATION_H_
+#define RDFREF_REASONER_SATURATION_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "rdf/graph.h"
+#include "schema/schema.h"
+
+namespace rdfref {
+namespace reasoner {
+
+/// \brief The Sat technique: materializes in the graph every triple its
+/// RDFS constraints entail, so queries can then be *evaluated* directly
+/// (Section 1 of the paper: "saturation").
+///
+/// Instance-level immediate entailment rules (with τ = rdf:type), applied
+/// to fixpoint:
+///   (rdfs9)  s τ c,  c ⊑sc c'  ⇒  s τ c'
+///   (rdfs7)  s p o,  p ⊑sp p'  ⇒  s p' o
+///   (rdfs2)  s p o,  p ←d c    ⇒  s τ c
+///   (rdfs3)  s p o,  p ←r c    ⇒  o τ c   (only when o is not a literal)
+/// The schema-level rules (S1-S6) are handled by schema::Schema::Saturate;
+/// Saturate() below also writes the saturated constraint triples into the
+/// graph, so G∞ contains every entailed triple, schema included.
+class Saturator {
+ public:
+  /// \brief `schema` must be saturated and outlive the saturator.
+  explicit Saturator(const schema::Schema* schema) : schema_(schema) {}
+
+  /// \brief Saturates `graph` in place; returns the number of triples
+  /// added. Idempotent: saturating a saturated graph adds nothing.
+  size_t Saturate(rdf::Graph* graph) const;
+
+  /// \brief Incremental maintenance: inserts `t` plus all its consequences
+  /// into an already-saturated graph; returns the number of triples added.
+  /// This is the update path whose cost the Sat technique must pay on every
+  /// change (the maintenance penalty motivating Ref, Section 1).
+  size_t Insert(rdf::Graph* graph, const rdf::Triple& t) const;
+
+  /// \brief Incremental deletion by over-delete + rederive (DRed): removes
+  /// the explicit triple `t` from the saturated graph along with every
+  /// derived triple, then rederives the deleted triples that still have a
+  /// derivation from the remaining data. `is_explicit` tells which triples
+  /// are asserted facts (they are never over-deleted). Returns the net
+  /// number of triples removed. Deleting *constraint* triples is a schema
+  /// change and requires full re-saturation instead.
+  size_t Delete(rdf::Graph* graph, const rdf::Triple& t,
+                const std::function<bool(const rdf::Triple&)>& is_explicit)
+      const;
+
+ private:
+  /// Adds `t` and, transitively, its immediate consequences.
+  size_t AddWithConsequences(rdf::Graph* graph, const rdf::Triple& t) const;
+
+  const schema::Schema* schema_;
+};
+
+}  // namespace reasoner
+}  // namespace rdfref
+
+#endif  // RDFREF_REASONER_SATURATION_H_

@@ -1,0 +1,399 @@
+#include "reformulation/reformulator.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <unordered_set>
+
+#include "query/minimize.h"
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace reformulation {
+
+namespace {
+
+using query::Atom;
+using query::Cq;
+using query::QTerm;
+using query::Ucq;
+using query::VarId;
+
+/// Placeholder for the fresh existential variable a rule introduces; it is
+/// materialized as a real query variable when the atom lands in a CQ.
+constexpr VarId kFreshMark = 0xFFFFFFFFu;
+
+bool IsFresh(const QTerm& t) { return t.is_var && t.var() == kFreshMark; }
+
+QTerm Fresh() { return QTerm::Var(kFreshMark); }
+
+/// Replaces variable `v` by constant `c` within one atom.
+Atom SubstAtom(const Atom& a, VarId v, rdf::TermId c) {
+  Atom out = a;
+  auto fix = [v, c](QTerm* t) {
+    if (t->is_var && t->var() == v) *t = QTerm::Const(c);
+  };
+  fix(&out.s);
+  fix(&out.p);
+  fix(&out.o);
+  return out;
+}
+
+/// Dedup key over (atom, bindings).
+std::string MemberKey(const AtomReformulation& m) {
+  std::string key;
+  auto add = [&key](const QTerm& t) {
+    key += t.is_var ? 'v' : 'c';
+    key += std::to_string(t.id);
+    key += ' ';
+  };
+  add(m.atom.s);
+  add(m.atom.p);
+  add(m.atom.o);
+  std::vector<std::pair<VarId, rdf::TermId>> sorted = m.bindings;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [v, c] : sorted) {
+    key += std::to_string(v);
+    key += "->";
+    key += std::to_string(c);
+    key += ' ';
+  }
+  std::vector<VarId> res = m.resource_vars;
+  std::sort(res.begin(), res.end());
+  for (VarId v : res) {
+    key += 'r';
+    key += std::to_string(v);
+    key += ' ';
+  }
+  return key;
+}
+
+AtomReformulation Derive(const AtomReformulation& base, Atom atom, int rule) {
+  AtomReformulation out;
+  out.atom = atom;
+  out.bindings = base.bindings;
+  out.resource_vars = base.resource_vars;
+  out.rule = rule;
+  return out;
+}
+
+AtomReformulation DeriveBound(const AtomReformulation& base, Atom atom,
+                              VarId v, rdf::TermId c, int rule) {
+  AtomReformulation out;
+  out.atom = SubstAtom(atom, v, c);
+  out.bindings = base.bindings;
+  out.bindings.emplace_back(v, c);
+  out.resource_vars = base.resource_vars;
+  out.rule = rule;
+  return out;
+}
+
+}  // namespace
+
+Reformulator::Reformulator(const schema::Schema* schema,
+                           ReformulationOptions options,
+                           const rdf::Dictionary* dict)
+    : schema_(schema), options_(options), dict_(dict) {}
+
+void Reformulator::ApplyRules(const Cq& q, const AtomReformulation& member,
+                              std::vector<AtomReformulation>* out) const {
+  (void)q;
+  const Atom& atom = member.atom;
+  if (!atom.p.is_var) {
+    const rdf::TermId p = atom.p.term();
+    if (p == rdf::vocab::kTypeId) {
+      if (!atom.o.is_var) {
+        // Rules 1-3: type atom with a constant class.
+        const rdf::TermId c = atom.o.term();
+        for (rdf::TermId sub : schema_->SubClassesOf(c)) {
+          out->push_back(
+              Derive(member, Atom(atom.s, atom.p, QTerm::Const(sub)), 1));
+        }
+        for (rdf::TermId pp : schema_->DomainPropertiesOf(c)) {
+          out->push_back(
+              Derive(member, Atom(atom.s, QTerm::Const(pp), Fresh()), 2));
+        }
+        for (rdf::TermId pp : schema_->RangePropertiesOf(c)) {
+          if (!atom.s.is_var && dict_ != nullptr &&
+              dict_->Lookup(atom.s.term()).is_literal()) {
+            continue;  // a literal cannot be typed
+          }
+          AtomReformulation derived =
+              Derive(member, Atom(Fresh(), QTerm::Const(pp), atom.s), 3);
+          if (atom.s.is_var) derived.resource_vars.push_back(atom.s.var());
+          out->push_back(std::move(derived));
+        }
+      } else if (!IsFresh(atom.o)) {
+        // Rules 5-7: type atom with a variable class position; rewriting
+        // binds the variable to the class whose instances the rewrite
+        // retrieves.
+        const VarId y = atom.o.var();
+        for (const auto& [super, subs] : schema_->sub_class_map()) {
+          for (rdf::TermId sub : subs) {
+            out->push_back(DeriveBound(
+                member, Atom(atom.s, atom.p, QTerm::Const(sub)), y, super, 5));
+          }
+        }
+        for (const auto& [pp, classes] : schema_->domain_map()) {
+          for (rdf::TermId c : classes) {
+            out->push_back(DeriveBound(
+                member, Atom(atom.s, QTerm::Const(pp), Fresh()), y, c, 6));
+          }
+        }
+        for (const auto& [pp, classes] : schema_->range_map()) {
+          if (!atom.s.is_var && dict_ != nullptr &&
+              dict_->Lookup(atom.s.term()).is_literal()) {
+            break;  // a literal cannot be typed
+          }
+          for (rdf::TermId c : classes) {
+            AtomReformulation derived = DeriveBound(
+                member, Atom(Fresh(), QTerm::Const(pp), atom.s), y, c, 7);
+            if (atom.s.is_var) derived.resource_vars.push_back(atom.s.var());
+            out->push_back(std::move(derived));
+          }
+        }
+      }
+    } else if (!rdf::vocab::IsSchemaProperty(p)) {
+      // Rule 4: property atom with a constant (non-built-in) property.
+      for (rdf::TermId sub : schema_->SubPropertiesOf(p)) {
+        out->push_back(
+            Derive(member, Atom(atom.s, QTerm::Const(sub), atom.o), 4));
+      }
+    }
+    // Constant RDFS schema property: answered directly against the
+    // saturated schema stored in the database; no rule applies.
+  } else if (!IsFresh(atom.p)) {
+    // Rules 8-13: variable in property position.
+    const VarId y = atom.p.var();
+    for (const auto& [super, subs] : schema_->sub_property_map()) {
+      for (rdf::TermId sub : subs) {
+        out->push_back(DeriveBound(
+            member, Atom(atom.s, QTerm::Const(sub), atom.o), y, super, 8));
+      }
+    }
+    out->push_back(DeriveBound(
+        member, Atom(atom.s, QTerm::Const(rdf::vocab::kTypeId), atom.o), y,
+        rdf::vocab::kTypeId, 9));
+    const rdf::TermId kSchemaProps[4] = {
+        rdf::vocab::kSubClassOfId, rdf::vocab::kSubPropertyOfId,
+        rdf::vocab::kDomainId, rdf::vocab::kRangeId};
+    for (int i = 0; i < 4; ++i) {
+      out->push_back(DeriveBound(member,
+                                 Atom(atom.s, QTerm::Const(kSchemaProps[i]),
+                                      atom.o),
+                                 y, kSchemaProps[i], 10 + i));
+    }
+  }
+}
+
+void IncompleteReformulator::ApplyRules(
+    const Cq& q, const AtomReformulation& member,
+    std::vector<AtomReformulation>* out) const {
+  (void)q;
+  // Hierarchies only (rules 1 and 4): the fixed strategy of Virtuoso /
+  // AllegroGraph-style engines, which ignore rdfs:domain and rdfs:range [6].
+  const Atom& atom = member.atom;
+  if (atom.p.is_var) return;
+  const rdf::TermId p = atom.p.term();
+  if (p == rdf::vocab::kTypeId) {
+    if (!atom.o.is_var) {
+      for (rdf::TermId sub : schema_->SubClassesOf(atom.o.term())) {
+        out->push_back(
+            Derive(member, Atom(atom.s, atom.p, QTerm::Const(sub)), 1));
+      }
+    }
+  } else if (!rdf::vocab::IsSchemaProperty(p)) {
+    for (rdf::TermId sub : schema_->SubPropertiesOf(p)) {
+      out->push_back(
+          Derive(member, Atom(atom.s, QTerm::Const(sub), atom.o), 4));
+    }
+  }
+}
+
+std::vector<AtomReformulation> Reformulator::ReformulateAtom(
+    const Cq& q, const Atom& atom) const {
+  std::vector<AtomReformulation> result;
+  std::unordered_set<std::string> seen;
+  std::deque<size_t> worklist;
+
+  AtomReformulation seed;
+  seed.atom = atom;
+  seed.rule = 0;
+  seen.insert(MemberKey(seed));
+  result.push_back(seed);
+  worklist.push_back(0);
+
+  std::vector<AtomReformulation> step;
+  while (!worklist.empty()) {
+    size_t idx = worklist.front();
+    worklist.pop_front();
+    step.clear();
+    ApplyRules(q, result[idx], &step);
+    for (AtomReformulation& m : step) {
+      std::string key = MemberKey(m);
+      if (seen.insert(std::move(key)).second) {
+        result.push_back(std::move(m));
+        worklist.push_back(result.size() - 1);
+      }
+    }
+  }
+  return result;
+}
+
+bool Reformulator::AtomsIndependent(const Cq& q) const {
+  const std::vector<Atom>& body = q.body();
+  for (size_t i = 0; i < body.size(); ++i) {
+    // Variables that rules may bind in atom i: a property-position
+    // variable, and the class-position variable of a (potential) type atom.
+    std::vector<VarId> bindable;
+    if (body[i].p.is_var) {
+      bindable.push_back(body[i].p.var());
+      if (body[i].o.is_var) bindable.push_back(body[i].o.var());
+    } else if (body[i].p.term() == rdf::vocab::kTypeId && body[i].o.is_var) {
+      bindable.push_back(body[i].o.var());
+    }
+    for (VarId v : bindable) {
+      for (size_t j = 0; j < body.size(); ++j) {
+        if (j == i) continue;
+        if (Cq::AtomVars(body[j]).count(v)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<Ucq> Reformulator::ReformulateByProduct(const Cq& q) const {
+  const size_t n = q.body().size();
+  std::vector<std::vector<AtomReformulation>> sets;
+  sets.reserve(n);
+  uint64_t total = 1;
+  for (size_t i = 0; i < n; ++i) {
+    sets.push_back(ReformulateAtom(q, q.body()[i]));
+    uint64_t size = sets.back().size();
+    if (total > options_.max_cqs / size + 1) {
+      return Status::ResourceExhausted(
+          "UCQ reformulation exceeds max_cqs = " +
+          std::to_string(options_.max_cqs));
+    }
+    total *= size;
+  }
+  if (total > options_.max_cqs) {
+    return Status::ResourceExhausted("UCQ reformulation of " +
+                                     std::to_string(total) +
+                                     " CQs exceeds max_cqs = " +
+                                     std::to_string(options_.max_cqs));
+  }
+
+  Ucq out;
+  std::vector<size_t> odometer(n, 0);
+  while (true) {
+    Cq member = q;  // copy: head, body, variable table
+    for (size_t i = 0; i < n; ++i) {
+      const AtomReformulation& m = sets[i][odometer[i]];
+      Atom atom = m.atom;
+      if (IsFresh(atom.s) || IsFresh(atom.o)) {
+        VarId fresh = member.FreshVar();
+        if (IsFresh(atom.s)) atom.s = QTerm::Var(fresh);
+        if (IsFresh(atom.o)) atom.o = QTerm::Var(fresh);
+      }
+      (*member.mutable_body())[i] = atom;
+      for (VarId rv : m.resource_vars) member.AddResourceVar(rv);
+      // Bindable variables are atom-local (checked by AtomsIndependent), so
+      // the substitution only affects the head.
+      for (const auto& [v, c] : m.bindings) member.Substitute(v, c);
+    }
+    out.Add(std::move(member));
+    // Advance the odometer.
+    size_t pos = 0;
+    while (pos < n) {
+      if (++odometer[pos] < sets[pos].size()) break;
+      odometer[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return out;
+}
+
+Result<Ucq> Reformulator::ReformulateByWorklist(const Cq& q) const {
+  std::vector<Cq> result;
+  std::unordered_set<std::string> seen;
+  std::deque<size_t> worklist;
+
+  result.push_back(q);
+  seen.insert(q.CanonicalKey());
+  worklist.push_back(0);
+
+  std::vector<AtomReformulation> step;
+  while (!worklist.empty()) {
+    size_t idx = worklist.front();
+    worklist.pop_front();
+    const size_t num_atoms = result[idx].body().size();
+    for (size_t i = 0; i < num_atoms; ++i) {
+      AtomReformulation member;
+      member.atom = result[idx].body()[i];
+      step.clear();
+      ApplyRules(result[idx], member, &step);
+      for (const AtomReformulation& m : step) {
+        Cq next = result[idx];
+        Atom atom = m.atom;
+        if (IsFresh(atom.s) || IsFresh(atom.o)) {
+          VarId fresh = next.FreshVar();
+          if (IsFresh(atom.s)) atom.s = QTerm::Var(fresh);
+          if (IsFresh(atom.o)) atom.o = QTerm::Var(fresh);
+        }
+        (*next.mutable_body())[i] = atom;
+        for (VarId rv : m.resource_vars) next.AddResourceVar(rv);
+        for (const auto& [v, c] : m.bindings) next.Substitute(v, c);
+        std::string key = next.CanonicalKey();
+        if (seen.insert(std::move(key)).second) {
+          if (result.size() >= options_.max_cqs) {
+            return Status::ResourceExhausted(
+                "UCQ reformulation exceeds max_cqs = " +
+                std::to_string(options_.max_cqs));
+          }
+          result.push_back(std::move(next));
+          worklist.push_back(result.size() - 1);
+        }
+      }
+    }
+  }
+  return Ucq(std::move(result));
+}
+
+Result<Ucq> Reformulator::Reformulate(const Cq& q) const {
+  if (q.body().empty()) {
+    return Status::InvalidArgument("cannot reformulate an empty BGP");
+  }
+  Result<Ucq> result = (!options_.force_worklist && AtomsIndependent(q))
+                           ? ReformulateByProduct(q)
+                           : ReformulateByWorklist(q);
+  if (result.ok() && options_.minimize &&
+      result->size() <= options_.minimize_threshold) {
+    return query::MinimizeUcq(*result, dict_);
+  }
+  return result;
+}
+
+Result<uint64_t> Reformulator::CountReformulations(const Cq& q) const {
+  if (q.body().empty()) {
+    return Status::InvalidArgument("cannot reformulate an empty BGP");
+  }
+  if (!options_.force_worklist && AtomsIndependent(q)) {
+    // Closed form: the UCQ is the product of the per-atom member sets.
+    uint64_t total = 1;
+    for (const Atom& atom : q.body()) {
+      uint64_t size = ReformulateAtom(q, atom).size();
+      if (size != 0 && total > UINT64_MAX / size) {
+        return Status::ResourceExhausted("reformulation count overflows");
+      }
+      total *= size;
+    }
+    return total;
+  }
+  RDFREF_ASSIGN_OR_RETURN(Ucq ucq, ReformulateByWorklist(q));
+  return static_cast<uint64_t>(ucq.size());
+}
+
+}  // namespace reformulation
+}  // namespace rdfref

@@ -1,0 +1,229 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace schema {
+
+namespace {
+const std::set<rdf::TermId>& EmptySet() {
+  static const std::set<rdf::TermId>* empty = new std::set<rdf::TermId>();
+  return *empty;
+}
+
+const std::set<rdf::TermId>& LookupOrEmpty(
+    const std::map<rdf::TermId, std::set<rdf::TermId>>& rel, rdf::TermId key) {
+  auto it = rel.find(key);
+  return it == rel.end() ? EmptySet() : it->second;
+}
+}  // namespace
+
+Schema Schema::FromGraph(const rdf::Graph& graph) {
+  Schema s;
+  for (const rdf::Triple& t : graph.triples()) {
+    switch (t.p) {
+      case rdf::vocab::kSubClassOfId:
+        s.AddSubClass(t.s, t.o);
+        break;
+      case rdf::vocab::kSubPropertyOfId:
+        s.AddSubProperty(t.s, t.o);
+        break;
+      case rdf::vocab::kDomainId:
+        s.AddDomain(t.s, t.o);
+        break;
+      case rdf::vocab::kRangeId:
+        s.AddRange(t.s, t.o);
+        break;
+      default:
+        break;
+    }
+  }
+  return s;
+}
+
+void Schema::AddSubClass(rdf::TermId sub, rdf::TermId super) {
+  if (sub == super) return;  // reflexive constraints carry no information
+  super_of_class_[sub].insert(super);
+  sub_of_class_[super].insert(sub);
+  saturated_ = false;
+}
+
+void Schema::AddSubProperty(rdf::TermId sub, rdf::TermId super) {
+  if (sub == super) return;
+  super_of_property_[sub].insert(super);
+  sub_of_property_[super].insert(sub);
+  saturated_ = false;
+}
+
+void Schema::AddDomain(rdf::TermId property, rdf::TermId klass) {
+  domains_[property].insert(klass);
+  domain_props_[klass].insert(property);
+  saturated_ = false;
+}
+
+void Schema::AddRange(rdf::TermId property, rdf::TermId klass) {
+  ranges_[property].insert(klass);
+  range_props_[klass].insert(property);
+  saturated_ = false;
+}
+
+void Schema::TransitiveClosure(Relation* super_of, Relation* sub_of) {
+  // Schema graphs are small; a straightforward fixpoint suffices.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [sub, supers] : *super_of) {
+      std::set<rdf::TermId> to_add;
+      for (rdf::TermId mid : supers) {
+        auto it = super_of->find(mid);
+        if (it == super_of->end()) continue;
+        for (rdf::TermId top : it->second) {
+          if (top != sub && !supers.count(top)) to_add.insert(top);
+        }
+      }
+      if (!to_add.empty()) {
+        supers.insert(to_add.begin(), to_add.end());
+        changed = true;
+      }
+    }
+  }
+  sub_of->clear();
+  for (const auto& [sub, supers] : *super_of) {
+    for (rdf::TermId super : supers) (*sub_of)[super].insert(sub);
+  }
+}
+
+void Schema::Saturate() {
+  // (S1) and (S2): transitive closures of the two hierarchies.
+  TransitiveClosure(&super_of_class_, &sub_of_class_);
+  TransitiveClosure(&super_of_property_, &sub_of_property_);
+
+  // (S5)/(S6): a property inherits the domains/ranges of its
+  // super-properties. The property closure is already transitive, so one
+  // pass over the closure is enough.
+  for (const auto& [p, supers] : super_of_property_) {
+    for (rdf::TermId super : supers) {
+      auto dit = domains_.find(super);
+      if (dit != domains_.end()) {
+        domains_[p].insert(dit->second.begin(), dit->second.end());
+      }
+      auto rit = ranges_.find(super);
+      if (rit != ranges_.end()) {
+        ranges_[p].insert(rit->second.begin(), rit->second.end());
+      }
+    }
+  }
+
+  // (S3)/(S4): domains/ranges propagate to super-classes.
+  for (auto& [p, cls] : domains_) {
+    std::set<rdf::TermId> closed = cls;
+    for (rdf::TermId c : cls) {
+      const std::set<rdf::TermId>& supers = SuperClassesOf(c);
+      closed.insert(supers.begin(), supers.end());
+    }
+    cls = std::move(closed);
+  }
+  for (auto& [p, cls] : ranges_) {
+    std::set<rdf::TermId> closed = cls;
+    for (rdf::TermId c : cls) {
+      const std::set<rdf::TermId>& supers = SuperClassesOf(c);
+      closed.insert(supers.begin(), supers.end());
+    }
+    cls = std::move(closed);
+  }
+
+  // Rebuild the inverse domain/range relations.
+  domain_props_.clear();
+  for (const auto& [p, cls] : domains_) {
+    for (rdf::TermId c : cls) domain_props_[c].insert(p);
+  }
+  range_props_.clear();
+  for (const auto& [p, cls] : ranges_) {
+    for (rdf::TermId c : cls) range_props_[c].insert(p);
+  }
+  saturated_ = true;
+}
+
+const std::set<rdf::TermId>& Schema::SubClassesOf(rdf::TermId c) const {
+  return LookupOrEmpty(sub_of_class_, c);
+}
+const std::set<rdf::TermId>& Schema::SuperClassesOf(rdf::TermId c) const {
+  return LookupOrEmpty(super_of_class_, c);
+}
+const std::set<rdf::TermId>& Schema::SubPropertiesOf(rdf::TermId p) const {
+  return LookupOrEmpty(sub_of_property_, p);
+}
+const std::set<rdf::TermId>& Schema::SuperPropertiesOf(rdf::TermId p) const {
+  return LookupOrEmpty(super_of_property_, p);
+}
+const std::set<rdf::TermId>& Schema::DomainPropertiesOf(rdf::TermId c) const {
+  return LookupOrEmpty(domain_props_, c);
+}
+const std::set<rdf::TermId>& Schema::RangePropertiesOf(rdf::TermId c) const {
+  return LookupOrEmpty(range_props_, c);
+}
+const std::set<rdf::TermId>& Schema::DomainsOf(rdf::TermId p) const {
+  return LookupOrEmpty(domains_, p);
+}
+const std::set<rdf::TermId>& Schema::RangesOf(rdf::TermId p) const {
+  return LookupOrEmpty(ranges_, p);
+}
+
+void Schema::EmitTriples(rdf::Graph* graph) const {
+  for (const auto& [sub, supers] : super_of_class_) {
+    for (rdf::TermId super : supers) {
+      graph->Add(sub, rdf::vocab::kSubClassOfId, super);
+    }
+  }
+  for (const auto& [sub, supers] : super_of_property_) {
+    for (rdf::TermId super : supers) {
+      graph->Add(sub, rdf::vocab::kSubPropertyOfId, super);
+    }
+  }
+  for (const auto& [p, cls] : domains_) {
+    for (rdf::TermId c : cls) graph->Add(p, rdf::vocab::kDomainId, c);
+  }
+  for (const auto& [p, cls] : ranges_) {
+    for (rdf::TermId c : cls) graph->Add(p, rdf::vocab::kRangeId, c);
+  }
+}
+
+size_t Schema::CountPairs(const Relation& rel) {
+  size_t n = 0;
+  for (const auto& [key, values] : rel) n += values.size();
+  return n;
+}
+
+size_t Schema::NumSubClass() const { return CountPairs(super_of_class_); }
+size_t Schema::NumSubProperty() const {
+  return CountPairs(super_of_property_);
+}
+size_t Schema::NumDomain() const { return CountPairs(domains_); }
+size_t Schema::NumRange() const { return CountPairs(ranges_); }
+
+std::set<rdf::TermId> Schema::AllClasses() const {
+  std::set<rdf::TermId> out;
+  for (const auto& [sub, supers] : super_of_class_) {
+    out.insert(sub);
+    out.insert(supers.begin(), supers.end());
+  }
+  for (const auto& [p, cls] : domains_) out.insert(cls.begin(), cls.end());
+  for (const auto& [p, cls] : ranges_) out.insert(cls.begin(), cls.end());
+  return out;
+}
+
+std::set<rdf::TermId> Schema::AllProperties() const {
+  std::set<rdf::TermId> out;
+  for (const auto& [sub, supers] : super_of_property_) {
+    out.insert(sub);
+    out.insert(supers.begin(), supers.end());
+  }
+  for (const auto& [p, cls] : domains_) out.insert(p);
+  for (const auto& [p, cls] : ranges_) out.insert(p);
+  return out;
+}
+
+}  // namespace schema
+}  // namespace rdfref

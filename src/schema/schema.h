@@ -1,0 +1,121 @@
+#ifndef RDFREF_SCHEMA_SCHEMA_H_
+#define RDFREF_SCHEMA_SCHEMA_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/term.h"
+
+namespace rdfref {
+namespace schema {
+
+/// \brief The RDFS constraints of an RDF graph (Figure 1, bottom, of the
+/// paper), kept saturated.
+///
+/// Four constraint kinds are interpreted (open-world):
+///   - c1 rdfs:subClassOf c2       (written c1 ⊑sc c2)
+///   - p1 rdfs:subPropertyOf p2    (p1 ⊑sp p2)
+///   - p rdfs:domain c             (p ←d c: Π_domain(p) ⊆ c)
+///   - p rdfs:range c              (p ←r c: Π_range(p) ⊆ c)
+///
+/// As in [9], the schema is small and is kept *saturated at all times*:
+/// Saturate() closes the constraint set under the schema-level RDFS rules
+///   (S1) a ⊑sc b, b ⊑sc c    ⇒ a ⊑sc c
+///   (S2) p ⊑sp q, q ⊑sp r    ⇒ p ⊑sp r
+///   (S3) p ←d c, c ⊑sc c'    ⇒ p ←d c'
+///   (S4) p ←r c, c ⊑sc c'    ⇒ p ←r c'
+///   (S5) p ⊑sp q, q ←d c     ⇒ p ←d c
+///   (S6) p ⊑sp q, q ←r c     ⇒ p ←r c
+/// so that every reformulation rule and every instance-level entailment rule
+/// needs only a single lookup, never a chain.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// \brief Extracts all RDFS constraint triples from `graph` (schema
+  /// statements are ordinary triples in the DB fragment). Does not saturate.
+  static Schema FromGraph(const rdf::Graph& graph);
+
+  void AddSubClass(rdf::TermId sub, rdf::TermId super);
+  void AddSubProperty(rdf::TermId sub, rdf::TermId super);
+  void AddDomain(rdf::TermId property, rdf::TermId klass);
+  void AddRange(rdf::TermId property, rdf::TermId klass);
+
+  /// \brief Closes the constraint set under rules S1-S6 (idempotent).
+  void Saturate();
+
+  /// \brief True once Saturate() has run and no constraint was added since.
+  bool saturated() const { return saturated_; }
+
+  /// \brief Strict sub-classes of c in the closure: all c' with c' ⊑sc c.
+  const std::set<rdf::TermId>& SubClassesOf(rdf::TermId c) const;
+  /// \brief Strict super-classes of c in the closure.
+  const std::set<rdf::TermId>& SuperClassesOf(rdf::TermId c) const;
+  /// \brief Strict sub-properties of p in the closure.
+  const std::set<rdf::TermId>& SubPropertiesOf(rdf::TermId p) const;
+  /// \brief Strict super-properties of p in the closure.
+  const std::set<rdf::TermId>& SuperPropertiesOf(rdf::TermId p) const;
+  /// \brief Properties p with p ←d c (domain exactly c in the closure).
+  const std::set<rdf::TermId>& DomainPropertiesOf(rdf::TermId c) const;
+  /// \brief Properties p with p ←r c.
+  const std::set<rdf::TermId>& RangePropertiesOf(rdf::TermId c) const;
+  /// \brief Classes c with p ←d c.
+  const std::set<rdf::TermId>& DomainsOf(rdf::TermId p) const;
+  /// \brief Classes c with p ←r c.
+  const std::set<rdf::TermId>& RangesOf(rdf::TermId p) const;
+
+  /// \brief Whole-relation views, used by the variable-position
+  /// reformulation rules (5-7) and by the Datalog encoding.
+  const std::map<rdf::TermId, std::set<rdf::TermId>>& sub_class_map() const {
+    return sub_of_class_;
+  }
+  const std::map<rdf::TermId, std::set<rdf::TermId>>& sub_property_map()
+      const {
+    return sub_of_property_;
+  }
+  const std::map<rdf::TermId, std::set<rdf::TermId>>& domain_map() const {
+    return domains_;
+  }
+  const std::map<rdf::TermId, std::set<rdf::TermId>>& range_map() const {
+    return ranges_;
+  }
+
+  /// \brief Adds every constraint as a triple of `graph` (used to store the
+  /// saturated schema alongside the data, so schema queries are answerable).
+  void EmitTriples(rdf::Graph* graph) const;
+
+  /// \brief Number of constraints of each kind (after saturation if run).
+  size_t NumSubClass() const;
+  size_t NumSubProperty() const;
+  size_t NumDomain() const;
+  size_t NumRange() const;
+  size_t NumConstraints() const {
+    return NumSubClass() + NumSubProperty() + NumDomain() + NumRange();
+  }
+
+  /// \brief All class ids mentioned in any constraint.
+  std::set<rdf::TermId> AllClasses() const;
+  /// \brief All property ids mentioned in any constraint.
+  std::set<rdf::TermId> AllProperties() const;
+
+ private:
+  using Relation = std::map<rdf::TermId, std::set<rdf::TermId>>;
+
+  static void TransitiveClosure(Relation* super_of, Relation* sub_of);
+  static size_t CountPairs(const Relation& rel);
+
+  // super_of_class_[c] = classes c ⊑sc *; sub_of_class_[c] = classes * ⊑sc c.
+  Relation super_of_class_, sub_of_class_;
+  Relation super_of_property_, sub_of_property_;
+  // domains_[p] = classes c with p ←d c; domain_props_[c] = properties.
+  Relation domains_, domain_props_;
+  Relation ranges_, range_props_;
+  bool saturated_ = false;
+};
+
+}  // namespace schema
+}  // namespace rdfref
+
+#endif  // RDFREF_SCHEMA_SCHEMA_H_

@@ -1,0 +1,51 @@
+#include "storage/delta_store.h"
+
+namespace rdfref {
+namespace storage {
+
+bool DeltaStore::Insert(const rdf::Triple& t) {
+  if (removed_.erase(t) > 0) return true;  // un-hide a base triple
+  if (base_->Contains(t)) return false;    // already visible
+  return added_.insert(t).second;
+}
+
+bool DeltaStore::Remove(const rdf::Triple& t) {
+  if (added_.erase(t) > 0) return true;
+  if (!base_->Contains(t)) return false;  // was never visible
+  return removed_.insert(t).second;
+}
+
+bool DeltaStore::Contains(const rdf::Triple& t) const {
+  if (added_.count(t)) return true;
+  return base_->Contains(t) && !removed_.count(t);
+}
+
+void DeltaStore::Scan(
+    rdf::TermId s, rdf::TermId p, rdf::TermId o,
+    const std::function<void(const rdf::Triple&)>& fn) const {
+  if (removed_.empty()) {
+    base_->Scan(s, p, o, fn);
+  } else {
+    base_->Scan(s, p, o, [&](const rdf::Triple& t) {
+      if (!removed_.count(t)) fn(t);
+    });
+  }
+  for (const rdf::Triple& t : added_) {
+    if (Matches(t, s, p, o)) fn(t);
+  }
+}
+
+size_t DeltaStore::CountMatches(rdf::TermId s, rdf::TermId p,
+                                rdf::TermId o) const {
+  size_t count = base_->CountMatches(s, p, o);
+  for (const rdf::Triple& t : removed_) {
+    if (Matches(t, s, p, o)) --count;  // removed_ only holds base triples
+  }
+  for (const rdf::Triple& t : added_) {
+    if (Matches(t, s, p, o)) ++count;
+  }
+  return count;
+}
+
+}  // namespace storage
+}  // namespace rdfref

@@ -1,0 +1,61 @@
+#ifndef RDFREF_STORAGE_DELTA_STORE_H_
+#define RDFREF_STORAGE_DELTA_STORE_H_
+
+#include <unordered_set>
+
+#include "rdf/triple.h"
+#include "storage/store.h"
+#include "storage/triple_source.h"
+
+namespace rdfref {
+namespace storage {
+
+/// \brief An updatable overlay over an immutable base Store: inserted and
+/// removed triples live in small side sets consulted by every scan.
+///
+/// This is how the Ref strategies stay cheap under updates (the paper's
+/// §1: Ref needs no "effort to maintain the saturation"): an update is two
+/// hash operations here, while Sat must chase consequences. The overlay is
+/// meant to stay small relative to the base (scans filter the additions
+/// linearly); compact into a fresh Store when it grows.
+class DeltaStore : public TripleSource {
+ public:
+  /// \brief `base` must outlive the overlay.
+  explicit DeltaStore(const Store* base) : base_(base) {}
+
+  /// \brief Makes `t` visible; returns true when visibility changed.
+  bool Insert(const rdf::Triple& t);
+
+  /// \brief Hides `t`; returns true when visibility changed.
+  bool Remove(const rdf::Triple& t);
+
+  /// \brief True when `t` is currently visible.
+  bool Contains(const rdf::Triple& t) const;
+
+  void Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+            const std::function<void(const rdf::Triple&)>& fn)
+      const override;
+  size_t CountMatches(rdf::TermId s, rdf::TermId p,
+                      rdf::TermId o) const override;
+  const rdf::Dictionary& dict() const override { return base_->dict(); }
+
+  const Store& base() const { return *base_; }
+  size_t num_added() const { return added_.size(); }
+  size_t num_removed() const { return removed_.size(); }
+
+ private:
+  static bool Matches(const rdf::Triple& t, rdf::TermId s, rdf::TermId p,
+                      rdf::TermId o) {
+    return (s == kAny || t.s == s) && (p == kAny || t.p == p) &&
+           (o == kAny || t.o == o);
+  }
+
+  const Store* base_;
+  std::unordered_set<rdf::Triple, rdf::TripleHash> added_;
+  std::unordered_set<rdf::Triple, rdf::TripleHash> removed_;
+};
+
+}  // namespace storage
+}  // namespace rdfref
+
+#endif  // RDFREF_STORAGE_DELTA_STORE_H_

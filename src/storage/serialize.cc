@@ -1,0 +1,116 @@
+#include "storage/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace storage {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'D', 'F', 'B'};
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  char buf[4] = {static_cast<char>(v & 0xff),
+                 static_cast<char>((v >> 8) & 0xff),
+                 static_cast<char>((v >> 16) & 0xff),
+                 static_cast<char>((v >> 24) & 0xff)};
+  out.write(buf, 4);
+}
+
+bool ReadU32(std::istream& in, uint32_t* v) {
+  unsigned char buf[4];
+  if (!in.read(reinterpret_cast<char*>(buf), 4)) return false;
+  *v = static_cast<uint32_t>(buf[0]) | (static_cast<uint32_t>(buf[1]) << 8) |
+       (static_cast<uint32_t>(buf[2]) << 16) |
+       (static_cast<uint32_t>(buf[3]) << 24);
+  return true;
+}
+
+}  // namespace
+
+Status SaveGraph(const rdf::Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+
+  const rdf::Dictionary& dict = graph.dict();
+  out.write(kMagic, 4);
+  WriteU32(out, kVersion);
+  WriteU32(out, static_cast<uint32_t>(dict.size()));
+  WriteU32(out, static_cast<uint32_t>(graph.size()));
+
+  for (rdf::TermId id = 0; id < dict.size(); ++id) {
+    const rdf::Term& term = dict.Lookup(id);
+    char kind = static_cast<char>(term.kind);
+    out.write(&kind, 1);
+    WriteU32(out, static_cast<uint32_t>(term.lexical.size()));
+    out.write(term.lexical.data(),
+              static_cast<std::streamsize>(term.lexical.size()));
+  }
+  for (const rdf::Triple& t : graph.SortedTriples()) {
+    WriteU32(out, t.s);
+    WriteU32(out, t.p);
+    WriteU32(out, t.o);
+  }
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<rdf::Graph> LoadGraph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::ParseError("not an RDFB graph image: " + path);
+  }
+  uint32_t version = 0, num_terms = 0, num_triples = 0;
+  if (!ReadU32(in, &version) || version != kVersion) {
+    return Status::ParseError("unsupported RDFB version");
+  }
+  if (!ReadU32(in, &num_terms) || !ReadU32(in, &num_triples)) {
+    return Status::ParseError("truncated RDFB header");
+  }
+  if (num_terms < rdf::vocab::kNumBuiltins) {
+    return Status::ParseError("RDFB image is missing the built-in terms");
+  }
+
+  rdf::Graph graph;
+  for (uint32_t id = 0; id < num_terms; ++id) {
+    char kind;
+    uint32_t length = 0;
+    if (!in.read(&kind, 1) || !ReadU32(in, &length)) {
+      return Status::ParseError("truncated term table");
+    }
+    std::string lexical(length, '\0');
+    if (length > 0 && !in.read(lexical.data(), length)) {
+      return Status::ParseError("truncated term table");
+    }
+    rdf::Term term(static_cast<rdf::TermKind>(kind), std::move(lexical));
+    rdf::TermId interned = graph.dict().Intern(term);
+    if (interned != id) {
+      // The image's ids must be dense and in intern order (the built-ins
+      // first); anything else means a corrupted or reordered file.
+      return Status::ParseError("RDFB term table out of intern order");
+    }
+  }
+  for (uint32_t i = 0; i < num_triples; ++i) {
+    uint32_t s = 0, p = 0, o = 0;
+    if (!ReadU32(in, &s) || !ReadU32(in, &p) || !ReadU32(in, &o)) {
+      return Status::ParseError("truncated triple table");
+    }
+    if (s >= num_terms || p >= num_terms || o >= num_terms) {
+      return Status::ParseError("triple references unknown term");
+    }
+    graph.Add(s, p, o);
+  }
+  return graph;
+}
+
+}  // namespace storage
+}  // namespace rdfref

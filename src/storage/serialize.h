@@ -1,0 +1,30 @@
+#ifndef RDFREF_STORAGE_SERIALIZE_H_
+#define RDFREF_STORAGE_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "rdf/graph.h"
+
+namespace rdfref {
+namespace storage {
+
+/// \brief Binary graph image: dictionary + triples in one compact file
+/// (magic "RDFB", little-endian fixed-width fields). Loading skips all
+/// parsing, so repeated benchmark/CLI runs start fast.
+///
+/// Format:
+///   "RDFB" u32(version) u32(num_terms) u32(num_triples)
+///   per term:   u8(kind) u32(length) bytes
+///   per triple: u32(s) u32(p) u32(o)
+/// The first five terms must be the RDF/RDFS built-ins in vocab order (a
+/// dictionary always interns them first); Load verifies this.
+Status SaveGraph(const rdf::Graph& graph, const std::string& path);
+
+/// \brief Loads a graph image written by SaveGraph.
+Result<rdf::Graph> LoadGraph(const std::string& path);
+
+}  // namespace storage
+}  // namespace rdfref
+
+#endif  // RDFREF_STORAGE_SERIALIZE_H_

@@ -1,0 +1,71 @@
+#include "storage/statistics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rdfref {
+namespace storage {
+
+std::string Statistics::Report(const rdf::Dictionary& dict,
+                               size_t top_k) const {
+  std::ostringstream out;
+  out << "triples: " << total_triples_
+      << "  distinct s/p/o: " << distinct_subjects_ << "/"
+      << property_stats_.size() << "/" << distinct_objects_ << "\n";
+
+  std::vector<std::pair<rdf::TermId, PropertyStats>> props(
+      property_stats_.begin(), property_stats_.end());
+  std::sort(props.begin(), props.end(), [](const auto& a, const auto& b) {
+    return a.second.count > b.second.count;
+  });
+  out << "top properties (count, distinct s, distinct o):\n";
+  for (size_t i = 0; i < props.size() && i < top_k; ++i) {
+    out << "  " << dict.Lookup(props[i].first).lexical << ": "
+        << props[i].second.count << ", " << props[i].second.distinct_subjects
+        << ", " << props[i].second.distinct_objects << "\n";
+  }
+
+  std::vector<std::pair<rdf::TermId, uint64_t>> classes(
+      class_cardinality_.begin(), class_cardinality_.end());
+  std::sort(classes.begin(), classes.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  out << "top classes (instance count):\n";
+  for (size_t i = 0; i < classes.size() && i < top_k; ++i) {
+    out << "  " << dict.Lookup(classes[i].first).lexical << ": "
+        << classes[i].second << "\n";
+  }
+
+  std::vector<std::pair<uint64_t, uint64_t>> pairs(
+      subject_pair_counts_.begin(), subject_pair_counts_.end());
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  out << "top attribute pairs (subjects carrying both):\n";
+  for (size_t i = 0; i < pairs.size() && i < top_k; ++i) {
+    rdf::TermId p1 = static_cast<rdf::TermId>(pairs[i].first >> 32);
+    rdf::TermId p2 = static_cast<rdf::TermId>(pairs[i].first & 0xffffffffu);
+    out << "  (" << dict.Lookup(p1).lexical << ", "
+        << dict.Lookup(p2).lexical << "): " << pairs[i].second << "\n";
+  }
+  return out.str();
+}
+
+void Statistics::Absorb(const Statistics& other) {
+  total_triples_ += other.total_triples_;
+  distinct_subjects_ += other.distinct_subjects_;
+  distinct_objects_ += other.distinct_objects_;
+  for (const auto& [p, ps] : other.property_stats_) {
+    PropertyStats& mine = property_stats_[p];
+    mine.count += ps.count;
+    mine.distinct_subjects += ps.distinct_subjects;
+    mine.distinct_objects += ps.distinct_objects;
+  }
+  for (const auto& [c, n] : other.class_cardinality_) {
+    class_cardinality_[c] += n;
+  }
+  for (const auto& [key, n] : other.subject_pair_counts_) {
+    subject_pair_counts_[key] += n;
+  }
+}
+
+}  // namespace storage
+}  // namespace rdfref

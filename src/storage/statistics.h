@@ -1,0 +1,95 @@
+#ifndef RDFREF_STORAGE_STATISTICS_H_
+#define RDFREF_STORAGE_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace rdfref {
+namespace storage {
+
+/// \brief Per-property statistics kept by the store.
+struct PropertyStats {
+  uint64_t count = 0;             ///< triples with this property
+  uint64_t distinct_subjects = 0; ///< |Π_s(σ_p)|
+  uint64_t distinct_objects = 0;  ///< |Π_o(σ_p)|
+};
+
+/// \brief Database statistics: the inputs of the cost model and of the
+/// demonstration's "visualize its statistics" step (value distributions for
+/// subject, property and object).
+///
+/// All counts are exact (computed from the clustered indexes at load time),
+/// as an RDBMS optimizer's ANALYZE would provide.
+class Statistics {
+ public:
+  Statistics() = default;
+
+  uint64_t total_triples() const { return total_triples_; }
+  uint64_t distinct_subjects() const { return distinct_subjects_; }
+  uint64_t distinct_properties() const { return property_stats_.size(); }
+  uint64_t distinct_objects() const { return distinct_objects_; }
+
+  /// \brief Stats for one property; zeros when the property is absent.
+  PropertyStats ForProperty(rdf::TermId p) const {
+    auto it = property_stats_.find(p);
+    return it == property_stats_.end() ? PropertyStats{} : it->second;
+  }
+
+  /// \brief Number of instances of class c (explicit rdf:type triples).
+  uint64_t ClassCardinality(rdf::TermId c) const {
+    auto it = class_cardinality_.find(c);
+    return it == class_cardinality_.end() ? 0 : it->second;
+  }
+
+  /// \brief Number of subjects carrying *both* properties (the demo's
+  /// "value distributions ... for attribute pairs"; a characteristic-set
+  /// style statistic correcting star-join estimates for correlation).
+  uint64_t SubjectPairCount(rdf::TermId p1, rdf::TermId p2) const {
+    auto it = subject_pair_counts_.find(PairKey(p1, p2));
+    return it == subject_pair_counts_.end() ? 0 : it->second;
+  }
+
+  /// \brief The per-property table, for the demo's distribution display.
+  const std::unordered_map<rdf::TermId, PropertyStats>& property_table()
+      const {
+    return property_stats_;
+  }
+  const std::unordered_map<rdf::TermId, uint64_t>& class_table() const {
+    return class_cardinality_;
+  }
+
+  /// \brief Renders a human-readable statistics report (top-k properties and
+  /// classes by cardinality) — demonstration step 1.
+  std::string Report(const rdf::Dictionary& dict, size_t top_k = 10) const;
+
+  /// \brief Accumulates another source's statistics into this one: counts
+  /// add exactly, distinct counts add as an upper bound (the federation
+  /// mediator cannot see cross-endpoint duplicates).
+  void Absorb(const Statistics& other);
+
+ private:
+  friend class Store;
+
+  static uint64_t PairKey(rdf::TermId p1, rdf::TermId p2) {
+    if (p1 > p2) std::swap(p1, p2);
+    return (static_cast<uint64_t>(p1) << 32) | p2;
+  }
+
+  uint64_t total_triples_ = 0;
+  uint64_t distinct_subjects_ = 0;
+  uint64_t distinct_objects_ = 0;
+  std::unordered_map<rdf::TermId, PropertyStats> property_stats_;
+  std::unordered_map<rdf::TermId, uint64_t> class_cardinality_;
+  std::unordered_map<uint64_t, uint64_t> subject_pair_counts_;
+};
+
+}  // namespace storage
+}  // namespace rdfref
+
+#endif  // RDFREF_STORAGE_STATISTICS_H_

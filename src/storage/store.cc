@@ -1,0 +1,181 @@
+#include "storage/store.h"
+
+#include <algorithm>
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace storage {
+
+namespace {
+
+struct OrderSpo {
+  bool operator()(const rdf::Triple& a, const rdf::Triple& b) const {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+struct OrderPso {
+  bool operator()(const rdf::Triple& a, const rdf::Triple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.s != b.s) return a.s < b.s;
+    return a.o < b.o;
+  }
+};
+struct OrderPos {
+  bool operator()(const rdf::Triple& a, const rdf::Triple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.o != b.o) return a.o < b.o;
+    return a.s < b.s;
+  }
+};
+struct OrderOsp {
+  bool operator()(const rdf::Triple& a, const rdf::Triple& b) const {
+    if (a.o != b.o) return a.o < b.o;
+    if (a.s != b.s) return a.s < b.s;
+    return a.p < b.p;
+  }
+};
+
+// Range of `index` whose triples match every bound field of the pattern
+// that participates in the index prefix covered by `lo`/`hi`.
+template <typename Order>
+std::pair<const rdf::Triple*, const rdf::Triple*> PrefixRange(
+    const std::vector<rdf::Triple>& index, const rdf::Triple& lo,
+    const rdf::Triple& hi) {
+  auto begin = std::lower_bound(index.begin(), index.end(), lo, Order());
+  auto end = std::upper_bound(index.begin(), index.end(), hi, Order());
+  if (begin >= end) return {nullptr, nullptr};
+  return {&*begin, &*begin + (end - begin)};
+}
+
+}  // namespace
+
+Store::Store(const rdf::Graph& graph)
+    : Store(&graph.dict(), std::vector<rdf::Triple>(graph.triples().begin(),
+                                                    graph.triples().end())) {}
+
+Store::Store(const rdf::Dictionary* dict, std::vector<rdf::Triple> triples)
+    : dict_(dict), spo_(std::move(triples)) {
+  std::sort(spo_.begin(), spo_.end(), OrderSpo());
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pso_ = spo_;
+  std::sort(pso_.begin(), pso_.end(), OrderPso());
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), OrderPos());
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OrderOsp());
+
+  // ANALYZE: exact statistics from one pass over the clustered indexes.
+  stats_.total_triples_ = spo_.size();
+  for (size_t i = 0; i < spo_.size(); ++i) {
+    if (i == 0 || spo_[i].s != spo_[i - 1].s) ++stats_.distinct_subjects_;
+  }
+  for (size_t i = 0; i < osp_.size(); ++i) {
+    if (i == 0 || osp_[i].o != osp_[i - 1].o) ++stats_.distinct_objects_;
+  }
+  for (size_t i = 0; i < pso_.size(); ++i) {
+    PropertyStats& ps = stats_.property_stats_[pso_[i].p];
+    ++ps.count;
+    if (i == 0 || pso_[i].p != pso_[i - 1].p || pso_[i].s != pso_[i - 1].s) {
+      ++ps.distinct_subjects;
+    }
+  }
+  for (size_t i = 0; i < pos_.size(); ++i) {
+    if (i == 0 || pos_[i].p != pos_[i - 1].p || pos_[i].o != pos_[i - 1].o) {
+      ++stats_.property_stats_[pos_[i].p].distinct_objects;
+    }
+    if (pos_[i].p == rdf::vocab::kTypeId) {
+      ++stats_.class_cardinality_[pos_[i].o];
+    }
+  }
+
+  // Attribute-pair distribution (demo step 1): subjects carrying both
+  // properties, from the subject-clustered index. Wide subjects are capped
+  // to keep this linear in practice.
+  constexpr size_t kMaxPropsPerSubject = 24;
+  std::vector<rdf::TermId> props;
+  size_t begin = 0;
+  auto flush = [&](size_t end) {
+    props.clear();
+    for (size_t k = begin; k < end; ++k) {
+      if (props.empty() || props.back() != spo_[k].p) {
+        props.push_back(spo_[k].p);
+      }
+    }
+    if (props.size() > kMaxPropsPerSubject) {
+      props.resize(kMaxPropsPerSubject);
+    }
+    for (size_t a = 0; a < props.size(); ++a) {
+      for (size_t b = a + 1; b < props.size(); ++b) {
+        ++stats_.subject_pair_counts_[Statistics::PairKey(props[a],
+                                                          props[b])];
+      }
+    }
+  };
+  for (size_t i = 1; i <= spo_.size(); ++i) {
+    if (i == spo_.size() || spo_[i].s != spo_[i - 1].s) {
+      flush(i);
+      begin = i;
+    }
+  }
+}
+
+Store::Range Store::EqualRange(rdf::TermId s, rdf::TermId p,
+                               rdf::TermId o) const {
+  const bool bs = s != kAny, bp = p != kAny, bo = o != kAny;
+  const rdf::TermId kMin = 0;
+  const rdf::TermId kMax = static_cast<rdf::TermId>(-2);
+  if (bs) {
+    if (bp) {
+      // (s p ?) or (s p o) on SPO.
+      rdf::Triple lo(s, p, bo ? o : kMin), hi(s, p, bo ? o : kMax);
+      return PrefixRange<OrderSpo>(spo_, lo, hi);
+    }
+    if (bo) {
+      // (s ? o) on OSP, prefix (o, s).
+      rdf::Triple lo(s, kMin, o), hi(s, kMax, o);
+      return PrefixRange<OrderOsp>(osp_, lo, hi);
+    }
+    // (s ? ?) on SPO.
+    rdf::Triple lo(s, kMin, kMin), hi(s, kMax, kMax);
+    return PrefixRange<OrderSpo>(spo_, lo, hi);
+  }
+  if (bp) {
+    if (bo) {
+      // (? p o) on POS.
+      rdf::Triple lo(kMin, p, o), hi(kMax, p, o);
+      return PrefixRange<OrderPos>(pos_, lo, hi);
+    }
+    // (? p ?) on PSO.
+    rdf::Triple lo(kMin, p, kMin), hi(kMax, p, kMax);
+    return PrefixRange<OrderPso>(pso_, lo, hi);
+  }
+  if (bo) {
+    // (? ? o) on OSP.
+    rdf::Triple lo(kMin, kMin, o), hi(kMax, kMax, o);
+    return PrefixRange<OrderOsp>(osp_, lo, hi);
+  }
+  // (? ? ?): full scan.
+  if (spo_.empty()) return {nullptr, nullptr};
+  return {spo_.data(), spo_.data() + spo_.size()};
+}
+
+void Store::Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                 const std::function<void(const rdf::Triple&)>& fn) const {
+  Range r = EqualRange(s, p, o);
+  for (const rdf::Triple* t = r.first; t != r.second; ++t) fn(*t);
+}
+
+size_t Store::CountMatches(rdf::TermId s, rdf::TermId p, rdf::TermId o) const {
+  Range r = EqualRange(s, p, o);
+  return static_cast<size_t>(r.second - r.first);
+}
+
+bool Store::Contains(const rdf::Triple& t) const {
+  return std::binary_search(spo_.begin(), spo_.end(), t, OrderSpo());
+}
+
+}  // namespace storage
+}  // namespace rdfref

@@ -1,0 +1,79 @@
+#ifndef RDFREF_STORAGE_STORE_H_
+#define RDFREF_STORAGE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "rdf/triple.h"
+#include "storage/statistics.h"
+#include "storage/triple_source.h"
+
+namespace rdfref {
+namespace storage {
+
+/// \brief RDBMS-style storage substrate: a dictionary-encoded triple table
+/// with clustered permutation indexes.
+///
+/// This plays the role of the relational back-ends of the demonstration (the
+/// paper evaluates reformulated queries "through performant RDBMSs"): a
+/// single Triple(s, p, o) table, fully indexed so that any triple pattern is
+/// answerable by a binary-searched range scan:
+///   - SPO  serves  (s ? ?), (s p ?), (s p o)
+///   - PSO  serves  (? p ?)
+///   - POS  serves  (? p o)
+///   - OSP  serves  (? ? o), (s ? o)
+///
+/// The store is read-only after Build; the Sat strategy rebuilds it from the
+/// saturated graph (mirroring the paper's "materialize then query" setup).
+/// The dictionary of the source graph must outlive the store.
+class Store : public TripleSource {
+ public:
+  /// \brief Builds the table and all indexes from a graph.
+  explicit Store(const rdf::Graph& graph);
+
+  /// \brief Builds from triples already encoded against `dict` (used by
+  /// the federation mediator, whose endpoints share one dictionary).
+  Store(const rdf::Dictionary* dict, std::vector<rdf::Triple> triples);
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+  Store(Store&&) = default;
+  Store& operator=(Store&&) = default;
+
+  /// \brief Invokes `fn` on every triple matching the pattern; kAny
+  /// wildcards any position.
+  void Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+            const std::function<void(const rdf::Triple&)>& fn) const override;
+
+  /// \brief Exact number of triples matching the pattern (index-only).
+  size_t CountMatches(rdf::TermId s, rdf::TermId p,
+                      rdf::TermId o) const override;
+
+  /// \brief Membership test for a fully bound triple.
+  bool Contains(const rdf::Triple& t) const;
+
+  size_t size() const { return spo_.size(); }
+
+  const rdf::Dictionary& dict() const override { return *dict_; }
+  const Statistics& stats() const { return stats_; }
+
+ private:
+  // Returns [begin, end) of the index range matching the bound prefix.
+  using Range = std::pair<const rdf::Triple*, const rdf::Triple*>;
+  Range EqualRange(rdf::TermId s, rdf::TermId p, rdf::TermId o) const;
+
+  const rdf::Dictionary* dict_;
+  std::vector<rdf::Triple> spo_;  // sorted (s, p, o)
+  std::vector<rdf::Triple> pso_;  // sorted (p, s, o)
+  std::vector<rdf::Triple> pos_;  // sorted (p, o, s)
+  std::vector<rdf::Triple> osp_;  // sorted (o, s, p)
+  Statistics stats_;
+};
+
+}  // namespace storage
+}  // namespace rdfref
+
+#endif  // RDFREF_STORAGE_STORE_H_

@@ -1,0 +1,44 @@
+#ifndef RDFREF_STORAGE_TRIPLE_SOURCE_H_
+#define RDFREF_STORAGE_TRIPLE_SOURCE_H_
+
+#include <functional>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace rdfref {
+namespace storage {
+
+/// \brief Wildcard marker in scan patterns ("any value at this position").
+inline constexpr rdf::TermId kAny = rdf::kInvalidTermId;
+
+/// \brief Abstract triple-pattern access path: what the evaluation engine
+/// needs from a database.
+///
+/// Implemented by the local Store (clustered indexes) and by
+/// federation::FederatedSource (a mediator over independent RDF endpoints,
+/// Section 1 of the paper: data "split across independent sources").
+class TripleSource {
+ public:
+  virtual ~TripleSource() = default;
+
+  /// \brief Invokes `fn` on every triple matching the pattern; kAny
+  /// (rdf::kInvalidTermId) wildcards a position. May deliver duplicates
+  /// across underlying sources; the engine deduplicates answers.
+  virtual void Scan(
+      rdf::TermId s, rdf::TermId p, rdf::TermId o,
+      const std::function<void(const rdf::Triple&)>& fn) const = 0;
+
+  /// \brief Number of triples matching the pattern (exact for local
+  /// stores; an upper bound for federations).
+  virtual size_t CountMatches(rdf::TermId s, rdf::TermId p,
+                              rdf::TermId o) const = 0;
+
+  /// \brief The dictionary the triples are encoded against.
+  virtual const rdf::Dictionary& dict() const = 0;
+};
+
+}  // namespace storage
+}  // namespace rdfref
+
+#endif  // RDFREF_STORAGE_TRIPLE_SOURCE_H_

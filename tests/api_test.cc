@@ -1,0 +1,176 @@
+#include "api/query_answering.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/bibliography.h"
+#include "query/sparql_parser.h"
+
+namespace rdfref {
+namespace api {
+namespace {
+
+class ApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rdf::Graph graph;
+    datagen::Bibliography::AddFigure2Graph(&graph);
+    answerer_ = std::make_unique<QueryAnswerer>(std::move(graph));
+  }
+
+  query::Cq Parse(const std::string& text) {
+    auto q = query::ParseSparql(
+        "PREFIX bib: <http://example.org/bib/>\n" + text,
+        &answerer_->dict());
+    EXPECT_TRUE(q.ok()) << q.status();
+    return *q;
+  }
+
+  std::unique_ptr<QueryAnswerer> answerer_;
+};
+
+TEST_F(ApiTest, StrategyNamesAreStable) {
+  EXPECT_STREQ(StrategyName(Strategy::kSaturation), "SAT");
+  EXPECT_STREQ(StrategyName(Strategy::kRefUcq), "REF-UCQ");
+  EXPECT_STREQ(StrategyName(Strategy::kRefScq), "REF-SCQ");
+  EXPECT_STREQ(StrategyName(Strategy::kRefGcov), "REF-GCOV");
+  EXPECT_STREQ(StrategyName(Strategy::kDatalog), "DATALOG");
+}
+
+TEST_F(ApiTest, Section3QueryAllCompleteStrategiesAgree) {
+  query::Cq q = Parse(
+      "SELECT ?x3 WHERE { ?x1 bib:hasAuthor ?x2 . ?x2 bib:hasName ?x3 . "
+      "?x1 ?x4 \"1949\" . }");
+  const Strategy complete[] = {Strategy::kSaturation, Strategy::kRefUcq,
+                               Strategy::kRefScq, Strategy::kRefGcov,
+                               Strategy::kDatalog};
+  for (Strategy s : complete) {
+    auto table = answerer_->Answer(q, s);
+    ASSERT_TRUE(table.ok()) << StrategyName(s) << ": " << table.status();
+    ASSERT_EQ(table->NumRows(), 1u) << StrategyName(s);
+    EXPECT_EQ(answerer_->dict().Lookup(table->rows[0][0]).lexical,
+              "J. L. Borges")
+        << StrategyName(s);
+  }
+}
+
+TEST_F(ApiTest, EvaluationWithoutReasoningIsIncomplete) {
+  // The paper (Section 3): evaluating q directly against G yields ∅.
+  query::Cq q = Parse(
+      "SELECT ?x3 WHERE { ?x1 bib:hasAuthor ?x2 . ?x2 bib:hasName ?x3 . "
+      "?x1 ?x4 \"1949\" . }");
+  engine::Evaluator eval(&answerer_->ref_store());
+  EXPECT_EQ(eval.EvaluateCq(q).NumRows(), 0u);
+}
+
+TEST_F(ApiTest, IncompleteRefMissesDomainRangeAnswers) {
+  query::Cq q = Parse("SELECT ?x WHERE { ?x a bib:Person . }");
+  auto complete = answerer_->Answer(q, Strategy::kRefUcq);
+  auto incomplete = answerer_->Answer(q, Strategy::kRefIncomplete);
+  ASSERT_TRUE(complete.ok());
+  ASSERT_TRUE(incomplete.ok());
+  EXPECT_EQ(complete->NumRows(), 1u);   // _:b1 via range of writtenBy
+  EXPECT_EQ(incomplete->NumRows(), 0u);  // hierarchy-only Ref misses it
+}
+
+TEST_F(ApiTest, ExplicitCoverStrategy) {
+  query::Cq q = Parse(
+      "SELECT ?x3 WHERE { ?x1 bib:hasAuthor ?x2 . ?x2 bib:hasName ?x3 . }");
+  AnswerOptions options;
+  options.cover = query::Cover({{0}, {1}});
+  AnswerProfile profile;
+  auto table = answerer_->Answer(q, Strategy::kRefJucq, &profile, options);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->NumRows(), 1u);
+  EXPECT_EQ(profile.jucq.fragments.size(), 2u);
+  EXPECT_GT(profile.reformulation_cqs, 0u);
+}
+
+TEST_F(ApiTest, InvalidCoverRejected) {
+  query::Cq q = Parse(
+      "SELECT ?x3 WHERE { ?x1 bib:hasAuthor ?x2 . ?x2 bib:hasName ?x3 . }");
+  AnswerOptions options;
+  options.cover = query::Cover(std::vector<std::vector<int>>{{0}});  // hole
+  EXPECT_FALSE(
+      answerer_->Answer(q, Strategy::kRefJucq, nullptr, options).ok());
+}
+
+TEST_F(ApiTest, UnsafeQueryRejected) {
+  query::Cq q;
+  query::VarId x = q.AddVar("x");
+  query::VarId y = q.AddVar("y");
+  q.AddAtom(query::Atom(query::QTerm::Var(x), query::QTerm::Const(1),
+                        query::QTerm::Const(2)));
+  q.AddHead(query::QTerm::Var(y));
+  EXPECT_EQ(
+      answerer_->Answer(q, Strategy::kSaturation).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(ApiTest, ProfilesArePopulated) {
+  query::Cq q = Parse("SELECT ?x WHERE { ?x a bib:Publication . }");
+  AnswerProfile profile;
+  auto sat = answerer_->Answer(q, Strategy::kSaturation, &profile);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_GT(answerer_->saturation_added(), 0u);
+
+  auto gcov = answerer_->Answer(q, Strategy::kRefGcov, &profile);
+  ASSERT_TRUE(gcov.ok());
+  EXPECT_GE(profile.gcov.explored.size(), 1u);
+  EXPECT_EQ(profile.cover, query::Cover::Singletons(1));
+}
+
+TEST_F(ApiTest, SaturationIsLazyAndCached) {
+  EXPECT_EQ(answerer_->saturation_millis(), 0.0);
+  const storage::Store& s1 = answerer_->sat_store();
+  const storage::Store& s2 = answerer_->sat_store();
+  EXPECT_EQ(&s1, &s2);
+  EXPECT_GT(s1.size(), answerer_->num_explicit_triples() - 1);
+}
+
+TEST_F(ApiTest, SchemaQueriesAnswerable) {
+  // Schema triples are data in the DB fragment; the saturated schema is
+  // stored, so subclass queries see the closure.
+  query::Cq q = Parse(
+      "SELECT ?c WHERE { ?c rdfs:subClassOf bib:Publication . }");
+  auto table = answerer_->Answer(q, Strategy::kRefUcq);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumRows(), 1u);  // Book
+}
+
+TEST_F(ApiTest, UnionQueriesAcrossStrategies) {
+  // Books union People: doi1 explicitly, _:b1 via the range constraint.
+  auto u = query::ParseSparqlUnion(
+      "PREFIX bib: <http://example.org/bib/>\n"
+      "SELECT ?x WHERE { ?x a bib:Book . } UNION { ?x a bib:Person . }",
+      &answerer_->dict());
+  ASSERT_TRUE(u.ok()) << u.status();
+  for (Strategy s : {Strategy::kSaturation, Strategy::kRefUcq,
+                     Strategy::kRefGcov, Strategy::kDatalog}) {
+    AnswerProfile profile;
+    auto table = answerer_->AnswerUnion(*u, s, &profile);
+    ASSERT_TRUE(table.ok()) << StrategyName(s) << ": " << table.status();
+    EXPECT_EQ(table->NumRows(), 2u) << StrategyName(s);
+  }
+}
+
+TEST_F(ApiTest, UnionDeduplicatesAcrossBranches) {
+  // Both branches match doi1 (Book ⊑ Publication): one answer, not two.
+  auto u = query::ParseSparqlUnion(
+      "PREFIX bib: <http://example.org/bib/>\n"
+      "SELECT ?x WHERE { ?x a bib:Book . } UNION "
+      "{ ?x a bib:Publication . }",
+      &answerer_->dict());
+  ASSERT_TRUE(u.ok());
+  auto table = answerer_->AnswerUnion(*u, Strategy::kRefUcq);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumRows(), 1u);
+}
+
+TEST_F(ApiTest, EmptyUnionRejected) {
+  query::Ucq empty;
+  EXPECT_FALSE(answerer_->AnswerUnion(empty, Strategy::kRefUcq).ok());
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace rdfref

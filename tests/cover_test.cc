@@ -1,0 +1,118 @@
+#include "query/cover.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfref {
+namespace query {
+namespace {
+
+// q(x, z) :- x p y (t0), y p z (t1), z q w (t2), w q x (t3): a cycle, so
+// any contiguous fragment is connected.
+Cq MakeChain() {
+  Cq q;
+  VarId x = q.AddVar("x");
+  VarId y = q.AddVar("y");
+  VarId z = q.AddVar("z");
+  VarId w = q.AddVar("w");
+  q.AddAtom(Atom(QTerm::Var(x), QTerm::Const(7), QTerm::Var(y)));
+  q.AddAtom(Atom(QTerm::Var(y), QTerm::Const(7), QTerm::Var(z)));
+  q.AddAtom(Atom(QTerm::Var(z), QTerm::Const(8), QTerm::Var(w)));
+  q.AddAtom(Atom(QTerm::Var(w), QTerm::Const(8), QTerm::Var(x)));
+  q.AddHead(QTerm::Var(x));
+  q.AddHead(QTerm::Var(z));
+  return q;
+}
+
+TEST(CoverTest, SingletonAndSingleFragmentFactories) {
+  Cover singletons = Cover::Singletons(4);
+  EXPECT_EQ(singletons.num_fragments(), 4u);
+  Cover single = Cover::SingleFragment(4);
+  EXPECT_EQ(single.num_fragments(), 1u);
+  EXPECT_EQ(single.fragments()[0].size(), 4u);
+}
+
+TEST(CoverTest, ValidateAcceptsClassicCovers) {
+  Cq q = MakeChain();
+  EXPECT_TRUE(Cover::Singletons(4).Validate(q).ok());
+  EXPECT_TRUE(Cover::SingleFragment(4).Validate(q).ok());
+  EXPECT_TRUE(Cover({{0, 1}, {2, 3}}).Validate(q).ok());
+  // Overlapping fragments are legal covers.
+  EXPECT_TRUE(Cover({{0, 1}, {1, 2}, {2, 3}}).Validate(q).ok());
+}
+
+TEST(CoverTest, ValidateRejectsHoles) {
+  Cq q = MakeChain();
+  Status st = Cover({{0, 1}, {2}}).Validate(q);  // t3 uncovered
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("t3"), std::string::npos);
+}
+
+TEST(CoverTest, ValidateRejectsOutOfRange) {
+  Cq q = MakeChain();
+  EXPECT_EQ(Cover({{0, 1, 2, 3, 4}}).Validate(q).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(CoverTest, ValidateRejectsDisconnectedFragment) {
+  Cq q = MakeChain();
+  // t0 (x,y) and t2 (z,w) share no variable.
+  EXPECT_EQ(Cover({{0, 2}, {1, 3}}).Validate(q).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CoverTest, ValidateRejectsEmpty) {
+  Cq q = MakeChain();
+  EXPECT_FALSE(Cover().Validate(q).ok());
+  EXPECT_FALSE(
+      Cover(std::vector<std::vector<int>>{{}}).Validate(q).ok());
+}
+
+TEST(CoverTest, NormalizationMakesEqualCoversEqual) {
+  Cover a({{1, 0}, {3, 2}});
+  Cover b({{2, 3}, {0, 1}, {0, 1}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), "{t0,t1}{t2,t3}");
+}
+
+TEST(CoverTest, ReducedDropsSubsumedFragments) {
+  Cover c({{0, 2}, {0}, {1}, {1, 3}});
+  Cover reduced = c.Reduced();
+  EXPECT_EQ(reduced, Cover({{0, 2}, {1, 3}}));
+  // Nothing to reduce: unchanged.
+  EXPECT_EQ(reduced.Reduced(), reduced);
+}
+
+TEST(CoverTest, SharedVarsComputation) {
+  Cq q = MakeChain();
+  Cover c({{0, 1}, {2, 3}});
+  // Fragment 0 = {t0, t1} has vars {x,y,z}; fragment 1 = {t2,t3} has
+  // {z,w,x}; shared = {x, z}.
+  std::set<VarId> shared = c.SharedVars(q, 0);
+  EXPECT_EQ(shared.size(), 2u);
+  EXPECT_TRUE(shared.count(0));  // x
+  EXPECT_TRUE(shared.count(2));  // z
+}
+
+TEST(CoverTest, FragmentQueriesCarryHeads) {
+  Cq q = MakeChain();
+  Cover c({{0, 1}, {2, 3}});
+  std::vector<Cq> fragments = c.FragmentQueries(q);
+  ASSERT_EQ(fragments.size(), 2u);
+  // Fragment 0 head: x (query head), z (query head + shared), y? no.
+  EXPECT_EQ(fragments[0].head().size(), 2u);
+  EXPECT_EQ(fragments[0].body().size(), 2u);
+}
+
+TEST(CoverTest, SingletonCoverOfSingleAtomQuery) {
+  Cq q;
+  VarId x = q.AddVar("x");
+  q.AddAtom(Atom(QTerm::Var(x), QTerm::Const(1), QTerm::Const(2)));
+  q.AddHead(QTerm::Var(x));
+  Cover c = Cover::Singletons(1);
+  EXPECT_TRUE(c.Validate(q).ok());
+  EXPECT_EQ(c, Cover::SingleFragment(1));
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace rdfref

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "datagen/bibliography.h"
+#include "datagen/dblp.h"
+#include "datagen/geo.h"
+#include "datagen/lubm.h"
+#include "rdf/vocab.h"
+#include "schema/schema.h"
+#include "storage/store.h"
+
+namespace rdfref {
+namespace datagen {
+namespace {
+
+namespace vocab = rdf::vocab;
+
+TEST(LubmTest, OntologyHasAllConstraintKinds) {
+  rdf::Graph g;
+  Lubm::AddOntology(&g);
+  schema::Schema s = schema::Schema::FromGraph(g);
+  EXPECT_GT(s.NumSubClass(), 30u);
+  EXPECT_EQ(s.NumSubProperty(), 5u);
+  EXPECT_GT(s.NumDomain(), 10u);
+  EXPECT_GT(s.NumRange(), 5u);
+}
+
+TEST(LubmTest, SaturatedOntologyGrowsClosure) {
+  rdf::Graph g;
+  Lubm::AddOntology(&g);
+  schema::Schema s = schema::Schema::FromGraph(g);
+  size_t before = s.NumConstraints();
+  s.Saturate();
+  EXPECT_GT(s.NumConstraints(), before);
+  // The deep professor chain: FullProfessor ⊑* Person.
+  rdf::TermId full = g.dict().InternUri(Lubm::Uri("FullProfessor"));
+  rdf::TermId person = g.dict().InternUri(Lubm::Uri("Person"));
+  EXPECT_TRUE(s.SuperClassesOf(full).count(person));
+  // headOf inherits memberOf's domain/range through two ⊑sp steps.
+  rdf::TermId head_of = g.dict().InternUri(Lubm::Uri("headOf"));
+  rdf::TermId org = g.dict().InternUri(Lubm::Uri("Organization"));
+  EXPECT_TRUE(s.RangesOf(head_of).count(org));
+}
+
+TEST(LubmTest, GenerationIsDeterministic) {
+  LubmConfig config;
+  config.universities = 1;
+  config.scale = 0.2;
+  rdf::Graph g1, g2;
+  Lubm::Generate(config, &g1);
+  Lubm::Generate(config, &g2);
+  EXPECT_EQ(g1.size(), g2.size());
+}
+
+TEST(LubmTest, ScaleGrowsData) {
+  LubmConfig small, large;
+  small.universities = 1;
+  small.scale = 0.2;
+  large.universities = 1;
+  large.scale = 1.0;
+  rdf::Graph gs, gl;
+  Lubm::Generate(small, &gs);
+  Lubm::Generate(large, &gl);
+  EXPECT_GT(gl.size(), 2 * gs.size());
+}
+
+TEST(LubmTest, InstancesUseMostSpecificTypesOnly) {
+  LubmConfig config;
+  config.universities = 1;
+  config.scale = 0.2;
+  rdf::Graph g;
+  Lubm::Generate(config, &g);
+  storage::Store store(g);
+  // Nobody is explicitly a Person/Faculty/Student: those are implicit.
+  rdf::TermId person = g.dict().InternUri(Lubm::Uri("Person"));
+  rdf::TermId faculty = g.dict().InternUri(Lubm::Uri("Faculty"));
+  EXPECT_EQ(store.CountMatches(storage::kAny, vocab::kTypeId, person), 0u);
+  EXPECT_EQ(store.CountMatches(storage::kAny, vocab::kTypeId, faculty), 0u);
+  // But FullProfessors exist.
+  rdf::TermId full = g.dict().InternUri(Lubm::Uri("FullProfessor"));
+  EXPECT_GT(store.CountMatches(storage::kAny, vocab::kTypeId, full), 0u);
+  // And faculty are attached by worksFor, not memberOf.
+  rdf::TermId works = g.dict().InternUri(Lubm::Uri("worksFor"));
+  EXPECT_GT(store.CountMatches(storage::kAny, works, storage::kAny), 0u);
+}
+
+TEST(LubmTest, DegreesReferencePoolUniversities) {
+  LubmConfig config;
+  config.universities = 1;
+  config.scale = 0.2;
+  config.referenced_universities = 10;
+  rdf::Graph g;
+  Lubm::Generate(config, &g);
+  storage::Store store(g);
+  rdf::TermId masters = g.dict().InternUri(Lubm::Uri("mastersDegreeFrom"));
+  size_t total = store.CountMatches(storage::kAny, masters, storage::kAny);
+  EXPECT_GT(total, 0u);
+  size_t seen = 0;
+  for (int i = 0; i < 10; ++i) {
+    rdf::TermId univ = g.dict().InternUri(Lubm::UniversityUri(i));
+    seen += store.CountMatches(storage::kAny, masters, univ);
+  }
+  EXPECT_EQ(seen, total);  // all targets come from the pool
+}
+
+TEST(BibliographyTest, MatchesFigure2) {
+  rdf::Graph g;
+  Bibliography::AddFigure2Graph(&g);
+  EXPECT_EQ(g.size(), 9u);  // 5 data triples + 4 constraints
+  EXPECT_EQ(g.CountSchemaTriples(), 4u);
+}
+
+TEST(DblpTest, GeneratesTypedPublications) {
+  DblpConfig config;
+  config.publications = 200;
+  rdf::Graph g;
+  Dblp::Generate(config, &g);
+  storage::Store store(g);
+  rdf::TermId creator = g.dict().InternUri(Dblp::Uri("creator"));
+  rdf::TermId first = g.dict().InternUri(Dblp::Uri("firstAuthor"));
+  EXPECT_GT(store.CountMatches(storage::kAny, first, storage::kAny), 0u);
+  // Authors are never explicitly typed (reasoning needed).
+  rdf::TermId author = g.dict().InternUri(Dblp::Uri("Author"));
+  EXPECT_EQ(store.CountMatches(storage::kAny, vocab::kTypeId, author), 0u);
+  (void)creator;
+}
+
+TEST(GeoTest, GeneratesAdministrativeHierarchy) {
+  GeoConfig config;
+  config.regions = 2;
+  rdf::Graph g;
+  Geo::Generate(config, &g);
+  storage::Store store(g);
+  rdf::TermId part_of = g.dict().InternUri(Geo::Uri("partOf"));
+  rdf::TermId commune = g.dict().InternUri(Geo::Uri("Commune"));
+  EXPECT_GT(store.CountMatches(storage::kAny, part_of, storage::kAny), 50u);
+  EXPECT_GT(store.CountMatches(storage::kAny, vocab::kTypeId, commune), 20u);
+  // locatedIn never asserted: it is implied by partOf ⊑ locatedIn.
+  rdf::TermId located = g.dict().InternUri(Geo::Uri("locatedIn"));
+  EXPECT_EQ(store.CountMatches(storage::kAny, located, storage::kAny), 0u);
+}
+
+TEST(GeneratorsTest, AllDeterministic) {
+  rdf::Graph d1, d2, g1, g2;
+  Dblp::Generate({100, 3}, &d1);
+  Dblp::Generate({100, 3}, &d2);
+  EXPECT_EQ(d1.size(), d2.size());
+  Geo::Generate({2, 5}, &g1);
+  Geo::Generate({2, 5}, &g2);
+  EXPECT_EQ(g1.size(), g2.size());
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace rdfref

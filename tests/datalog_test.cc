@@ -1,0 +1,134 @@
+#include "datalog/seminaive.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/program.h"
+
+namespace rdfref {
+namespace datalog {
+namespace {
+
+DlTerm V(uint32_t v) { return DlTerm::Var(v); }
+DlTerm C(rdf::TermId c) { return DlTerm::Const(c); }
+
+TEST(ProgramTest, ValidatesArity) {
+  Program p;
+  PredId edge = p.AddPredicate("edge", 2);
+  EXPECT_TRUE(p.AddFact(edge, {1, 2}).ok());
+  EXPECT_FALSE(p.AddFact(edge, {1}).ok());
+  EXPECT_FALSE(p.AddFact(edge + 7, {1, 2}).ok());
+}
+
+TEST(ProgramTest, ValidatesRules) {
+  Program p;
+  PredId edge = p.AddPredicate("edge", 2);
+  PredId path = p.AddPredicate("path", 2);
+  // OK: path(X,Y) :- edge(X,Y).
+  EXPECT_TRUE(
+      p.AddRule({DlAtom(path, {V(0), V(1)}), {DlAtom(edge, {V(0), V(1)})}})
+          .ok());
+  // Not range-restricted: head var 2 not in body.
+  EXPECT_FALSE(
+      p.AddRule({DlAtom(path, {V(0), V(2)}), {DlAtom(edge, {V(0), V(1)})}})
+          .ok());
+  // Empty body.
+  EXPECT_FALSE(p.AddRule({DlAtom(path, {V(0), V(1)}), {}}).ok());
+  // Arity mismatch in body atom.
+  EXPECT_FALSE(
+      p.AddRule({DlAtom(path, {V(0), V(1)}), {DlAtom(edge, {V(0)})}}).ok());
+}
+
+TEST(SemiNaiveTest, TransitiveClosure) {
+  Program p;
+  PredId edge = p.AddPredicate("edge", 2);
+  PredId path = p.AddPredicate("path", 2);
+  // Chain 0→1→2→3→4.
+  for (rdf::TermId i = 0; i < 4; ++i) {
+    ASSERT_TRUE(p.AddFact(edge, {i, i + 1}).ok());
+  }
+  ASSERT_TRUE(
+      p.AddRule({DlAtom(path, {V(0), V(1)}), {DlAtom(edge, {V(0), V(1)})}})
+          .ok());
+  ASSERT_TRUE(p.AddRule({DlAtom(path, {V(0), V(2)}),
+                         {DlAtom(path, {V(0), V(1)}),
+                          DlAtom(edge, {V(1), V(2)})}})
+                  .ok());
+  SemiNaive eval(&p);
+  eval.Run();
+  // 4+3+2+1 = 10 paths.
+  EXPECT_EQ(eval.relation(path).size(), 10u);
+  EXPECT_GE(eval.iterations(), 3u);  // chains need several rounds
+}
+
+TEST(SemiNaiveTest, RunIsIdempotent) {
+  Program p;
+  PredId edge = p.AddPredicate("edge", 2);
+  ASSERT_TRUE(p.AddFact(edge, {0, 1}).ok());
+  SemiNaive eval(&p);
+  eval.Run();
+  size_t n = eval.TotalTuples();
+  eval.Run();
+  EXPECT_EQ(eval.TotalTuples(), n);
+}
+
+TEST(SemiNaiveTest, ConstantsInRules) {
+  Program p;
+  PredId edge = p.AddPredicate("edge", 2);
+  PredId from_zero = p.AddPredicate("from_zero", 1);
+  ASSERT_TRUE(p.AddFact(edge, {0, 1}).ok());
+  ASSERT_TRUE(p.AddFact(edge, {2, 3}).ok());
+  ASSERT_TRUE(p.AddRule({DlAtom(from_zero, {V(0)}),
+                         {DlAtom(edge, {C(0), V(0)})}})
+                  .ok());
+  SemiNaive eval(&p);
+  eval.Run();
+  EXPECT_EQ(eval.relation(from_zero).size(), 1u);
+  EXPECT_EQ(eval.relation(from_zero).tuples()[0][0], 1u);
+}
+
+TEST(SemiNaiveTest, JoinWithRepeatedVariables) {
+  Program p;
+  PredId edge = p.AddPredicate("edge", 2);
+  PredId looped = p.AddPredicate("looped", 1);
+  ASSERT_TRUE(p.AddFact(edge, {0, 0}).ok());
+  ASSERT_TRUE(p.AddFact(edge, {0, 1}).ok());
+  ASSERT_TRUE(
+      p.AddRule({DlAtom(looped, {V(0)}), {DlAtom(edge, {V(0), V(0)})}}).ok());
+  SemiNaive eval(&p);
+  eval.Run();
+  EXPECT_EQ(eval.relation(looped).size(), 1u);
+}
+
+TEST(SemiNaiveTest, EvaluateRuleOnceDoesNotMaterialize) {
+  Program p;
+  PredId edge = p.AddPredicate("edge", 2);
+  PredId out = p.AddPredicate("out", 2);
+  ASSERT_TRUE(p.AddFact(edge, {0, 1}).ok());
+  ASSERT_TRUE(p.AddFact(edge, {1, 2}).ok());
+  SemiNaive eval(&p);
+  eval.Run();
+  DlRule query{DlAtom(out, {V(0), V(2)}),
+               {DlAtom(edge, {V(0), V(1)}), DlAtom(edge, {V(1), V(2)})}};
+  std::vector<std::vector<rdf::TermId>> rows = eval.EvaluateRuleOnce(query);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<rdf::TermId>{0, 2}));
+  EXPECT_EQ(eval.relation(out).size(), 0u);  // not stored
+}
+
+TEST(DlRelationTest, InsertDedupAndIndex) {
+  DlRelation rel(2);
+  EXPECT_TRUE(rel.Insert({1, 2}));
+  EXPECT_FALSE(rel.Insert({1, 2}));
+  EXPECT_TRUE(rel.Insert({1, 3}));
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.Matching(0, 1).size(), 2u);
+  EXPECT_EQ(rel.Matching(1, 3).size(), 1u);
+  EXPECT_TRUE(rel.Matching(1, 99).empty());
+  // Index extends after later inserts.
+  EXPECT_TRUE(rel.Insert({1, 4}));
+  EXPECT_EQ(rel.Matching(0, 1).size(), 3u);
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace rdfref

@@ -1,0 +1,82 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace rdf {
+namespace {
+
+TEST(DictionaryTest, BuiltinsHaveStableIds) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Find(Term::Uri(vocab::kRdfType)), vocab::kTypeId);
+  EXPECT_EQ(dict.Find(Term::Uri(vocab::kRdfsSubClassOf)),
+            vocab::kSubClassOfId);
+  EXPECT_EQ(dict.Find(Term::Uri(vocab::kRdfsSubPropertyOf)),
+            vocab::kSubPropertyOfId);
+  EXPECT_EQ(dict.Find(Term::Uri(vocab::kRdfsDomain)), vocab::kDomainId);
+  EXPECT_EQ(dict.Find(Term::Uri(vocab::kRdfsRange)), vocab::kRangeId);
+  EXPECT_EQ(dict.size(), static_cast<size_t>(vocab::kNumBuiltins));
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.InternUri("http://example.org/a");
+  TermId b = dict.InternUri("http://example.org/a");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), static_cast<size_t>(vocab::kNumBuiltins) + 1);
+}
+
+TEST(DictionaryTest, RoundTrip) {
+  Dictionary dict;
+  Term uri = Term::Uri("http://example.org/x");
+  Term lit = Term::Literal("El Aleph");
+  Term blank = Term::Blank("b1");
+  TermId iu = dict.Intern(uri);
+  TermId il = dict.Intern(lit);
+  TermId ib = dict.Intern(blank);
+  EXPECT_EQ(dict.Lookup(iu), uri);
+  EXPECT_EQ(dict.Lookup(il), lit);
+  EXPECT_EQ(dict.Lookup(ib), blank);
+}
+
+TEST(DictionaryTest, KindsDistinguishEqualLexicalForms) {
+  Dictionary dict;
+  TermId as_uri = dict.InternUri("1949");
+  TermId as_lit = dict.InternLiteral("1949");
+  TermId as_blank = dict.InternBlank("1949");
+  EXPECT_NE(as_uri, as_lit);
+  EXPECT_NE(as_uri, as_blank);
+  EXPECT_NE(as_lit, as_blank);
+}
+
+TEST(DictionaryTest, FindWithoutIntern) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Find(Term::Uri("http://nowhere")), kInvalidTermId);
+  dict.InternUri("http://nowhere");
+  EXPECT_NE(dict.Find(Term::Uri("http://nowhere")), kInvalidTermId);
+}
+
+TEST(DictionaryTest, ContainsChecksRange) {
+  Dictionary dict;
+  TermId id = dict.InternUri("http://example.org/y");
+  EXPECT_TRUE(dict.Contains(id));
+  EXPECT_FALSE(dict.Contains(id + 1000));
+}
+
+TEST(TermTest, ToStringUsesNTriplesSyntax) {
+  EXPECT_EQ(Term::Uri("http://a").ToString(), "<http://a>");
+  EXPECT_EQ(Term::Literal("x y").ToString(), "\"x y\"");
+  EXPECT_EQ(Term::Blank("b0").ToString(), "_:b0");
+}
+
+TEST(TermTest, Ordering) {
+  EXPECT_LT(Term::Uri("a"), Term::Uri("b"));
+  EXPECT_LT(Term::Uri("z"), Term::Literal("a"));  // kind dominates
+  EXPECT_LT(Term::Literal("z"), Term::Blank("a"));
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace rdfref

@@ -1,0 +1,145 @@
+#include "optimizer/gcov.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/lubm.h"
+#include "query/sparql_parser.h"
+#include "rdf/graph.h"
+#include "storage/store.h"
+
+namespace rdfref {
+namespace optimizer {
+namespace {
+
+using query::Cover;
+using query::Cq;
+
+class GcovTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::LubmConfig config;
+    config.universities = 1;
+    config.scale = 0.3;
+    config.referenced_universities = 20;
+    datagen::Lubm::Generate(config, &graph_);
+    schema_ = schema::Schema::FromGraph(graph_);
+    schema_.Saturate();
+    schema_.EmitTriples(&graph_);
+    store_ = std::make_unique<storage::Store>(graph_);
+    reformulator_ =
+        std::make_unique<reformulation::Reformulator>(&schema_);
+    cost_model_ = std::make_unique<cost::CostModel>(&store_->stats());
+    optimizer_ = std::make_unique<CoverOptimizer>(reformulator_.get(),
+                                                  cost_model_.get());
+  }
+
+  Cq Parse(const std::string& text) {
+    auto q = query::ParseSparql(
+        "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n" +
+            text,
+        &graph_.dict());
+    EXPECT_TRUE(q.ok()) << q.status();
+    return *q;
+  }
+
+  rdf::Graph graph_;
+  schema::Schema schema_;
+  std::unique_ptr<storage::Store> store_;
+  std::unique_ptr<reformulation::Reformulator> reformulator_;
+  std::unique_ptr<cost::CostModel> cost_model_;
+  std::unique_ptr<CoverOptimizer> optimizer_;
+};
+
+TEST_F(GcovTest, CostOfCoverValidates) {
+  Cq q = Parse(
+      "SELECT ?x WHERE { ?x ub:worksFor ?d . ?x ub:mastersDegreeFrom ?u . }");
+  EXPECT_FALSE(optimizer_->CostOfCover(q, Cover(std::vector<std::vector<int>>{{0}})).ok());  // hole
+  Result<double> cost = optimizer_->CostOfCover(q, Cover({{0, 1}}));
+  ASSERT_TRUE(cost.ok()) << cost.status();
+  EXPECT_GT(*cost, 0.0);
+}
+
+TEST_F(GcovTest, GreedyReturnsValidCover) {
+  Cq q = Parse(
+      "SELECT ?x ?u ?z WHERE { ?x rdf:type ?u . "
+      "?x ub:mastersDegreeFrom <http://www.University0.edu> . "
+      "?x ub:memberOf ?z . }");
+  GcovTrace trace;
+  Result<Cover> cover = optimizer_->Greedy(q, &trace);
+  ASSERT_TRUE(cover.ok()) << cover.status();
+  EXPECT_TRUE(cover->Validate(q).ok());
+  EXPECT_GE(trace.explored.size(), 1u);
+  EXPECT_GT(trace.chosen_cost, 0.0);
+  EXPECT_EQ(trace.chosen, *cover);
+}
+
+TEST_F(GcovTest, GreedyGroupsUnselectiveTypeAtom) {
+  // The variable-class type atom reformulates into a huge union with a
+  // huge result; GCov must not leave it alone in a singleton fragment.
+  Cq q = Parse(
+      "SELECT ?x ?u ?z WHERE { ?x rdf:type ?u . "
+      "?x ub:mastersDegreeFrom <http://www.University0.edu> . "
+      "?x ub:memberOf ?z . }");
+  Result<Cover> cover = optimizer_->Greedy(q);
+  ASSERT_TRUE(cover.ok());
+  bool type_atom_alone = false;
+  for (const std::vector<int>& f : cover->fragments()) {
+    if (f.size() == 1 && f[0] == 0) type_atom_alone = true;
+  }
+  EXPECT_FALSE(type_atom_alone) << cover->ToString();
+}
+
+TEST_F(GcovTest, GreedyCoverCostsNoMoreThanClassicStrategies) {
+  Cq q = Parse(
+      "SELECT ?x ?u ?z WHERE { ?x rdf:type ?u . "
+      "?x ub:mastersDegreeFrom <http://www.University0.edu> . "
+      "?x ub:memberOf ?z . }");
+  GcovTrace trace;
+  Result<Cover> cover = optimizer_->Greedy(q, &trace);
+  ASSERT_TRUE(cover.ok());
+  Result<double> scq_cost =
+      optimizer_->CostOfCover(q, Cover::Singletons(q.body().size()));
+  ASSERT_TRUE(scq_cost.ok());
+  EXPECT_LE(trace.chosen_cost, *scq_cost);
+}
+
+TEST_F(GcovTest, SingleAtomQueryKeepsSingletonCover) {
+  Cq q = Parse("SELECT ?x WHERE { ?x ub:worksFor ?d . }");
+  Result<Cover> cover = optimizer_->Greedy(q);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_EQ(*cover, Cover::Singletons(1));
+}
+
+TEST_F(GcovTest, EnumeratePartitionCoversSmall) {
+  Cq q = Parse(
+      "SELECT ?x WHERE { ?x ub:worksFor ?d . ?x ub:mastersDegreeFrom ?u . "
+      "?x ub:memberOf ?z . }");
+  Result<std::vector<Cover>> covers = optimizer_->EnumeratePartitionCovers(q);
+  ASSERT_TRUE(covers.ok());
+  // Bell(3) = 5 partitions; all fragments share variable x so all are
+  // connected and valid.
+  EXPECT_EQ(covers->size(), 5u);
+  for (const Cover& c : *covers) EXPECT_TRUE(c.Validate(q).ok());
+}
+
+TEST_F(GcovTest, EnumerateRefusesLargeQueries) {
+  Cq q = Parse(
+      "SELECT ?x WHERE { ?x ub:worksFor ?d . ?x ub:mastersDegreeFrom ?u . "
+      "?x ub:memberOf ?z . }");
+  EXPECT_EQ(optimizer_->EnumeratePartitionCovers(q, 2).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(GcovTest, TraceRendersReadably) {
+  Cq q = Parse(
+      "SELECT ?x WHERE { ?x ub:worksFor ?d . ?x ub:mastersDegreeFrom ?u . }");
+  GcovTrace trace;
+  ASSERT_TRUE(optimizer_->Greedy(q, &trace).ok());
+  std::string s = trace.ToString();
+  EXPECT_NE(s.find("GCov explored"), std::string::npos);
+  EXPECT_NE(s.find("cost="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optimizer
+}  // namespace rdfref

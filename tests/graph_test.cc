@@ -1,0 +1,76 @@
+#include "rdf/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace rdf {
+namespace {
+
+TEST(GraphTest, AddDeduplicates) {
+  Graph g;
+  TermId s = g.dict().InternUri("http://s");
+  TermId p = g.dict().InternUri("http://p");
+  TermId o = g.dict().InternUri("http://o");
+  EXPECT_TRUE(g.Add(s, p, o));
+  EXPECT_FALSE(g.Add(s, p, o));  // set semantics
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(GraphTest, AddByTermInterns) {
+  Graph g;
+  g.Add(Term::Uri("http://s"), Term::Uri("http://p"), Term::Literal("v"));
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_NE(g.dict().Find(Term::Literal("v")), kInvalidTermId);
+}
+
+TEST(GraphTest, ContainsAndSortedTriples) {
+  Graph g;
+  g.AddUri("http://s2", "http://p", "http://o");
+  g.AddUri("http://s1", "http://p", "http://o");
+  std::vector<Triple> sorted = g.SortedTriples();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_LE(sorted[0].s, sorted[1].s);
+  EXPECT_TRUE(g.Contains(sorted[0]));
+  EXPECT_TRUE(g.Contains(sorted[1]));
+}
+
+TEST(GraphTest, CountSchemaTriples) {
+  Graph g;
+  TermId a = g.dict().InternUri("http://A");
+  TermId b = g.dict().InternUri("http://B");
+  TermId x = g.dict().InternUri("http://x");
+  g.Add(a, vocab::kSubClassOfId, b);
+  g.Add(a, vocab::kDomainId, b);
+  g.Add(x, vocab::kTypeId, a);  // not a schema triple
+  EXPECT_EQ(g.CountSchemaTriples(), 2u);
+}
+
+TEST(GraphTest, FreshBlanksAreDistinct) {
+  Graph g;
+  TermId b1 = g.FreshBlank();
+  TermId b2 = g.FreshBlank();
+  EXPECT_NE(b1, b2);
+  EXPECT_TRUE(g.dict().Lookup(b1).is_blank());
+}
+
+TEST(GraphTest, MoveTransfersContents) {
+  Graph g;
+  g.AddUri("http://s", "http://p", "http://o");
+  Graph moved = std::move(g);
+  EXPECT_EQ(moved.size(), 1u);
+}
+
+TEST(TripleTest, OrderingAndEquality) {
+  Triple a(1, 2, 3), b(1, 2, 4), c(1, 2, 3);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  TripleHash h;
+  EXPECT_EQ(h(a), h(c));
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace rdfref

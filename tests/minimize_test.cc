@@ -1,0 +1,162 @@
+#include "query/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/query_answering.h"
+#include "datagen/bibliography.h"
+#include "query/sparql_parser.h"
+#include "reformulation/reformulator.h"
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace query {
+namespace {
+
+namespace vocab = rdf::vocab;
+
+Cq Single(VarId* out_x, QTerm p, QTerm o) {
+  Cq q;
+  VarId x = q.AddVar("x");
+  q.AddAtom(Atom(QTerm::Var(x), p, o));
+  q.AddHead(QTerm::Var(x));
+  if (out_x != nullptr) *out_x = x;
+  return q;
+}
+
+TEST(CqContainsTest, IdenticalQueriesContainEachOther) {
+  Cq a = Single(nullptr, QTerm::Const(7), QTerm::Const(8));
+  Cq b = Single(nullptr, QTerm::Const(7), QTerm::Const(8));
+  EXPECT_TRUE(CqContains(a, b));
+  EXPECT_TRUE(CqContains(b, a));
+}
+
+TEST(CqContainsTest, MoreAtomsAreContained) {
+  // A = q(x) :- x p y;   B = q(x) :- x p y, x τ C.   B ⊆ A.
+  Cq a;
+  VarId ax = a.AddVar("x");
+  VarId ay = a.AddVar("y");
+  a.AddAtom(Atom(QTerm::Var(ax), QTerm::Const(7), QTerm::Var(ay)));
+  a.AddHead(QTerm::Var(ax));
+
+  Cq b;
+  VarId bx = b.AddVar("x");
+  VarId by = b.AddVar("y");
+  b.AddAtom(Atom(QTerm::Var(bx), QTerm::Const(7), QTerm::Var(by)));
+  b.AddAtom(Atom(QTerm::Var(bx), QTerm::Const(vocab::kTypeId),
+                 QTerm::Const(42)));
+  b.AddHead(QTerm::Var(bx));
+
+  EXPECT_TRUE(CqContains(a, b));
+  EXPECT_FALSE(CqContains(b, a));
+}
+
+TEST(CqContainsTest, DifferentConstantsAreIncomparable) {
+  Cq book = Single(nullptr, QTerm::Const(vocab::kTypeId), QTerm::Const(10));
+  Cq publication =
+      Single(nullptr, QTerm::Const(vocab::kTypeId), QTerm::Const(11));
+  EXPECT_FALSE(CqContains(book, publication));
+  EXPECT_FALSE(CqContains(publication, book));
+}
+
+TEST(CqContainsTest, VariablePropertyContainsItsSpecializations) {
+  // A = q(x, p) :- x p o;  B = q(x, τ) :- x τ o.  B ⊆ A (rule 9's member
+  // is redundant against the original).
+  Cq a;
+  VarId x = a.AddVar("x");
+  VarId p = a.AddVar("p");
+  a.AddAtom(Atom(QTerm::Var(x), QTerm::Var(p), QTerm::Const(9)));
+  a.AddHead(QTerm::Var(x));
+  a.AddHead(QTerm::Var(p));
+
+  Cq b;
+  VarId bx = b.AddVar("x");
+  b.AddAtom(Atom(QTerm::Var(bx), QTerm::Const(vocab::kTypeId),
+                 QTerm::Const(9)));
+  b.AddHead(QTerm::Var(bx));
+  b.AddHead(QTerm::Const(vocab::kTypeId));
+
+  EXPECT_TRUE(CqContains(a, b));
+  EXPECT_FALSE(CqContains(b, a));
+}
+
+TEST(CqContainsTest, ResourceVarsBlockUnsafeContainment) {
+  // A carries a resource constraint on its head var; B does not: dropping
+  // B in favour of A would wrongly filter literals.
+  Cq a = Single(nullptr, QTerm::Const(7), QTerm::Const(8));
+  a.AddResourceVar(0);
+  Cq b = Single(nullptr, QTerm::Const(7), QTerm::Const(8));
+  EXPECT_FALSE(CqContains(a, b));
+  EXPECT_TRUE(CqContains(b, a));  // the unconstrained one is wider
+
+  // Matching constraints are fine.
+  Cq c = Single(nullptr, QTerm::Const(7), QTerm::Const(8));
+  c.AddResourceVar(0);
+  EXPECT_TRUE(CqContains(a, c));
+}
+
+TEST(MinimizeUcqTest, DropsSubsumedMembers) {
+  Cq wide;
+  VarId x = wide.AddVar("x");
+  VarId y = wide.AddVar("y");
+  wide.AddAtom(Atom(QTerm::Var(x), QTerm::Const(7), QTerm::Var(y)));
+  wide.AddHead(QTerm::Var(x));
+
+  Cq narrow = wide;
+  narrow.AddAtom(Atom(QTerm::Var(x), QTerm::Const(vocab::kTypeId),
+                      QTerm::Const(99)));
+
+  Ucq ucq({narrow, wide, narrow});
+  Ucq minimized = MinimizeUcq(ucq);
+  ASSERT_EQ(minimized.size(), 1u);
+  EXPECT_EQ(minimized.members()[0].CanonicalKey(), wide.CanonicalKey());
+}
+
+TEST(MinimizeUcqTest, KeepsFirstOfEquivalentMembers) {
+  Cq a = Single(nullptr, QTerm::Const(7), QTerm::Const(8));
+  Cq b = Single(nullptr, QTerm::Const(7), QTerm::Const(8));
+  Ucq minimized = MinimizeUcq(Ucq({a, b}));
+  EXPECT_EQ(minimized.size(), 1u);
+}
+
+TEST(MinimizeUcqTest, IncomparableMembersSurvive) {
+  Cq a = Single(nullptr, QTerm::Const(vocab::kTypeId), QTerm::Const(10));
+  Cq b = Single(nullptr, QTerm::Const(vocab::kTypeId), QTerm::Const(11));
+  EXPECT_EQ(MinimizeUcq(Ucq({a, b})).size(), 2u);
+}
+
+TEST(MinimizeUcqTest, ReformulationAnswersUnchanged) {
+  // End to end on Figure 2: minimized reformulations answer identically.
+  rdf::Graph graph;
+  datagen::Bibliography::AddFigure2Graph(&graph);
+  api::QueryAnswerer answerer(std::move(graph));
+
+  auto q = ParseSparql(
+      "PREFIX bib: <http://example.org/bib/>\n"
+      "SELECT ?x3 WHERE { ?x1 bib:hasAuthor ?x2 . ?x2 bib:hasName ?x3 . "
+      "?x1 ?x4 \"1949\" . }",
+      &answerer.dict());
+  ASSERT_TRUE(q.ok());
+
+  api::AnswerOptions plain, minimized;
+  minimized.reform.minimize = true;
+  api::AnswerProfile plain_profile, minimized_profile;
+  auto a = answerer.Answer(*q, api::Strategy::kRefUcq, &plain_profile,
+                           plain);
+  auto b = answerer.Answer(*q, api::Strategy::kRefUcq, &minimized_profile,
+                           minimized);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::set<std::vector<rdf::TermId>> ra(a->rows.begin(), a->rows.end());
+  std::set<std::vector<rdf::TermId>> rb(b->rows.begin(), b->rows.end());
+  EXPECT_EQ(ra, rb);
+  // Minimization prunes the rule 9-13 members the variable-property atom
+  // already covers.
+  EXPECT_LT(minimized_profile.reformulation_cqs,
+            plain_profile.reformulation_cqs);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace rdfref

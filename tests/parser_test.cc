@@ -1,0 +1,131 @@
+#include "rdf/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace rdf {
+namespace {
+
+TEST(TurtleParserTest, ParsesFullUris) {
+  Graph g;
+  Status st = TurtleParser::ParseString(
+      "<http://s> <http://p> <http://o> .\n", &g);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(TurtleParserTest, ParsesPrefixes) {
+  Graph g;
+  Status st = TurtleParser::ParseString(
+      "@prefix ex: <http://example.org/> .\n"
+      "ex:s ex:p ex:o .\n",
+      &g);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_NE(g.dict().Find(Term::Uri("http://example.org/s")), kInvalidTermId);
+}
+
+TEST(TurtleParserTest, ParsesLiteralsBlanksAndA) {
+  Graph g;
+  Status st = TurtleParser::ParseString(
+      "@prefix ex: <http://example.org/> .\n"
+      "ex:doi1 a ex:Book .\n"
+      "ex:doi1 ex:writtenBy _:b1 .\n"
+      "_:b1 ex:hasName \"J. L. Borges\" .\n"
+      "ex:doi1 ex:publishedIn \"1949\" .\n",
+      &g);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(g.size(), 4u);
+  // 'a' resolved to rdf:type
+  TermId doi = g.dict().Find(Term::Uri("http://example.org/doi1"));
+  TermId book = g.dict().Find(Term::Uri("http://example.org/Book"));
+  EXPECT_TRUE(g.Contains(Triple(doi, vocab::kTypeId, book)));
+  EXPECT_NE(g.dict().Find(Term::Literal("J. L. Borges")), kInvalidTermId);
+  EXPECT_NE(g.dict().Find(Term::Blank("b1")), kInvalidTermId);
+}
+
+TEST(TurtleParserTest, SkipsCommentsAndBlankLines) {
+  Graph g;
+  Status st = TurtleParser::ParseString(
+      "# a comment\n"
+      "\n"
+      "<http://s> <http://p> <http://o> . # trailing comment\n",
+      &g);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(TurtleParserTest, LiteralEscapesAndDatatypes) {
+  Graph g;
+  Status st = TurtleParser::ParseString(
+      "<http://s> <http://p> \"a \\\"quoted\\\" word\" .\n"
+      "<http://s> <http://q> \"42\"^^<http://www.w3.org/2001/XMLSchema#int> .\n"
+      "<http://s> <http://r> \"chat\"@fr .\n",
+      &g);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_NE(g.dict().Find(Term::Literal("a \"quoted\" word")),
+            kInvalidTermId);
+  EXPECT_NE(g.dict().Find(Term::Literal("42")), kInvalidTermId);
+}
+
+TEST(TurtleParserTest, RejectsUndefinedPrefix) {
+  Graph g;
+  Status st = TurtleParser::ParseString("nope:s nope:p nope:o .\n", &g);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(TurtleParserTest, RejectsMalformedStatements) {
+  Graph g;
+  EXPECT_EQ(TurtleParser::ParseString("<http://s> <http://p> .\n", &g).code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(
+      TurtleParser::ParseString("\"lit\" <http://p> <http://o> .\n", &g)
+          .code(),
+      StatusCode::kParseError);
+  EXPECT_EQ(
+      TurtleParser::ParseString("<http://s> \"lit\" <http://o> .\n", &g)
+          .code(),
+      StatusCode::kParseError);
+  EXPECT_EQ(TurtleParser::ParseString("<http://s <http://p> <http://o> .\n",
+                                      &g)
+                .code(),
+            StatusCode::kParseError);
+}
+
+TEST(TurtleParserTest, ErrorsMentionLineNumbers) {
+  Graph g;
+  Status st = TurtleParser::ParseString(
+      "<http://s> <http://p> <http://o> .\n"
+      "<http://s> <http://p> .\n",
+      &g);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos) << st;
+}
+
+TEST(TurtleParserTest, RoundTripThroughNTriples) {
+  Graph g;
+  ASSERT_TRUE(TurtleParser::ParseString(
+                  "@prefix ex: <http://example.org/> .\n"
+                  "ex:s ex:p ex:o .\n"
+                  "ex:s a ex:C .\n"
+                  "ex:s ex:q \"v\" .\n",
+                  &g)
+                  .ok());
+  std::string serialized = ToNTriples(g);
+  Graph g2;
+  ASSERT_TRUE(TurtleParser::ParseString(serialized, &g2).ok());
+  EXPECT_EQ(g2.size(), g.size());
+  EXPECT_EQ(ToNTriples(g2), serialized);
+}
+
+TEST(TurtleParserTest, MissingFileReportsNotFound) {
+  Graph g;
+  EXPECT_EQ(TurtleParser::ParseFile("/no/such/file.ttl", &g).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace rdfref

@@ -1,0 +1,90 @@
+#include "datalog/rdf_datalog.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/bibliography.h"
+#include "query/sparql_parser.h"
+#include "rdf/vocab.h"
+#include "schema/schema.h"
+#include "storage/store.h"
+
+namespace rdfref {
+namespace datalog {
+namespace {
+
+class RdfDatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::Bibliography::AddFigure2Graph(&graph_);
+    // As in the answerer: saturated schema stored alongside the data.
+    schema::Schema schema = schema::Schema::FromGraph(graph_);
+    schema.Saturate();
+    schema.EmitTriples(&graph_);
+    store_ = std::make_unique<storage::Store>(graph_);
+    dat_ = std::make_unique<DatalogAnswerer>(store_.get());
+  }
+
+  query::Cq Parse(const std::string& text) {
+    auto q = query::ParseSparql(
+        "PREFIX bib: <http://example.org/bib/>\n" + text, &graph_.dict());
+    EXPECT_TRUE(q.ok()) << q.status();
+    return *q;
+  }
+
+  rdf::Graph graph_;
+  std::unique_ptr<storage::Store> store_;
+  std::unique_ptr<DatalogAnswerer> dat_;
+};
+
+TEST_F(RdfDatalogTest, ClosureContainsImplicitTriples) {
+  dat_->EnsureClosure();
+  EXPECT_GT(dat_->closure_size(), store_->size());
+  EXPECT_GE(dat_->closure_millis(), 0.0);
+}
+
+TEST_F(RdfDatalogTest, AnswersSection3Query) {
+  auto table = dat_->Answer(Parse(
+      "SELECT ?x3 WHERE { ?x1 bib:hasAuthor ?x2 . ?x2 bib:hasName ?x3 . "
+      "?x1 ?x4 \"1949\" . }"));
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(table->NumRows(), 1u);
+  EXPECT_EQ(store_->dict().Lookup(table->rows[0][0]).lexical,
+            "J. L. Borges");
+}
+
+TEST_F(RdfDatalogTest, ImplicitTypesAnswered) {
+  auto table = dat_->Answer(
+      Parse("SELECT ?x WHERE { ?x a bib:Publication . }"));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumRows(), 1u);  // doi1, via Book ⊑ Publication
+  auto person = dat_->Answer(Parse("SELECT ?x WHERE { ?x a bib:Person . }"));
+  ASSERT_TRUE(person.ok());
+  EXPECT_EQ(person->NumRows(), 1u);  // _:b1, via range of writtenBy
+}
+
+TEST_F(RdfDatalogTest, LiteralsNotTyped) {
+  // "1949" must not become a Publication/Person through the range rule.
+  auto table = dat_->Answer(Parse("SELECT ?x ?c WHERE { ?x a ?c . }"));
+  ASSERT_TRUE(table.ok());
+  for (const auto& row : table->rows) {
+    EXPECT_FALSE(store_->dict().Lookup(row[0]).is_literal());
+  }
+}
+
+TEST_F(RdfDatalogTest, EmptyQueryRejected) {
+  query::Cq empty;
+  EXPECT_FALSE(dat_->Answer(empty).ok());
+}
+
+TEST_F(RdfDatalogTest, ConstantHeadSlotsEmitted) {
+  // After parsing, bind the head var by substitution to mimic reformulated
+  // members with constant head slots.
+  query::Cq q = Parse("SELECT ?x WHERE { ?x a bib:Book . }");
+  auto table = dat_->Answer(q);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumRows(), 1u);
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace rdfref

@@ -1,0 +1,148 @@
+#include "reasoner/saturation.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/bibliography.h"
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace reasoner {
+namespace {
+
+namespace vocab = rdf::vocab;
+
+class SaturationTest : public ::testing::Test {
+ protected:
+  rdf::TermId U(const std::string& name) {
+    return graph_.dict().InternUri("http://ex/" + name);
+  }
+  rdf::TermId Lit(const std::string& v) {
+    return graph_.dict().InternLiteral(v);
+  }
+  schema::Schema MakeSchema() {
+    schema::Schema s = schema::Schema::FromGraph(graph_);
+    s.Saturate();
+    return s;
+  }
+  rdf::Graph graph_;
+};
+
+TEST_F(SaturationTest, SubClassRule) {
+  graph_.Add(U("Book"), vocab::kSubClassOfId, U("Publication"));
+  graph_.Add(U("doi1"), vocab::kTypeId, U("Book"));
+  schema::Schema s = MakeSchema();
+  Saturator sat(&s);
+  sat.Saturate(&graph_);
+  EXPECT_TRUE(graph_.Contains(
+      rdf::Triple(U("doi1"), vocab::kTypeId, U("Publication"))));
+}
+
+TEST_F(SaturationTest, SubClassChain) {
+  graph_.Add(U("A"), vocab::kSubClassOfId, U("B"));
+  graph_.Add(U("B"), vocab::kSubClassOfId, U("C"));
+  graph_.Add(U("x"), vocab::kTypeId, U("A"));
+  schema::Schema s = MakeSchema();
+  Saturator(&s).Saturate(&graph_);
+  EXPECT_TRUE(graph_.Contains(rdf::Triple(U("x"), vocab::kTypeId, U("C"))));
+  // The schema closure itself is in the saturated graph.
+  EXPECT_TRUE(
+      graph_.Contains(rdf::Triple(U("A"), vocab::kSubClassOfId, U("C"))));
+}
+
+TEST_F(SaturationTest, SubPropertyRule) {
+  graph_.Add(U("writtenBy"), vocab::kSubPropertyOfId, U("hasAuthor"));
+  graph_.Add(U("doi1"), U("writtenBy"), U("b1"));
+  schema::Schema s = MakeSchema();
+  Saturator(&s).Saturate(&graph_);
+  EXPECT_TRUE(graph_.Contains(rdf::Triple(U("doi1"), U("hasAuthor"), U("b1"))));
+}
+
+TEST_F(SaturationTest, DomainAndRangeRules) {
+  graph_.Add(U("writtenBy"), vocab::kDomainId, U("Book"));
+  graph_.Add(U("writtenBy"), vocab::kRangeId, U("Person"));
+  graph_.Add(U("doi1"), U("writtenBy"), U("b1"));
+  schema::Schema s = MakeSchema();
+  Saturator(&s).Saturate(&graph_);
+  EXPECT_TRUE(
+      graph_.Contains(rdf::Triple(U("doi1"), vocab::kTypeId, U("Book"))));
+  EXPECT_TRUE(
+      graph_.Contains(rdf::Triple(U("b1"), vocab::kTypeId, U("Person"))));
+}
+
+TEST_F(SaturationTest, RangeDoesNotTypeLiterals) {
+  graph_.Add(U("publishedIn"), vocab::kRangeId, U("Year"));
+  graph_.Add(U("doi1"), U("publishedIn"), Lit("1949"));
+  schema::Schema s = MakeSchema();
+  Saturator(&s).Saturate(&graph_);
+  EXPECT_FALSE(
+      graph_.Contains(rdf::Triple(Lit("1949"), vocab::kTypeId, U("Year"))));
+}
+
+TEST_F(SaturationTest, CascadedDerivations) {
+  // s p o  --rdfs7-->  s q o  --rdfs2(q)-->  s τ C  --rdfs9-->  s τ D.
+  graph_.Add(U("p"), vocab::kSubPropertyOfId, U("q"));
+  graph_.Add(U("q"), vocab::kDomainId, U("C"));
+  graph_.Add(U("C"), vocab::kSubClassOfId, U("D"));
+  graph_.Add(U("s"), U("p"), U("o"));
+  schema::Schema s = MakeSchema();
+  Saturator(&s).Saturate(&graph_);
+  EXPECT_TRUE(graph_.Contains(rdf::Triple(U("s"), U("q"), U("o"))));
+  EXPECT_TRUE(graph_.Contains(rdf::Triple(U("s"), vocab::kTypeId, U("C"))));
+  EXPECT_TRUE(graph_.Contains(rdf::Triple(U("s"), vocab::kTypeId, U("D"))));
+}
+
+TEST_F(SaturationTest, SaturationIsIdempotent) {
+  graph_.Add(U("A"), vocab::kSubClassOfId, U("B"));
+  graph_.Add(U("x"), vocab::kTypeId, U("A"));
+  schema::Schema s = MakeSchema();
+  Saturator sat(&s);
+  sat.Saturate(&graph_);
+  size_t size_after_first = graph_.size();
+  size_t added = sat.Saturate(&graph_);
+  EXPECT_EQ(added, 0u);
+  EXPECT_EQ(graph_.size(), size_after_first);
+}
+
+TEST_F(SaturationTest, IncrementalInsertMatchesFullSaturation) {
+  graph_.Add(U("worksFor"), vocab::kSubPropertyOfId, U("memberOf"));
+  graph_.Add(U("memberOf"), vocab::kDomainId, U("Person"));
+  schema::Schema s = MakeSchema();
+  Saturator sat(&s);
+  sat.Saturate(&graph_);
+  size_t before = graph_.size();
+
+  size_t added = sat.Insert(&graph_, rdf::Triple(U("ann"), U("worksFor"),
+                                                 U("dept")));
+  // ann worksFor dept, ann memberOf dept, ann τ Person.
+  EXPECT_EQ(added, 3u);
+  EXPECT_EQ(graph_.size(), before + 3);
+  EXPECT_TRUE(
+      graph_.Contains(rdf::Triple(U("ann"), vocab::kTypeId, U("Person"))));
+
+  // Inserting again derives nothing new.
+  EXPECT_EQ(sat.Insert(&graph_, rdf::Triple(U("ann"), U("worksFor"),
+                                            U("dept"))),
+            0u);
+}
+
+TEST_F(SaturationTest, Figure2GraphEntailments) {
+  datagen::Bibliography::AddFigure2Graph(&graph_);
+  schema::Schema s = MakeSchema();
+  Saturator(&s).Saturate(&graph_);
+
+  auto uri = [&](const char* local) {
+    return graph_.dict().InternUri(datagen::Bibliography::Uri(local));
+  };
+  rdf::TermId b1 = graph_.dict().InternBlank("b1");
+  // The dashed (implicit) edges of Figure 2:
+  EXPECT_TRUE(graph_.Contains(
+      rdf::Triple(uri("doi1"), vocab::kTypeId, uri("Publication"))));
+  EXPECT_TRUE(
+      graph_.Contains(rdf::Triple(uri("doi1"), uri("hasAuthor"), b1)));
+  EXPECT_TRUE(
+      graph_.Contains(rdf::Triple(b1, vocab::kTypeId, uri("Person"))));
+}
+
+}  // namespace
+}  // namespace reasoner
+}  // namespace rdfref

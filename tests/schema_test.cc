@@ -1,0 +1,156 @@
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace schema {
+namespace {
+
+namespace vocab = rdf::vocab;
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  rdf::TermId U(const std::string& name) {
+    return graph_.dict().InternUri("http://ex/" + name);
+  }
+  rdf::Graph graph_;
+};
+
+TEST_F(SchemaTest, FromGraphExtractsAllConstraintKinds) {
+  graph_.Add(U("Book"), vocab::kSubClassOfId, U("Publication"));
+  graph_.Add(U("writtenBy"), vocab::kSubPropertyOfId, U("hasAuthor"));
+  graph_.Add(U("writtenBy"), vocab::kDomainId, U("Book"));
+  graph_.Add(U("writtenBy"), vocab::kRangeId, U("Person"));
+  graph_.Add(U("x"), vocab::kTypeId, U("Book"));  // not a constraint
+
+  Schema s = Schema::FromGraph(graph_);
+  EXPECT_EQ(s.NumSubClass(), 1u);
+  EXPECT_EQ(s.NumSubProperty(), 1u);
+  EXPECT_EQ(s.NumDomain(), 1u);
+  EXPECT_EQ(s.NumRange(), 1u);
+}
+
+TEST_F(SchemaTest, SubClassTransitivity) {
+  Schema s;
+  s.AddSubClass(U("A"), U("B"));
+  s.AddSubClass(U("B"), U("C"));
+  s.AddSubClass(U("C"), U("D"));
+  s.Saturate();
+  EXPECT_TRUE(s.SuperClassesOf(U("A")).count(U("D")));
+  EXPECT_TRUE(s.SubClassesOf(U("D")).count(U("A")));
+  EXPECT_EQ(s.SuperClassesOf(U("A")).size(), 3u);
+  EXPECT_EQ(s.NumSubClass(), 6u);  // 3 asserted + 3 derived
+}
+
+TEST_F(SchemaTest, SubPropertyTransitivity) {
+  Schema s;
+  s.AddSubProperty(U("headOf"), U("worksFor"));
+  s.AddSubProperty(U("worksFor"), U("memberOf"));
+  s.Saturate();
+  EXPECT_TRUE(s.SubPropertiesOf(U("memberOf")).count(U("headOf")));
+  EXPECT_TRUE(s.SubPropertiesOf(U("memberOf")).count(U("worksFor")));
+}
+
+TEST_F(SchemaTest, DomainPropagatesUpClassHierarchy) {
+  Schema s;
+  s.AddDomain(U("writtenBy"), U("Book"));
+  s.AddSubClass(U("Book"), U("Publication"));
+  s.Saturate();
+  EXPECT_TRUE(s.DomainsOf(U("writtenBy")).count(U("Publication")));
+  EXPECT_TRUE(s.DomainPropertiesOf(U("Publication")).count(U("writtenBy")));
+}
+
+TEST_F(SchemaTest, RangePropagatesUpClassHierarchy) {
+  Schema s;
+  s.AddRange(U("writtenBy"), U("Author"));
+  s.AddSubClass(U("Author"), U("Person"));
+  s.Saturate();
+  EXPECT_TRUE(s.RangesOf(U("writtenBy")).count(U("Person")));
+}
+
+TEST_F(SchemaTest, DomainRangeInheritedBySubProperties) {
+  Schema s;
+  s.AddSubProperty(U("writtenBy"), U("hasAuthor"));
+  s.AddDomain(U("hasAuthor"), U("Publication"));
+  s.AddRange(U("hasAuthor"), U("Person"));
+  s.Saturate();
+  EXPECT_TRUE(s.DomainsOf(U("writtenBy")).count(U("Publication")));
+  EXPECT_TRUE(s.RangesOf(U("writtenBy")).count(U("Person")));
+}
+
+TEST_F(SchemaTest, CombinedInheritanceThroughBothHierarchies) {
+  Schema s;
+  // p ⊑sp q, q ←d C, C ⊑sc D  ⇒  p ←d D.
+  s.AddSubProperty(U("p"), U("q"));
+  s.AddDomain(U("q"), U("C"));
+  s.AddSubClass(U("C"), U("D"));
+  s.Saturate();
+  EXPECT_TRUE(s.DomainsOf(U("p")).count(U("D")));
+}
+
+TEST_F(SchemaTest, SaturateIsIdempotent) {
+  Schema s;
+  s.AddSubClass(U("A"), U("B"));
+  s.AddSubClass(U("B"), U("C"));
+  s.AddDomain(U("p"), U("A"));
+  s.Saturate();
+  size_t n1 = s.NumConstraints();
+  s.Saturate();
+  EXPECT_EQ(s.NumConstraints(), n1);
+  EXPECT_TRUE(s.saturated());
+}
+
+TEST_F(SchemaTest, ReflexiveConstraintsIgnored) {
+  Schema s;
+  s.AddSubClass(U("A"), U("A"));
+  s.AddSubProperty(U("p"), U("p"));
+  EXPECT_EQ(s.NumSubClass(), 0u);
+  EXPECT_EQ(s.NumSubProperty(), 0u);
+}
+
+TEST_F(SchemaTest, CyclesDoNotDiverge) {
+  Schema s;
+  s.AddSubClass(U("A"), U("B"));
+  s.AddSubClass(U("B"), U("A"));
+  s.Saturate();
+  // A ⊑ B ⊑ A: the closure holds both cross pairs but no reflexive ones.
+  EXPECT_TRUE(s.SuperClassesOf(U("A")).count(U("B")));
+  EXPECT_TRUE(s.SuperClassesOf(U("B")).count(U("A")));
+  EXPECT_FALSE(s.SuperClassesOf(U("A")).count(U("A")));
+}
+
+TEST_F(SchemaTest, EmitTriplesWritesClosure) {
+  Schema s;
+  s.AddSubClass(U("A"), U("B"));
+  s.AddSubClass(U("B"), U("C"));
+  s.Saturate();
+  rdf::Graph out;
+  // Note: ids must agree; reuse the same dictionary by interning first.
+  // (In library use the schema and graph share the answerer's dictionary.)
+  s.EmitTriples(&graph_);
+  EXPECT_TRUE(graph_.Contains(
+      rdf::Triple(U("A"), vocab::kSubClassOfId, U("C"))));
+}
+
+TEST_F(SchemaTest, AllClassesAndProperties) {
+  Schema s;
+  s.AddSubClass(U("A"), U("B"));
+  s.AddDomain(U("p"), U("C"));
+  s.AddRange(U("q"), U("D"));
+  EXPECT_EQ(s.AllClasses().size(), 4u);
+  EXPECT_EQ(s.AllProperties().size(), 2u);
+}
+
+TEST_F(SchemaTest, LookupsOnUnknownIdsReturnEmpty) {
+  Schema s;
+  s.Saturate();
+  EXPECT_TRUE(s.SubClassesOf(U("Nothing")).empty());
+  EXPECT_TRUE(s.DomainsOf(U("nothing")).empty());
+  EXPECT_TRUE(s.RangePropertiesOf(U("Nothing")).empty());
+}
+
+}  // namespace
+}  // namespace schema
+}  // namespace rdfref

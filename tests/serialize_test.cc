@@ -1,0 +1,98 @@
+#include "storage/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "datagen/bibliography.h"
+#include "rdf/parser.h"
+
+namespace rdfref {
+namespace storage {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripPreservesGraph) {
+  rdf::Graph graph;
+  datagen::Bibliography::AddFigure2Graph(&graph);
+  const std::string path = TempPath("bib.rdfb");
+  ASSERT_TRUE(SaveGraph(graph, path).ok());
+
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), graph.size());
+  EXPECT_EQ(loaded->dict().size(), graph.dict().size());
+  // Same serialization => same graph.
+  EXPECT_EQ(rdf::ToNTriples(*loaded), rdf::ToNTriples(graph));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, PreservesTermKinds) {
+  rdf::Graph graph;
+  rdf::TermId s = graph.dict().InternUri("http://s");
+  rdf::TermId p = graph.dict().InternUri("http://p");
+  rdf::TermId lit = graph.dict().InternLiteral("a literal");
+  rdf::TermId blank = graph.dict().InternBlank("b0");
+  graph.Add(s, p, lit);
+  graph.Add(blank, p, s);
+  const std::string path = TempPath("kinds.rdfb");
+  ASSERT_TRUE(SaveGraph(graph, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->dict().Lookup(lit).is_literal());
+  EXPECT_TRUE(loaded->dict().Lookup(blank).is_blank());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadGraph("/no/such/file.rdfb").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, GarbageFileRejected) {
+  const std::string path = TempPath("garbage.rdfb");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a graph image";
+  }
+  EXPECT_EQ(LoadGraph(path).status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedFileRejected) {
+  rdf::Graph graph;
+  graph.AddUri("http://s", "http://p", "http://o");
+  const std::string path = TempPath("trunc.rdfb");
+  ASSERT_TRUE(SaveGraph(graph, path).ok());
+  // Chop the file in half.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  auto half = static_cast<long>(in.tellg()) / 2;
+  std::string data(static_cast<size_t>(half), '\0');
+  in.seekg(0);
+  in.read(data.data(), half);
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), half);
+  }
+  EXPECT_EQ(LoadGraph(path).status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, EmptyGraphRoundTrips) {
+  rdf::Graph graph;  // only the built-ins in the dictionary
+  const std::string path = TempPath("empty.rdfb");
+  ASSERT_TRUE(SaveGraph(graph, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace rdfref

@@ -1,0 +1,194 @@
+#include "query/sparql_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace query {
+namespace {
+
+TEST(SparqlParserTest, ParsesSimpleBgp) {
+  rdf::Dictionary dict;
+  Result<Cq> q = ParseSparql(
+      "PREFIX ub: <http://ub/> "
+      "SELECT ?x WHERE { ?x ub:memberOf ?z . }",
+      &dict);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->body().size(), 1u);
+  EXPECT_EQ(q->head().size(), 1u);
+  EXPECT_TRUE(q->body()[0].s.is_var);
+  EXPECT_FALSE(q->body()[0].p.is_var);
+  EXPECT_EQ(dict.Lookup(q->body()[0].p.term()).lexical, "http://ub/memberOf");
+}
+
+TEST(SparqlParserTest, BuiltInPrefixesAndA) {
+  rdf::Dictionary dict;
+  Result<Cq> q = ParseSparql(
+      "SELECT ?x WHERE { ?x a <http://ub/Student> . "
+      "?x rdf:type <http://ub/Person> . }",
+      &dict);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->body()[0].p.term(), rdf::vocab::kTypeId);
+  EXPECT_EQ(q->body()[1].p.term(), rdf::vocab::kTypeId);
+}
+
+TEST(SparqlParserTest, RdfsPrefixBuiltIn) {
+  rdf::Dictionary dict;
+  Result<Cq> q = ParseSparql(
+      "SELECT ?c WHERE { ?c rdfs:subClassOf ?d . }", &dict);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->body()[0].p.term(), rdf::vocab::kSubClassOfId);
+}
+
+TEST(SparqlParserTest, VariablesInAllPositions) {
+  rdf::Dictionary dict;
+  Result<Cq> q = ParseSparql(
+      "SELECT ?s ?p ?o WHERE { ?s ?p ?o . }", &dict);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->body()[0].s.is_var);
+  EXPECT_TRUE(q->body()[0].p.is_var);
+  EXPECT_TRUE(q->body()[0].o.is_var);
+  EXPECT_EQ(q->num_vars(), 3u);
+}
+
+TEST(SparqlParserTest, LiteralsInObjects) {
+  rdf::Dictionary dict;
+  Result<Cq> q = ParseSparql(
+      "SELECT ?x WHERE { ?x <http://p> \"1949\" . }", &dict);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(dict.Lookup(q->body()[0].o.term()).is_literal());
+}
+
+TEST(SparqlParserTest, SharedVariablesGetOneId) {
+  rdf::Dictionary dict;
+  Result<Cq> q = ParseSparql(
+      "SELECT ?x WHERE { ?x <http://p> ?y . ?y <http://p> ?x . }", &dict);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->num_vars(), 2u);
+  EXPECT_EQ(q->body()[0].s.var(), q->body()[1].o.var());
+}
+
+TEST(SparqlParserTest, Example1QueryParses) {
+  rdf::Dictionary dict;
+  Result<Cq> q = ParseSparql(
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT ?x ?u ?y ?v ?z WHERE {\n"
+      "  ?x rdf:type ?u .\n"
+      "  ?y rdf:type ?v .\n"
+      "  ?x ub:mastersDegreeFrom <http://www.University532.edu> .\n"
+      "  ?y ub:doctoralDegreeFrom <http://www.University532.edu> .\n"
+      "  ?x ub:memberOf ?z .\n"
+      "  ?y ub:memberOf ?z .\n"
+      "}",
+      &dict);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->body().size(), 6u);
+  EXPECT_EQ(q->head().size(), 5u);
+  EXPECT_TRUE(q->IsSafe());
+}
+
+TEST(SparqlParserTest, MissingSelectRejected) {
+  rdf::Dictionary dict;
+  EXPECT_EQ(ParseSparql("WHERE { ?x ?p ?o . }", &dict).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(SparqlParserTest, HeadVariableMustOccurInBody) {
+  rdf::Dictionary dict;
+  Result<Cq> q =
+      ParseSparql("SELECT ?nope WHERE { ?x <http://p> ?y . }", &dict);
+  EXPECT_EQ(q.status().code(), StatusCode::kParseError);
+}
+
+TEST(SparqlParserTest, UnterminatedBraceRejected) {
+  rdf::Dictionary dict;
+  EXPECT_EQ(
+      ParseSparql("SELECT ?x WHERE { ?x <http://p> ?y .", &dict)
+          .status()
+          .code(),
+      StatusCode::kParseError);
+}
+
+TEST(SparqlParserTest, UndefinedPrefixRejected) {
+  rdf::Dictionary dict;
+  EXPECT_EQ(
+      ParseSparql("SELECT ?x WHERE { ?x nope:p ?y . }", &dict)
+          .status()
+          .code(),
+      StatusCode::kParseError);
+}
+
+TEST(SparqlParserTest, EmptyBgpRejected) {
+  rdf::Dictionary dict;
+  EXPECT_EQ(ParseSparql("SELECT ?x WHERE { }", &dict).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(SparqlParserTest, CommentsIgnored) {
+  rdf::Dictionary dict;
+  Result<Cq> q = ParseSparql(
+      "# find members\nSELECT ?x WHERE { ?x <http://p> ?y . # inline\n }",
+      &dict);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->body().size(), 1u);
+}
+
+TEST(SparqlParserTest, UnionOfTwoBranches) {
+  rdf::Dictionary dict;
+  Result<Ucq> u = ParseSparqlUnion(
+      "PREFIX ex: <http://ex/>\n"
+      "SELECT ?x WHERE { ?x a ex:Book . } UNION { ?x a ex:Article . }",
+      &dict);
+  ASSERT_TRUE(u.ok()) << u.status();
+  ASSERT_EQ(u->size(), 2u);
+  EXPECT_EQ(u->members()[0].head().size(), 1u);
+  EXPECT_EQ(u->members()[1].head().size(), 1u);
+}
+
+TEST(SparqlParserTest, UnionBranchesHaveIndependentVariables) {
+  rdf::Dictionary dict;
+  Result<Ucq> u = ParseSparqlUnion(
+      "SELECT ?x WHERE { ?x <http://p> ?y . } UNION "
+      "{ ?z <http://q> ?x . }",
+      &dict);
+  ASSERT_TRUE(u.ok()) << u.status();
+  // Branch 2 names its variables z, x — only ?x is projected.
+  EXPECT_EQ(u->members()[1].head().size(), 1u);
+  EXPECT_TRUE(u->members()[1].IsSafe());
+}
+
+TEST(SparqlParserTest, UnionBranchMissingHeadVarRejected) {
+  rdf::Dictionary dict;
+  EXPECT_EQ(ParseSparqlUnion(
+                "SELECT ?x WHERE { ?x <http://p> ?y . } UNION "
+                "{ ?a <http://q> ?b . }",
+                &dict)
+                .status()
+                .code(),
+            StatusCode::kParseError);
+}
+
+TEST(SparqlParserTest, PlainParseRejectsUnion) {
+  rdf::Dictionary dict;
+  EXPECT_EQ(ParseSparql(
+                "SELECT ?x WHERE { ?x <http://p> ?y . } UNION "
+                "{ ?x <http://q> ?y . }",
+                &dict)
+                .status()
+                .code(),
+            StatusCode::kParseError);
+}
+
+TEST(SparqlParserTest, TrailingGarbageRejected) {
+  rdf::Dictionary dict;
+  EXPECT_EQ(
+      ParseSparql("SELECT ?x WHERE { ?x <http://p> ?y . } bogus:x", &dict)
+          .status()
+          .code(),
+      StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace rdfref

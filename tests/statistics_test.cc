@@ -1,0 +1,94 @@
+#include "storage/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/store.h"
+
+namespace rdfref {
+namespace storage {
+namespace {
+
+TEST(StatisticsTest, ReportListsTopPropertiesAndClasses) {
+  rdf::Graph g;
+  rdf::TermId type = rdf::vocab::kTypeId;
+  rdf::TermId c = g.dict().InternUri("http://ex/Class");
+  rdf::TermId p = g.dict().InternUri("http://ex/popular");
+  for (int i = 0; i < 10; ++i) {
+    rdf::TermId s = g.dict().InternUri("http://ex/s" + std::to_string(i));
+    g.Add(s, p, c);
+    g.Add(s, type, c);
+  }
+  Store store(g);
+  std::string report = store.stats().Report(store.dict(), 5);
+  EXPECT_NE(report.find("http://ex/popular"), std::string::npos);
+  EXPECT_NE(report.find("http://ex/Class"), std::string::npos);
+  EXPECT_NE(report.find("triples: 20"), std::string::npos);
+}
+
+TEST(StatisticsTest, EmptyStatistics) {
+  Statistics stats;
+  EXPECT_EQ(stats.total_triples(), 0u);
+  EXPECT_EQ(stats.ForProperty(3).count, 0u);
+  EXPECT_EQ(stats.ClassCardinality(3), 0u);
+}
+
+TEST(StatisticsTest, PropertyTableIsComplete) {
+  rdf::Graph g;
+  rdf::TermId p1 = g.dict().InternUri("http://ex/p1");
+  rdf::TermId p2 = g.dict().InternUri("http://ex/p2");
+  rdf::TermId s = g.dict().InternUri("http://ex/s");
+  rdf::TermId o = g.dict().InternUri("http://ex/o");
+  g.Add(s, p1, o);
+  g.Add(s, p2, o);
+  Store store(g);
+  EXPECT_EQ(store.stats().property_table().size(), 2u);
+  EXPECT_TRUE(store.stats().class_table().empty());
+}
+
+TEST(StatisticsTest, SubjectPairCounts) {
+  rdf::Graph g;
+  rdf::TermId p1 = g.dict().InternUri("http://ex/p1");
+  rdf::TermId p2 = g.dict().InternUri("http://ex/p2");
+  rdf::TermId p3 = g.dict().InternUri("http://ex/p3");
+  rdf::TermId o = g.dict().InternUri("http://ex/o");
+  // s1 has p1+p2, s2 has p1+p2, s3 has p1 only, s4 has p3.
+  for (const char* s : {"s1", "s2"}) {
+    rdf::TermId subj = g.dict().InternUri(std::string("http://ex/") + s);
+    g.Add(subj, p1, o);
+    g.Add(subj, p2, o);
+  }
+  g.Add(g.dict().InternUri("http://ex/s3"), p1, o);
+  g.Add(g.dict().InternUri("http://ex/s4"), p3, o);
+  Store store(g);
+  const Statistics& stats = store.stats();
+  EXPECT_EQ(stats.SubjectPairCount(p1, p2), 2u);
+  EXPECT_EQ(stats.SubjectPairCount(p2, p1), 2u);  // symmetric
+  EXPECT_EQ(stats.SubjectPairCount(p1, p3), 0u);
+  std::string report = stats.Report(store.dict());
+  EXPECT_NE(report.find("attribute pairs"), std::string::npos);
+}
+
+TEST(StatisticsTest, AbsorbMergesPairCounts) {
+  rdf::Graph g1, g2;
+  rdf::TermId p1 = g1.dict().InternUri("http://ex/p1");
+  rdf::TermId p2 = g1.dict().InternUri("http://ex/p2");
+  rdf::TermId s = g1.dict().InternUri("http://ex/s");
+  rdf::TermId o = g1.dict().InternUri("http://ex/o");
+  g1.Add(s, p1, o);
+  g1.Add(s, p2, o);
+  // Same ids in g2 thanks to identical intern order.
+  rdf::TermId q1 = g2.dict().InternUri("http://ex/p1");
+  rdf::TermId q2 = g2.dict().InternUri("http://ex/p2");
+  rdf::TermId s2 = g2.dict().InternUri("http://ex/s");
+  rdf::TermId o2 = g2.dict().InternUri("http://ex/o");
+  g2.Add(s2, q1, o2);
+  g2.Add(s2, q2, o2);
+  Store store1(g1), store2(g2);
+  Statistics merged = store1.stats();
+  merged.Absorb(store2.stats());
+  EXPECT_EQ(merged.SubjectPairCount(p1, p2), 2u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace rdfref

@@ -1,0 +1,116 @@
+#include "storage/store.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace storage {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s1_ = U("s1");
+    s2_ = U("s2");
+    p_ = U("p");
+    q_ = U("q");
+    o1_ = U("o1");
+    o2_ = U("o2");
+    graph_.Add(s1_, p_, o1_);
+    graph_.Add(s1_, p_, o2_);
+    graph_.Add(s2_, p_, o1_);
+    graph_.Add(s1_, q_, o1_);
+    graph_.Add(s2_, q_, o2_);
+  }
+
+  rdf::TermId U(const std::string& name) {
+    return graph_.dict().InternUri("http://ex/" + name);
+  }
+
+  size_t Count(rdf::TermId s, rdf::TermId p, rdf::TermId o) {
+    Store store(graph_);
+    return store.CountMatches(s, p, o);
+  }
+
+  rdf::Graph graph_;
+  rdf::TermId s1_, s2_, p_, q_, o1_, o2_;
+};
+
+TEST_F(StoreTest, AllPatternShapesCount) {
+  EXPECT_EQ(Count(kAny, kAny, kAny), 5u);
+  EXPECT_EQ(Count(s1_, kAny, kAny), 3u);
+  EXPECT_EQ(Count(kAny, p_, kAny), 3u);
+  EXPECT_EQ(Count(kAny, kAny, o1_), 3u);
+  EXPECT_EQ(Count(s1_, p_, kAny), 2u);
+  EXPECT_EQ(Count(s1_, kAny, o1_), 2u);
+  EXPECT_EQ(Count(kAny, p_, o1_), 2u);
+  EXPECT_EQ(Count(s1_, p_, o1_), 1u);
+  EXPECT_EQ(Count(s1_, p_, o2_), 1u);
+  EXPECT_EQ(Count(s2_, q_, o1_), 0u);
+}
+
+TEST_F(StoreTest, ScanVisitsExactlyMatches) {
+  Store store(graph_);
+  size_t visited = 0;
+  store.Scan(kAny, p_, kAny, [&](const rdf::Triple& t) {
+    EXPECT_EQ(t.p, p_);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 3u);
+}
+
+TEST_F(StoreTest, ScanFullyBoundActsAsContains) {
+  Store store(graph_);
+  EXPECT_TRUE(store.Contains(rdf::Triple(s1_, p_, o1_)));
+  EXPECT_FALSE(store.Contains(rdf::Triple(s2_, p_, o2_)));
+  size_t visited = 0;
+  store.Scan(s1_, p_, o1_, [&](const rdf::Triple&) { ++visited; });
+  EXPECT_EQ(visited, 1u);
+}
+
+TEST_F(StoreTest, UnknownIdsMatchNothing) {
+  Store store(graph_);
+  rdf::TermId ghost = 99999;
+  EXPECT_EQ(store.CountMatches(ghost, kAny, kAny), 0u);
+  EXPECT_EQ(store.CountMatches(kAny, ghost, kAny), 0u);
+  EXPECT_EQ(store.CountMatches(kAny, kAny, ghost), 0u);
+}
+
+TEST_F(StoreTest, EmptyStore) {
+  rdf::Graph empty;
+  Store store(empty);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.CountMatches(kAny, kAny, kAny), 0u);
+  size_t visited = 0;
+  store.Scan(kAny, kAny, kAny, [&](const rdf::Triple&) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST_F(StoreTest, StatisticsAreExact) {
+  Store store(graph_);
+  const Statistics& stats = store.stats();
+  EXPECT_EQ(stats.total_triples(), 5u);
+  EXPECT_EQ(stats.distinct_subjects(), 2u);
+  EXPECT_EQ(stats.distinct_properties(), 2u);
+  EXPECT_EQ(stats.distinct_objects(), 2u);
+  PropertyStats ps = stats.ForProperty(p_);
+  EXPECT_EQ(ps.count, 3u);
+  EXPECT_EQ(ps.distinct_subjects, 2u);
+  EXPECT_EQ(ps.distinct_objects, 2u);
+}
+
+TEST_F(StoreTest, ClassCardinalities) {
+  rdf::TermId c1 = U("C1"), c2 = U("C2"), x = U("x"), y = U("y");
+  graph_.Add(x, rdf::vocab::kTypeId, c1);
+  graph_.Add(y, rdf::vocab::kTypeId, c1);
+  graph_.Add(x, rdf::vocab::kTypeId, c2);
+  Store store(graph_);
+  EXPECT_EQ(store.stats().ClassCardinality(c1), 2u);
+  EXPECT_EQ(store.stats().ClassCardinality(c2), 1u);
+  EXPECT_EQ(store.stats().ClassCardinality(U("C3")), 0u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace rdfref

@@ -1,0 +1,53 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfref {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  std::vector<std::string> pieces = Split("a,b,c", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  std::vector<std::string> pieces = Split(",x,", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "");
+  EXPECT_EQ(pieces[1], "x");
+  EXPECT_EQ(pieces[2], "");
+}
+
+TEST(StringUtilTest, SplitNoSeparator) {
+  std::vector<std::string> pieces = Split("abc", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "abc");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\r\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("solid"), "solid");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("x", "http://"));
+  EXPECT_TRUE(EndsWith("file.cc", ".cc"));
+  EXPECT_FALSE(EndsWith("file.h", ".cc"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, ", "), "only");
+}
+
+}  // namespace
+}  // namespace rdfref

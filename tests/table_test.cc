@@ -1,0 +1,94 @@
+#include "engine/table.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfref {
+namespace engine {
+namespace {
+
+TEST(TableTest, DedupRemovesDuplicates) {
+  Table t;
+  t.columns = {0, 1};
+  t.rows = {{1, 2}, {1, 2}, {3, 4}, {1, 2}};
+  t.Dedup();
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(TableTest, SortIsLexicographic) {
+  Table t;
+  t.rows = {{2, 1}, {1, 9}, {1, 2}};
+  t.Sort();
+  EXPECT_EQ(t.rows[0], (std::vector<rdf::TermId>{1, 2}));
+  EXPECT_EQ(t.rows[1], (std::vector<rdf::TermId>{1, 9}));
+  EXPECT_EQ(t.rows[2], (std::vector<rdf::TermId>{2, 1}));
+}
+
+TEST(TableTest, ColumnOf) {
+  Table t;
+  t.columns = {4, 7, 9};
+  EXPECT_EQ(t.ColumnOf(7), 1);
+  EXPECT_EQ(t.ColumnOf(5), -1);
+}
+
+TEST(HashJoinTest, JoinsOnSharedColumn) {
+  Table left, right;
+  left.columns = {0, 1};
+  left.rows = {{1, 10}, {2, 20}, {3, 30}};
+  right.columns = {1, 2};
+  right.rows = {{10, 100}, {10, 101}, {30, 300}};
+  Table joined = HashJoin(left, right);
+  EXPECT_EQ(joined.columns, (std::vector<query::VarId>{0, 1, 2}));
+  joined.Sort();
+  ASSERT_EQ(joined.NumRows(), 3u);
+  EXPECT_EQ(joined.rows[0], (std::vector<rdf::TermId>{1, 10, 100}));
+  EXPECT_EQ(joined.rows[1], (std::vector<rdf::TermId>{1, 10, 101}));
+  EXPECT_EQ(joined.rows[2], (std::vector<rdf::TermId>{3, 30, 300}));
+}
+
+TEST(HashJoinTest, MultiColumnKeys) {
+  Table left, right;
+  left.columns = {0, 1};
+  left.rows = {{1, 2}, {1, 3}};
+  right.columns = {0, 1, 2};
+  right.rows = {{1, 2, 9}, {1, 3, 8}, {1, 4, 7}};
+  Table joined = HashJoin(left, right);
+  joined.Sort();
+  ASSERT_EQ(joined.NumRows(), 2u);
+  EXPECT_EQ(joined.rows[0], (std::vector<rdf::TermId>{1, 2, 9}));
+  EXPECT_EQ(joined.rows[1], (std::vector<rdf::TermId>{1, 3, 8}));
+}
+
+TEST(HashJoinTest, NoSharedColumnIsCrossProduct) {
+  Table left, right;
+  left.columns = {0};
+  left.rows = {{1}, {2}};
+  right.columns = {1};
+  right.rows = {{7}, {8}};
+  Table joined = HashJoin(left, right);
+  EXPECT_EQ(joined.NumRows(), 4u);
+  EXPECT_EQ(joined.columns.size(), 2u);
+}
+
+TEST(HashJoinTest, EmptySideYieldsEmpty) {
+  Table left, right;
+  left.columns = {0};
+  right.columns = {0};
+  right.rows = {{1}};
+  EXPECT_EQ(HashJoin(left, right).NumRows(), 0u);
+  EXPECT_EQ(HashJoin(right, left).NumRows(), 0u);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  rdf::Dictionary dict;
+  rdf::TermId a = dict.InternUri("http://a");
+  Table t;
+  t.columns = {0};
+  for (int i = 0; i < 30; ++i) t.rows.push_back({a});
+  std::string s = t.ToString(dict, 5);
+  EXPECT_NE(s.find("30 row(s)"), std::string::npos);
+  EXPECT_NE(s.find("25 more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace rdfref

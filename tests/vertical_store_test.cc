@@ -1,0 +1,121 @@
+#include "storage/vertical_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "engine/evaluator.h"
+#include "query/sparql_parser.h"
+#include "storage/store.h"
+
+namespace rdfref {
+namespace storage {
+namespace {
+
+class VerticalStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s1_ = U("s1");
+    s2_ = U("s2");
+    p_ = U("p");
+    q_ = U("q");
+    o1_ = U("o1");
+    o2_ = U("o2");
+    graph_.Add(s1_, p_, o1_);
+    graph_.Add(s1_, p_, o2_);
+    graph_.Add(s2_, p_, o1_);
+    graph_.Add(s1_, q_, o1_);
+    graph_.Add(s2_, q_, o2_);
+    store_ = std::make_unique<VerticalStore>(graph_);
+  }
+
+  rdf::TermId U(const std::string& name) {
+    return graph_.dict().InternUri("http://ex/" + name);
+  }
+
+  rdf::Graph graph_;
+  std::unique_ptr<VerticalStore> store_;
+  rdf::TermId s1_, s2_, p_, q_, o1_, o2_;
+};
+
+TEST_F(VerticalStoreTest, SizesAndTables) {
+  EXPECT_EQ(store_->size(), 5u);
+  EXPECT_EQ(store_->num_properties(), 2u);
+}
+
+TEST_F(VerticalStoreTest, AllPatternShapesAgreeWithStore) {
+  Store reference(graph_);
+  const rdf::TermId terms[] = {kAny, s1_, s2_, o1_, o2_, p_, q_};
+  for (rdf::TermId s : terms) {
+    for (rdf::TermId p : {kAny, p_, q_}) {
+      for (rdf::TermId o : terms) {
+        EXPECT_EQ(store_->CountMatches(s, p, o),
+                  reference.CountMatches(s, p, o))
+            << "pattern (" << s << ", " << p << ", " << o << ")";
+      }
+    }
+  }
+}
+
+TEST_F(VerticalStoreTest, ScanDeliversMatchingTriples) {
+  size_t visited = 0;
+  store_->Scan(kAny, p_, o1_, [&](const rdf::Triple& t) {
+    EXPECT_EQ(t.p, p_);
+    EXPECT_EQ(t.o, o1_);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 2u);
+}
+
+TEST_F(VerticalStoreTest, UnboundPropertyUnionsAllTables) {
+  size_t visited = 0;
+  store_->Scan(s1_, kAny, kAny, [&](const rdf::Triple& t) {
+    EXPECT_EQ(t.s, s1_);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 3u);
+}
+
+TEST_F(VerticalStoreTest, UnknownPropertyMatchesNothing) {
+  EXPECT_EQ(store_->CountMatches(kAny, U("ghost"), kAny), 0u);
+}
+
+TEST_F(VerticalStoreTest, EvaluatorRunsOnVerticalBackend) {
+  auto q = query::ParseSparql(
+      "SELECT ?x ?o WHERE { ?x <http://ex/p> ?y . ?x <http://ex/q> ?o . }",
+      &graph_.dict());
+  ASSERT_TRUE(q.ok());
+  engine::Evaluator vertical(store_.get());
+  Store reference(graph_);
+  engine::Evaluator clustered(&reference);
+  engine::Table a = vertical.EvaluateCq(*q);
+  engine::Table b = clustered.EvaluateCq(*q);
+  a.Sort();
+  b.Sort();
+  EXPECT_EQ(a.rows, b.rows);
+}
+
+TEST_F(VerticalStoreTest, RandomizedAgreementWithClusteredStore) {
+  rdf::Graph g;
+  Rng rng(99);
+  std::vector<rdf::TermId> terms;
+  for (int i = 0; i < 12; ++i) {
+    terms.push_back(g.dict().InternUri("http://r/t" + std::to_string(i)));
+  }
+  for (int i = 0; i < 200; ++i) {
+    g.Add(terms[rng.Uniform(12)], terms[rng.Uniform(4)],
+          terms[rng.Uniform(12)]);
+  }
+  VerticalStore vertical(g);
+  Store clustered(g);
+  for (int trial = 0; trial < 200; ++trial) {
+    rdf::TermId s = rng.Chance(0.5) ? kAny : terms[rng.Uniform(12)];
+    rdf::TermId p = rng.Chance(0.5) ? kAny : terms[rng.Uniform(4)];
+    rdf::TermId o = rng.Chance(0.5) ? kAny : terms[rng.Uniform(12)];
+    EXPECT_EQ(vertical.CountMatches(s, p, o),
+              clustered.CountMatches(s, p, o));
+  }
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace rdfref
