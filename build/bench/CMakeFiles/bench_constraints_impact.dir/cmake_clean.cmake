@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_constraints_impact.dir/bench_constraints_impact.cc.o"
+  "CMakeFiles/bench_constraints_impact.dir/bench_constraints_impact.cc.o.d"
+  "bench_constraints_impact"
+  "bench_constraints_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_constraints_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

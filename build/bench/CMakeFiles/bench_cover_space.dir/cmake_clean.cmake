@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cover_space.dir/bench_cover_space.cc.o"
+  "CMakeFiles/bench_cover_space.dir/bench_cover_space.cc.o.d"
+  "bench_cover_space"
+  "bench_cover_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cover_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

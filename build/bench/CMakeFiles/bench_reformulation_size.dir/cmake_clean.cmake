@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reformulation_size.dir/bench_reformulation_size.cc.o"
+  "CMakeFiles/bench_reformulation_size.dir/bench_reformulation_size.cc.o.d"
+  "bench_reformulation_size"
+  "bench_reformulation_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reformulation_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endpoints.dir/endpoints.cpp.o"
+  "CMakeFiles/endpoints.dir/endpoints.cpp.o.d"
+  "endpoints"
+  "endpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for endpoints.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_cli.dir/rdfref_cli.cpp.o"
+  "CMakeFiles/rdfref_cli.dir/rdfref_cli.cpp.o.d"
+  "rdfref_cli"
+  "rdfref_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

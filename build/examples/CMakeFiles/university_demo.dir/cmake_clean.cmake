@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_demo.dir/university_demo.cpp.o"
+  "CMakeFiles/university_demo.dir/university_demo.cpp.o.d"
+  "university_demo"
+  "university_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_api.dir/query_answering.cc.o"
+  "CMakeFiles/rdfref_api.dir/query_answering.cc.o.d"
+  "librdfref_api.a"
+  "librdfref_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_common.dir/status.cc.o"
+  "CMakeFiles/rdfref_common.dir/status.cc.o.d"
+  "CMakeFiles/rdfref_common.dir/string_util.cc.o"
+  "CMakeFiles/rdfref_common.dir/string_util.cc.o.d"
+  "librdfref_common.a"
+  "librdfref_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

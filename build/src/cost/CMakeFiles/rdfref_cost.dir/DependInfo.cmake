@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/cardinality.cc" "src/cost/CMakeFiles/rdfref_cost.dir/cardinality.cc.o" "gcc" "src/cost/CMakeFiles/rdfref_cost.dir/cardinality.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/cost/CMakeFiles/rdfref_cost.dir/cost_model.cc.o" "gcc" "src/cost/CMakeFiles/rdfref_cost.dir/cost_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/rdfref_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rdfref_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rdfref_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rdfref_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

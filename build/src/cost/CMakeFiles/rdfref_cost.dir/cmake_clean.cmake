@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_cost.dir/cardinality.cc.o"
+  "CMakeFiles/rdfref_cost.dir/cardinality.cc.o.d"
+  "CMakeFiles/rdfref_cost.dir/cost_model.cc.o"
+  "CMakeFiles/rdfref_cost.dir/cost_model.cc.o.d"
+  "librdfref_cost.a"
+  "librdfref_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/bibliography.cc" "src/datagen/CMakeFiles/rdfref_datagen.dir/bibliography.cc.o" "gcc" "src/datagen/CMakeFiles/rdfref_datagen.dir/bibliography.cc.o.d"
+  "/root/repo/src/datagen/dblp.cc" "src/datagen/CMakeFiles/rdfref_datagen.dir/dblp.cc.o" "gcc" "src/datagen/CMakeFiles/rdfref_datagen.dir/dblp.cc.o.d"
+  "/root/repo/src/datagen/geo.cc" "src/datagen/CMakeFiles/rdfref_datagen.dir/geo.cc.o" "gcc" "src/datagen/CMakeFiles/rdfref_datagen.dir/geo.cc.o.d"
+  "/root/repo/src/datagen/lubm.cc" "src/datagen/CMakeFiles/rdfref_datagen.dir/lubm.cc.o" "gcc" "src/datagen/CMakeFiles/rdfref_datagen.dir/lubm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/rdfref_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rdfref_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_datagen.dir/bibliography.cc.o"
+  "CMakeFiles/rdfref_datagen.dir/bibliography.cc.o.d"
+  "CMakeFiles/rdfref_datagen.dir/dblp.cc.o"
+  "CMakeFiles/rdfref_datagen.dir/dblp.cc.o.d"
+  "CMakeFiles/rdfref_datagen.dir/geo.cc.o"
+  "CMakeFiles/rdfref_datagen.dir/geo.cc.o.d"
+  "CMakeFiles/rdfref_datagen.dir/lubm.cc.o"
+  "CMakeFiles/rdfref_datagen.dir/lubm.cc.o.d"
+  "librdfref_datagen.a"
+  "librdfref_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/program.cc" "src/datalog/CMakeFiles/rdfref_datalog.dir/program.cc.o" "gcc" "src/datalog/CMakeFiles/rdfref_datalog.dir/program.cc.o.d"
+  "/root/repo/src/datalog/rdf_datalog.cc" "src/datalog/CMakeFiles/rdfref_datalog.dir/rdf_datalog.cc.o" "gcc" "src/datalog/CMakeFiles/rdfref_datalog.dir/rdf_datalog.cc.o.d"
+  "/root/repo/src/datalog/seminaive.cc" "src/datalog/CMakeFiles/rdfref_datalog.dir/seminaive.cc.o" "gcc" "src/datalog/CMakeFiles/rdfref_datalog.dir/seminaive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/rdfref_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rdfref_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/rdfref_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rdfref_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rdfref_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_datalog.dir/program.cc.o"
+  "CMakeFiles/rdfref_datalog.dir/program.cc.o.d"
+  "CMakeFiles/rdfref_datalog.dir/rdf_datalog.cc.o"
+  "CMakeFiles/rdfref_datalog.dir/rdf_datalog.cc.o.d"
+  "CMakeFiles/rdfref_datalog.dir/seminaive.cc.o"
+  "CMakeFiles/rdfref_datalog.dir/seminaive.cc.o.d"
+  "librdfref_datalog.a"
+  "librdfref_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_engine.dir/evaluator.cc.o"
+  "CMakeFiles/rdfref_engine.dir/evaluator.cc.o.d"
+  "CMakeFiles/rdfref_engine.dir/table.cc.o"
+  "CMakeFiles/rdfref_engine.dir/table.cc.o.d"
+  "librdfref_engine.a"
+  "librdfref_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

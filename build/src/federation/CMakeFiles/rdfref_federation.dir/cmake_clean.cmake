@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_federation.dir/endpoint.cc.o"
+  "CMakeFiles/rdfref_federation.dir/endpoint.cc.o.d"
+  "CMakeFiles/rdfref_federation.dir/federation.cc.o"
+  "CMakeFiles/rdfref_federation.dir/federation.cc.o.d"
+  "librdfref_federation.a"
+  "librdfref_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

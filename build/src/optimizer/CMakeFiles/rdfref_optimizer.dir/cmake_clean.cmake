@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_optimizer.dir/gcov.cc.o"
+  "CMakeFiles/rdfref_optimizer.dir/gcov.cc.o.d"
+  "librdfref_optimizer.a"
+  "librdfref_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

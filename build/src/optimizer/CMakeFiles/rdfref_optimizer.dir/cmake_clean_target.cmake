@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdfref_optimizer.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/cover.cc" "src/query/CMakeFiles/rdfref_query.dir/cover.cc.o" "gcc" "src/query/CMakeFiles/rdfref_query.dir/cover.cc.o.d"
+  "/root/repo/src/query/cq.cc" "src/query/CMakeFiles/rdfref_query.dir/cq.cc.o" "gcc" "src/query/CMakeFiles/rdfref_query.dir/cq.cc.o.d"
+  "/root/repo/src/query/minimize.cc" "src/query/CMakeFiles/rdfref_query.dir/minimize.cc.o" "gcc" "src/query/CMakeFiles/rdfref_query.dir/minimize.cc.o.d"
+  "/root/repo/src/query/sparql_parser.cc" "src/query/CMakeFiles/rdfref_query.dir/sparql_parser.cc.o" "gcc" "src/query/CMakeFiles/rdfref_query.dir/sparql_parser.cc.o.d"
+  "/root/repo/src/query/ucq.cc" "src/query/CMakeFiles/rdfref_query.dir/ucq.cc.o" "gcc" "src/query/CMakeFiles/rdfref_query.dir/ucq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/rdfref_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rdfref_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

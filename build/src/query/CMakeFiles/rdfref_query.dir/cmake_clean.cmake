@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_query.dir/cover.cc.o"
+  "CMakeFiles/rdfref_query.dir/cover.cc.o.d"
+  "CMakeFiles/rdfref_query.dir/cq.cc.o"
+  "CMakeFiles/rdfref_query.dir/cq.cc.o.d"
+  "CMakeFiles/rdfref_query.dir/minimize.cc.o"
+  "CMakeFiles/rdfref_query.dir/minimize.cc.o.d"
+  "CMakeFiles/rdfref_query.dir/sparql_parser.cc.o"
+  "CMakeFiles/rdfref_query.dir/sparql_parser.cc.o.d"
+  "CMakeFiles/rdfref_query.dir/ucq.cc.o"
+  "CMakeFiles/rdfref_query.dir/ucq.cc.o.d"
+  "librdfref_query.a"
+  "librdfref_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

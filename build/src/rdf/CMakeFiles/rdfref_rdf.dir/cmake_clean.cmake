@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/rdfref_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/rdfref_rdf.dir/graph.cc.o"
+  "CMakeFiles/rdfref_rdf.dir/graph.cc.o.d"
+  "CMakeFiles/rdfref_rdf.dir/parser.cc.o"
+  "CMakeFiles/rdfref_rdf.dir/parser.cc.o.d"
+  "CMakeFiles/rdfref_rdf.dir/term.cc.o"
+  "CMakeFiles/rdfref_rdf.dir/term.cc.o.d"
+  "librdfref_rdf.a"
+  "librdfref_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_reasoner.dir/saturation.cc.o"
+  "CMakeFiles/rdfref_reasoner.dir/saturation.cc.o.d"
+  "librdfref_reasoner.a"
+  "librdfref_reasoner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_reasoner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

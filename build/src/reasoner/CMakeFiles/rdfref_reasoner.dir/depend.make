@@ -1,0 +1,2 @@
+# Empty dependencies file for rdfref_reasoner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_reformulation.dir/reformulator.cc.o"
+  "CMakeFiles/rdfref_reformulation.dir/reformulator.cc.o.d"
+  "librdfref_reformulation.a"
+  "librdfref_reformulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_reformulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

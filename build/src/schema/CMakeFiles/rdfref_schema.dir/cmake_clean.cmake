@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_schema.dir/schema.cc.o"
+  "CMakeFiles/rdfref_schema.dir/schema.cc.o.d"
+  "librdfref_schema.a"
+  "librdfref_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/delta_store.cc" "src/storage/CMakeFiles/rdfref_storage.dir/delta_store.cc.o" "gcc" "src/storage/CMakeFiles/rdfref_storage.dir/delta_store.cc.o.d"
+  "/root/repo/src/storage/serialize.cc" "src/storage/CMakeFiles/rdfref_storage.dir/serialize.cc.o" "gcc" "src/storage/CMakeFiles/rdfref_storage.dir/serialize.cc.o.d"
+  "/root/repo/src/storage/statistics.cc" "src/storage/CMakeFiles/rdfref_storage.dir/statistics.cc.o" "gcc" "src/storage/CMakeFiles/rdfref_storage.dir/statistics.cc.o.d"
+  "/root/repo/src/storage/store.cc" "src/storage/CMakeFiles/rdfref_storage.dir/store.cc.o" "gcc" "src/storage/CMakeFiles/rdfref_storage.dir/store.cc.o.d"
+  "/root/repo/src/storage/vertical_store.cc" "src/storage/CMakeFiles/rdfref_storage.dir/vertical_store.cc.o" "gcc" "src/storage/CMakeFiles/rdfref_storage.dir/vertical_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/rdfref_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rdfref_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

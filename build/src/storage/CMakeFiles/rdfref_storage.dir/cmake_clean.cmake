@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfref_storage.dir/delta_store.cc.o"
+  "CMakeFiles/rdfref_storage.dir/delta_store.cc.o.d"
+  "CMakeFiles/rdfref_storage.dir/serialize.cc.o"
+  "CMakeFiles/rdfref_storage.dir/serialize.cc.o.d"
+  "CMakeFiles/rdfref_storage.dir/statistics.cc.o"
+  "CMakeFiles/rdfref_storage.dir/statistics.cc.o.d"
+  "CMakeFiles/rdfref_storage.dir/store.cc.o"
+  "CMakeFiles/rdfref_storage.dir/store.cc.o.d"
+  "CMakeFiles/rdfref_storage.dir/vertical_store.cc.o"
+  "CMakeFiles/rdfref_storage.dir/vertical_store.cc.o.d"
+  "librdfref_storage.a"
+  "librdfref_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfref_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardinality_test.dir/cardinality_test.cc.o"
+  "CMakeFiles/cardinality_test.dir/cardinality_test.cc.o.d"
+  "cardinality_test"
+  "cardinality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardinality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcov_test.dir/gcov_test.cc.o"
+  "CMakeFiles/gcov_test.dir/gcov_test.cc.o.d"
+  "gcov_test"
+  "gcov_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

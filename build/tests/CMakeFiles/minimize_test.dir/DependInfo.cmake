@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minimize_test.cc" "tests/CMakeFiles/minimize_test.dir/minimize_test.cc.o" "gcc" "tests/CMakeFiles/minimize_test.dir/minimize_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/rdfref_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/rdfref_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/rdfref_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/rdfref_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/reasoner/CMakeFiles/rdfref_reasoner.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/rdfref_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/rdfref_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/rdfref_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/reformulation/CMakeFiles/rdfref_reformulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/rdfref_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/rdfref_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rdfref_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rdfref_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rdfref_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

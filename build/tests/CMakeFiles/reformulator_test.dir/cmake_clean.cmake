@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reformulator_test.dir/reformulator_test.cc.o"
+  "CMakeFiles/reformulator_test.dir/reformulator_test.cc.o.d"
+  "reformulator_test"
+  "reformulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reformulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
