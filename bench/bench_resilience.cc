@@ -1,0 +1,175 @@
+// Experiment T11 — resilient federation: answer completeness and latency as
+// endpoint failure rate sweeps 0 -> 50%.
+//
+// The paper motivates reformulation because Semantic Web sources are
+// independent, rate-limited, and unreliable (Section 1); SP²Bench argues a
+// credible benchmark must stress engines under adverse shapes. This table
+// extends that to adverse *source* behaviour: LUBM-style facts split across
+// endpoints, each endpoint failing a seeded fraction of requests, the
+// mediator answering in degraded mode (retry + circuit breaker + partial
+// answers with a completeness report).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "federation/federation.h"
+
+namespace rdfref {
+namespace bench {
+namespace {
+
+std::unique_ptr<federation::Federation> MakeFlakyFederation(
+    int universities, double failure_probability) {
+  auto fed = std::make_unique<federation::Federation>();
+
+  rdf::Graph ontology;
+  datagen::Lubm::AddOntology(&ontology);
+  // The ontology endpoint stays healthy: the mediated schema (and with it
+  // the reformulation) is available even when fact sources flake.
+  fed->AddEndpoint("ontology", ontology, federation::EndpointOptions{});
+
+  for (int u = 0; u < universities; ++u) {
+    datagen::LubmConfig config;
+    config.universities = 1;
+    config.seed = 42 + static_cast<uint64_t>(u);
+    config.scale = 0.5;
+    config.referenced_universities = 10;
+    rdf::Graph graph;
+    datagen::Lubm::Generate(config, &graph);
+    rdf::Graph facts;
+    for (const rdf::Triple& t : graph.SortedTriples()) {
+      if (rdf::vocab::IsSchemaProperty(t.p)) continue;
+      facts.Add(graph.dict().Lookup(t.s), graph.dict().Lookup(t.p),
+                graph.dict().Lookup(t.o));
+    }
+    federation::EndpointOptions options;
+    options.fault.failure_probability = failure_probability;
+    options.fault.seed = 1000 + static_cast<uint64_t>(u);
+    fed->AddEndpoint("university" + std::to_string(u), facts, options);
+  }
+
+  federation::ResilienceOptions resilience;
+  resilience.retry.max_attempts = 3;
+  resilience.breaker.failure_threshold = 5;
+  resilience.breaker.cooldown_ms = 50.0;
+  fed->set_resilience(resilience);
+  return fed;
+}
+
+void PrintResilienceTable() {
+  std::printf("\n== T11: resilient federation — completeness vs. failure "
+              "rate ==\n");
+  std::printf("%-10s %10s %10s %10s %10s %10s  %s\n", "fail-rate", "answers",
+              "complete", "retries", "skipped", "time(ms)", "degraded");
+
+  // Baseline answer count from a fully healthy federation.
+  size_t full_answers = 0;
+  {
+    auto fed = MakeFlakyFederation(3, 0.0);
+    auto q = query::ParseSparql(
+        std::string(kUbPrefix) + "SELECT ?x WHERE { ?x a ub:Person . }",
+        &fed->dict());
+    if (!q.ok()) return;
+    auto answer = fed->AnswerResilient(*q);
+    if (answer.ok()) full_answers = answer->table.NumRows();
+  }
+
+  for (double rate : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    auto fed = MakeFlakyFederation(3, rate);
+    auto q = query::ParseSparql(
+        std::string(kUbPrefix) + "SELECT ?x WHERE { ?x a ub:Person . }",
+        &fed->dict());
+    if (!q.ok()) return;
+    federation::FederationAnswerOptions options;
+    options.allow_partial = true;
+
+    Timer timer;
+    auto answer = fed->AnswerResilient(*q, options);
+    double ms = timer.ElapsedMillis();
+    if (!answer.ok()) {
+      std::printf("%-10.2f answering failed: %s\n", rate,
+                  answer.status().ToString().c_str());
+      continue;
+    }
+    const federation::CompletenessReport& report = answer->report;
+    uint64_t skipped = 0;
+    std::string degraded;
+    for (const federation::EndpointHealth& h : report.endpoints) {
+      skipped += h.skipped;
+      if (h.data_lost()) {
+        if (!degraded.empty()) degraded += ",";
+        degraded += h.endpoint;
+      }
+    }
+    std::printf("%-10.2f %7zu/%zu %10s %10llu %10llu %10.2f  %s\n", rate,
+                answer->table.NumRows(), full_answers,
+                report.known_complete ? "yes" : "NO",
+                static_cast<unsigned long long>(report.total_retries),
+                static_cast<unsigned long long>(skipped), ms,
+                degraded.empty() ? "-" : degraded.c_str());
+  }
+  std::printf("(degraded mode: partial answers + completeness report; "
+              "breakers stop hammering dead sources)\n");
+
+  // Deadline sweep: how tight a budget the mediated Ref call tolerates.
+  std::printf("\n-- deadline sweep (healthy federation) --\n");
+  auto fed = MakeFlakyFederation(2, 0.0);
+  auto q = query::ParseSparql(
+      std::string(kUbPrefix) + "SELECT ?x WHERE { ?x a ub:Person . }",
+      &fed->dict());
+  if (!q.ok()) return;
+  for (double budget_ms : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+    federation::FederationAnswerOptions options;
+    options.deadline = Deadline::AfterMillis(budget_ms);
+    Timer timer;
+    auto answer = fed->AnswerResilient(*q, options);
+    double ms = timer.ElapsedMillis();
+    std::printf("budget %8.2f ms -> %-18s in %8.2f ms\n", budget_ms,
+                answer.ok() ? "complete answer"
+                            : StatusCodeToString(answer.status().code()),
+                ms);
+  }
+}
+
+void BM_ResilientRefHealthy(benchmark::State& state) {
+  static auto fed = MakeFlakyFederation(2, 0.0);
+  static auto q = *query::ParseSparql(
+      std::string(kUbPrefix) + "SELECT ?x WHERE { ?x a ub:Person . }",
+      &fed->dict());
+  federation::FederationAnswerOptions options;
+  options.allow_partial = true;
+  for (auto _ : state) {
+    auto answer = fed->AnswerResilient(q, options);
+    benchmark::DoNotOptimize(answer);
+  }
+}
+BENCHMARK(BM_ResilientRefHealthy)->Unit(benchmark::kMillisecond);
+
+void BM_ResilientRefFlaky(benchmark::State& state) {
+  static auto fed = MakeFlakyFederation(2, 0.2);
+  static auto q = *query::ParseSparql(
+      std::string(kUbPrefix) + "SELECT ?x WHERE { ?x a ub:Person . }",
+      &fed->dict());
+  federation::FederationAnswerOptions options;
+  options.allow_partial = true;
+  for (auto _ : state) {
+    auto answer = fed->AnswerResilient(q, options);
+    benchmark::DoNotOptimize(answer);
+  }
+}
+BENCHMARK(BM_ResilientRefFlaky)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfref
+
+int main(int argc, char** argv) {
+  rdfref::bench::PrintResilienceTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

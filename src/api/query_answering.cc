@@ -100,7 +100,8 @@ const storage::Store& QueryAnswerer::sat_store() {
 
 Result<engine::Table> QueryAnswerer::AnswerJucq(
     const query::Cq& q, const query::Cover& cover,
-    const reformulation::Reformulator& ref, AnswerProfile* profile) {
+    const reformulation::Reformulator& ref, const Deadline& deadline,
+    AnswerProfile* profile) {
   RDFREF_RETURN_NOT_OK(cover.Validate(q));
   Timer prepare;
   std::vector<query::Cq> fragment_queries = cover.FragmentQueries(q);
@@ -117,9 +118,10 @@ Result<engine::Table> QueryAnswerer::AnswerJucq(
   Timer eval;
   engine::Evaluator evaluator(ref_delta_.get());
   engine::JucqProfile jucq_profile;
-  engine::Table table =
-      evaluator.EvaluateJucq(q, fragment_queries, fragment_ucqs,
-                             &jucq_profile);
+  RDFREF_ASSIGN_OR_RETURN(
+      engine::Table table,
+      evaluator.EvaluateJucq(q, fragment_queries, fragment_ucqs, deadline,
+                             &jucq_profile));
   for (size_t i = 0; i < jucq_profile.fragments.size(); ++i) {
     jucq_profile.fragments[i].cover_fragment = query::Cover(
         {cover.fragments()[i]}).ToString();
@@ -175,6 +177,9 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
     return Status::InvalidArgument(
         "unsafe query: every head variable must occur in the body");
   }
+  if (options.deadline.expired()) {
+    return Status::DeadlineExceeded("deadline expired before answering");
+  }
   if (profile != nullptr) *profile = AnswerProfile{};
   switch (strategy) {
     case Strategy::kSaturation: {
@@ -197,7 +202,8 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
       double prepare_ms = prepare.ElapsedMillis();
       Timer eval;
       engine::Evaluator evaluator(ref_delta_.get());
-      engine::Table table = evaluator.EvaluateUcq(ucq);
+      RDFREF_ASSIGN_OR_RETURN(engine::Table table,
+                              evaluator.EvaluateUcq(ucq, options.deadline));
       if (profile != nullptr) {
         profile->prepare_millis = prepare_ms;
         profile->eval_millis = eval.ElapsedMillis();
@@ -210,12 +216,12 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
       reformulation::Reformulator ref(&schema_, options.reform,
                                       &graph_.dict());
       return AnswerJucq(q, query::Cover::Singletons(q.body().size()), ref,
-                        profile);
+                        options.deadline, profile);
     }
     case Strategy::kRefJucq: {
       reformulation::Reformulator ref(&schema_, options.reform,
                                       &graph_.dict());
-      return AnswerJucq(q, options.cover, ref, profile);
+      return AnswerJucq(q, options.cover, ref, options.deadline, profile);
     }
     case Strategy::kRefGcov: {
       reformulation::Reformulator ref(&schema_, options.reform,
@@ -230,7 +236,7 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
         profile->gcov = trace;
         profile->prepare_millis = search_ms;  // AnswerJucq adds to this
       }
-      return AnswerJucq(q, cover, ref, profile);
+      return AnswerJucq(q, cover, ref, options.deadline, profile);
     }
     case Strategy::kRefIncomplete: {
       reformulation::IncompleteReformulator ref(&schema_, options.reform,
@@ -240,7 +246,8 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
       double prepare_ms = prepare.ElapsedMillis();
       Timer eval;
       engine::Evaluator evaluator(ref_delta_.get());
-      engine::Table table = evaluator.EvaluateUcq(ucq);
+      RDFREF_ASSIGN_OR_RETURN(engine::Table table,
+                              evaluator.EvaluateUcq(ucq, options.deadline));
       if (profile != nullptr) {
         profile->prepare_millis = prepare_ms;
         profile->eval_millis = eval.ElapsedMillis();

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "datalog/rdf_datalog.h"
 #include "engine/evaluator.h"
@@ -43,6 +44,11 @@ struct AnswerOptions {
   /// Reformulation budget (the UCQ size beyond which Ref "fails", as the
   /// 318,096-CQ reformulation of Example 1 does on real systems).
   reformulation::ReformulationOptions reform;
+  /// Wall-clock budget for the call. Checked at CQ boundaries of the
+  /// UCQ/SCQ/JUCQ evaluation loops (and before each strategy's evaluation
+  /// starts): once expired, Answer returns kDeadlineExceeded with whatever
+  /// profile was gathered so far. Default: infinite.
+  Deadline deadline;
 };
 
 /// \brief Measurements of one Answer() call — what the demonstration's
@@ -132,6 +138,7 @@ class QueryAnswerer {
   Result<engine::Table> AnswerJucq(const query::Cq& q,
                                    const query::Cover& cover,
                                    const reformulation::Reformulator& ref,
+                                   const Deadline& deadline,
                                    AnswerProfile* profile);
 
   rdf::Graph graph_;

@@ -21,6 +21,8 @@ enum class StatusCode {
   kInternal = 6,
   kResourceExhausted = 7,
   kParseError = 8,
+  kDeadlineExceeded = 9,
+  kUnavailable = 10,
 };
 
 /// \brief Returns a human-readable name for a status code.
@@ -66,6 +68,12 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

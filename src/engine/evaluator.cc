@@ -190,6 +190,12 @@ Table Evaluator::EvaluateCq(const Cq& q) const {
 }
 
 Table Evaluator::EvaluateUcq(const query::Ucq& ucq) const {
+  // An infinite deadline never fails.
+  return EvaluateUcq(ucq, Deadline::Infinite()).value();
+}
+
+Result<Table> Evaluator::EvaluateUcq(const query::Ucq& ucq,
+                                     const Deadline& deadline) const {
   Table table;
   if (!ucq.empty()) {
     for (const QTerm& h : ucq.members()[0].head()) {
@@ -197,8 +203,15 @@ Table Evaluator::EvaluateUcq(const query::Ucq& ucq) const {
                                        : std::numeric_limits<VarId>::max());
     }
   }
+  size_t evaluated = 0;
   for (const Cq& member : ucq.members()) {
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded(
+          "deadline exceeded after " + std::to_string(evaluated) + " of " +
+          std::to_string(ucq.size()) + " reformulation CQs");
+    }
     EvaluateCqInto(member, &table.rows);
+    ++evaluated;
   }
   table.Dedup();
   return table;
@@ -208,13 +221,30 @@ Table Evaluator::EvaluateJucq(const Cq& q,
                               const std::vector<Cq>& fragment_queries,
                               const std::vector<query::Ucq>& fragment_ucqs,
                               JucqProfile* profile) const {
+  return EvaluateJucq(q, fragment_queries, fragment_ucqs, Deadline::Infinite(),
+                      profile)
+      .value();
+}
+
+Result<Table> Evaluator::EvaluateJucq(
+    const Cq& q, const std::vector<Cq>& fragment_queries,
+    const std::vector<query::Ucq>& fragment_ucqs, const Deadline& deadline,
+    JucqProfile* profile) const {
   Timer total;
   // 1. Materialize every fragment.
   std::vector<Table> tables;
   tables.reserve(fragment_ucqs.size());
   for (size_t i = 0; i < fragment_ucqs.size(); ++i) {
     Timer t;
-    Table table = EvaluateUcq(fragment_ucqs[i]);
+    Result<Table> fragment = EvaluateUcq(fragment_ucqs[i], deadline);
+    if (!fragment.ok()) {
+      // Partial profile: the fragments materialized so far stay recorded.
+      if (profile != nullptr) profile->total_millis = total.ElapsedMillis();
+      return Status(fragment.status().code(),
+                    "fragment " + std::to_string(i) + ": " +
+                        fragment.status().message());
+    }
+    Table table = std::move(fragment).value();
     // Columns must reflect the *fragment query* head variables (member
     // heads may have constants substituted in, but slot i is still the
     // value of head variable i of the fragment subquery).
@@ -235,6 +265,11 @@ Table Evaluator::EvaluateJucq(const Cq& q,
   // 2. Join fragments: start from the smallest, then greedily pick the
   // smallest fragment *connected* to the joined columns (avoiding cross
   // products, as an RDBMS join-order heuristic would).
+  if (deadline.expired()) {
+    if (profile != nullptr) profile->total_millis = total.ElapsedMillis();
+    return Status::DeadlineExceeded(
+        "deadline exceeded before the fragment join");
+  }
   Timer join_timer;
   std::vector<bool> joined(tables.size(), false);
   size_t first = 0;

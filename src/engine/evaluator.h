@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/result.h"
 #include "engine/table.h"
 #include "query/cq.h"
 #include "query/ucq.h"
@@ -56,6 +58,13 @@ class Evaluator {
   /// \brief Evaluates a UCQ (members must share head arity).
   Table EvaluateUcq(const query::Ucq& ucq) const;
 
+  /// \brief Deadline-bounded UCQ evaluation: the deadline is checked at
+  /// every CQ boundary, so an exploding reformulation (Example 1's
+  /// 318,096-CQ UCQ) returns kDeadlineExceeded promptly instead of running
+  /// away. The error message reports how many members were evaluated.
+  Result<Table> EvaluateUcq(const query::Ucq& ucq,
+                            const Deadline& deadline) const;
+
   /// \brief Evaluates a JUCQ: `fragment_queries[i]` is the (unreformulated)
   /// subquery of fragment i — its head gives the column variables — and
   /// `fragment_ucqs[i]` its UCQ reformulation. Joins all fragment tables
@@ -64,6 +73,16 @@ class Evaluator {
                      const std::vector<query::Cq>& fragment_queries,
                      const std::vector<query::Ucq>& fragment_ucqs,
                      JucqProfile* profile = nullptr) const;
+
+  /// \brief Deadline-bounded JUCQ evaluation (covers SCQ as the
+  /// all-singleton cover). Checked at CQ boundaries within each fragment
+  /// and at fragment boundaries; on kDeadlineExceeded `profile` holds the
+  /// partial profile of the fragments that completed.
+  Result<Table> EvaluateJucq(const query::Cq& q,
+                             const std::vector<query::Cq>& fragment_queries,
+                             const std::vector<query::Ucq>& fragment_ucqs,
+                             const Deadline& deadline,
+                             JucqProfile* profile = nullptr) const;
 
   /// \brief The greedy join order the engine will use for q's atoms
   /// (indexes into q.body()) — exposed for plan inspection.

@@ -1,22 +1,56 @@
 #include "federation/endpoint.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace rdfref {
 namespace federation {
 
-size_t Endpoint::Request(
+Result<size_t> Endpoint::Request(
     rdf::TermId s, rdf::TermId p, rdf::TermId o,
     const std::function<void(const rdf::Triple&)>& fn) const {
   ++requests_served_;
+  const FaultProfile& fault = options_.fault;
+  if (fault.hard_down) {
+    return Status::Unavailable(name_ + ": endpoint is down");
+  }
+  if (fault.latency_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        fault.latency_ms));
+  }
+  if (injector_.NextRequestFails()) {
+    return Status::Unavailable(name_ + ": injected request failure");
+  }
   const size_t cap = options_.max_answers_per_request;
+  const size_t drop_after = fault.fail_after_triples;
   size_t delivered = 0;
+  bool dropped = false;
   // The store's Scan has no early-exit; the cap models a server that
   // truncates its response, so we simply stop forwarding.
   store_->Scan(s, p, o, [&](const rdf::Triple& t) {
+    if (dropped) return;
     if (cap != 0 && delivered >= cap) return;
+    if (drop_after != 0 && delivered >= drop_after) {
+      dropped = true;
+      return;
+    }
     fn(t);
     ++delivered;
   });
+  if (dropped) {
+    return Status::Unavailable(name_ + ": connection dropped after " +
+                               std::to_string(delivered) + " triples");
+  }
   return delivered;
+}
+
+size_t Endpoint::CountMatches(rdf::TermId s, rdf::TermId p,
+                              rdf::TermId o) const {
+  size_t n = store_->CountMatches(s, p, o);
+  const size_t cap = options_.max_answers_per_request;
+  if (cap != 0) n = std::min(n, cap);
+  return n;
 }
 
 }  // namespace federation

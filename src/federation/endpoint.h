@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "common/result.h"
+#include "federation/resilience.h"
 #include "rdf/graph.h"
 #include "storage/store.h"
 
@@ -24,10 +26,14 @@ struct EndpointOptions {
   /// that is precisely why "computing the complete (distributed) set of
   /// consequences in this setting is unfeasible".
   bool locally_saturated = false;
+  /// Simulated failure behaviour (deterministic under fault.seed); the
+  /// default profile never fails.
+  FaultProfile fault;
 };
 
 /// \brief An independent RDF endpoint, as in the Linked Open Data cloud:
-/// its own triples, possibly its own constraints, possibly rate-limited.
+/// its own triples, possibly its own constraints, possibly rate-limited,
+/// possibly flaky (per its FaultProfile).
 ///
 /// Triples are encoded against the *federation's* shared dictionary (URIs
 /// are global identifiers; the mediator interns them once).
@@ -39,7 +45,8 @@ class Endpoint {
            EndpointOptions options)
       : name_(std::move(name)),
         options_(options),
-        store_(std::move(store)) {}
+        store_(std::move(store)),
+        injector_(options.fault) {}
 
   Endpoint(Endpoint&&) = default;
   Endpoint& operator=(Endpoint&&) = default;
@@ -48,10 +55,20 @@ class Endpoint {
   const EndpointOptions& options() const { return options_; }
   const storage::Store& store() const { return *store_; }
 
-  /// \brief Pattern request, honoring the per-request answer cap; returns
-  /// the number of triples delivered.
-  size_t Request(rdf::TermId s, rdf::TermId p, rdf::TermId o,
-                 const std::function<void(const rdf::Triple&)>& fn) const;
+  /// \brief Pattern request, honoring the per-request answer cap and the
+  /// endpoint's fault profile. On success returns the number of triples
+  /// delivered; on failure returns kUnavailable — note that a mid-scan
+  /// drop (fault.fail_after_triples) has already forwarded a *prefix* of
+  /// the answer to `fn`, so callers that retry must buffer and discard.
+  Result<size_t> Request(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                         const std::function<void(const rdf::Triple&)>& fn)
+      const;
+
+  /// \brief How many triples a (successful) Request for this pattern would
+  /// deliver: the store's match count clamped to max_answers_per_request.
+  /// This is what the mediator's cost model must use so estimated
+  /// cardinalities match what Scan actually delivers.
+  size_t CountMatches(rdf::TermId s, rdf::TermId p, rdf::TermId o) const;
 
   /// \brief Total requests served (for the demo's cost displays).
   uint64_t requests_served() const { return requests_served_; }
@@ -60,6 +77,7 @@ class Endpoint {
   std::string name_;
   EndpointOptions options_;
   std::unique_ptr<storage::Store> store_;
+  mutable FaultInjector injector_;
   mutable uint64_t requests_served_ = 0;
 };
 

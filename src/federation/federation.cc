@@ -1,6 +1,8 @@
 #include "federation/federation.h"
 
+#include <chrono>
 #include <deque>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -80,13 +82,106 @@ std::vector<rdf::Triple> SchemaTriples(const schema::Schema& schema) {
   return out;
 }
 
+uint64_t NameSeed(const std::string& name) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// FederatedSource
+// ---------------------------------------------------------------------------
+
+void FederatedSource::set_resilience(const ResilienceOptions& options) {
+  resilience_ = options;
+  breakers_.clear();
+}
+
+void FederatedSource::ResetHealth() const { health_.clear(); }
+
+CircuitBreaker& FederatedSource::BreakerFor(const std::string& name) const {
+  auto it = breakers_.find(name);
+  if (it == breakers_.end()) {
+    it = breakers_.emplace(name, CircuitBreaker(resilience_.breaker)).first;
+  }
+  return it->second;
+}
+
+EndpointHealth& FederatedSource::HealthFor(const std::string& name) const {
+  EndpointHealth& h = health_[name];
+  if (h.endpoint.empty()) h.endpoint = name;
+  return h;
+}
+
+CircuitState FederatedSource::BreakerState(const std::string& endpoint) const {
+  auto it = breakers_.find(endpoint);
+  return it == breakers_.end() ? CircuitState::kClosed : it->second.state();
+}
+
+CompletenessReport FederatedSource::Report() const {
+  CompletenessReport report;
+  for (const auto& [name, h] : health_) {
+    report.total_retries += h.retries;
+    if (h.data_lost()) report.known_complete = false;
+    report.endpoints.push_back(h);
+  }
+  return report;
+}
+
+bool FederatedSource::ScanEndpoint(
+    const Endpoint& ep, rdf::TermId s, rdf::TermId p, rdf::TermId o,
+    const std::function<void(const rdf::Triple&)>& fn) const {
+  CircuitBreaker& breaker = BreakerFor(ep.name());
+  EndpointHealth& health = HealthFor(ep.name());
+  const RetryPolicy& retry = resilience_.retry;
+  const int max_attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  // Requests are buffered so a retry (or a mid-scan connection drop) never
+  // leaks a partial or duplicated answer prefix to the evaluator.
+  std::vector<rdf::Triple> buffer;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (!breaker.AllowRequest()) {
+      ++health.skipped;
+      if (health.last_error.empty()) {
+        health.last_error = ep.name() + ": circuit breaker open";
+      }
+      return false;
+    }
+    if (attempt > 0) {
+      ++health.retries;
+      double wait =
+          retry.BackoffMillis(attempt, NameSeed(ep.name()) ^ health.attempts);
+      if (wait > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(wait));
+      }
+    }
+    ++health.attempts;
+    buffer.clear();
+    Result<size_t> r =
+        ep.Request(s, p, o, [&](const rdf::Triple& t) { buffer.push_back(t); });
+    if (r.ok()) {
+      breaker.RecordSuccess();
+      for (const rdf::Triple& t : buffer) fn(t);
+      return true;
+    }
+    breaker.RecordFailure();
+    ++health.failures;
+    health.last_error = r.status().message();
+  }
+  ++health.gave_up;
+  return false;
+}
 
 void FederatedSource::Scan(
     rdf::TermId s, rdf::TermId p, rdf::TermId o,
     const std::function<void(const rdf::Triple&)>& fn) const {
   for (const std::unique_ptr<Endpoint>& ep : *endpoints_) {
-    ep->Request(s, p, o, fn);
+    ScanEndpoint(*ep, s, p, o, fn);
   }
 }
 
@@ -94,13 +189,16 @@ size_t FederatedSource::CountMatches(rdf::TermId s, rdf::TermId p,
                                      rdf::TermId o) const {
   size_t total = 0;
   for (const std::unique_ptr<Endpoint>& ep : *endpoints_) {
-    size_t n = ep->store().CountMatches(s, p, o);
-    const size_t cap = ep->options().max_answers_per_request;
-    if (cap != 0 && n > cap) n = cap;
-    total += n;
+    if (ep->options().fault.hard_down) continue;
+    if (BreakerState(ep->name()) == CircuitState::kOpen) continue;
+    total += ep->CountMatches(s, p, o);
   }
   return total;
 }
+
+// ---------------------------------------------------------------------------
+// Federation
+// ---------------------------------------------------------------------------
 
 void Federation::AddEndpoint(const std::string& name,
                              const rdf::Graph& graph,
@@ -168,31 +266,44 @@ void Federation::AddEndpoint(const std::string& name,
   schema_endpoint_stale_ = true;
 }
 
+void Federation::RefreshSchemaEndpoint() {
+  if (!schema_endpoint_stale_) return;
+  // Refresh the virtual endpoint exposing the mediated saturated schema
+  // (so schema-position atoms of reformulations are answerable). It is
+  // mediator-local: never rate-limited, never faulty.
+  for (auto it = endpoints_.begin(); it != endpoints_.end(); ++it) {
+    if ((*it)->name() == kSchemaEndpointName) {
+      endpoints_.erase(it);
+      break;
+    }
+  }
+  endpoints_.push_back(std::make_unique<Endpoint>(
+      kSchemaEndpointName,
+      std::make_unique<storage::Store>(&dict_, SchemaTriples(schema_)),
+      EndpointOptions{}));
+  schema_endpoint_stale_ = false;
+}
+
 Result<engine::Table> Federation::Answer(const query::Cq& q,
                                          const query::Cover* cover) {
+  FederationAnswerOptions options;
+  options.cover = cover;
+  RDFREF_ASSIGN_OR_RETURN(FederatedAnswer answer, AnswerResilient(q, options));
+  return std::move(answer.table);
+}
+
+Result<FederatedAnswer> Federation::AnswerResilient(
+    const query::Cq& q, const FederationAnswerOptions& options) {
   if (endpoints_.empty()) {
     return Status::InvalidArgument("federation has no endpoints");
   }
-  if (schema_endpoint_stale_) {
-    // Refresh the virtual endpoint exposing the mediated saturated schema
-    // (so schema-position atoms of reformulations are answerable).
-    for (auto it = endpoints_.begin(); it != endpoints_.end(); ++it) {
-      if ((*it)->name() == kSchemaEndpointName) {
-        endpoints_.erase(it);
-        break;
-      }
-    }
-    endpoints_.push_back(std::make_unique<Endpoint>(
-        kSchemaEndpointName,
-        std::make_unique<storage::Store>(&dict_, SchemaTriples(schema_)),
-        EndpointOptions{}));
-    schema_endpoint_stale_ = false;
-  }
+  RefreshSchemaEndpoint();
+  source_.ResetHealth();
 
   reformulation::Reformulator reformulator(&schema_, {}, &dict_);
   query::Cover chosen;
-  if (cover != nullptr) {
-    chosen = *cover;
+  if (options.cover != nullptr) {
+    chosen = *options.cover;
   } else {
     storage::Statistics merged = MergedStatistics();
     cost::CostModel cost_model(&merged);
@@ -209,7 +320,23 @@ Result<engine::Table> Federation::Answer(const query::Cq& q,
     fragment_ucqs.push_back(std::move(ucq));
   }
   engine::Evaluator evaluator(&source_);
-  return evaluator.EvaluateJucq(q, fragment_queries, fragment_ucqs);
+  RDFREF_ASSIGN_OR_RETURN(
+      engine::Table table,
+      evaluator.EvaluateJucq(q, fragment_queries, fragment_ucqs,
+                             options.deadline));
+
+  FederatedAnswer answer;
+  answer.report = source_.Report();
+  if (!answer.report.known_complete && !options.allow_partial) {
+    std::string who;
+    for (const std::string& name : answer.report.degraded_endpoints()) {
+      if (!who.empty()) who += ", ";
+      who += name;
+    }
+    return Status::Unavailable("endpoints failed or were skipped: " + who);
+  }
+  answer.table = std::move(table);
+  return answer;
 }
 
 engine::Table Federation::EvaluateWithoutReasoning(const query::Cq& q) const {

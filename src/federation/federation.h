@@ -1,13 +1,16 @@
 #ifndef RDFREF_FEDERATION_FEDERATION_H_
 #define RDFREF_FEDERATION_FEDERATION_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "engine/table.h"
 #include "federation/endpoint.h"
+#include "federation/resilience.h"
 #include "query/cover.h"
 #include "query/cq.h"
 #include "rdf/dictionary.h"
@@ -22,6 +25,12 @@ namespace federation {
 /// \brief Mediator view over all endpoints: one TripleSource whose Scan
 /// fans a pattern request out to every endpoint (respecting each
 /// endpoint's answer caps) and whose dictionary is the shared one.
+///
+/// The fan-out is fault-tolerant: each endpoint request is buffered, retried
+/// under the RetryPolicy, and gated by a per-endpoint CircuitBreaker so dead
+/// sources stop being hammered. Health is accumulated per endpoint between
+/// ResetHealth() calls and summarized by Report() — the mediator's record of
+/// which endpoints' data is missing from what it delivered.
 class FederatedSource : public storage::TripleSource {
  public:
   FederatedSource(const rdf::Dictionary* dict,
@@ -31,13 +40,66 @@ class FederatedSource : public storage::TripleSource {
   void Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
             const std::function<void(const rdf::Triple&)>& fn)
       const override;
+  /// \brief Cost-model cardinality: per-endpoint match counts clamped to
+  /// each endpoint's answer cap, skipping endpoints that cannot currently
+  /// deliver (hard-down or open circuit breaker) — estimates match what
+  /// Scan actually returns.
   size_t CountMatches(rdf::TermId s, rdf::TermId p,
                       rdf::TermId o) const override;
   const rdf::Dictionary& dict() const override { return *dict_; }
 
+  /// \brief Replaces the retry/breaker policy and resets all breakers.
+  void set_resilience(const ResilienceOptions& options);
+  const ResilienceOptions& resilience() const { return resilience_; }
+
+  /// \brief Clears accumulated health counters (breaker states persist —
+  /// an open breaker stays open across queries until its cool-down).
+  void ResetHealth() const;
+
+  /// \brief Health accumulated since the last ResetHealth, sorted by
+  /// endpoint name.
+  CompletenessReport Report() const;
+
+  /// \brief Breaker state for one endpoint (kClosed if it has no traffic).
+  CircuitState BreakerState(const std::string& endpoint) const;
+
  private:
+  // Scans one endpoint with retries; true iff its data arrived in full.
+  bool ScanEndpoint(const Endpoint& ep, rdf::TermId s, rdf::TermId p,
+                    rdf::TermId o,
+                    const std::function<void(const rdf::Triple&)>& fn) const;
+  CircuitBreaker& BreakerFor(const std::string& name) const;
+  EndpointHealth& HealthFor(const std::string& name) const;
+
   const rdf::Dictionary* dict_;
   const std::vector<std::unique_ptr<Endpoint>>* endpoints_;
+  ResilienceOptions resilience_;
+  // std::map: nested Scan calls (index nested-loop joins re-enter Scan from
+  // inside callbacks) must not invalidate references held by outer frames.
+  mutable std::map<std::string, CircuitBreaker> breakers_;
+  mutable std::map<std::string, EndpointHealth> health_;
+};
+
+/// \brief Options for one resilient federated answering call.
+struct FederationAnswerOptions {
+  /// Cover to use; nullptr lets GCov pick.
+  const query::Cover* cover = nullptr;
+  /// Evaluation budget, checked at CQ boundaries of the UCQ/JUCQ loops; an
+  /// exploding reformulation returns kDeadlineExceeded instead of running
+  /// away. Default: infinite.
+  Deadline deadline;
+  /// Degraded mode: when endpoints fail past their retries (or are skipped
+  /// by an open breaker), return the answers derivable from the healthy
+  /// endpoints plus a CompletenessReport, instead of failing outright.
+  bool allow_partial = false;
+};
+
+/// \brief A (possibly partial) federated answer with its provenance: the
+/// rows the mediator could derive, and the report saying whether any
+/// endpoint's data is missing from them.
+struct FederatedAnswer {
+  engine::Table table;
+  CompletenessReport report;
 };
 
 /// \brief A federation of independent RDF endpoints, per the motivation of
@@ -69,9 +131,17 @@ class Federation {
 
   /// \brief Answers q completely via reformulation against the mediated
   /// schema. With `cover == nullptr`, GCov picks the cover; otherwise the
-  /// given cover is used.
+  /// given cover is used. All-or-nothing: endpoint failures surviving the
+  /// retry policy fail the whole call with kUnavailable.
   Result<engine::Table> Answer(const query::Cq& q,
                                const query::Cover* cover = nullptr);
+
+  /// \brief Resilient answering: retries/breakers always apply; with
+  /// options.allow_partial the call degrades to the answers derivable from
+  /// healthy endpoints (annotated by the CompletenessReport) instead of
+  /// failing; options.deadline bounds evaluation (kDeadlineExceeded).
+  Result<FederatedAnswer> AnswerResilient(
+      const query::Cq& q, const FederationAnswerOptions& options = {});
 
   /// \brief Evaluates q against the endpoints without any reasoning
   /// (what a naive mediator would return — incomplete).
@@ -84,8 +154,14 @@ class Federation {
   const schema::Schema& schema() const { return schema_; }
 
   const FederatedSource& source() const { return source_; }
+  std::vector<std::unique_ptr<Endpoint>>& endpoints() { return endpoints_; }
   const std::vector<std::unique_ptr<Endpoint>>& endpoints() const {
     return endpoints_;
+  }
+
+  /// \brief Mediator-side retry and circuit-breaker policy.
+  void set_resilience(const ResilienceOptions& options) {
+    source_.set_resilience(options);
   }
 
   /// \brief Summed statistics across endpoints (counts add exactly;
@@ -94,6 +170,8 @@ class Federation {
   storage::Statistics MergedStatistics() const;
 
  private:
+  void RefreshSchemaEndpoint();
+
   rdf::Dictionary dict_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   schema::Schema schema_;

@@ -1,0 +1,105 @@
+#include "federation/resilience.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rdfref {
+namespace federation {
+
+double RetryPolicy::BackoffMillis(int attempt, uint64_t seed) const {
+  if (attempt <= 0 || initial_backoff_ms <= 0.0) return 0.0;
+  double wait = initial_backoff_ms;
+  for (int i = 1; i < attempt; ++i) wait *= backoff_multiplier;
+  wait = std::min(wait, max_backoff_ms);
+  if (jitter_fraction > 0.0) {
+    // Deterministic jitter: hash (seed, attempt) to a factor in
+    // [1 - jitter, 1 + jitter].
+    uint64_t z = seed + static_cast<uint64_t>(attempt) * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    double u = static_cast<double>(z >> 11) / 9007199254740992.0;  // [0,1)
+    wait *= 1.0 + jitter_fraction * (2.0 * u - 1.0);
+  }
+  return wait;
+}
+
+const char* CircuitStateToString(CircuitState state) {
+  switch (state) {
+    case CircuitState::kClosed:
+      return "CLOSED";
+    case CircuitState::kOpen:
+      return "OPEN";
+    case CircuitState::kHalfOpen:
+      return "HALF_OPEN";
+  }
+  return "UNKNOWN";
+}
+
+bool CircuitBreaker::AllowRequest() {
+  switch (state_) {
+    case CircuitState::kClosed:
+      return true;
+    case CircuitState::kOpen:
+      if (since_open_.ElapsedMillis() >= options_.cooldown_ms) {
+        state_ = CircuitState::kHalfOpen;
+        half_open_successes_ = 0;
+        return true;
+      }
+      return false;
+    case CircuitState::kHalfOpen:
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  if (state_ == CircuitState::kHalfOpen) {
+    if (++half_open_successes_ >= options_.half_open_successes) {
+      state_ = CircuitState::kClosed;
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  ++consecutive_failures_;
+  if (state_ == CircuitState::kHalfOpen) {
+    Trip();  // a failed probe reopens immediately
+  } else if (state_ == CircuitState::kClosed &&
+             consecutive_failures_ >= options_.failure_threshold) {
+    Trip();
+  }
+}
+
+void CircuitBreaker::Trip() {
+  state_ = CircuitState::kOpen;
+  half_open_successes_ = 0;
+  ++times_opened_;
+  since_open_.Reset();
+}
+
+std::vector<std::string> CompletenessReport::degraded_endpoints() const {
+  std::vector<std::string> out;
+  for (const EndpointHealth& h : endpoints) {
+    if (h.data_lost()) out.push_back(h.endpoint);
+  }
+  return out;
+}
+
+std::string CompletenessReport::ToString() const {
+  std::ostringstream out;
+  out << (known_complete ? "complete" : "PARTIAL")
+      << " (retries: " << total_retries << ")";
+  for (const EndpointHealth& h : endpoints) {
+    if (!h.data_lost() && h.failures == 0) continue;
+    out << "\n  " << h.endpoint << ": attempts=" << h.attempts
+        << " failures=" << h.failures << " retries=" << h.retries
+        << " skipped=" << h.skipped << " gave_up=" << h.gave_up;
+    if (!h.last_error.empty()) out << " last_error=\"" << h.last_error << '"';
+  }
+  return out.str();
+}
+
+}  // namespace federation
+}  // namespace rdfref

@@ -1,0 +1,194 @@
+#ifndef RDFREF_FEDERATION_RESILIENCE_H_
+#define RDFREF_FEDERATION_RESILIENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace rdfref {
+namespace federation {
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// \brief Simulated misbehaviour of one endpoint — the adverse *source*
+/// shapes a LOD-cloud mediator must survive (Section 1 motivates
+/// rate-limited, unreliable public endpoints). All randomness is seeded and
+/// advances deterministically with the request sequence, so experiments and
+/// tests replay exactly.
+struct FaultProfile {
+  /// Probability in [0,1] that a request fails outright (connection
+  /// refused / HTTP 503). 1.0 = every request fails.
+  double failure_probability = 0.0;
+  /// When > 0, the connection drops after delivering this many triples:
+  /// the caller saw a prefix of the answer and then an error (mid-scan
+  /// truncation, distinct from the silent `max_answers_per_request` cap).
+  size_t fail_after_triples = 0;
+  /// Simulated per-request network latency; the endpoint sleeps this long
+  /// before answering.
+  double latency_ms = 0.0;
+  /// Endpoint is unreachable: every request fails immediately.
+  bool hard_down = false;
+  /// Seed for the failure-probability coin flips.
+  uint64_t seed = 0;
+};
+
+/// \brief Deterministic per-endpoint fault source (splitmix64 stream).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultProfile& profile)
+      : profile_(profile), state_(profile.seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// \brief Rolls the failure coin for the next request (advances the
+  /// stream only when failure_probability > 0).
+  bool NextRequestFails() {
+    if (profile_.failure_probability <= 0.0) return false;
+    if (profile_.failure_probability >= 1.0) return true;
+    return NextUniform() < profile_.failure_probability;
+  }
+
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  double NextUniform() {
+    // splitmix64 step; top 53 bits to a double in [0,1).
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) / 9007199254740992.0;  // 2^53
+  }
+
+  FaultProfile profile_;
+  uint64_t state_;
+};
+
+// ---------------------------------------------------------------------------
+// Retry with exponential backoff
+// ---------------------------------------------------------------------------
+
+/// \brief How the mediator retries a failed endpoint request.
+struct RetryPolicy {
+  /// Total attempts per scan (1 = no retry).
+  int max_attempts = 3;
+  /// First backoff wait; 0 disables sleeping entirely (simulation-friendly
+  /// default — the *count* of retries is still tracked and reported).
+  double initial_backoff_ms = 0.0;
+  /// Exponential growth factor between attempts.
+  double backoff_multiplier = 2.0;
+  /// Ceiling on a single backoff wait.
+  double max_backoff_ms = 50.0;
+  /// Fraction of the wait perturbed by deterministic jitter in
+  /// [1 - jitter, 1 + jitter], keyed on (seed, attempt) — retries against
+  /// distinct endpoints de-synchronize, yet replays are exact.
+  double jitter_fraction = 0.25;
+
+  /// \brief Backoff before attempt `attempt` (1-based; attempt 0 is the
+  /// initial try and never waits).
+  double BackoffMillis(int attempt, uint64_t seed) const;
+};
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+enum class CircuitState {
+  kClosed,    ///< healthy: requests flow
+  kOpen,      ///< tripped: requests are skipped until the cool-down passes
+  kHalfOpen,  ///< probing: a limited number of trial requests go through
+};
+
+const char* CircuitStateToString(CircuitState state);
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker (closed -> open).
+  int failure_threshold = 3;
+  /// How long an open breaker rejects before letting a probe through
+  /// (open -> half-open). 0 = probe immediately on the next request.
+  double cooldown_ms = 100.0;
+  /// Successful probes required to close again (half-open -> closed).
+  int half_open_successes = 1;
+};
+
+/// \brief Per-endpoint breaker so the mediator stops hammering dead
+/// sources: closed -> open after `failure_threshold` consecutive failures,
+/// open -> half-open after `cooldown_ms`, half-open -> closed after
+/// `half_open_successes` successes (any half-open failure reopens).
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions options = {})
+      : options_(options) {}
+
+  /// \brief Gate before issuing a request; an open breaker whose cool-down
+  /// has passed transitions to half-open and admits the probe.
+  bool AllowRequest();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  CircuitState state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  uint64_t times_opened() const { return times_opened_; }
+
+ private:
+  void Trip();
+
+  CircuitBreakerOptions options_;
+  CircuitState state_ = CircuitState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  uint64_t times_opened_ = 0;
+  Timer since_open_;
+};
+
+// ---------------------------------------------------------------------------
+// Completeness reporting
+// ---------------------------------------------------------------------------
+
+/// \brief Per-endpoint health over one mediated evaluation.
+struct EndpointHealth {
+  std::string endpoint;
+  uint64_t attempts = 0;  ///< requests actually issued
+  uint64_t failures = 0;  ///< failed attempts (pre-retry)
+  uint64_t retries = 0;   ///< re-attempts after a failure
+  uint64_t skipped = 0;   ///< scans rejected by an open circuit breaker
+  uint64_t gave_up = 0;   ///< scans that exhausted every attempt
+  std::string last_error;
+
+  /// \brief True when some of this endpoint's data never reached the
+  /// mediator (skips or exhausted retries).
+  bool data_lost() const { return skipped > 0 || gave_up > 0; }
+};
+
+/// \brief What a degraded (partial) answer is missing and why — the
+/// resilience analogue of the paper's completeness guarantees: Ref is
+/// complete w.r.t. the data the mediator could actually reach, and this
+/// report says exactly which sources that excludes.
+struct CompletenessReport {
+  /// True iff every endpoint delivered every requested scan in full.
+  bool known_complete = true;
+  uint64_t total_retries = 0;
+  /// Per-endpoint health, sorted by endpoint name (deterministic).
+  std::vector<EndpointHealth> endpoints;
+
+  /// \brief Names of endpoints whose data is (partly) missing.
+  std::vector<std::string> degraded_endpoints() const;
+
+  std::string ToString() const;
+};
+
+/// \brief Mediator-side resilience knobs (fault profiles are per-endpoint,
+/// on EndpointOptions).
+struct ResilienceOptions {
+  RetryPolicy retry;
+  CircuitBreakerOptions breaker;
+};
+
+}  // namespace federation
+}  // namespace rdfref
+
+#endif  // RDFREF_FEDERATION_RESILIENCE_H_

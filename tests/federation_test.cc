@@ -182,6 +182,33 @@ TEST_F(FederationTest, MergedStatisticsSumCounts) {
   EXPECT_EQ(merged.ForProperty(p).count, 2u);
 }
 
+TEST_F(FederationTest, CountMatchesHonorsAnswerCaps) {
+  // Cost-model cardinalities must match what Scan can actually deliver: a
+  // rate-limited endpoint contributes at most its per-request cap.
+  rdf::Graph big;
+  for (int i = 0; i < 50; ++i) {
+    big.AddUri("http://ex/s" + std::to_string(i), "http://ex/knows",
+               "http://ex/o");
+  }
+  Federation federation;
+  EndpointOptions limited;
+  limited.max_answers_per_request = 10;
+  federation.AddEndpoint("limited", big, limited);
+  federation.AddEndpoint("unlimited", big);
+
+  rdf::TermId knows =
+      federation.dict().Find(rdf::Term::Uri("http://ex/knows"));
+  EXPECT_EQ(federation.endpoints()[0]->CountMatches(storage::kAny, knows,
+                                                    storage::kAny),
+            10u);
+  EXPECT_EQ(federation.endpoints()[1]->CountMatches(storage::kAny, knows,
+                                                    storage::kAny),
+            50u);
+  EXPECT_EQ(federation.source().CountMatches(storage::kAny, knows,
+                                             storage::kAny),
+            60u);
+}
+
 TEST_F(FederationTest, RequestCountersAdvance) {
   Federation federation;
   federation.AddEndpoint("facts", data_graph_);

@@ -1,0 +1,413 @@
+#include "federation/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "api/query_answering.h"
+#include "common/deadline.h"
+#include "engine/evaluator.h"
+#include "federation/federation.h"
+#include "query/sparql_parser.h"
+#include "rdf/parser.h"
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace federation {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deadline
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining_millis()));
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  Deadline d = Deadline::AfterMicros(0);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_millis(), 0.0);
+}
+
+TEST(DeadlineTest, FutureDeadlineNotYetExpired) {
+  Deadline d = Deadline::AfterMillis(60000);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_millis(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, DeterministicUnderFixedSeed) {
+  FaultProfile profile;
+  profile.failure_probability = 0.3;
+  profile.seed = 42;
+  FaultInjector a(profile), b(profile);
+  int failures = 0;
+  for (int i = 0; i < 1000; ++i) {
+    bool fa = a.NextRequestFails();
+    ASSERT_EQ(fa, b.NextRequestFails()) << "diverged at roll " << i;
+    failures += fa ? 1 : 0;
+  }
+  // The rate must roughly track the probability (a seeded stream, not a
+  // biased coin).
+  EXPECT_GT(failures, 200);
+  EXPECT_LT(failures, 400);
+}
+
+TEST(FaultInjectorTest, ExtremesNeedNoRandomness) {
+  FaultProfile never;
+  FaultInjector n(never);
+  FaultProfile always;
+  always.failure_probability = 1.0;
+  FaultInjector y(always);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(n.NextRequestFails());
+    EXPECT_TRUE(y.NextRequestFails());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicyTest, ExponentialBackoffWithDeterministicJitter) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 4.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 100.0;
+  policy.jitter_fraction = 0.25;
+  // Attempt 0 (the initial try) never waits.
+  EXPECT_EQ(policy.BackoffMillis(0, 7), 0.0);
+  double w1 = policy.BackoffMillis(1, 7);
+  double w2 = policy.BackoffMillis(2, 7);
+  // Jitter stays within [1-j, 1+j] of the exponential base.
+  EXPECT_GE(w1, 4.0 * 0.75);
+  EXPECT_LE(w1, 4.0 * 1.25);
+  EXPECT_GE(w2, 8.0 * 0.75);
+  EXPECT_LE(w2, 8.0 * 1.25);
+  // Deterministic: same (attempt, seed) -> same wait.
+  EXPECT_EQ(w1, policy.BackoffMillis(1, 7));
+  // The cap bounds late attempts.
+  EXPECT_LE(policy.BackoffMillis(30, 7), 100.0 * 1.25);
+}
+
+TEST(RetryPolicyTest, ZeroInitialBackoffDisablesWaiting) {
+  RetryPolicy policy;  // default initial_backoff_ms = 0
+  EXPECT_EQ(policy.BackoffMillis(1, 1), 0.0);
+  EXPECT_EQ(policy.BackoffMillis(5, 1), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.cooldown_ms = 60000;  // effectively never half-opens in this test
+  CircuitBreaker breaker(options);
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.times_opened(), 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker(options);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // streak broken
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeClosesOrReopens) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.cooldown_ms = 0.0;  // probe immediately
+  options.half_open_successes = 1;
+  CircuitBreaker breaker(options);
+
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+  // Cool-down of 0: the next request is admitted as a half-open probe.
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+  // A failed probe reopens immediately...
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+  // ...and a successful probe closes.
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(CircuitStateToString(CircuitState::kClosed), "CLOSED");
+  EXPECT_STREQ(CircuitStateToString(CircuitState::kOpen), "OPEN");
+  EXPECT_STREQ(CircuitStateToString(CircuitState::kHalfOpen), "HALF_OPEN");
+}
+
+// ---------------------------------------------------------------------------
+// Federated resilience end-to-end
+// ---------------------------------------------------------------------------
+
+class ResilientFederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(rdf::TurtleParser::ParseString(
+                    "@prefix bib: <http://example.org/bib/> .\n"
+                    "bib:doi1 a bib:Book .\n"
+                    "bib:Book rdfs:subClassOf bib:Publication .\n",
+                    &healthy_graph_)
+                    .ok());
+    ASSERT_TRUE(rdf::TurtleParser::ParseString(
+                    "@prefix bib: <http://example.org/bib/> .\n"
+                    "bib:doi2 a bib:Book .\n",
+                    &flaky_graph_)
+                    .ok());
+  }
+
+  query::Cq Parse(Federation* federation, const std::string& text) {
+    auto q = query::ParseSparql(
+        "PREFIX bib: <http://example.org/bib/>\n" + text, &federation->dict());
+    EXPECT_TRUE(q.ok()) << q.status();
+    return *q;
+  }
+
+  rdf::Graph healthy_graph_, flaky_graph_;
+};
+
+// Acceptance: an endpoint failing 100% of requests trips its breaker;
+// degraded mode still returns the answers derivable from the healthy
+// endpoints, and the completeness report names the skipped endpoint.
+TEST_F(ResilientFederationTest, DegradedAnswerFromHealthyEndpoints) {
+  Federation federation;
+  federation.AddEndpoint("healthy", healthy_graph_);
+  EndpointOptions dead;
+  dead.fault.failure_probability = 1.0;
+  dead.fault.seed = 7;
+  federation.AddEndpoint("flaky", flaky_graph_, dead);
+
+  ResilienceOptions resilience;
+  resilience.retry.max_attempts = 3;
+  resilience.breaker.failure_threshold = 3;
+  resilience.breaker.cooldown_ms = 60000;  // stays open for the whole test
+  federation.set_resilience(resilience);
+
+  query::Cq q =
+      Parse(&federation, "SELECT ?x WHERE { ?x a bib:Publication . }");
+
+  // Degraded mode: the healthy endpoint's derivable answer survives.
+  FederationAnswerOptions degraded;
+  degraded.allow_partial = true;
+  auto partial = federation.AnswerResilient(q, degraded);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_EQ(partial->table.NumRows(), 1u);  // doi1 via the healthy endpoint
+  EXPECT_FALSE(partial->report.known_complete);
+  std::vector<std::string> degraded_eps = partial->report.degraded_endpoints();
+  ASSERT_EQ(degraded_eps.size(), 1u);
+  EXPECT_EQ(degraded_eps[0], "flaky");
+  // Three consecutive failures tripped the breaker; later scans were
+  // skipped rather than hammering the dead source.
+  EXPECT_EQ(federation.source().BreakerState("flaky"), CircuitState::kOpen);
+  for (const EndpointHealth& h : partial->report.endpoints) {
+    if (h.endpoint == "flaky") {
+      EXPECT_GE(h.failures, 3u);
+      EXPECT_GT(h.gave_up + h.skipped, 0u);
+    }
+  }
+
+  // Strict mode: all-or-nothing, the failure surfaces as kUnavailable (the
+  // still-open breaker skips the dead endpoint outright).
+  auto strict = federation.AnswerResilient(q);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(strict.status().message().find("flaky"), std::string::npos)
+      << strict.status();
+}
+
+TEST_F(ResilientFederationTest, RetryUntilSuccessKeepsAnswerComplete) {
+  Federation federation;
+  federation.AddEndpoint("healthy", healthy_graph_);
+  EndpointOptions shaky;
+  shaky.fault.failure_probability = 0.5;
+  // Seed 7's roll sequence starts (fail, ok): the first request fails, the
+  // first retry succeeds — retry-until-success, deterministically.
+  shaky.fault.seed = 7;
+  federation.AddEndpoint("shaky", flaky_graph_, shaky);
+
+  ResilienceOptions resilience;
+  resilience.retry.max_attempts = 30;        // retries always outlast p=0.5
+  resilience.breaker.failure_threshold = 1000;  // isolate retry behaviour
+  federation.set_resilience(resilience);
+
+  query::Cq q = Parse(&federation, "SELECT ?x WHERE { ?x a bib:Book . }");
+  auto answer = federation.AnswerResilient(q);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_EQ(answer->table.NumRows(), 2u);  // doi1 + doi2: nothing lost
+  EXPECT_TRUE(answer->report.known_complete);
+  EXPECT_GT(answer->report.total_retries, 0u);
+}
+
+TEST_F(ResilientFederationTest, DeterministicReportUnderFixedSeed) {
+  auto run = [this]() {
+    Federation federation;
+    federation.AddEndpoint("healthy", healthy_graph_);
+    EndpointOptions shaky;
+    shaky.fault.failure_probability = 0.5;
+    shaky.fault.seed = 99;
+    federation.AddEndpoint("shaky", flaky_graph_, shaky);
+    ResilienceOptions resilience;
+    resilience.retry.max_attempts = 30;
+    resilience.breaker.failure_threshold = 1000;
+    federation.set_resilience(resilience);
+    query::Cq q = Parse(&federation, "SELECT ?x WHERE { ?x a bib:Book . }");
+    auto answer = federation.AnswerResilient(q);
+    EXPECT_TRUE(answer.ok());
+    return answer.ok() ? answer->report.ToString() : std::string("error");
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_F(ResilientFederationTest, MidScanTruncationIsRetriedNotLeaked) {
+  // fail_after_triples drops the connection mid-answer. The mediator
+  // buffers per request, so the partial prefix is discarded — never
+  // double-counted, never silently treated as complete.
+  rdf::Graph big;
+  for (int i = 0; i < 20; ++i) {
+    big.AddUri("http://ex/s" + std::to_string(i), "http://ex/p",
+               "http://ex/o");
+  }
+  Federation federation;
+  EndpointOptions truncating;
+  truncating.fault.fail_after_triples = 5;
+  federation.AddEndpoint("truncating", big, truncating);
+  federation.set_resilience(ResilienceOptions{});
+
+  query::Cq q = *query::ParseSparql(
+      "SELECT ?x WHERE { ?x <http://ex/p> ?y . }", &federation.dict());
+  FederationAnswerOptions degraded;
+  degraded.allow_partial = true;
+  auto answer = federation.AnswerResilient(q, degraded);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  // Every attempt truncates, so no rows from this endpoint are trusted.
+  EXPECT_EQ(answer->table.NumRows(), 0u);
+  EXPECT_FALSE(answer->report.known_complete);
+}
+
+TEST_F(ResilientFederationTest, HardDownEndpointSkippedInCountMatches) {
+  Federation federation;
+  federation.AddEndpoint("healthy", healthy_graph_);
+  EndpointOptions down;
+  down.fault.hard_down = true;
+  federation.AddEndpoint("down", flaky_graph_, down);
+  // The cost model must not count data the mediator cannot fetch.
+  rdf::TermId book_id =
+      federation.dict().Find(rdf::Term::Uri("http://example.org/bib/Book"));
+  EXPECT_EQ(federation.source().CountMatches(storage::kAny,
+                                             rdf::vocab::kTypeId, book_id),
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines on exploding reformulations
+// ---------------------------------------------------------------------------
+
+// A schema whose class hierarchy makes the UCQ reformulation explode
+// multiplicatively (Example-1-style): three type atoms, each reformulating
+// into (subclasses + 1) members.
+rdf::Graph ExplodingGraph(int subclasses) {
+  std::string ttl = "@prefix ex: <http://example.org/> .\n";
+  for (int i = 0; i < subclasses; ++i) {
+    ttl += "ex:C" + std::to_string(i) + " rdfs:subClassOf ex:Top .\n";
+  }
+  ttl += "ex:a a ex:C0 .\nex:b a ex:C1 .\nex:c a ex:C2 .\n";
+  ttl += "ex:a ex:p ex:b .\nex:b ex:p ex:c .\n";
+  rdf::Graph g;
+  EXPECT_TRUE(rdf::TurtleParser::ParseString(ttl, &g).ok());
+  return g;
+}
+
+// Acceptance: a 1 ms deadline on an exploding reformulation returns
+// kDeadlineExceeded — no hang, no crash.
+TEST(ResilienceDeadlineTest, ExplodingUcqHitsDeadline) {
+  api::QueryAnswerer answerer(ExplodingGraph(50));
+  auto q = query::ParseSparql(
+      "PREFIX ex: <http://example.org/>\n"
+      "SELECT ?x ?y ?z WHERE { ?x a ex:Top . ?y a ex:Top . ?z a ex:Top . "
+      "?x ex:p ?y . ?y ex:p ?z . }",
+      &answerer.dict());
+  ASSERT_TRUE(q.ok()) << q.status();
+
+  // Sanity: without a deadline the 51^3 = 132,651-CQ UCQ evaluates fully.
+  api::AnswerProfile profile;
+  auto unbounded = answerer.Answer(*q, api::Strategy::kRefUcq, &profile);
+  ASSERT_TRUE(unbounded.ok());
+  EXPECT_EQ(profile.reformulation_cqs, 132651u);
+  EXPECT_EQ(unbounded->NumRows(), 1u);
+
+  api::AnswerOptions options;
+  options.deadline = Deadline::AfterMillis(1.0);
+  auto bounded = answerer.Answer(*q, api::Strategy::kRefUcq, nullptr, options);
+  ASSERT_FALSE(bounded.ok());
+  EXPECT_EQ(bounded.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The SCQ/JUCQ path checks the same deadline at its CQ boundaries.
+  options.deadline = Deadline::AfterMicros(0);
+  auto scq = answerer.Answer(*q, api::Strategy::kRefScq, nullptr, options);
+  ASSERT_FALSE(scq.ok());
+  EXPECT_EQ(scq.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ResilienceDeadlineTest, EvaluatorReportsProgressInMessage) {
+  api::QueryAnswerer answerer(ExplodingGraph(3));
+  auto q = query::ParseSparql(
+      "PREFIX ex: <http://example.org/>\nSELECT ?x WHERE { ?x a ex:Top . }",
+      &answerer.dict());
+  ASSERT_TRUE(q.ok());
+  reformulation::Reformulator ref(&answerer.schema());
+  auto ucq = ref.Reformulate(*q);
+  ASSERT_TRUE(ucq.ok());
+  engine::Evaluator evaluator(&answerer.ref_store());
+  auto r = evaluator.EvaluateUcq(*ucq, Deadline::AfterMicros(0));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(r.status().message().find("0 of 4"), std::string::npos)
+      << r.status();
+}
+
+TEST_F(ResilientFederationTest, FederationDeadlinePropagates) {
+  Federation federation;
+  federation.AddEndpoint("healthy", healthy_graph_);
+  query::Cq q =
+      Parse(&federation, "SELECT ?x WHERE { ?x a bib:Publication . }");
+  FederationAnswerOptions options;
+  options.deadline = Deadline::AfterMicros(0);
+  auto answer = federation.AnswerResilient(q, options);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace federation
+}  // namespace rdfref

@@ -35,6 +35,23 @@ TEST(StatusTest, AllCodesHaveNames) {
                "RESOURCE_EXHAUSTED");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
                "UNIMPLEMENTED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(StatusTest, DeadlineExceededFactory) {
+  Status s = Status::DeadlineExceeded("query budget spent");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.ToString(), "DEADLINE_EXCEEDED: query budget spent");
+}
+
+TEST(StatusTest, UnavailableFactory) {
+  Status s = Status::Unavailable("endpoint down");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "UNAVAILABLE: endpoint down");
 }
 
 Status FailingOperation() { return Status::Internal("boom"); }
