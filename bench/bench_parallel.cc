@@ -1,0 +1,161 @@
+// Experiment T12 — parallel UCQ/JUCQ execution: thread-count sweep.
+//
+// The paper's engines evaluate reformulations sequentially; the UCQ's
+// members and a JUCQ's fragments are embarrassingly parallel, so a
+// multi-core machine should cut Ref wall-clock near-linearly without
+// changing a single answer (the merge preserves sequential order and the
+// single dedup keeps tables bit-identical). This bench sweeps the
+// `threads` knob over the Example 1 workload and the LUBM strategy mix.
+//
+// Interpreting numbers: speedups require actual cores. On a single-core
+// host the sweep measures the (small) overhead of the pool machinery
+// instead — record the host's hardware_concurrency alongside the numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "common/thread_pool.h"
+
+namespace rdfref {
+namespace bench {
+namespace {
+
+void PrintSweepHeader() {
+  std::printf(
+      "\n== T12: parallel evaluation sweep "
+      "(hardware_concurrency=%u, pool=%d threads) ==\n",
+      std::thread::hardware_concurrency(),
+      common::ThreadPool::DefaultThreads());
+  std::printf(
+      "answers are bit-identical across thread counts; speedup needs "
+      "real cores\n\n");
+}
+
+// --- Example 1 workload -------------------------------------------------
+
+void BM_Example1_Scq_Threads(benchmark::State& state) {
+  api::QueryAnswerer* answerer = SharedLubm();
+  query::Cq q = Example1Query(answerer);
+  api::AnswerOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto table = answerer->Answer(q, api::Strategy::kRefScq, nullptr,
+                                  options);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_Example1_Scq_Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Example1_PaperCover_Threads(benchmark::State& state) {
+  api::QueryAnswerer* answerer = SharedLubm();
+  query::Cq q = Example1Query(answerer);
+  api::AnswerOptions options;
+  options.cover = Example1PaperCover();
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto table = answerer->Answer(q, api::Strategy::kRefJucq, nullptr,
+                                  options);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_Example1_PaperCover_Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Example1_Gcov_Threads(benchmark::State& state) {
+  api::QueryAnswerer* answerer = SharedLubm();
+  query::Cq q = Example1Query(answerer);
+  api::AnswerOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto table = answerer->Answer(q, api::Strategy::kRefGcov, nullptr,
+                                  options);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_Example1_Gcov_Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// --- LUBM strategy mix --------------------------------------------------
+// The whole suite under one strategy, per thread count: the aggregate a
+// deployment would feel, not a single cherry-picked query.
+
+void RunSuite(api::QueryAnswerer* answerer, api::Strategy strategy,
+              const api::AnswerOptions& options) {
+  for (const auto& [name, text] : LubmQuerySuite()) {
+    query::Cq q = ParseUb(answerer, text);
+    auto table = answerer->Answer(q, strategy, nullptr, options);
+    benchmark::DoNotOptimize(table);
+  }
+}
+
+void BM_Suite_RefUcq_Threads(benchmark::State& state) {
+  api::QueryAnswerer* answerer = SharedLubm();
+  api::AnswerOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    RunSuite(answerer, api::Strategy::kRefUcq, options);
+  }
+}
+BENCHMARK(BM_Suite_RefUcq_Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Suite_RefScq_Threads(benchmark::State& state) {
+  api::QueryAnswerer* answerer = SharedLubm();
+  api::AnswerOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    RunSuite(answerer, api::Strategy::kRefScq, options);
+  }
+}
+BENCHMARK(BM_Suite_RefScq_Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Suite_RefGcov_Threads(benchmark::State& state) {
+  api::QueryAnswerer* answerer = SharedLubm();
+  api::AnswerOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    RunSuite(answerer, api::Strategy::kRefGcov, options);
+  }
+}
+BENCHMARK(BM_Suite_RefGcov_Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfref
+
+int main(int argc, char** argv) {
+  rdfref::bench::PrintSweepHeader();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -100,7 +100,7 @@ const storage::Store& QueryAnswerer::sat_store() {
 
 Result<engine::Table> QueryAnswerer::AnswerJucq(
     const query::Cq& q, const query::Cover& cover,
-    const reformulation::Reformulator& ref, const Deadline& deadline,
+    const reformulation::Reformulator& ref, const AnswerOptions& options,
     AnswerProfile* profile) {
   RDFREF_RETURN_NOT_OK(cover.Validate(q));
   Timer prepare;
@@ -116,16 +116,12 @@ Result<engine::Table> QueryAnswerer::AnswerJucq(
   double prepare_ms = prepare.ElapsedMillis();
 
   Timer eval;
-  engine::Evaluator evaluator(ref_delta_.get());
+  engine::Evaluator evaluator(ref_delta_.get(), options.threads);
   engine::JucqProfile jucq_profile;
   RDFREF_ASSIGN_OR_RETURN(
       engine::Table table,
-      evaluator.EvaluateJucq(q, fragment_queries, fragment_ucqs, deadline,
-                             &jucq_profile));
-  for (size_t i = 0; i < jucq_profile.fragments.size(); ++i) {
-    jucq_profile.fragments[i].cover_fragment = query::Cover(
-        {cover.fragments()[i]}).ToString();
-  }
+      evaluator.EvaluateJucq(q, fragment_queries, fragment_ucqs,
+                             options.deadline, &jucq_profile));
   if (profile != nullptr) {
     profile->prepare_millis += prepare_ms;
     profile->eval_millis = eval.ElapsedMillis();
@@ -201,7 +197,7 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
       RDFREF_ASSIGN_OR_RETURN(query::Ucq ucq, ref.Reformulate(q));
       double prepare_ms = prepare.ElapsedMillis();
       Timer eval;
-      engine::Evaluator evaluator(ref_delta_.get());
+      engine::Evaluator evaluator(ref_delta_.get(), options.threads);
       RDFREF_ASSIGN_OR_RETURN(engine::Table table,
                               evaluator.EvaluateUcq(ucq, options.deadline));
       if (profile != nullptr) {
@@ -216,12 +212,12 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
       reformulation::Reformulator ref(&schema_, options.reform,
                                       &graph_.dict());
       return AnswerJucq(q, query::Cover::Singletons(q.body().size()), ref,
-                        options.deadline, profile);
+                        options, profile);
     }
     case Strategy::kRefJucq: {
       reformulation::Reformulator ref(&schema_, options.reform,
                                       &graph_.dict());
-      return AnswerJucq(q, options.cover, ref, options.deadline, profile);
+      return AnswerJucq(q, options.cover, ref, options, profile);
     }
     case Strategy::kRefGcov: {
       reformulation::Reformulator ref(&schema_, options.reform,
@@ -236,7 +232,7 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
         profile->gcov = trace;
         profile->prepare_millis = search_ms;  // AnswerJucq adds to this
       }
-      return AnswerJucq(q, cover, ref, options.deadline, profile);
+      return AnswerJucq(q, cover, ref, options, profile);
     }
     case Strategy::kRefIncomplete: {
       reformulation::IncompleteReformulator ref(&schema_, options.reform,
@@ -245,7 +241,7 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
       RDFREF_ASSIGN_OR_RETURN(query::Ucq ucq, ref.Reformulate(q));
       double prepare_ms = prepare.ElapsedMillis();
       Timer eval;
-      engine::Evaluator evaluator(ref_delta_.get());
+      engine::Evaluator evaluator(ref_delta_.get(), options.threads);
       RDFREF_ASSIGN_OR_RETURN(engine::Table table,
                               evaluator.EvaluateUcq(ucq, options.deadline));
       if (profile != nullptr) {

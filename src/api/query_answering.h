@@ -49,6 +49,14 @@ struct AnswerOptions {
   /// starts): once expired, Answer returns kDeadlineExceeded with whatever
   /// profile was gathered so far. Default: infinite.
   Deadline deadline;
+  /// Evaluation parallelism for the Ref strategies (UCQ member chunks,
+  /// JUCQ fragment materialization). 1 (the default) keeps evaluation on
+  /// the calling thread — the Sat and Dat baselines are single-threaded,
+  /// so comparisons stay apples-to-apples unless parallelism is asked
+  /// for. 0 resolves to common::ThreadPool::DefaultThreads(); n > 1
+  /// bounds the concurrent tasks at n. Answers are bit-identical across
+  /// all settings.
+  int threads = 1;
 };
 
 /// \brief Measurements of one Answer() call — what the demonstration's
@@ -138,7 +146,7 @@ class QueryAnswerer {
   Result<engine::Table> AnswerJucq(const query::Cq& q,
                                    const query::Cover& cover,
                                    const reformulation::Reformulator& ref,
-                                   const Deadline& deadline,
+                                   const AnswerOptions& options,
                                    AnswerProfile* profile);
 
   rdf::Graph graph_;

@@ -1,6 +1,7 @@
 #ifndef RDFREF_COMMON_DEADLINE_H_
 #define RDFREF_COMMON_DEADLINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <limits>
@@ -53,6 +54,37 @@ class Deadline {
   using Clock = std::chrono::steady_clock;
   bool has_deadline_ = false;
   Clock::time_point at_{};
+};
+
+/// \brief Cooperative cancellation handle: a deadline plus an optional
+/// stop flag shared between parallel workers.
+///
+/// ShouldStop() is cheap enough to poll from inner scan callbacks: the
+/// flag is a relaxed atomic load, and the clock is only consulted when a
+/// finite deadline is set. The first observer of an expired deadline
+/// raises the shared flag, so sibling workers cancel without touching the
+/// clock themselves. A default-constructed token never stops.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(const Deadline* deadline,
+                       std::atomic<bool>* stop = nullptr)
+      : deadline_(deadline), stop_(stop) {}
+
+  bool ShouldStop() const {
+    if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (deadline_ != nullptr && deadline_->expired()) {
+      if (stop_ != nullptr) stop_->store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const Deadline* deadline_ = nullptr;
+  std::atomic<bool>* stop_ = nullptr;
 };
 
 }  // namespace rdfref

@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace rdfref {
+namespace common {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    work_cv_.notify_all();
+  }
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked intentionally: the shared pool must outlive every static whose
+  // destructor might still evaluate queries at exit.
+  static ThreadPool* pool = new ThreadPool(DefaultThreads());
+  return *pool;
+}
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(2u, hw == 0 ? 1u : hw);
+}
+
+void ThreadPool::StartWorkersLocked() {
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+bool ThreadPool::RunOne(Batch* batch) {
+  const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+  if (i >= batch->n) return false;
+  (*batch->fn)(i);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (++batch->done == batch->n) batch->done_cv.notify_all();
+  return true;
+}
+
+void ThreadPool::RetireLocked(Batch* batch) {
+  for (auto it = active_.begin(); it != active_.end(); ++it) {
+    if (it->get() == batch) {
+      active_.erase(it);
+      return;
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return shutdown_ || !active_.empty(); });
+    if (shutdown_) return;
+    // Steal from the oldest in-flight batch; holding a shared_ptr keeps
+    // the batch state alive even after the submitter unblocks.
+    std::shared_ptr<Batch> batch = active_.front();
+    lock.unlock();
+    const bool ran = RunOne(batch.get());
+    lock.lock();
+    if (!ran) RetireLocked(batch.get());
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads_ <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    StartWorkersLocked();
+    active_.push_back(batch);
+    work_cv_.notify_all();
+  }
+  // The submitter works its own batch down (and, transitively, any nested
+  // batches those tasks publish) instead of blocking while work is open.
+  while (RunOne(batch.get())) {
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  RetireLocked(batch.get());
+  batch->done_cv.wait(lock, [&] { return batch->done == batch->n; });
+}
+
+}  // namespace common
+}  // namespace rdfref

@@ -1,0 +1,97 @@
+#ifndef RDFREF_COMMON_THREAD_POOL_H_
+#define RDFREF_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdfref {
+namespace common {
+
+/// \brief Fixed-size fork-join worker pool, shared per process.
+///
+/// Work arrives as *batches* (ParallelFor): a batch of `n` index-addressed
+/// tasks is published to the pool, and every thread that touches it — the
+/// pool's workers *and* the submitting thread — steals the next unclaimed
+/// index until none remain. Two properties follow:
+///
+/// - **Deadlock freedom under nesting.** Because the submitter itself
+///   executes tasks of its own batch before blocking, a task running on a
+///   worker may submit a nested batch (a parallel UCQ inside a parallel
+///   JUCQ fragment, a parallel federation fan-out inside a scan) without
+///   ever waiting on a thread that cannot make progress.
+/// - **Work stealing.** Idle workers steal iterations from the oldest
+///   in-flight batch, so an unbalanced batch (one giant reformulation CQ
+///   among cheap ones) keeps every thread busy until the last index is
+///   claimed.
+///
+/// Workers are started lazily on the first ParallelFor, so merely linking
+/// the pool costs nothing. The pool never owns the task state: batches
+/// live on the submitter's stack (kept alive through a shared_ptr until
+/// the last worker lets go).
+class ThreadPool {
+ public:
+  /// \brief A pool with `num_threads` workers (clamped to >= 1). With one
+  /// thread, ParallelFor degenerates to an inline sequential loop.
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Joins all workers. Outstanding batches must have completed
+  /// (ParallelFor blocks until its batch drains, so this holds whenever
+  /// no ParallelFor call is in flight).
+  ~ThreadPool();
+
+  /// \brief The process-wide shared pool, sized by DefaultThreads() and
+  /// lazily constructed (and lazily *started* on first use).
+  static ThreadPool& Shared();
+
+  /// \brief Default evaluation parallelism: hardware_concurrency, but at
+  /// least 2 so the parallel machinery (and its TSan coverage) is real
+  /// even in single-core containers. Oversubscription is harmless for the
+  /// engine's coarse-grained batches.
+  static int DefaultThreads();
+
+  int num_threads() const { return num_threads_; }
+
+  /// \brief Runs fn(0) ... fn(n-1), each exactly once, and returns when
+  /// all have completed. Iterations run concurrently in no particular
+  /// order; the calling thread participates. Safe to call from inside a
+  /// running task (nested parallelism) and from multiple threads at once.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct Batch {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0};  ///< next unclaimed index
+    size_t done = 0;              ///< completed iterations (pool mutex)
+    std::condition_variable done_cv;
+  };
+
+  void StartWorkersLocked();
+  void WorkerLoop();
+  // Claims and runs one iteration of `batch`; false when none remain.
+  bool RunOne(Batch* batch);
+  // Removes a drained batch from the active list (idempotent).
+  void RetireLocked(Batch* batch);
+
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::vector<std::shared_ptr<Batch>> active_;  // batches with unclaimed work
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool shutdown_ = false;
+};
+
+}  // namespace common
+}  // namespace rdfref
+
+#endif  // RDFREF_COMMON_THREAD_POOL_H_

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <functional>
 #include <limits>
+#include <optional>
 #include <set>
 #include <sstream>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "storage/store.h"
 
@@ -20,6 +23,10 @@ using query::QTerm;
 using query::VarId;
 
 constexpr rdf::TermId kUnbound = rdf::kInvalidTermId;
+
+// Constant head slots carry no variable; their column id is this sentinel
+// (mirrored from EvaluateCq's final-answer convention).
+constexpr VarId kConstColumn = std::numeric_limits<VarId>::max();
 
 // Resolves a query term under the current bindings: a constant, a bound
 // variable's value, or kAny when still free.
@@ -72,7 +79,78 @@ std::vector<int> OrderAtoms(const storage::TripleSource& store, const Cq& q) {
   return order;
 }
 
+// Labels a cover fragment with the indexes its atoms occupy in q's body,
+// in Cover::ToString notation (e.g. "{t0,t2}"). Duplicate atoms in q are
+// matched lowest-unused-index-first, so labels stay a bijection.
+std::string FragmentLabel(const Cq& q, const Cq& fragment) {
+  std::vector<bool> used(q.body().size(), false);
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const Atom& a : fragment.body()) {
+    int idx = -1;
+    for (size_t j = 0; j < q.body().size(); ++j) {
+      if (!used[j] && q.body()[j] == a) {
+        idx = static_cast<int>(j);
+        used[j] = true;
+        break;
+      }
+    }
+    if (!first) out << ",";
+    first = false;
+    if (idx >= 0) {
+      out << "t" << idx;
+    } else {
+      out << "t?";  // not an atom of q (hand-built fragment query)
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+// Indents every line of `text` (including a final line that lacks a
+// trailing newline) and newline-terminates the result, so a nested plan
+// never bleeds into the next line of the enclosing plan.
+std::string IndentBlock(const std::string& text, const std::string& prefix) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    size_t end = nl == std::string::npos ? text.size() : nl + 1;
+    out += prefix;
+    out.append(text, pos, end - pos);
+    pos = end;
+  }
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  return out;
+}
+
+// Splits [0, n) into `parts` contiguous, near-equal ranges.
+std::vector<std::pair<size_t, size_t>> SplitRanges(size_t n, size_t parts) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ranges.reserve(parts);
+  for (size_t c = 0; c < parts; ++c) {
+    ranges.emplace_back(n * c / parts, n * (c + 1) / parts);
+  }
+  return ranges;
+}
+
+Status UcqDeadlineError(size_t evaluated, size_t total) {
+  return Status::DeadlineExceeded(
+      "deadline exceeded after " + std::to_string(evaluated) + " of " +
+      std::to_string(total) + " reformulation CQs");
+}
+
 }  // namespace
+
+Evaluator::Evaluator(const storage::TripleSource* source, int threads)
+    : store_(source) {
+  set_threads(threads);
+}
+
+void Evaluator::set_threads(int threads) {
+  threads_ = threads <= 0 ? common::ThreadPool::DefaultThreads() : threads;
+}
 
 std::vector<int> Evaluator::AtomOrder(const query::Cq& q) const {
   return OrderAtoms(*store_, q);
@@ -107,24 +185,18 @@ std::string Evaluator::ExplainJucq(
         << "\n";
     if (!fragment_ucqs[i].empty()) {
       out << "    first member plan:\n";
-      std::string member = ExplainCq(fragment_ucqs[i].members()[0]);
-      // Indent the nested plan.
-      size_t pos = 0;
-      while ((pos = member.find('\n', pos)) != std::string::npos &&
-             pos + 1 < member.size()) {
-        member.insert(pos + 1, "    ");
-        pos += 5;
-      }
-      out << "    " << member;
+      out << IndentBlock(ExplainCq(fragment_ucqs[i].members()[0]), "    ");
     }
   }
   return out.str();
 }
 
-void Evaluator::EvaluateCqInto(
-    const Cq& q, std::vector<std::vector<rdf::TermId>>* out) const {
+bool Evaluator::EvaluateCqInto(
+    const Cq& q, const CancelToken& cancel,
+    std::vector<std::vector<rdf::TermId>>* out) const {
   const std::vector<Atom>& body = q.body();
-  if (body.empty()) return;
+  if (body.empty()) return true;
+  if (cancel.ShouldStop()) return false;
   std::vector<int> order = OrderAtoms(*store_, q);
   std::vector<rdf::TermId> bindings(q.num_vars(), kUnbound);
   // Resource-constrained variables (reformulation rules 3/7) reject
@@ -133,6 +205,16 @@ void Evaluator::EvaluateCqInto(
   std::vector<char> resource_only(q.num_vars(), 0);
   for (VarId v : q.resource_vars()) resource_only[v] = 1;
   const rdf::Dictionary& dict = store_->dict();
+
+  // Cancellation state of this evaluation: once `stopped` flips, every
+  // pending scan callback returns immediately, unwinding the join without
+  // emitting further rows. The token is polled every kCancelStride scan
+  // deliveries, bounding the overrun of a runaway CQ (the store's Scan has
+  // no early exit, but the exponential cost lives in the recursion, which
+  // this cuts off).
+  constexpr size_t kCancelStride = 1024;
+  bool stopped = false;
+  size_t steps = 0;
 
   // Recursive index nested-loop join over the ordered atoms.
   auto emit = [&]() {
@@ -154,6 +236,11 @@ void Evaluator::EvaluateCqInto(
     rdf::TermId pp = Resolve(atom.p, bindings);
     rdf::TermId po = Resolve(atom.o, bindings);
     store_->Scan(ps, pp, po, [&](const rdf::Triple& t) {
+      if (stopped) return;
+      if (++steps % kCancelStride == 0 && cancel.ShouldStop()) {
+        stopped = true;
+        return;
+      }
       // Bind free variables, honoring repeated variables within the atom.
       VarId newly[3];
       int num_new = 0;
@@ -176,15 +263,15 @@ void Evaluator::EvaluateCqInto(
     });
   };
   recurse(0);
+  return !stopped;
 }
 
 Table Evaluator::EvaluateCq(const Cq& q) const {
   Table table;
   for (const QTerm& h : q.head()) {
-    table.columns.push_back(h.is_var ? h.var()
-                                     : std::numeric_limits<VarId>::max());
+    table.columns.push_back(h.is_var ? h.var() : kConstColumn);
   }
-  EvaluateCqInto(q, &table.rows);
+  EvaluateCqInto(q, CancelToken(), &table.rows);
   table.Dedup();
   return table;
 }
@@ -199,19 +286,63 @@ Result<Table> Evaluator::EvaluateUcq(const query::Ucq& ucq,
   Table table;
   if (!ucq.empty()) {
     for (const QTerm& h : ucq.members()[0].head()) {
-      table.columns.push_back(h.is_var ? h.var()
-                                       : std::numeric_limits<VarId>::max());
+      table.columns.push_back(h.is_var ? h.var() : kConstColumn);
     }
   }
+  if (threads_ <= 1 || ucq.size() < 2) {
+    return EvaluateUcqSequential(ucq, deadline, std::move(table));
+  }
+  return EvaluateUcqParallel(ucq, deadline, std::move(table));
+}
+
+Result<Table> Evaluator::EvaluateUcqSequential(const query::Ucq& ucq,
+                                               const Deadline& deadline,
+                                               Table table) const {
+  CancelToken token(&deadline);
   size_t evaluated = 0;
   for (const Cq& member : ucq.members()) {
-    if (deadline.expired()) {
-      return Status::DeadlineExceeded(
-          "deadline exceeded after " + std::to_string(evaluated) + " of " +
-          std::to_string(ucq.size()) + " reformulation CQs");
+    if (deadline.expired() ||
+        !EvaluateCqInto(member, token, &table.rows)) {
+      return UcqDeadlineError(evaluated, ucq.size());
     }
-    EvaluateCqInto(member, &table.rows);
     ++evaluated;
+  }
+  table.Dedup();
+  return table;
+}
+
+Result<Table> Evaluator::EvaluateUcqParallel(const query::Ucq& ucq,
+                                             const Deadline& deadline,
+                                             Table table) const {
+  const size_t n = ucq.size();
+  // One contiguous chunk per thread: concurrency is honestly bounded by
+  // the `threads` knob, and concatenating the chunk buffers in chunk order
+  // reproduces the sequential append order exactly — so the single dedup
+  // below yields a bit-identical table.
+  const size_t chunks = std::min(n, static_cast<size_t>(threads_));
+  const std::vector<std::pair<size_t, size_t>> ranges = SplitRanges(n, chunks);
+  std::vector<std::vector<std::vector<rdf::TermId>>> buffers(chunks);
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> completed{0};
+  CancelToken token(&deadline, &stop);
+  common::ThreadPool::Shared().ParallelFor(chunks, [&](size_t c) {
+    auto [lo, hi] = ranges[c];
+    for (size_t i = lo; i < hi; ++i) {
+      // CQ-boundary check: stop promptly when a sibling chunk saw the
+      // deadline expire (or it expired here).
+      if (token.ShouldStop()) return;
+      if (!EvaluateCqInto(ucq.members()[i], token, &buffers[c])) return;
+      completed.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  if (stop.load(std::memory_order_relaxed)) {
+    return UcqDeadlineError(completed.load(std::memory_order_relaxed), n);
+  }
+  size_t total = table.rows.size();
+  for (const auto& buffer : buffers) total += buffer.size();
+  table.rows.reserve(total);
+  for (auto& buffer : buffers) {
+    for (auto& row : buffer) table.rows.push_back(std::move(row));
   }
   table.Dedup();
   return table;
@@ -231,32 +362,55 @@ Result<Table> Evaluator::EvaluateJucq(
     const std::vector<query::Ucq>& fragment_ucqs, const Deadline& deadline,
     JucqProfile* profile) const {
   Timer total;
-  // 1. Materialize every fragment.
-  std::vector<Table> tables;
-  tables.reserve(fragment_ucqs.size());
-  for (size_t i = 0; i < fragment_ucqs.size(); ++i) {
+  const size_t nf = fragment_ucqs.size();
+
+  // 1. Materialize every fragment (one pool task per fragment when
+  // parallel; each task's member loop may itself run parallel chunks).
+  std::vector<std::optional<Result<Table>>> materialized(nf);
+  std::vector<double> fragment_millis(nf, 0.0);
+  auto materialize_one = [&](size_t i) {
     Timer t;
-    Result<Table> fragment = EvaluateUcq(fragment_ucqs[i], deadline);
-    if (!fragment.ok()) {
+    materialized[i] = EvaluateUcq(fragment_ucqs[i], deadline);
+    fragment_millis[i] = t.ElapsedMillis();
+  };
+  if (threads_ > 1 && nf > 1) {
+    common::ThreadPool::Shared().ParallelFor(nf, materialize_one);
+  } else {
+    for (size_t i = 0; i < nf; ++i) {
+      materialize_one(i);
+      if (!materialized[i]->ok()) break;  // remaining fragments unevaluated
+    }
+  }
+
+  // Assemble in fragment order: deterministic profiles and tables, and the
+  // lowest-indexed failure wins when several fragments hit the deadline.
+  std::vector<Table> tables;
+  tables.reserve(nf);
+  for (size_t i = 0; i < nf; ++i) {
+    if (!materialized[i].has_value()) continue;  // after a sequential abort
+    if (!materialized[i]->ok()) {
       // Partial profile: the fragments materialized so far stay recorded.
       if (profile != nullptr) profile->total_millis = total.ElapsedMillis();
-      return Status(fragment.status().code(),
+      return Status(materialized[i]->status().code(),
                     "fragment " + std::to_string(i) + ": " +
-                        fragment.status().message());
+                        materialized[i]->status().message());
     }
-    Table table = std::move(fragment).value();
-    // Columns must reflect the *fragment query* head variables (member
-    // heads may have constants substituted in, but slot i is still the
-    // value of head variable i of the fragment subquery).
+    Table table = std::move(*materialized[i]).value();
+    // Columns must reflect the *fragment query* head terms (member heads
+    // may have constants substituted in, but slot j is still the value of
+    // head slot j of the fragment subquery). A constant head slot carries
+    // no variable: it gets the same sentinel EvaluateCq uses, so it can
+    // never alias a real VarId during the fragment joins.
     table.columns.clear();
     for (const QTerm& h : fragment_queries[i].head()) {
-      table.columns.push_back(h.var());
+      table.columns.push_back(h.is_var ? h.var() : kConstColumn);
     }
     if (profile != nullptr) {
       FragmentProfile fp;
+      fp.cover_fragment = FragmentLabel(q, fragment_queries[i]);
       fp.ucq_members = fragment_ucqs[i].size();
       fp.result_rows = table.NumRows();
-      fp.millis = t.ElapsedMillis();
+      fp.millis = fragment_millis[i];
       profile->fragments.push_back(fp);
     }
     tables.push_back(std::move(table));
@@ -271,42 +425,44 @@ Result<Table> Evaluator::EvaluateJucq(
         "deadline exceeded before the fragment join");
   }
   Timer join_timer;
-  std::vector<bool> joined(tables.size(), false);
-  size_t first = 0;
-  for (size_t i = 1; i < tables.size(); ++i) {
-    if (tables[i].NumRows() < tables[first].NumRows()) first = i;
-  }
-  joined[first] = true;
-  std::set<VarId> joined_cols(tables[first].columns.begin(),
-                              tables[first].columns.end());
-  Table result = std::move(tables[first]);
-  for (size_t step = 1; step < tables.size(); ++step) {
-    int best = -1;
-    bool best_connected = false;
-    for (size_t i = 0; i < tables.size(); ++i) {
-      if (joined[i]) continue;
-      bool connected =
-          std::any_of(tables[i].columns.begin(), tables[i].columns.end(),
-                      [&](VarId v) { return joined_cols.count(v) > 0; });
-      if (best == -1 || (connected && !best_connected) ||
-          (connected == best_connected &&
-           tables[i].NumRows() <
-               tables[static_cast<size_t>(best)].NumRows())) {
-        best = static_cast<int>(i);
-        best_connected = connected;
-      }
+  Table result;
+  if (!tables.empty()) {
+    std::vector<bool> joined(tables.size(), false);
+    size_t first = 0;
+    for (size_t i = 1; i < tables.size(); ++i) {
+      if (tables[i].NumRows() < tables[first].NumRows()) first = i;
     }
-    joined[static_cast<size_t>(best)] = true;
-    joined_cols.insert(tables[static_cast<size_t>(best)].columns.begin(),
-                       tables[static_cast<size_t>(best)].columns.end());
-    result = HashJoin(result, tables[static_cast<size_t>(best)]);
+    joined[first] = true;
+    std::set<VarId> joined_cols(tables[first].columns.begin(),
+                                tables[first].columns.end());
+    result = std::move(tables[first]);
+    for (size_t step = 1; step < tables.size(); ++step) {
+      int best = -1;
+      bool best_connected = false;
+      for (size_t i = 0; i < tables.size(); ++i) {
+        if (joined[i]) continue;
+        bool connected =
+            std::any_of(tables[i].columns.begin(), tables[i].columns.end(),
+                        [&](VarId v) { return joined_cols.count(v) > 0; });
+        if (best == -1 || (connected && !best_connected) ||
+            (connected == best_connected &&
+             tables[i].NumRows() <
+                 tables[static_cast<size_t>(best)].NumRows())) {
+          best = static_cast<int>(i);
+          best_connected = connected;
+        }
+      }
+      joined[static_cast<size_t>(best)] = true;
+      joined_cols.insert(tables[static_cast<size_t>(best)].columns.begin(),
+                         tables[static_cast<size_t>(best)].columns.end());
+      result = HashJoin(result, tables[static_cast<size_t>(best)]);
+    }
   }
 
   // 3. Project the original head.
   Table answer;
   for (const QTerm& h : q.head()) {
-    answer.columns.push_back(h.is_var ? h.var()
-                                      : std::numeric_limits<VarId>::max());
+    answer.columns.push_back(h.is_var ? h.var() : kConstColumn);
   }
   std::vector<int> proj;
   proj.reserve(q.head().size());

@@ -1,6 +1,7 @@
 #ifndef RDFREF_ENGINE_EVALUATOR_H_
 #define RDFREF_ENGINE_EVALUATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -39,18 +40,39 @@ struct JucqProfile {
 /// - CQs run as selectivity-ordered index nested-loop joins over the
 ///   store's permutation indexes (the plan an RDBMS would pick on a fully
 ///   indexed triple table).
-/// - UCQs run member-by-member with union duplicate elimination.
-/// - JUCQs materialize each fragment UCQ then hash-join the fragments,
-///   which is exactly the strategy costed by the paper's cost model.
+/// - UCQs run member-by-member with union duplicate elimination. With
+///   `threads > 1` the members are partitioned into contiguous chunks
+///   evaluated concurrently on the shared common::ThreadPool; chunk
+///   buffers are concatenated in member order before the single dedup, so
+///   the answer table is bit-identical to the sequential one.
+/// - JUCQs materialize each fragment UCQ (one pool task per fragment when
+///   parallel) then hash-join the fragments, which is exactly the strategy
+///   costed by the paper's cost model.
+///
+/// Deadlines are enforced cooperatively at every CQ boundary *and* inside
+/// the scan callbacks of each CQ's nested-loop join, so even a single
+/// enormous CQ (a cross-product-like member) cannot blow past the budget.
 ///
 /// Evaluation accesses *only explicit triples* (this is `q(db)`, not
 /// `q(db∞)`): completeness is the reformulation's job.
+///
+/// Thread-safety: all evaluation methods are const and concurrency-safe
+/// provided the underlying TripleSource tolerates concurrent Scan /
+/// CountMatches calls (true for Store, DeltaStore without concurrent
+/// writes, and FederatedSource).
 class Evaluator {
  public:
   /// \brief `source` may be a local Store or any other TripleSource (e.g.
-  /// a federation mediator); it must outlive the evaluator.
-  explicit Evaluator(const storage::TripleSource* source)
-      : store_(source) {}
+  /// a federation mediator); it must outlive the evaluator. `threads`
+  /// bounds evaluation parallelism: 1 (the default) is the sequential
+  /// path, n > 1 uses up to n concurrent tasks, and 0 resolves to
+  /// common::ThreadPool::DefaultThreads().
+  explicit Evaluator(const storage::TripleSource* source, int threads = 1);
+
+  /// \brief Replaces the parallelism bound (same semantics as the
+  /// constructor argument).
+  void set_threads(int threads);
+  int threads() const { return threads_; }
 
   /// \brief Evaluates one CQ; returns head tuples, deduplicated.
   Table EvaluateCq(const query::Cq& q) const;
@@ -59,25 +81,32 @@ class Evaluator {
   Table EvaluateUcq(const query::Ucq& ucq) const;
 
   /// \brief Deadline-bounded UCQ evaluation: the deadline is checked at
-  /// every CQ boundary, so an exploding reformulation (Example 1's
-  /// 318,096-CQ UCQ) returns kDeadlineExceeded promptly instead of running
-  /// away. The error message reports how many members were evaluated.
+  /// every CQ boundary and inside each CQ's scans, so an exploding
+  /// reformulation (Example 1's 318,096-CQ UCQ) returns kDeadlineExceeded
+  /// promptly instead of running away — even when a single member is
+  /// itself enormous. The error message reports how many members were
+  /// evaluated completely.
   Result<Table> EvaluateUcq(const query::Ucq& ucq,
                             const Deadline& deadline) const;
 
   /// \brief Evaluates a JUCQ: `fragment_queries[i]` is the (unreformulated)
   /// subquery of fragment i — its head gives the column variables — and
   /// `fragment_ucqs[i]` its UCQ reformulation. Joins all fragment tables
-  /// and projects `q`'s head. `profile` may be null.
+  /// and projects `q`'s head. `profile` may be null; when given, each
+  /// FragmentProfile::cover_fragment is labeled with the fragment's atom
+  /// indexes in `q` (e.g. "{t0,t2}").
   Table EvaluateJucq(const query::Cq& q,
                      const std::vector<query::Cq>& fragment_queries,
                      const std::vector<query::Ucq>& fragment_ucqs,
                      JucqProfile* profile = nullptr) const;
 
   /// \brief Deadline-bounded JUCQ evaluation (covers SCQ as the
-  /// all-singleton cover). Checked at CQ boundaries within each fragment
-  /// and at fragment boundaries; on kDeadlineExceeded `profile` holds the
-  /// partial profile of the fragments that completed.
+  /// all-singleton cover). Checked at CQ boundaries and inside scans
+  /// within each fragment, and at fragment boundaries; on
+  /// kDeadlineExceeded `profile` holds the partial profile of the
+  /// fragments that completed (in the sequential path, the completed
+  /// prefix; in the parallel path, every fragment that finished before
+  /// cancellation, in fragment order).
   Result<Table> EvaluateJucq(const query::Cq& q,
                              const std::vector<query::Cq>& fragment_queries,
                              const std::vector<query::Ucq>& fragment_ucqs,
@@ -102,11 +131,22 @@ class Evaluator {
   const storage::TripleSource& source() const { return *store_; }
 
  private:
-  // Appends q's answer rows (head tuples) to `out` (no dedup).
-  void EvaluateCqInto(const query::Cq& q,
+  // Appends q's answer rows (head tuples) to `out` (no dedup). Returns
+  // false iff the cancel token fired mid-evaluation (rows appended so far
+  // are then an unusable partial result).
+  bool EvaluateCqInto(const query::Cq& q, const CancelToken& cancel,
                       std::vector<std::vector<rdf::TermId>>* out) const;
 
+  // Sequential / parallel bodies of the deadline-bounded EvaluateUcq.
+  Result<Table> EvaluateUcqSequential(const query::Ucq& ucq,
+                                      const Deadline& deadline,
+                                      Table table) const;
+  Result<Table> EvaluateUcqParallel(const query::Ucq& ucq,
+                                    const Deadline& deadline,
+                                    Table table) const;
+
   const storage::TripleSource* store_;
+  int threads_;
 };
 
 }  // namespace engine

@@ -2,6 +2,7 @@
 #define RDFREF_FEDERATION_ENDPOINT_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -48,8 +49,10 @@ class Endpoint {
         store_(std::move(store)),
         injector_(options.fault) {}
 
-  Endpoint(Endpoint&&) = default;
-  Endpoint& operator=(Endpoint&&) = default;
+  // Not movable: requests synchronize on a per-endpoint mutex (endpoints
+  // live behind unique_ptr in the federation, so moves are not needed).
+  Endpoint(Endpoint&&) = delete;
+  Endpoint& operator=(Endpoint&&) = delete;
 
   const std::string& name() const { return name_; }
   const EndpointOptions& options() const { return options_; }
@@ -71,12 +74,19 @@ class Endpoint {
   size_t CountMatches(rdf::TermId s, rdf::TermId p, rdf::TermId o) const;
 
   /// \brief Total requests served (for the demo's cost displays).
-  uint64_t requests_served() const { return requests_served_; }
+  uint64_t requests_served() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return requests_served_;
+  }
 
  private:
   std::string name_;
   EndpointOptions options_;
   std::unique_ptr<storage::Store> store_;
+  // Serializes requests to this endpoint (as a remote server would): the
+  // fault injector's failure stream and the served counter stay exact
+  // when the mediator fans out scans in parallel.
+  mutable std::mutex mu_;
   mutable FaultInjector injector_;
   mutable uint64_t requests_served_ = 0;
 };

@@ -1,11 +1,13 @@
 #include "federation/federation.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <thread>
 #include <unordered_set>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "cost/cost_model.h"
 #include "engine/evaluator.h"
 #include "optimizer/gcov.h"
@@ -98,11 +100,19 @@ uint64_t NameSeed(const std::string& name) {
 // ---------------------------------------------------------------------------
 
 void FederatedSource::set_resilience(const ResilienceOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
   resilience_ = options;
   breakers_.clear();
 }
 
-void FederatedSource::ResetHealth() const { health_.clear(); }
+void FederatedSource::set_threads(int threads) {
+  threads_ = threads <= 0 ? common::ThreadPool::DefaultThreads() : threads;
+}
+
+void FederatedSource::ResetHealth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  health_.clear();
+}
 
 CircuitBreaker& FederatedSource::BreakerFor(const std::string& name) const {
   auto it = breakers_.find(name);
@@ -119,11 +129,13 @@ EndpointHealth& FederatedSource::HealthFor(const std::string& name) const {
 }
 
 CircuitState FederatedSource::BreakerState(const std::string& endpoint) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = breakers_.find(endpoint);
   return it == breakers_.end() ? CircuitState::kClosed : it->second.state();
 }
 
 CompletenessReport FederatedSource::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
   CompletenessReport report;
   for (const auto& [name, h] : health_) {
     report.total_retries += h.retries;
@@ -133,55 +145,89 @@ CompletenessReport FederatedSource::Report() const {
   return report;
 }
 
-bool FederatedSource::ScanEndpoint(
-    const Endpoint& ep, rdf::TermId s, rdf::TermId p, rdf::TermId o,
-    const std::function<void(const rdf::Triple&)>& fn) const {
-  CircuitBreaker& breaker = BreakerFor(ep.name());
-  EndpointHealth& health = HealthFor(ep.name());
+bool FederatedSource::ScanEndpoint(const Endpoint& ep, rdf::TermId s,
+                                   rdf::TermId p, rdf::TermId o,
+                                   std::vector<rdf::Triple>* out) const {
   const RetryPolicy& retry = resilience_.retry;
   const int max_attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
-  // Requests are buffered so a retry (or a mid-scan connection drop) never
-  // leaks a partial or duplicated answer prefix to the evaluator.
-  std::vector<rdf::Triple> buffer;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    if (!breaker.AllowRequest()) {
-      ++health.skipped;
-      if (health.last_error.empty()) {
-        health.last_error = ep.name() + ": circuit breaker open";
+    uint64_t backoff_salt = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      CircuitBreaker& breaker = BreakerFor(ep.name());
+      EndpointHealth& health = HealthFor(ep.name());
+      if (!breaker.AllowRequest()) {
+        ++health.skipped;
+        if (health.last_error.empty()) {
+          health.last_error = ep.name() + ": circuit breaker open";
+        }
+        return false;
       }
-      return false;
+      if (attempt > 0) ++health.retries;
+      backoff_salt = health.attempts;
+      ++health.attempts;
     }
     if (attempt > 0) {
-      ++health.retries;
       double wait =
-          retry.BackoffMillis(attempt, NameSeed(ep.name()) ^ health.attempts);
+          retry.BackoffMillis(attempt, NameSeed(ep.name()) ^ backoff_salt);
       if (wait > 0.0) {
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(wait));
       }
     }
-    ++health.attempts;
-    buffer.clear();
+    // Requests are buffered so a retry (or a mid-scan connection drop)
+    // never leaks a partial or duplicated answer prefix to the evaluator.
+    out->clear();
     Result<size_t> r =
-        ep.Request(s, p, o, [&](const rdf::Triple& t) { buffer.push_back(t); });
+        ep.Request(s, p, o, [&](const rdf::Triple& t) { out->push_back(t); });
+    std::lock_guard<std::mutex> lock(mu_);
+    CircuitBreaker& breaker = BreakerFor(ep.name());
+    EndpointHealth& health = HealthFor(ep.name());
     if (r.ok()) {
       breaker.RecordSuccess();
-      for (const rdf::Triple& t : buffer) fn(t);
       return true;
     }
     breaker.RecordFailure();
     ++health.failures;
     health.last_error = r.status().message();
   }
-  ++health.gave_up;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++HealthFor(ep.name()).gave_up;
   return false;
 }
 
 void FederatedSource::Scan(
     rdf::TermId s, rdf::TermId p, rdf::TermId o,
     const std::function<void(const rdf::Triple&)>& fn) const {
-  for (const std::unique_ptr<Endpoint>& ep : *endpoints_) {
-    ScanEndpoint(*ep, s, p, o, fn);
+  const size_t n = endpoints_->size();
+  if (threads_ <= 1 || n < 2) {
+    std::vector<rdf::Triple> buffer;
+    for (const std::unique_ptr<Endpoint>& ep : *endpoints_) {
+      buffer.clear();
+      if (ScanEndpoint(*ep, s, p, o, &buffer)) {
+        for (const rdf::Triple& t : buffer) fn(t);
+      }
+    }
+    return;
+  }
+  // Parallel fan-out: request every endpoint concurrently (including its
+  // retry/backoff schedule), but deliver to `fn` only from this thread, in
+  // endpoint registration order — the callback is the evaluator's join
+  // recursion and is not thread-safe, and ordered delivery keeps answers
+  // identical to the sequential fan-out.
+  std::vector<std::vector<rdf::Triple>> buffers(n);
+  std::vector<char> complete(n, 0);
+  // Contiguous endpoint chunks keep concurrency bounded by the knob.
+  const size_t chunks = std::min(n, static_cast<size_t>(threads_));
+  common::ThreadPool::Shared().ParallelFor(chunks, [&](size_t c) {
+    for (size_t i = n * c / chunks; i < n * (c + 1) / chunks; ++i) {
+      complete[i] =
+          ScanEndpoint(*(*endpoints_)[i], s, p, o, &buffers[i]) ? 1 : 0;
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    if (!complete[i]) continue;
+    for (const rdf::Triple& t : buffers[i]) fn(t);
   }
 }
 
@@ -319,7 +365,8 @@ Result<FederatedAnswer> Federation::AnswerResilient(
     RDFREF_ASSIGN_OR_RETURN(query::Ucq ucq, reformulator.Reformulate(fq));
     fragment_ucqs.push_back(std::move(ucq));
   }
-  engine::Evaluator evaluator(&source_);
+  source_.set_threads(options.threads);
+  engine::Evaluator evaluator(&source_, options.threads);
   RDFREF_ASSIGN_OR_RETURN(
       engine::Table table,
       evaluator.EvaluateJucq(q, fragment_queries, fragment_ucqs,

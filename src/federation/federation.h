@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,15 @@ class FederatedSource : public storage::TripleSource {
   void set_resilience(const ResilienceOptions& options);
   const ResilienceOptions& resilience() const { return resilience_; }
 
+  /// \brief Scan fan-out parallelism: 1 (the default) requests endpoints
+  /// one after another on the calling thread; n > 1 requests up to n
+  /// endpoints concurrently; 0 resolves to
+  /// common::ThreadPool::DefaultThreads(). Triples are always delivered
+  /// to the scan callback sequentially, in endpoint registration order,
+  /// so answers are identical across settings.
+  void set_threads(int threads);
+  int threads() const { return threads_; }
+
   /// \brief Clears accumulated health counters (breaker states persist —
   /// an open breaker stays open across queries until its cool-down).
   void ResetHealth() const;
@@ -64,16 +74,22 @@ class FederatedSource : public storage::TripleSource {
   CircuitState BreakerState(const std::string& endpoint) const;
 
  private:
-  // Scans one endpoint with retries; true iff its data arrived in full.
+  // Scans one endpoint with retries, collecting its triples into `out`
+  // (flushed by Scan in endpoint order); true iff its data arrived in
+  // full. Thread-safe: multiple endpoints may be scanned concurrently.
   bool ScanEndpoint(const Endpoint& ep, rdf::TermId s, rdf::TermId p,
-                    rdf::TermId o,
-                    const std::function<void(const rdf::Triple&)>& fn) const;
+                    rdf::TermId o, std::vector<rdf::Triple>* out) const;
+  // Both require mu_ to be held by the caller.
   CircuitBreaker& BreakerFor(const std::string& name) const;
   EndpointHealth& HealthFor(const std::string& name) const;
 
   const rdf::Dictionary* dict_;
   const std::vector<std::unique_ptr<Endpoint>>* endpoints_;
   ResilienceOptions resilience_;
+  int threads_ = 1;
+  // Guards breakers_ and health_ (touched by concurrent endpoint scans);
+  // never held across a sleep, a request, or a callback delivery.
+  mutable std::mutex mu_;
   // std::map: nested Scan calls (index nested-loop joins re-enter Scan from
   // inside callbacks) must not invalidate references held by outer frames.
   mutable std::map<std::string, CircuitBreaker> breakers_;
@@ -92,6 +108,12 @@ struct FederationAnswerOptions {
   /// by an open breaker), return the answers derivable from the healthy
   /// endpoints plus a CompletenessReport, instead of failing outright.
   bool allow_partial = false;
+  /// Evaluation + fan-out parallelism (see AnswerOptions::threads and
+  /// FederatedSource::set_threads). Defaults to 1: sequential answering
+  /// keeps each endpoint's deterministic fault-injector stream in request
+  /// order, so fault-injection experiments replay exactly. The answer
+  /// table is identical for any setting.
+  int threads = 1;
 };
 
 /// \brief A (possibly partial) federated answer with its provenance: the

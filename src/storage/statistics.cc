@@ -50,14 +50,27 @@ std::string Statistics::Report(const rdf::Dictionary& dict,
 }
 
 void Statistics::Absorb(const Statistics& other) {
+  // Union semantics: triple counts add exactly (a triple stored by two
+  // endpoints is two scan results to the mediator), but a *distinct* count
+  // of the union is NOT the sum of the distinct counts — the same subject
+  // may appear on several endpoints. The sum is the correct upper bound
+  // when the mediator cannot see cross-source duplicates, yet it must
+  // never exceed the merged triple count, or downstream selectivity
+  // estimates (count / distinct) drop below one row per key and the cost
+  // model starts preferring plans on impossible cardinalities. Cap every
+  // merged distinct count by the count it projects from.
   total_triples_ += other.total_triples_;
-  distinct_subjects_ += other.distinct_subjects_;
-  distinct_objects_ += other.distinct_objects_;
+  distinct_subjects_ =
+      std::min(distinct_subjects_ + other.distinct_subjects_, total_triples_);
+  distinct_objects_ =
+      std::min(distinct_objects_ + other.distinct_objects_, total_triples_);
   for (const auto& [p, ps] : other.property_stats_) {
     PropertyStats& mine = property_stats_[p];
     mine.count += ps.count;
-    mine.distinct_subjects += ps.distinct_subjects;
-    mine.distinct_objects += ps.distinct_objects;
+    mine.distinct_subjects =
+        std::min(mine.distinct_subjects + ps.distinct_subjects, mine.count);
+    mine.distinct_objects =
+        std::min(mine.distinct_objects + ps.distinct_objects, mine.count);
   }
   for (const auto& [c, n] : other.class_cardinality_) {
     class_cardinality_[c] += n;

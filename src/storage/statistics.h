@@ -68,9 +68,15 @@ class Statistics {
   /// classes by cardinality) — demonstration step 1.
   std::string Report(const rdf::Dictionary& dict, size_t top_k = 10) const;
 
-  /// \brief Accumulates another source's statistics into this one: counts
-  /// add exactly, distinct counts add as an upper bound (the federation
-  /// mediator cannot see cross-endpoint duplicates).
+  /// \brief Accumulates another source's statistics into this one — the
+  /// federation mediator's view of the union of its endpoints' data.
+  ///
+  /// Triple, class and attribute-pair counts add exactly. Distinct counts
+  /// add as an *upper bound* (the mediator cannot see cross-endpoint
+  /// duplicates), capped by the corresponding merged count: a relation of
+  /// N triples cannot have more than N distinct subjects or objects, so
+  /// without the cap repeated absorption could report estimator-breaking
+  /// distincts that exceed the relation's own cardinality.
   void Absorb(const Statistics& other);
 
  private:

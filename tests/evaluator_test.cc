@@ -156,8 +156,83 @@ TEST_F(EvaluatorTest, JucqEqualsDirectEvaluation) {
   direct.Sort();
   jucq.Sort();
   EXPECT_EQ(direct.rows, jucq.rows);
-  EXPECT_EQ(profile.fragments.size(), 2u);
+  ASSERT_EQ(profile.fragments.size(), 2u);
+  // Fragment labels name the atom indexes the fragment covers in q.
+  EXPECT_EQ(profile.fragments[0].cover_fragment, "{t0,t2}");
+  EXPECT_EQ(profile.fragments[1].cover_fragment, "{t1}");
+  EXPECT_EQ(profile.fragments[0].ucq_members, 1u);
   EXPECT_GE(profile.total_millis, 0.0);
+}
+
+TEST_F(EvaluatorTest, JucqConstantHeadFragmentJoinsOnlyOnVariables) {
+  // A fragment whose head carries a *constant* slot (reformulation rules
+  // substitute constants into heads). The constant slot must not be
+  // mistaken for a join column: term id 2 exists in every dictionary
+  // (built-in vocabulary) and collides with the VarId of ?z, so a column
+  // rebuild that calls h.var() on the constant would join fragment A's
+  // constant column against ?z and wrongly drop every row.
+  Cq q;
+  VarId x = q.AddVar("x");
+  VarId y = q.AddVar("y");
+  VarId z = q.AddVar("z");
+  q.AddAtom(Atom(QTerm::Var(x), QTerm::Const(knows_), QTerm::Var(y)));
+  q.AddAtom(Atom(QTerm::Var(y), QTerm::Const(knows_), QTerm::Var(z)));
+  q.AddHead(QTerm::Var(x));
+  q.AddHead(QTerm::Var(z));
+  ASSERT_EQ(static_cast<rdf::TermId>(z), 2u);
+
+  Cq frag_a;
+  frag_a.AddVar("x");
+  frag_a.AddVar("y");
+  frag_a.AddAtom(Atom(QTerm::Var(x), QTerm::Const(knows_), QTerm::Var(y)));
+  frag_a.AddHead(QTerm::Var(x));
+  frag_a.AddHead(QTerm::Var(y));
+  frag_a.AddHead(QTerm::Const(rdf::TermId(2)));
+
+  Cq frag_b;
+  frag_b.AddVar("x");
+  frag_b.AddVar("y");
+  frag_b.AddVar("z");
+  frag_b.AddAtom(Atom(QTerm::Var(y), QTerm::Const(knows_), QTerm::Var(z)));
+  frag_b.AddHead(QTerm::Var(y));
+  frag_b.AddHead(QTerm::Var(z));
+
+  Evaluator eval(store_.get());
+  Table jucq = eval.EvaluateJucq(q, {frag_a, frag_b},
+                                 {Ucq({frag_a}), Ucq({frag_b})});
+  Table direct = EvalDirect(q);
+  direct.Sort();
+  jucq.Sort();
+  EXPECT_EQ(direct.rows, jucq.rows);
+  EXPECT_EQ(jucq.NumRows(), 3u);  // ann→carl, bob→ann, carl→bob
+}
+
+TEST_F(EvaluatorTest, JucqEmptyFragmentUcqYieldsEmptyAnswer) {
+  // A fragment whose reformulation is the empty UCQ contributes an empty
+  // table; the join must produce the empty answer, not crash or ignore it.
+  Cq q = Parse(
+      "SELECT ?x ?z WHERE { ?x <http://ex/knows> ?y . "
+      "?y <http://ex/knows> ?z . }");
+  Cover cover = Cover::Singletons(2);
+  std::vector<Cq> fragments = cover.FragmentQueries(q);
+  std::vector<Ucq> ucqs;
+  ucqs.push_back(Ucq({fragments[0]}));
+  ucqs.push_back(Ucq());  // empty reformulation
+  Evaluator eval(store_.get());
+  JucqProfile profile;
+  Table t = eval.EvaluateJucq(q, fragments, ucqs, &profile);
+  EXPECT_EQ(t.NumRows(), 0u);
+  ASSERT_EQ(profile.fragments.size(), 2u);
+  EXPECT_EQ(profile.fragments[1].ucq_members, 0u);
+  EXPECT_EQ(profile.fragments[1].result_rows, 0u);
+}
+
+TEST_F(EvaluatorTest, JucqZeroFragmentsYieldsEmptyAnswer) {
+  Cq q = Parse("SELECT ?x WHERE { ?x <http://ex/knows> ?y . }");
+  Evaluator eval(store_.get());
+  Table t = eval.EvaluateJucq(q, {}, {});
+  EXPECT_EQ(t.NumRows(), 0u);
+  ASSERT_EQ(t.columns.size(), 1u);
 }
 
 TEST_F(EvaluatorTest, AtomOrderStartsSelective) {
@@ -195,6 +270,36 @@ TEST_F(EvaluatorTest, ExplainJucqRendersFragments) {
   std::string plan = eval.ExplainJucq(q, fragments, ucqs);
   EXPECT_NE(plan.find("materialize 2 fragment(s)"), std::string::npos);
   EXPECT_NE(plan.find("fragment 0"), std::string::npos);
+}
+
+TEST_F(EvaluatorTest, ExplainJucqIndentsEveryNestedPlanLine) {
+  // Golden rendering: every line of the nested CQ plan is indented —
+  // including the final one, which an indenter that splits on '\n' and
+  // ignores the unterminated tail would emit flush-left.
+  Cq q = Parse(
+      "SELECT ?x ?z WHERE { ?x <http://ex/knows> ?y . "
+      "?y <http://ex/knows> ?z . }");
+  query::Cover cover = query::Cover::Singletons(2);
+  std::vector<Cq> fragments = cover.FragmentQueries(q);
+  std::vector<Ucq> ucqs;
+  for (const Cq& f : fragments) ucqs.push_back(Ucq({f}));
+  Evaluator eval(store_.get());
+  std::string plan = eval.ExplainJucq(q, fragments, ucqs);
+  const std::string expected =
+      "JUCQ plan: materialize 2 fragment(s), "
+      "then hash-join smallest-connected-first:\n"
+      "  fragment 0: UCQ of 1 CQ(s), head arity 2\n"
+      "    first member plan:\n"
+      "    CQ plan (index nested-loop join):\n"
+      "      scan  t0  (~3 index matches unbound)\n"
+      "  fragment 1: UCQ of 1 CQ(s), head arity 2\n"
+      "    first member plan:\n"
+      "    CQ plan (index nested-loop join):\n"
+      "      scan  t0  (~3 index matches unbound)\n";
+  EXPECT_EQ(plan, expected);
+  // No nested line may appear without its indent.
+  EXPECT_EQ(plan.find("\nCQ plan"), std::string::npos);
+  EXPECT_EQ(plan.find("\n  scan"), std::string::npos);
 }
 
 }  // namespace

@@ -89,6 +89,44 @@ TEST(StatisticsTest, AbsorbMergesPairCounts) {
   EXPECT_EQ(merged.SubjectPairCount(p1, p2), 2u);
 }
 
+TEST(StatisticsTest, AbsorbKeepsDistinctCountsWithinCardinalities) {
+  // Absorb's distinct counts are the sum-of-parts *upper bound* on the
+  // union (the mediator cannot dedup across endpoints), but an estimator
+  // invariant must survive any number of absorptions: a relation of N
+  // triples has at most N distinct subjects/objects. Without the cap,
+  // repeated merging drifts distincts past the triple counts and
+  // count/distinct selectivities drop below one row per key.
+  rdf::Graph g;
+  rdf::TermId p = g.dict().InternUri("http://ex/p");
+  rdf::TermId s1 = g.dict().InternUri("http://ex/s1");
+  rdf::TermId s2 = g.dict().InternUri("http://ex/s2");
+  rdf::TermId o = g.dict().InternUri("http://ex/o");
+  g.Add(s1, p, o);
+  g.Add(s2, p, o);
+  Store store(g);
+  ASSERT_EQ(store.stats().total_triples(), 2u);
+  ASSERT_EQ(store.stats().distinct_subjects(), 2u);
+  ASSERT_EQ(store.stats().distinct_objects(), 1u);
+
+  Statistics merged = store.stats();
+  for (int i = 0; i < 9; ++i) {
+    merged.Absorb(store.stats());
+    // Global and per-property invariants hold after every merge.
+    EXPECT_LE(merged.distinct_subjects(), merged.total_triples());
+    EXPECT_LE(merged.distinct_objects(), merged.total_triples());
+    const PropertyStats ps = merged.ForProperty(p);
+    EXPECT_LE(ps.distinct_subjects, ps.count);
+    EXPECT_LE(ps.distinct_objects, ps.count);
+  }
+  // Counts add exactly; distincts add as the (uncapped-here) upper bound.
+  EXPECT_EQ(merged.total_triples(), 20u);
+  EXPECT_EQ(merged.distinct_subjects(), 20u);
+  EXPECT_EQ(merged.distinct_objects(), 10u);
+  EXPECT_EQ(merged.ForProperty(p).count, 20u);
+  EXPECT_EQ(merged.ForProperty(p).distinct_subjects, 20u);
+  EXPECT_EQ(merged.ForProperty(p).distinct_objects, 10u);
+}
+
 }  // namespace
 }  // namespace storage
 }  // namespace rdfref

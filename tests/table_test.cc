@@ -65,8 +65,13 @@ TEST(HashJoinTest, NoSharedColumnIsCrossProduct) {
   right.columns = {1};
   right.rows = {{7}, {8}};
   Table joined = HashJoin(left, right);
-  EXPECT_EQ(joined.NumRows(), 4u);
-  EXPECT_EQ(joined.columns.size(), 2u);
+  EXPECT_EQ(joined.columns, (std::vector<query::VarId>{0, 1}));
+  joined.Sort();
+  ASSERT_EQ(joined.NumRows(), 4u);
+  EXPECT_EQ(joined.rows[0], (std::vector<rdf::TermId>{1, 7}));
+  EXPECT_EQ(joined.rows[1], (std::vector<rdf::TermId>{1, 8}));
+  EXPECT_EQ(joined.rows[2], (std::vector<rdf::TermId>{2, 7}));
+  EXPECT_EQ(joined.rows[3], (std::vector<rdf::TermId>{2, 8}));
 }
 
 TEST(HashJoinTest, EmptySideYieldsEmpty) {
@@ -76,6 +81,18 @@ TEST(HashJoinTest, EmptySideYieldsEmpty) {
   right.rows = {{1}};
   EXPECT_EQ(HashJoin(left, right).NumRows(), 0u);
   EXPECT_EQ(HashJoin(right, left).NumRows(), 0u);
+}
+
+TEST(HashJoinTest, EmptySideOfCrossProductYieldsEmpty) {
+  // Zero shared columns *and* an empty build side: the cross product of
+  // anything with the empty table is empty, whichever side is empty.
+  Table empty, nonempty;
+  empty.columns = {0};
+  nonempty.columns = {1};
+  nonempty.rows = {{7}, {8}};
+  EXPECT_EQ(HashJoin(empty, nonempty).NumRows(), 0u);
+  EXPECT_EQ(HashJoin(nonempty, empty).NumRows(), 0u);
+  EXPECT_EQ(HashJoin(empty, nonempty).columns.size(), 2u);
 }
 
 TEST(TableTest, ToStringTruncates) {

@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace rdfref {
+namespace common {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndSingleIterationDegenerate) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "no iterations expected"; });
+  int calls = 0;
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> sum{0};
+  pool.ParallelFor(100, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Tasks submit their own batches: the submitter must participate in its
+  // batch (and steal others') instead of blocking a worker slot, or a pool
+  // smaller than the nesting width would deadlock.
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 8;
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(kOuter, [&](size_t) {
+    pool.ParallelFor(kInner, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersShareThePool) {
+  ThreadPool pool(3);
+  constexpr int kSubmitters = 4;
+  constexpr size_t kIters = 500;
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      pool.ParallelFor(kIters, [&](size_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(total.load(), kSubmitters * kIters);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsAtLeastTwo) {
+  // The parallel code paths (and their TSan coverage) must stay exercised
+  // even in single-core CI containers.
+  EXPECT_GE(ThreadPool::DefaultThreads(), 2);
+  EXPECT_GE(ThreadPool::Shared().num_threads(), 2);
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace rdfref
