@@ -49,6 +49,20 @@ class Rng {
   /// \brief Bernoulli trial with probability p.
   bool Chance(double p) { return UniformDouble() < p; }
 
+  /// \brief Uniform integer in [lo, lo + extra]: the "base + U(spread)"
+  /// idiom of the synthetic generators, as one call.
+  uint64_t Between(uint64_t lo, uint64_t extra) {
+    return extra == 0 ? lo : lo + Uniform(extra + 1);
+  }
+
+  /// \brief Forks an independent generator seeded from this stream.
+  ///
+  /// Derived test components (scenario generator, query generator,
+  /// metamorphic mutators) each take their own split so adding draws to one
+  /// never perturbs the others — seeds stay replayable across harness
+  /// changes.
+  Rng Split() { return Rng(Next() ^ 0x5851F42D4C957F2DULL); }
+
  private:
   uint64_t state_;
 };

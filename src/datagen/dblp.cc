@@ -44,6 +44,8 @@ void Dblp::AddOntology(rdf::Graph* graph) {
   graph->Add(u("cites"), vocab::kDomainId, u("Publication"));
   graph->Add(u("cites"), vocab::kRangeId, u("Publication"));
   graph->Add(u("firstAuthor"), vocab::kSubPropertyOfId, u("creator"));
+  graph->Add(u("title"), vocab::kDomainId, u("Publication"));
+  graph->Add(u("yearOfPublication"), vocab::kDomainId, u("Publication"));
 }
 
 void Dblp::Generate(const DblpConfig& config, rdf::Graph* graph) {

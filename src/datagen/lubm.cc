@@ -127,6 +127,7 @@ void Lubm::AddOntology(rdf::Graph* graph) {
   domain("researchProject", "ResearchGroup");
   range("researchProject", "Research");
   domain("tenured", "Professor");
+  domain("name", "Person");
   domain("officeNumber", "Faculty");
   domain("age", "Person");
   domain("affiliatedOrganizationOf", "Organization");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -283,6 +284,142 @@ Result<Cq> ParseSparql(std::string_view text, rdf::Dictionary* dict) {
         "query has UNION branches; use ParseSparqlUnion");
   }
   return ucq.members()[0];
+}
+
+namespace {
+
+bool IsSparqlVarName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::string> RenderConst(rdf::TermId id, const rdf::Dictionary& dict) {
+  if (id >= dict.size()) {
+    return Status::InvalidArgument("constant not in dictionary");
+  }
+  const rdf::Term& term = dict.Lookup(id);
+  switch (term.kind) {
+    case rdf::TermKind::kUri:
+      if (term.lexical.find('>') != std::string::npos) {
+        return Status::InvalidArgument("IRI contains '>'");
+      }
+      return "<" + term.lexical + ">";
+    case rdf::TermKind::kLiteral: {
+      std::string out = "\"";
+      for (char c : term.lexical) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      out.push_back('"');
+      return out;
+    }
+    case rdf::TermKind::kBlank:
+      return Status::InvalidArgument(
+          "blank-node constants are not expressible in the dialect");
+  }
+  return Status::InvalidArgument("unknown term kind");
+}
+
+/// Renders one BGP group body; `name_of(v)` supplies the variable name.
+template <typename NameFn>
+Result<std::string> RenderGroup(const Cq& q, const rdf::Dictionary& dict,
+                                const NameFn& name_of) {
+  std::string out = "{ ";
+  auto render = [&](const QTerm& t) -> Result<std::string> {
+    if (t.is_var) return "?" + name_of(t.var());
+    return RenderConst(t.term(), dict);
+  };
+  for (size_t i = 0; i < q.body().size(); ++i) {
+    const Atom& a = q.body()[i];
+    RDFREF_ASSIGN_OR_RETURN(std::string s, render(a.s));
+    RDFREF_ASSIGN_OR_RETURN(std::string p, render(a.p));
+    RDFREF_ASSIGN_OR_RETURN(std::string o, render(a.o));
+    out += s + " " + p + " " + o + (i + 1 < q.body().size() ? " . " : " ");
+  }
+  out += "}";
+  return out;
+}
+
+Status CheckSerializable(const Cq& q) {
+  if (q.body().empty()) return Status::InvalidArgument("empty body");
+  if (q.head().empty()) return Status::InvalidArgument("empty head");
+  for (const QTerm& h : q.head()) {
+    if (!h.is_var) {
+      return Status::InvalidArgument(
+          "constant head slots are not expressible in SPARQL");
+    }
+  }
+  if (!q.IsSafe()) {
+    return Status::InvalidArgument("unsafe query (head var not in body)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ToSparql(const Cq& q, const rdf::Dictionary& dict) {
+  RDFREF_RETURN_NOT_OK(CheckSerializable(q));
+  // Original names are kept, so they must be valid identifiers and no two
+  // distinct variables may share one (they would merge on re-parse).
+  std::set<VarId> used = q.BodyVars();
+  std::set<std::string> names;
+  for (VarId v : used) {
+    if (!IsSparqlVarName(q.var_name(v))) {
+      return Status::InvalidArgument("variable name '" + q.var_name(v) +
+                                     "' is not a SPARQL identifier");
+    }
+    if (!names.insert(q.var_name(v)).second) {
+      return Status::InvalidArgument("duplicate variable name '" +
+                                     q.var_name(v) + "'");
+    }
+  }
+  std::string out = "SELECT";
+  for (const QTerm& h : q.head()) out += " ?" + q.var_name(h.var());
+  out += " WHERE ";
+  auto name_of = [&](VarId v) { return q.var_name(v); };
+  RDFREF_ASSIGN_OR_RETURN(std::string group, RenderGroup(q, dict, name_of));
+  return out + group;
+}
+
+Result<std::string> ToSparql(const Ucq& u, const rdf::Dictionary& dict) {
+  if (u.size() == 0) return Status::InvalidArgument("empty union");
+  // Branches have independent variable tables but share one SELECT list, so
+  // every branch's variables are renamed: head slot i -> hi, the rest -> a
+  // fresh x<n>. A head that repeats a variable cannot be renamed this way.
+  std::string out = "SELECT";
+  for (size_t i = 0; i < u.arity(); ++i) {
+    out += " ?h" + std::to_string(i);
+  }
+  out += " WHERE ";
+  for (size_t m = 0; m < u.size(); ++m) {
+    const Cq& q = u.members()[m];
+    RDFREF_RETURN_NOT_OK(CheckSerializable(q));
+    std::unordered_map<VarId, std::string> renamed;
+    for (size_t i = 0; i < q.head().size(); ++i) {
+      if (!renamed.emplace(q.head()[i].var(), "h" + std::to_string(i))
+               .second) {
+        return Status::InvalidArgument(
+            "a UNION member repeats a head variable; not expressible");
+      }
+    }
+    int fresh = 0;
+    for (VarId v : q.BodyVars()) {
+      if (!renamed.count(v)) {
+        renamed.emplace(v, "x" + std::to_string(fresh++));
+      }
+    }
+    auto name_of = [&](VarId v) { return renamed.at(v); };
+    RDFREF_ASSIGN_OR_RETURN(std::string group,
+                            RenderGroup(q, dict, name_of));
+    if (m > 0) out += " UNION ";
+    out += group;
+  }
+  return out;
 }
 
 }  // namespace query

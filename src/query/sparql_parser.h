@@ -30,6 +30,20 @@ Result<Cq> ParseSparql(std::string_view text, rdf::Dictionary* dict);
 /// yields a one-member UCQ.
 Result<Ucq> ParseSparqlUnion(std::string_view text, rdf::Dictionary* dict);
 
+/// \brief Renders a CQ back to the SPARQL dialect ParseSparql accepts, such
+/// that parse(serialize(q)) is structurally identical to q (equal
+/// CanonicalKey). Errors (kInvalidArgument) on queries the dialect cannot
+/// express: constant head slots, blank-node constants, variable names that
+/// are not SPARQL identifiers, or an empty head/body.
+Result<std::string> ToSparql(const Cq& q, const rdf::Dictionary& dict);
+
+/// \brief Renders a UCQ as SELECT ... WHERE { } UNION { } ... Head
+/// variables are renamed to a canonical ?h0.. ?hN-1 per branch (each
+/// branch has its own variable table), so parse(serialize(u)) matches
+/// member-by-member up to variable renaming. Errors additionally when a
+/// member's head repeats a variable (inexpressible once renamed).
+Result<std::string> ToSparql(const Ucq& u, const rdf::Dictionary& dict);
+
 }  // namespace query
 }  // namespace rdfref
 

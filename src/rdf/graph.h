@@ -66,6 +66,21 @@ class Graph {
     return dict_->InternBlank("g" + std::to_string(blank_counter_++));
   }
 
+  /// \brief Deep copy with an *id-identical* dictionary: every TermId valid
+  /// against this graph is valid against the clone and names the same term.
+  /// Graphs are otherwise move-only; cloning is explicit because it copies
+  /// the whole dictionary. Used by the differential-testing harness to
+  /// answer the same query against many QueryAnswerer instances.
+  Graph Clone() const {
+    Graph out;
+    for (TermId id = vocab::kNumBuiltins; id < dict_->size(); ++id) {
+      out.dict_->Intern(dict_->Lookup(id));
+    }
+    out.triples_ = triples_;
+    out.blank_counter_ = blank_counter_;
+    return out;
+  }
+
   /// \brief Copies all triples as a sorted vector (deterministic order for
   /// tests and store loading).
   std::vector<Triple> SortedTriples() const;

@@ -70,7 +70,11 @@ void Schema::AddRange(rdf::TermId property, rdf::TermId klass) {
 }
 
 void Schema::TransitiveClosure(Relation* super_of, Relation* sub_of) {
-  // Schema graphs are small; a straightforward fixpoint suffices.
+  // Schema graphs are small; a straightforward fixpoint suffices. A cycle
+  // (C ⊑ D, D ⊑ C) entails the reflexive pairs C ⊑ C and D ⊑ D by rdfs11
+  // transitivity, so `top == sub` must NOT be filtered: queries can match
+  // schema-position triples, and the saturation must contain what Datalog
+  // derives (caught by the differential fuzzer, seed 231).
   bool changed = true;
   while (changed) {
     changed = false;
@@ -80,7 +84,7 @@ void Schema::TransitiveClosure(Relation* super_of, Relation* sub_of) {
         auto it = super_of->find(mid);
         if (it == super_of->end()) continue;
         for (rdf::TermId top : it->second) {
-          if (top != sub && !supers.count(top)) to_add.insert(top);
+          if (!supers.count(top)) to_add.insert(top);
         }
       }
       if (!to_add.empty()) {

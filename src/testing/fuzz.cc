@@ -1,0 +1,122 @@
+#include "testing/fuzz.h"
+
+#include <utility>
+
+namespace rdfref {
+namespace testing {
+
+namespace {
+
+/// Derived deterministic sub-seeds: each relation gets its own stream so
+/// adding a relation never perturbs the draws of another.
+uint64_t SubSeed(uint64_t seed, int trial, uint64_t salt) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + trial * 31 + salt);
+  return rng.Next();
+}
+
+/// Runs every enabled check for one (scenario, query) pair; the first
+/// divergence wins. `replay` must be stable so the shrinker can re-run the
+/// exact failing relation on reduced candidates.
+Divergence RunChecks(const Scenario& sc, const query::Cq& q,
+                     const FuzzOptions& options, uint64_t seed, int trial,
+                     uint64_t* checks_run) {
+  auto count = [&](Divergence d) {
+    if (checks_run) ++*checks_run;
+    return d;
+  };
+
+  Oracle::Options oracle_options;
+  oracle_options.mutate = options.mutate;
+  {
+    Oracle oracle(sc, oracle_options);
+    Divergence d = count(oracle.Check(q));
+    if (d.found) return d;
+  }
+  if (options.check_metamorphic) {
+    Divergence d = count(CheckThreadInvariance(sc, q, options.thread_settings));
+    if (d.found) return d;
+    d = count(CheckDeadlineInvariance(sc, q));
+    if (d.found) return d;
+  }
+  if (options.check_federation) {
+    Divergence d = count(CheckFederationPartition(
+        sc, q, options.federation_endpoints, SubSeed(seed, trial, 0xFED)));
+    if (d.found) return d;
+  }
+  if (options.check_updates) {
+    Rng mono_rng(SubSeed(seed, trial, 0x1A5E27));
+    Divergence d =
+        count(CheckInsertionMonotonicity(sc, q, &mono_rng, options.num_inserts));
+    if (d.found) return d;
+    if (trial == 0) {
+      // The insert/delete soak rebuilds a ground-truth answerer per op;
+      // once per seed keeps the run fast without losing coverage.
+      Rng upd_rng(SubSeed(seed, trial, 0xD4ED));
+      d = count(CheckUpdateConsistency(sc, q, &upd_rng, options.num_update_ops));
+      if (d.found) return d;
+    }
+  }
+  return Divergence::None();
+}
+
+}  // namespace
+
+bool RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
+                 FuzzReport* report) {
+  Scenario sc = GenerateScenario(seed, options.scenario);
+  Rng query_rng(seed * 31 + 7);
+  ++report->seeds_run;
+
+  for (int trial = 0; trial < options.trials_per_seed; ++trial) {
+    query::Cq q = GenerateQuery(sc, &query_rng, options.query);
+    ++report->queries_checked;
+    Divergence d =
+        RunChecks(sc, q, options, seed, trial, &report->checks_run);
+    if (!d.found) continue;
+
+    FuzzFailure failure;
+    failure.seed = seed;
+    failure.trial = trial;
+    failure.relation = d.relation;
+    failure.detail = d.detail;
+    failure.seed_file = EmitSeedFile(seed, trial, d.relation);
+    if (options.shrink) {
+      // Deterministic predicate: re-run the full check battery (same
+      // derived sub-seeds) and require the SAME relation to fail — a
+      // different divergence on a reduced candidate is a different bug.
+      FailurePredicate fails = [&](const Scenario& candidate,
+                                   const query::Cq& candidate_q) {
+        Divergence rd = RunChecks(candidate, candidate_q, options, seed,
+                                  trial, nullptr);
+        return rd.found && rd.relation == d.relation;
+      };
+      failure.shrunk = Shrink(sc, q, fails);
+    } else {
+      failure.shrunk.schema_triples = sc.schema_triples;
+      failure.shrunk.data_triples = sc.data_triples;
+      failure.shrunk.query = q;
+    }
+    failure.repro_cc =
+        EmitReproTest(sc, failure.shrunk,
+                      "Seed" + std::to_string(seed) + "Trial" +
+                          std::to_string(trial),
+                      d.relation);
+    report->failures.push_back(std::move(failure));
+    if (static_cast<int>(report->failures.size()) >= options.max_failures) {
+      return false;
+    }
+  }
+  return true;
+}
+
+FuzzReport RunFuzz(uint64_t seed_begin, uint64_t seed_end,
+                   const FuzzOptions& options) {
+  FuzzReport report;
+  for (uint64_t seed = seed_begin; seed <= seed_end; ++seed) {
+    if (!RunFuzzSeed(seed, options, &report)) break;
+  }
+  return report;
+}
+
+}  // namespace testing
+}  // namespace rdfref

@@ -1,0 +1,81 @@
+#ifndef RDFREF_TESTING_FUZZ_H_
+#define RDFREF_TESTING_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/metamorphic.h"
+#include "testing/oracle.h"
+#include "testing/scenario.h"
+#include "testing/shrink.h"
+
+namespace rdfref {
+namespace testing {
+
+/// \brief Configuration of one differential-fuzzing run: generator shapes,
+/// which relation families to check, and the optional bug-injection hook
+/// the harness uses to test itself.
+struct FuzzOptions {
+  ScenarioOptions scenario;
+  QueryOptions query;
+  /// Random queries drawn per seed.
+  int trials_per_seed = 4;
+
+  /// Relation families (the oracle always runs).
+  bool check_metamorphic = true;  ///< threads / deadline invariance
+  bool check_federation = true;   ///< graph partitioning across endpoints
+  bool check_updates = true;      ///< monotone insert + DRed delete checks
+  std::vector<int> thread_settings = {1, 0, 8};
+  int federation_endpoints = 3;
+  int num_inserts = 2;     ///< insertions per monotonicity check
+  int num_update_ops = 4;  ///< ops per insert/delete consistency check
+
+  /// Corrupts a strategy's answer before the oracle compares — the
+  /// mutation check: with a bug injected, the harness MUST catch and
+  /// shrink it (see fuzz_driver --inject-bug).
+  Oracle::AnswerMutator mutate;
+
+  /// Minimize the first failure and emit repro artifacts.
+  bool shrink = true;
+  /// Stop fuzzing after this many failures (shrinking dominates cost).
+  int max_failures = 1;
+};
+
+/// \brief One caught divergence, minimized and ready to file.
+struct FuzzFailure {
+  uint64_t seed = 0;
+  int trial = 0;
+  std::string relation;
+  std::string detail;
+  ShrinkResult shrunk;
+  /// Self-contained gtest snippet reproducing the shrunken case.
+  std::string repro_cc;
+  /// Replayable seed file (fuzz_driver --replay).
+  std::string seed_file;
+};
+
+/// \brief Aggregate outcome of a fuzzing run.
+struct FuzzReport {
+  uint64_t seeds_run = 0;
+  uint64_t queries_checked = 0;
+  uint64_t checks_run = 0;
+  std::vector<FuzzFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+/// \brief Fuzzes one seed: generates a scenario, draws queries, runs the
+/// oracle and every enabled metamorphic relation, and shrinks the first
+/// divergence. Appends into `report`; returns false once
+/// options.max_failures is reached.
+bool RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
+                 FuzzReport* report);
+
+/// \brief Fuzzes seeds [seed_begin, seed_end].
+FuzzReport RunFuzz(uint64_t seed_begin, uint64_t seed_end,
+                   const FuzzOptions& options = {});
+
+}  // namespace testing
+}  // namespace rdfref
+
+#endif  // RDFREF_TESTING_FUZZ_H_

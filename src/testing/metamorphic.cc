@@ -1,0 +1,279 @@
+#include "testing/metamorphic.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "federation/federation.h"
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace testing {
+
+namespace {
+
+namespace vocab = rdf::vocab;
+
+/// Re-expresses a query's constants against another dictionary (the
+/// federation interns endpoint values into its own shared dictionary).
+query::Cq TranslateQuery(const query::Cq& q, const rdf::Dictionary& from,
+                         rdf::Dictionary* to) {
+  query::Cq out;
+  for (query::VarId v = 0; v < q.num_vars(); ++v) out.AddVar(q.var_name(v));
+  auto xlate = [&](query::QTerm t) {
+    if (t.is_var) return t;
+    return query::QTerm::Const(to->Intern(from.Lookup(t.term())));
+  };
+  for (const query::Atom& a : q.body()) {
+    out.AddAtom(query::Atom(xlate(a.s), xlate(a.p), xlate(a.o)));
+  }
+  for (query::QTerm h : q.head()) out.AddHead(xlate(h));
+  for (query::VarId v : q.resource_vars()) out.AddResourceVar(v);
+  return out;
+}
+
+std::string Diagnose(const query::Cq& q, const rdf::Dictionary& dict,
+                     const std::set<DecodedRow>& expected,
+                     const std::set<DecodedRow>& got) {
+  std::ostringstream os;
+  os << "expected " << RowSetPreview(expected) << "; got "
+     << RowSetPreview(got) << "\nquery: " << q.ToString(dict);
+  return os.str();
+}
+
+}  // namespace
+
+Divergence CheckThreadInvariance(const Scenario& sc, const query::Cq& q,
+                                 const std::vector<int>& thread_settings) {
+  api::QueryAnswerer answerer(sc.graph.Clone());
+  const api::Strategy strategies[] = {api::Strategy::kRefUcq,
+                                      api::Strategy::kRefGcov};
+  for (api::Strategy s : strategies) {
+    bool first = true;
+    std::set<DecodedRow> reference;
+    for (int threads : thread_settings) {
+      api::AnswerOptions options;
+      options.threads = threads;
+      auto got = answerer.Answer(q, s, nullptr, options);
+      std::ostringstream name;
+      name << "metamorphic:threads=" << threads << ":"
+           << api::StrategyName(s);
+      if (!got.ok()) return Divergence::Of(name.str(), got.status().ToString());
+      std::set<DecodedRow> rows = DecodeRows(*got, answerer.dict());
+      if (first) {
+        reference = std::move(rows);
+        first = false;
+      } else if (rows != reference) {
+        return Divergence::Of(
+            name.str(), Diagnose(q, answerer.dict(), reference, rows));
+      }
+    }
+  }
+  return Divergence::None();
+}
+
+Divergence CheckDeadlineInvariance(const Scenario& sc, const query::Cq& q) {
+  api::QueryAnswerer answerer(sc.graph.Clone());
+  auto baseline = answerer.Answer(q, api::Strategy::kRefUcq);
+  if (!baseline.ok()) {
+    return Divergence::Of("metamorphic:deadline",
+                          baseline.status().ToString());
+  }
+  const std::set<DecodedRow> expected =
+      DecodeRows(*baseline, answerer.dict());
+
+  // An explicit infinite deadline and a generous finite one both take the
+  // deadline-polling code paths; neither may change the answer.
+  const Deadline deadlines[] = {Deadline::Infinite(),
+                                Deadline::AfterMillis(1e8)};
+  for (const Deadline& d : deadlines) {
+    api::AnswerOptions options;
+    options.deadline = d;
+    auto got = answerer.Answer(q, api::Strategy::kRefUcq, nullptr, options);
+    if (!got.ok()) {
+      return Divergence::Of("metamorphic:deadline",
+                            got.status().ToString());
+    }
+    std::set<DecodedRow> rows = DecodeRows(*got, answerer.dict());
+    if (rows != expected) {
+      return Divergence::Of("metamorphic:deadline",
+                            Diagnose(q, answerer.dict(), expected, rows));
+    }
+  }
+  return Divergence::None();
+}
+
+Divergence CheckFederationPartition(const Scenario& sc, const query::Cq& q,
+                                    int num_endpoints, uint64_t seed) {
+  // Centralized ground truth.
+  api::QueryAnswerer central(sc.graph.Clone());
+  auto expected_table = central.Answer(q, api::Strategy::kSaturation);
+  if (!expected_table.ok()) {
+    return Divergence::Of("metamorphic:federation",
+                          expected_table.status().ToString());
+  }
+  const std::set<DecodedRow> expected =
+      DecodeRows(*expected_table, central.dict());
+
+  // Random partition of schema AND data triples: cross-endpoint
+  // consequences (fact on one endpoint, constraint on another) are the
+  // interesting case, and a random split produces plenty of them.
+  Rng rng(seed);
+  std::vector<rdf::Graph> parts;
+  for (int i = 0; i < num_endpoints; ++i) parts.emplace_back();
+  auto assign = [&](const rdf::Triple& t) {
+    rdf::Graph& g = parts[rng.Uniform(parts.size())];
+    const rdf::Dictionary& dict = sc.graph.dict();
+    g.Add(dict.Lookup(t.s), dict.Lookup(t.p), dict.Lookup(t.o));
+  };
+  for (const rdf::Triple& t : sc.schema_triples) assign(t);
+  for (const rdf::Triple& t : sc.data_triples) assign(t);
+
+  federation::Federation fed;
+  for (int i = 0; i < num_endpoints; ++i) {
+    fed.AddEndpoint("ep" + std::to_string(i), parts[i]);
+  }
+  query::Cq fed_q = TranslateQuery(q, sc.graph.dict(), &fed.dict());
+  auto got = fed.Answer(fed_q);
+  if (!got.ok()) {
+    return Divergence::Of("metamorphic:federation",
+                          got.status().ToString());
+  }
+  std::set<DecodedRow> rows = DecodeRows(*got, fed.dict());
+  if (rows != expected) {
+    return Divergence::Of("metamorphic:federation",
+                          Diagnose(q, sc.graph.dict(), expected, rows));
+  }
+  return Divergence::None();
+}
+
+Divergence CheckInsertionMonotonicity(const Scenario& sc, const query::Cq& q,
+                                      Rng* rng, int num_inserts) {
+  api::QueryAnswerer answerer(sc.graph.Clone());
+  auto before = answerer.Answer(q, api::Strategy::kSaturation);
+  if (!before.ok()) {
+    return Divergence::Of("metamorphic:monotonicity",
+                          before.status().ToString());
+  }
+  std::set<DecodedRow> previous = DecodeRows(*before, answerer.dict());
+
+  for (int i = 0; i < num_inserts; ++i) {
+    // A fresh instance fact over the scenario's vocabulary.
+    rdf::TermId s = sc.subjects[rng->Uniform(sc.subjects.size())];
+    rdf::Triple t =
+        rng->Chance(0.3)
+            ? rdf::Triple(s, vocab::kTypeId,
+                          sc.classes[rng->Uniform(sc.classes.size())])
+            : rdf::Triple(s, sc.properties[rng->Uniform(sc.properties.size())],
+                          sc.subjects[rng->Uniform(sc.subjects.size())]);
+    Status st = answerer.InsertTriple(t);
+    if (!st.ok()) {
+      return Divergence::Of("metamorphic:monotonicity",
+                            "insert failed: " + st.ToString());
+    }
+
+    auto sat = answerer.Answer(q, api::Strategy::kSaturation);
+    if (!sat.ok()) {
+      return Divergence::Of("metamorphic:monotonicity",
+                            sat.status().ToString());
+    }
+    std::set<DecodedRow> now = DecodeRows(*sat, answerer.dict());
+    if (!std::includes(now.begin(), now.end(), previous.begin(),
+                       previous.end())) {
+      return Divergence::Of(
+          "metamorphic:monotonicity",
+          "insertion lost answers: " +
+              Diagnose(q, answerer.dict(), previous, now));
+    }
+    // The complete strategies keep agreeing on the grown graph.
+    for (api::Strategy s2 :
+         {api::Strategy::kRefUcq, api::Strategy::kDatalog}) {
+      auto got = answerer.Answer(q, s2);
+      if (!got.ok()) {
+        return Divergence::Of("metamorphic:monotonicity",
+                              got.status().ToString());
+      }
+      std::set<DecodedRow> rows = DecodeRows(*got, answerer.dict());
+      if (rows != now) {
+        return Divergence::Of(
+            std::string("metamorphic:monotonicity:") + api::StrategyName(s2),
+            Diagnose(q, answerer.dict(), now, rows));
+      }
+    }
+    previous = std::move(now);
+  }
+  return Divergence::None();
+}
+
+Divergence CheckUpdateConsistency(const Scenario& sc, const query::Cq& q,
+                                  Rng* rng, int num_ops) {
+  api::QueryAnswerer answerer(sc.graph.Clone());
+  // Saturate now so every later update exercises the *incremental* paths
+  // (forward chase on insert, DRed on delete) rather than a lazy rebuild.
+  auto warm = answerer.Answer(q, api::Strategy::kSaturation);
+  if (!warm.ok()) {
+    return Divergence::Of("metamorphic:updates", warm.status().ToString());
+  }
+
+  std::vector<rdf::Triple> facts = sc.data_triples;
+  for (int op = 0; op < num_ops; ++op) {
+    const bool remove = !facts.empty() && rng->Chance(0.5);
+    if (remove) {
+      size_t at = rng->Uniform(facts.size());
+      rdf::Triple t = facts[at];
+      facts.erase(facts.begin() + at);
+      Status st = answerer.RemoveTriple(t);
+      if (!st.ok()) {
+        return Divergence::Of("metamorphic:updates",
+                              "remove failed: " + st.ToString());
+      }
+    } else {
+      rdf::TermId s = sc.subjects[rng->Uniform(sc.subjects.size())];
+      rdf::Triple t =
+          rng->Chance(0.3)
+              ? rdf::Triple(s, vocab::kTypeId,
+                            sc.classes[rng->Uniform(sc.classes.size())])
+              : rdf::Triple(
+                    s, sc.properties[rng->Uniform(sc.properties.size())],
+                    sc.subjects[rng->Uniform(sc.subjects.size())]);
+      if (std::find(facts.begin(), facts.end(), t) == facts.end()) {
+        facts.push_back(t);
+      }
+      Status st = answerer.InsertTriple(t);
+      if (!st.ok()) {
+        return Divergence::Of("metamorphic:updates",
+                              "insert failed: " + st.ToString());
+      }
+    }
+
+    // Ground truth: a from-scratch answerer over the current explicit set.
+    Scenario current = RestrictScenario(sc, sc.schema_triples, facts);
+    api::QueryAnswerer fresh(current.graph.Clone());
+    auto expected_table = fresh.Answer(q, api::Strategy::kSaturation);
+    if (!expected_table.ok()) {
+      return Divergence::Of("metamorphic:updates",
+                            expected_table.status().ToString());
+    }
+    std::set<DecodedRow> expected =
+        DecodeRows(*expected_table, fresh.dict());
+
+    for (api::Strategy s : {api::Strategy::kSaturation,
+                            api::Strategy::kRefUcq, api::Strategy::kDatalog}) {
+      auto got = answerer.Answer(q, s);
+      std::string name = std::string("metamorphic:updates:op") +
+                         std::to_string(op) + ":" + api::StrategyName(s);
+      if (!got.ok()) return Divergence::Of(name, got.status().ToString());
+      std::set<DecodedRow> rows = DecodeRows(*got, answerer.dict());
+      if (rows != expected) {
+        return Divergence::Of(name,
+                              Diagnose(q, answerer.dict(), expected, rows));
+      }
+    }
+  }
+  return Divergence::None();
+}
+
+}  // namespace testing
+}  // namespace rdfref

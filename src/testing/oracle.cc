@@ -1,0 +1,126 @@
+#include "testing/oracle.h"
+
+#include <sstream>
+#include <utility>
+
+namespace rdfref {
+namespace testing {
+
+std::set<DecodedRow> DecodeRows(const engine::Table& table,
+                                const rdf::Dictionary& dict) {
+  std::set<DecodedRow> out;
+  for (const auto& row : table.rows) {
+    DecodedRow decoded;
+    decoded.reserve(row.size());
+    for (rdf::TermId id : row) decoded.push_back(dict.Lookup(id));
+    out.insert(std::move(decoded));
+  }
+  return out;
+}
+
+std::string RowSetPreview(const std::set<DecodedRow>& rows, size_t max_rows) {
+  std::ostringstream os;
+  os << rows.size() << " row(s)";
+  size_t shown = 0;
+  for (const DecodedRow& row : rows) {
+    if (shown++ >= max_rows) {
+      os << " ...";
+      break;
+    }
+    os << (shown == 1 ? ": " : " | ");
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << " ";
+      os << row[i].ToString();
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+/// One-line diff of two decoded row sets (what's missing / spurious).
+std::string DiffRowSets(const std::set<DecodedRow>& expected,
+                        const std::set<DecodedRow>& got) {
+  std::ostringstream os;
+  size_t missing = 0, spurious = 0;
+  for (const DecodedRow& r : expected) missing += got.count(r) == 0;
+  for (const DecodedRow& r : got) spurious += expected.count(r) == 0;
+  os << "expected " << RowSetPreview(expected) << "; got "
+     << RowSetPreview(got) << " (" << missing << " missing, " << spurious
+     << " spurious)";
+  return os.str();
+}
+
+}  // namespace
+
+Oracle::Oracle(const Scenario& sc, Options options)
+    : options_(std::move(options)),
+      answerer_(std::make_unique<api::QueryAnswerer>(sc.graph.Clone())) {}
+
+Result<engine::Table> Oracle::Answer(const query::Cq& q, api::Strategy s,
+                                     const api::AnswerOptions& options) {
+  auto table = answerer_->Answer(q, s, nullptr, options);
+  if (table.ok() && options_.mutate) options_.mutate(s, &*table);
+  return table;
+}
+
+Divergence Oracle::Check(const query::Cq& q) {
+  const rdf::Dictionary& dict = answerer_->dict();
+  auto sat = Answer(q, api::Strategy::kSaturation);
+  if (!sat.ok()) {
+    return Divergence::Of("oracle:SAT",
+                          "ground truth failed: " + sat.status().ToString());
+  }
+  const std::set<DecodedRow> expected = DecodeRows(*sat, dict);
+
+  const api::Strategy strategies[] = {
+      api::Strategy::kRefUcq, api::Strategy::kRefScq, api::Strategy::kRefGcov,
+      api::Strategy::kDatalog};
+  for (api::Strategy s : strategies) {
+    auto got = Answer(q, s);
+    const std::string name = std::string("oracle:") + api::StrategyName(s);
+    if (!got.ok()) return Divergence::Of(name, got.status().ToString());
+    std::set<DecodedRow> rows = DecodeRows(*got, dict);
+    if (rows != expected) {
+      return Divergence::Of(name, DiffRowSets(expected, rows) +
+                                      "\nquery: " + q.ToString(dict));
+    }
+  }
+
+  if (options_.check_minimized) {
+    api::AnswerOptions minimized;
+    minimized.reform.minimize = true;
+    auto pruned = Answer(q, api::Strategy::kRefUcq, minimized);
+    if (!pruned.ok()) {
+      return Divergence::Of("oracle:REF-UCQ-minimized",
+                            pruned.status().ToString());
+    }
+    std::set<DecodedRow> rows = DecodeRows(*pruned, dict);
+    if (rows != expected) {
+      return Divergence::Of("oracle:REF-UCQ-minimized",
+                            DiffRowSets(expected, rows) +
+                                "\nquery: " + q.ToString(dict));
+    }
+  }
+
+  if (options_.check_incomplete_subset) {
+    auto incomplete = Answer(q, api::Strategy::kRefIncomplete);
+    if (!incomplete.ok()) {
+      return Divergence::Of("oracle:REF-INCOMPLETE",
+                            incomplete.status().ToString());
+    }
+    for (const DecodedRow& row : DecodeRows(*incomplete, dict)) {
+      if (!expected.count(row)) {
+        std::set<DecodedRow> one = {row};
+        return Divergence::Of(
+            "oracle:REF-INCOMPLETE",
+            "incomplete Ref produced a spurious answer " +
+                RowSetPreview(one) + "\nquery: " + q.ToString(dict));
+      }
+    }
+  }
+  return Divergence::None();
+}
+
+}  // namespace testing
+}  // namespace rdfref

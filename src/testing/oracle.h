@@ -1,0 +1,98 @@
+#ifndef RDFREF_TESTING_ORACLE_H_
+#define RDFREF_TESTING_ORACLE_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/query_answering.h"
+#include "engine/table.h"
+#include "query/cq.h"
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "testing/scenario.h"
+
+namespace rdfref {
+namespace testing {
+
+/// \brief The outcome of one differential check: empty (found == false)
+/// when every strategy agreed, otherwise the name of the relation that
+/// broke and a human-readable diagnosis.
+struct Divergence {
+  bool found = false;
+  /// Which check diverged, e.g. "oracle:REF-SCQ", "metamorphic:threads=8",
+  /// "metamorphic:federation", "metamorphic:monotonicity".
+  std::string relation;
+  /// Diagnosis: row counts, example rows, the query text.
+  std::string detail;
+
+  static Divergence None() { return Divergence{}; }
+  static Divergence Of(std::string relation, std::string detail) {
+    return Divergence{true, std::move(relation), std::move(detail)};
+  }
+};
+
+/// \brief A result row decoded to RDF terms — comparable across answerers
+/// with different dictionaries (the federation re-encodes every endpoint's
+/// values into its own shared dictionary).
+using DecodedRow = std::vector<rdf::Term>;
+
+/// \brief Decodes a table's rows against its dictionary, as a set (the
+/// paper's queries are set-semantics).
+std::set<DecodedRow> DecodeRows(const engine::Table& table,
+                                const rdf::Dictionary& dict);
+
+/// \brief Renders a small sample of a decoded row set for diagnostics.
+std::string RowSetPreview(const std::set<DecodedRow>& rows,
+                          size_t max_rows = 4);
+
+/// \brief The differential oracle protocol over one scenario:
+///
+///   1. Sat (saturate G, evaluate q directly) is ground truth: q(G∞).
+///   2. Every complete strategy — Ref-UCQ, Ref-SCQ, Ref-GCov, Dat, and
+///      Ref-UCQ with minimization — must match it bit-for-bit.
+///   3. The incomplete (Virtuoso-style) Ref must return a subset.
+///
+/// The mutate hook corrupts a chosen strategy's answer before comparison;
+/// it exists so the harness can verify *itself* (an injected evaluator bug
+/// must be caught and shrunk — the mutation check of the fuzz driver).
+/// \brief Hook that corrupts a strategy's answer before comparison (see
+/// Oracle). Namespace-scope so it can default-initialize in signatures.
+using AnswerMutator = std::function<void(api::Strategy, engine::Table*)>;
+
+/// \brief Oracle knobs (namespace-scope so `= {}` defaults work inside the
+/// class definition).
+struct OracleOptions {
+  bool check_minimized = true;
+  bool check_incomplete_subset = true;
+  AnswerMutator mutate;
+};
+
+class Oracle {
+ public:
+  using AnswerMutator = testing::AnswerMutator;
+  using Options = OracleOptions;
+
+  /// \brief Builds a private QueryAnswerer over a clone of the scenario's
+  /// graph (the scenario stays reusable).
+  explicit Oracle(const Scenario& sc, Options options = {});
+
+  /// \brief Runs the full protocol for one query.
+  Divergence Check(const query::Cq& q);
+
+  api::QueryAnswerer& answerer() { return *answerer_; }
+
+ private:
+  Result<engine::Table> Answer(const query::Cq& q, api::Strategy s,
+                               const api::AnswerOptions& options = {});
+
+  Options options_;
+  std::unique_ptr<api::QueryAnswerer> answerer_;
+};
+
+}  // namespace testing
+}  // namespace rdfref
+
+#endif  // RDFREF_TESTING_ORACLE_H_

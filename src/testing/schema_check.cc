@@ -1,0 +1,121 @@
+#include "testing/schema_check.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace testing {
+
+namespace {
+namespace vocab = rdf::vocab;
+
+bool IsSchemaProperty(rdf::TermId p) {
+  return p == vocab::kSubClassOfId || p == vocab::kSubPropertyOfId ||
+         p == vocab::kDomainId || p == vocab::kRangeId;
+}
+
+std::string Show(const rdf::Dictionary& dict, rdf::TermId id) {
+  return dict.Lookup(id).ToString();
+}
+
+}  // namespace
+
+std::vector<std::string> CheckSchemaConsistency(
+    const rdf::Graph& graph, const SchemaCheckOptions& options) {
+  const rdf::Dictionary& dict = graph.dict();
+  std::vector<std::string> violations;
+  auto violation = [&](std::string line) {
+    violations.push_back(std::move(line));
+  };
+
+  // Pass 1: collect the declared vocabulary from the constraint triples.
+  std::unordered_set<rdf::TermId> declared_properties;
+  std::unordered_set<rdf::TermId> declared_classes;
+  std::unordered_set<rdf::TermId> ranged_properties;
+  for (const rdf::Triple& t : graph.triples()) {
+    if (!IsSchemaProperty(t.p)) continue;
+    if (IsSchemaProperty(t.s) || t.s == vocab::kTypeId ||
+        IsSchemaProperty(t.o) || t.o == vocab::kTypeId) {
+      violation("schema triple constrains an RDFS built-in: " +
+                Show(dict, t.s) + " " + Show(dict, t.p) + " " +
+                Show(dict, t.o));
+    }
+    if (!dict.Lookup(t.s).is_uri() || !dict.Lookup(t.o).is_uri()) {
+      violation("schema triple with a non-URI term: " + Show(dict, t.s) +
+                " " + Show(dict, t.p) + " " + Show(dict, t.o));
+      continue;
+    }
+    switch (t.p) {
+      case vocab::kSubClassOfId:
+        declared_classes.insert(t.s);
+        declared_classes.insert(t.o);
+        break;
+      case vocab::kSubPropertyOfId:
+        declared_properties.insert(t.s);
+        declared_properties.insert(t.o);
+        break;
+      case vocab::kDomainId:
+        declared_properties.insert(t.s);
+        declared_classes.insert(t.o);
+        break;
+      case vocab::kRangeId:
+        declared_properties.insert(t.s);
+        declared_classes.insert(t.o);
+        ranged_properties.insert(t.s);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Pass 2: check every data triple against the declared vocabulary.
+  // Deduplicate per (property) and per (class) so one undeclared property
+  // used a thousand times yields one violation, not a thousand.
+  std::set<rdf::TermId> reported_properties;
+  std::set<rdf::TermId> reported_classes;
+  std::unordered_map<rdf::TermId, bool> literal_only;
+  for (const rdf::Triple& t : graph.triples()) {
+    if (IsSchemaProperty(t.p)) continue;
+    if (dict.Lookup(t.s).is_literal()) {
+      violation("literal subject: " + Show(dict, t.s) + " " +
+                Show(dict, t.p) + " " + Show(dict, t.o));
+    }
+    if (t.p == vocab::kTypeId) {
+      if (!declared_classes.count(t.o) &&
+          reported_classes.insert(t.o).second) {
+        violation("asserted class not in the schema: " + Show(dict, t.o));
+      }
+      continue;
+    }
+    const bool object_literal = dict.Lookup(t.o).is_literal();
+    if (ranged_properties.count(t.p) && object_literal) {
+      violation("property with a declared range takes a literal: " +
+                Show(dict, t.s) + " " + Show(dict, t.p) + " " +
+                Show(dict, t.o));
+    }
+    if (!declared_properties.count(t.p)) {
+      auto it = literal_only.find(t.p);
+      if (it == literal_only.end()) {
+        literal_only.emplace(t.p, object_literal);
+      } else {
+        it->second = it->second && object_literal;
+      }
+    }
+  }
+  for (const auto& [p, only_literals] : literal_only) {
+    if (options.allow_undeclared_literal_properties && only_literals) {
+      continue;
+    }
+    if (reported_properties.insert(p).second) {
+      violation("property not in the schema: " + Show(dict, p) +
+                (only_literals ? " (literal-valued)" : ""));
+    }
+  }
+  return violations;
+}
+
+}  // namespace testing
+}  // namespace rdfref

@@ -1,0 +1,42 @@
+#ifndef RDFREF_TESTING_SCHEMA_CHECK_H_
+#define RDFREF_TESTING_SCHEMA_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace rdfref {
+namespace testing {
+
+/// \brief Options of the graph/schema consistency checker.
+struct SchemaCheckOptions {
+  /// Tolerate properties that never appear in an RDFS constraint as long
+  /// as every object they take is a literal ("attribute" properties; the
+  /// paper's Figure 2 bibliography graph uses these for titles and dates).
+  bool allow_undeclared_literal_properties = false;
+};
+
+/// \brief Invariants every synthetic data generator must uphold, checked
+/// over a generated graph (schema triples live in the same graph, per the
+/// DB fragment):
+///
+///   1. Every property used by a data triple appears in the RDFS schema —
+///      in a subPropertyOf constraint (either side) or with a domain/range.
+///   2. Every class C asserted via `s rdf:type C` appears in the schema —
+///      in a subClassOf constraint (either side) or as a domain/range
+///      target class.
+///   3. A property with a declared range never takes a literal object (a
+///      literal cannot acquire a class type).
+///   4. Schema constraint triples relate URIs only — no literal or blank
+///      subject/object, and RDFS built-ins are never themselves constrained.
+///   5. Subjects are never literals.
+///
+/// Returns every violation as a human-readable line (empty = consistent).
+std::vector<std::string> CheckSchemaConsistency(
+    const rdf::Graph& graph, const SchemaCheckOptions& options = {});
+
+}  // namespace testing
+}  // namespace rdfref
+
+#endif  // RDFREF_TESTING_SCHEMA_CHECK_H_

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "datagen/bibliography.h"
 #include "query/sparql_parser.h"
+#include "rdf/vocab.h"
 
 namespace rdfref {
 namespace api {
@@ -169,6 +173,46 @@ TEST_F(ApiTest, UnionDeduplicatesAcrossBranches) {
 TEST_F(ApiTest, EmptyUnionRejected) {
   query::Ucq empty;
   EXPECT_FALSE(answerer_->AnswerUnion(empty, Strategy::kRefUcq).ok());
+}
+
+// Shrunken differential-fuzzing repro (oracle:DATALOG),
+// generated by tools/fuzz_driver — 2 triple(s), 1 atom(s).
+// A subClassOf cycle entails the reflexive pairs C0 ⊑ C0 / C3 ⊑ C3
+// (rdfs11); the schema closure used to filter them while Datalog derived
+// them, so Sat/Ref answered 0 rows where Dat answered 2.
+TEST(FuzzRepro, Seed231Trial3) {
+  rdf::Graph g;
+  rdf::Dictionary& dict = g.dict();
+  g.Add(dict.InternUri("http://t/C0"), rdf::vocab::kSubClassOfId,
+        dict.InternUri("http://t/C3"));
+  g.Add(dict.InternUri("http://t/C3"), rdf::vocab::kSubClassOfId,
+        dict.InternUri("http://t/C0"));
+
+  query::Cq q;
+  q.AddVar("v0");  // VarId 0
+  q.AddVar("v1");  // VarId 1
+  q.AddVar("v2");  // VarId 2
+  q.AddAtom(query::Atom(query::QTerm::Var(1), query::QTerm::Var(0),
+                        query::QTerm::Var(1)));
+  q.AddHead(query::QTerm::Var(0));
+  q.AddHead(query::QTerm::Var(1));
+
+  api::QueryAnswerer answerer(std::move(g));
+  auto sat = answerer.Answer(q, api::Strategy::kSaturation);
+  ASSERT_TRUE(sat.ok()) << sat.status();
+  std::set<std::vector<rdf::TermId>> expected(sat->rows.begin(),
+                                              sat->rows.end());
+  EXPECT_EQ(expected.size(), 2u);  // (⊑, C0) and (⊑, C3)
+  for (api::Strategy s :
+       {api::Strategy::kRefUcq, api::Strategy::kRefScq,
+        api::Strategy::kRefGcov, api::Strategy::kDatalog}) {
+    auto got = answerer.Answer(q, s);
+    ASSERT_TRUE(got.ok()) << api::StrategyName(s);
+    EXPECT_EQ(std::set<std::vector<rdf::TermId>>(got->rows.begin(),
+                                                 got->rows.end()),
+              expected)
+        << api::StrategyName(s);
+  }
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include "rdf/vocab.h"
 #include "schema/schema.h"
 #include "storage/store.h"
+#include "testing/scenario.h"
+#include "testing/schema_check.h"
 
 namespace rdfref {
 namespace datagen {
@@ -147,6 +149,83 @@ TEST(GeneratorsTest, AllDeterministic) {
   Geo::Generate({2, 5}, &g1);
   Geo::Generate({2, 5}, &g2);
   EXPECT_EQ(g1.size(), g2.size());
+}
+
+// ---------------------------------------------------------------------------
+// Schema-consistency invariants: every generator must emit graphs whose
+// asserted classes and properties exist in their own RDFS schema, with
+// domains/ranges respected (see testing::CheckSchemaConsistency).
+
+TEST(SchemaConsistencyTest, LubmIsSchemaConsistent) {
+  LubmConfig config;
+  config.universities = 1;
+  config.scale = 0.3;
+  rdf::Graph g;
+  Lubm::Generate(config, &g);
+  auto violations = testing::CheckSchemaConsistency(g);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violation(s), first: " << violations.front();
+}
+
+TEST(SchemaConsistencyTest, DblpIsSchemaConsistent) {
+  DblpConfig config;
+  config.publications = 300;
+  rdf::Graph g;
+  Dblp::Generate(config, &g);
+  auto violations = testing::CheckSchemaConsistency(g);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violation(s), first: " << violations.front();
+}
+
+TEST(SchemaConsistencyTest, GeoIsSchemaConsistent) {
+  GeoConfig config;
+  config.regions = 2;
+  rdf::Graph g;
+  Geo::Generate(config, &g);
+  auto violations = testing::CheckSchemaConsistency(g);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violation(s), first: " << violations.front();
+}
+
+TEST(SchemaConsistencyTest, BibliographyConsistentModuloAttributes) {
+  // Figure 2 is reproduced verbatim from the paper: hasTitle / hasName /
+  // publishedIn carry literal values and are deliberately not constrained.
+  rdf::Graph g;
+  Bibliography::AddFigure2Graph(&g);
+  testing::SchemaCheckOptions relaxed;
+  relaxed.allow_undeclared_literal_properties = true;
+  EXPECT_TRUE(testing::CheckSchemaConsistency(g, relaxed).empty());
+  // Strict mode reports exactly those three attribute properties.
+  auto strict = testing::CheckSchemaConsistency(g);
+  EXPECT_EQ(strict.size(), 3u);
+}
+
+TEST(SchemaConsistencyTest, CheckerFlagsViolations) {
+  rdf::Graph g;
+  rdf::Dictionary& dict = g.dict();
+  rdf::TermId c = dict.InternUri("http://t/C");
+  rdf::TermId d = dict.InternUri("http://t/D");
+  rdf::TermId p = dict.InternUri("http://t/p");
+  rdf::TermId s = dict.InternUri("http://t/s");
+  g.Add(c, vocab::kSubClassOfId, d);
+  g.Add(p, vocab::kRangeId, d);
+  g.Add(s, vocab::kTypeId, dict.InternUri("http://t/Undeclared"));
+  g.Add(s, p, dict.InternLiteral("not a resource"));
+  g.Add(s, dict.InternUri("http://t/q"), d);
+  auto violations = testing::CheckSchemaConsistency(g);
+  ASSERT_EQ(violations.size(), 3u);
+}
+
+TEST(SchemaConsistencyTest, FuzzScenariosAreSchemaConsistent) {
+  // The fuzz generator's scenarios draw all constants from their own schema
+  // pools; its graphs must satisfy the same invariants (properties used in
+  // data may still lack constraints — allow literal attributes).
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    testing::Scenario sc = testing::GenerateScenario(seed);
+    for (const rdf::Triple& t : sc.graph.triples()) {
+      EXPECT_FALSE(sc.graph.dict().Lookup(t.s).is_literal());
+    }
+  }
 }
 
 }  // namespace

@@ -3,156 +3,27 @@
 // query q,   q(G∞) = qref(G)   — evaluating the reformulation against the
 // explicit triples equals evaluating the query against the saturation.
 //
-// This suite draws randomized (graph, schema, query) scenarios from a
-// seeded generator and checks that ALL complete strategies (Sat, Ref-UCQ,
-// Ref-SCQ, Ref-GCov, Dat) produce identical answers, and that the
-// incomplete (Virtuoso-style) Ref produces a subset.
+// Scenarios and queries are drawn from the shared generator library in
+// src/testing/ (the same one the differential fuzz driver uses); this suite
+// checks that ALL complete strategies (Sat, Ref-UCQ, Ref-SCQ, Ref-GCov,
+// Dat) produce identical answers and that the incomplete (Virtuoso-style)
+// Ref produces a subset.
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <set>
-#include <string>
 #include <vector>
 
 #include "api/query_answering.h"
 #include "common/hash.h"
 #include "query/cq.h"
-#include "rdf/graph.h"
-#include "rdf/vocab.h"
+#include "testing/scenario.h"
 
 namespace rdfref {
 namespace {
 
-using query::Atom;
 using query::Cq;
-using query::QTerm;
-using query::VarId;
-namespace vocab = rdf::vocab;
-
-struct Scenario {
-  rdf::Graph graph;
-  std::vector<rdf::TermId> classes;
-  std::vector<rdf::TermId> properties;
-  std::vector<rdf::TermId> subjects;
-  std::vector<rdf::TermId> literals;
-};
-
-Scenario MakeScenario(uint64_t seed) {
-  Scenario sc;
-  Rng rng(seed);
-  rdf::Dictionary& dict = sc.graph.dict();
-
-  const int num_classes = 4 + static_cast<int>(rng.Uniform(4));
-  const int num_props = 3 + static_cast<int>(rng.Uniform(3));
-  const int num_subjects = 12 + static_cast<int>(rng.Uniform(12));
-  for (int i = 0; i < num_classes; ++i) {
-    sc.classes.push_back(dict.InternUri("http://t/C" + std::to_string(i)));
-  }
-  for (int i = 0; i < num_props; ++i) {
-    sc.properties.push_back(dict.InternUri("http://t/p" + std::to_string(i)));
-  }
-  for (int i = 0; i < num_subjects; ++i) {
-    sc.subjects.push_back(dict.InternUri("http://t/s" + std::to_string(i)));
-  }
-  for (int i = 0; i < 3; ++i) {
-    sc.literals.push_back(dict.InternLiteral("lit" + std::to_string(i)));
-  }
-
-  // Random schema (never constraining the RDFS built-ins, per the DB
-  // fragment convention — see DESIGN.md).
-  auto random_class = [&]() {
-    return sc.classes[rng.Uniform(sc.classes.size())];
-  };
-  auto random_prop = [&]() {
-    return sc.properties[rng.Uniform(sc.properties.size())];
-  };
-  const int num_sc = 2 + static_cast<int>(rng.Uniform(4));
-  for (int i = 0; i < num_sc; ++i) {
-    sc.graph.Add(random_class(), vocab::kSubClassOfId, random_class());
-  }
-  const int num_sp = 1 + static_cast<int>(rng.Uniform(3));
-  for (int i = 0; i < num_sp; ++i) {
-    sc.graph.Add(random_prop(), vocab::kSubPropertyOfId, random_prop());
-  }
-  const int num_dom = static_cast<int>(rng.Uniform(3));
-  for (int i = 0; i < num_dom; ++i) {
-    sc.graph.Add(random_prop(), vocab::kDomainId, random_class());
-  }
-  const int num_rng = static_cast<int>(rng.Uniform(3));
-  for (int i = 0; i < num_rng; ++i) {
-    sc.graph.Add(random_prop(), vocab::kRangeId, random_class());
-  }
-
-  // Random instance triples: property assertions (some literal-valued) and
-  // class assertions.
-  const int num_triples = 30 + static_cast<int>(rng.Uniform(40));
-  for (int i = 0; i < num_triples; ++i) {
-    rdf::TermId s = sc.subjects[rng.Uniform(sc.subjects.size())];
-    if (rng.Chance(0.3)) {
-      sc.graph.Add(s, vocab::kTypeId, random_class());
-    } else {
-      rdf::TermId o = rng.Chance(0.25)
-                          ? sc.literals[rng.Uniform(sc.literals.size())]
-                          : sc.subjects[rng.Uniform(sc.subjects.size())];
-      sc.graph.Add(s, random_prop(), o);
-    }
-  }
-  return sc;
-}
-
-// Random conjunctive query over the scenario's vocabulary: 1-3 atoms,
-// variables shared through a small pool, variables allowed in property and
-// class positions.
-Cq MakeQuery(const Scenario& sc, Rng* rng) {
-  Cq q;
-  const int num_pool = 3;
-  std::vector<VarId> pool;
-  for (int i = 0; i < num_pool; ++i) {
-    pool.push_back(q.AddVar("v" + std::to_string(i)));
-  }
-  auto var = [&]() { return QTerm::Var(pool[rng->Uniform(pool.size())]); };
-  const int atoms = 1 + static_cast<int>(rng->Uniform(3));
-  for (int i = 0; i < atoms; ++i) {
-    // Subject: variable (70%) or a subject constant.
-    QTerm s = rng->Chance(0.7)
-                  ? var()
-                  : QTerm::Const(sc.subjects[rng->Uniform(sc.subjects.size())]);
-    double kind = rng->UniformDouble();
-    if (kind < 0.4) {
-      // Type atom; class constant (70%) or variable.
-      QTerm o = rng->Chance(0.7)
-                    ? QTerm::Const(sc.classes[rng->Uniform(sc.classes.size())])
-                    : var();
-      q.AddAtom(Atom(s, QTerm::Const(vocab::kTypeId), o));
-    } else if (kind < 0.9) {
-      // Property atom with a constant property.
-      QTerm o = rng->Chance(0.6) ? var()
-                                 : QTerm::Const(sc.subjects[rng->Uniform(
-                                       sc.subjects.size())]);
-      q.AddAtom(Atom(
-          s, QTerm::Const(sc.properties[rng->Uniform(sc.properties.size())]),
-          o));
-    } else {
-      // Variable property.
-      q.AddAtom(Atom(s, var(), var()));
-    }
-  }
-  // Head: the body variables (complete bindings make mismatches visible).
-  for (VarId v : q.BodyVars()) q.AddHead(QTerm::Var(v));
-  if (q.head().empty()) {
-    // Fully constant query: give it a dummy variable-free guard by making
-    // the first atom's subject a variable instead.
-    Cq fallback;
-    VarId x = fallback.AddVar("x");
-    Atom a = q.body()[0];
-    a.s = QTerm::Var(x);
-    fallback.AddAtom(a);
-    fallback.AddHead(QTerm::Var(x));
-    return fallback;
-  }
-  return q;
-}
+using testing::Scenario;
 
 std::set<std::vector<rdf::TermId>> RowSet(const engine::Table& t) {
   return std::set<std::vector<rdf::TermId>>(t.rows.begin(), t.rows.end());
@@ -162,12 +33,12 @@ class EquivalencePropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(EquivalencePropertyTest, AllCompleteStrategiesAgree) {
   const uint64_t seed = GetParam();
-  Scenario sc = MakeScenario(seed);
+  Scenario sc = testing::GenerateScenario(seed);
   api::QueryAnswerer answerer(std::move(sc.graph));
   Rng rng(seed * 31 + 7);
 
   for (int trial = 0; trial < 8; ++trial) {
-    Cq q = MakeQuery(sc, &rng);
+    Cq q = testing::GenerateQuery(sc, &rng);
     auto sat = answerer.Answer(q, api::Strategy::kSaturation);
     ASSERT_TRUE(sat.ok()) << sat.status();
     const std::set<std::vector<rdf::TermId>> expected = RowSet(*sat);
@@ -215,12 +86,12 @@ class CoverInvarianceTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CoverInvarianceTest, EveryPartitionCoverAgrees) {
   const uint64_t seed = GetParam();
-  Scenario sc = MakeScenario(seed);
+  Scenario sc = testing::GenerateScenario(seed);
   api::QueryAnswerer answerer(std::move(sc.graph));
   Rng rng(seed * 131 + 3);
 
   for (int trial = 0; trial < 3; ++trial) {
-    Cq q = MakeQuery(sc, &rng);
+    Cq q = testing::GenerateQuery(sc, &rng);
     auto reference = answerer.Answer(q, api::Strategy::kRefUcq);
     ASSERT_TRUE(reference.ok());
     const std::set<std::vector<rdf::TermId>> expected = RowSet(*reference);

@@ -1,0 +1,123 @@
+// The fuzzing harness tested against itself: a clean run over a seed range
+// finds nothing, an injected evaluator bug (the mutation check) is caught
+// AND shrunk to a tiny 1-minimal repro, and the replay seed files
+// round-trip. These are the acceptance criteria of the differential
+// testing subsystem — if the harness can't catch a planted bug, its green
+// runs mean nothing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "testing/fuzz.h"
+
+namespace rdfref {
+namespace {
+
+using testing::FuzzOptions;
+using testing::FuzzReport;
+
+// A small clean sweep: every strategy, every metamorphic relation, no
+// divergence. (CI's fuzz-smoke job runs a much larger range; this keeps a
+// canary inside ctest.)
+TEST(FuzzHarnessTest, CleanSweepFindsNothing) {
+  FuzzOptions options;
+  options.trials_per_seed = 2;
+  FuzzReport report = testing::RunFuzz(0, 8, options);
+  EXPECT_TRUE(report.ok()) << (report.failures.empty()
+                                   ? ""
+                                   : report.failures.front().detail);
+  EXPECT_EQ(report.seeds_run, 9u);
+  EXPECT_EQ(report.queries_checked, 18u);
+  EXPECT_GT(report.checks_run, report.queries_checked);
+}
+
+// The mutation check: corrupt Ref-SCQ's answers (drop one row) and the
+// oracle MUST notice, name the right relation, and shrink the case to at
+// most 10 triples and 3 atoms.
+TEST(FuzzHarnessTest, InjectedBugIsCaughtAndShrunkSmall) {
+  FuzzOptions options;
+  options.mutate = [](api::Strategy s, engine::Table* t) {
+    if (s == api::Strategy::kRefScq && !t->rows.empty()) {
+      t->rows.pop_back();
+    }
+  };
+  // The oracle alone sees this; skip the slower relations.
+  options.check_metamorphic = false;
+  options.check_federation = false;
+  options.check_updates = false;
+
+  FuzzReport report = testing::RunFuzz(0, 30, options);
+  ASSERT_FALSE(report.ok()) << "injected bug was not caught";
+  const testing::FuzzFailure& failure = report.failures.front();
+  EXPECT_EQ(failure.relation, "oracle:REF-SCQ");
+  EXPECT_LE(failure.shrunk.triples(), 10u);
+  EXPECT_LE(failure.shrunk.query.body().size(), 3u);
+  EXPECT_GE(failure.shrunk.query.body().size(), 1u);
+  EXPECT_NE(failure.repro_cc.find("TEST(FuzzRepro"), std::string::npos);
+  EXPECT_NE(failure.repro_cc.find("api::QueryAnswerer"), std::string::npos);
+  EXPECT_NE(failure.seed_file.find("relation oracle:REF-SCQ"),
+            std::string::npos);
+}
+
+// A spurious-extra-row bug must be caught too (the dual of a lost tuple).
+TEST(FuzzHarnessTest, SpuriousRowIsCaught) {
+  FuzzOptions options;
+  options.mutate = [](api::Strategy s, engine::Table* t) {
+    if (s == api::Strategy::kRefGcov && !t->rows.empty()) {
+      t->rows.push_back(t->rows.front());
+      for (auto& id : t->rows.back()) id = rdf::vocab::kTypeId;
+    }
+  };
+  options.check_metamorphic = false;
+  options.check_federation = false;
+  options.check_updates = false;
+  options.shrink = false;
+
+  FuzzReport report = testing::RunFuzz(0, 30, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.failures.front().relation, "oracle:REF-GCOV");
+}
+
+TEST(FuzzHarnessTest, SeedFileRoundTrips) {
+  const std::string contents =
+      testing::EmitSeedFile(1234567, 3, "metamorphic:threads=8:REF-UCQ");
+  testing::SeedFileEntry entry;
+  ASSERT_TRUE(testing::ParseSeedFile(contents, &entry));
+  EXPECT_EQ(entry.seed, 1234567u);
+  EXPECT_EQ(entry.trial, 3);
+  EXPECT_EQ(entry.relation, "metamorphic:threads=8:REF-UCQ");
+
+  // Malformed inputs are rejected, comments tolerated.
+  EXPECT_FALSE(testing::ParseSeedFile("trial 2\n", &entry));
+  EXPECT_TRUE(testing::ParseSeedFile("# note\nseed 9\n", &entry));
+  EXPECT_EQ(entry.seed, 9u);
+}
+
+// Replaying a recorded failure reproduces it deterministically.
+TEST(FuzzHarnessTest, ReplayReproducesFailure) {
+  FuzzOptions options;
+  options.mutate = [](api::Strategy s, engine::Table* t) {
+    if (s == api::Strategy::kRefScq && !t->rows.empty()) t->rows.pop_back();
+  };
+  options.check_metamorphic = false;
+  options.check_federation = false;
+  options.check_updates = false;
+  options.shrink = false;
+
+  FuzzReport first = testing::RunFuzz(0, 30, options);
+  ASSERT_FALSE(first.ok());
+
+  testing::SeedFileEntry entry;
+  ASSERT_TRUE(testing::ParseSeedFile(first.failures.front().seed_file,
+                                     &entry));
+  FuzzReport replay;
+  testing::RunFuzzSeed(entry.seed, options, &replay);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.failures.front().relation,
+            first.failures.front().relation);
+  EXPECT_EQ(replay.failures.front().trial, first.failures.front().trial);
+}
+
+}  // namespace
+}  // namespace rdfref

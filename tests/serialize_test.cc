@@ -7,6 +7,7 @@
 
 #include "datagen/bibliography.h"
 #include "rdf/parser.h"
+#include "testing/scenario.h"
 
 namespace rdfref {
 namespace storage {
@@ -81,6 +82,24 @@ TEST(SerializeTest, TruncatedFileRejected) {
   }
   EXPECT_EQ(LoadGraph(path).status().code(), StatusCode::kParseError);
   std::remove(path.c_str());
+}
+
+TEST(SerializeTest, GeneratedScenariosRoundTrip) {
+  // Property test over the fuzz generator's graphs: save → load preserves
+  // the triple set, the dictionary (ids and kinds), and the N-Triples
+  // rendering, for a spread of random schema/data shapes.
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    rdfref::testing::Scenario sc = rdfref::testing::GenerateScenario(seed);
+    const std::string path =
+        TempPath(("scenario" + std::to_string(seed) + ".rdfb").c_str());
+    ASSERT_TRUE(SaveGraph(sc.graph, path).ok());
+    auto loaded = LoadGraph(path);
+    ASSERT_TRUE(loaded.ok()) << "seed=" << seed << ": " << loaded.status();
+    EXPECT_EQ(loaded->size(), sc.graph.size()) << "seed=" << seed;
+    EXPECT_EQ(loaded->dict().size(), sc.graph.dict().size());
+    EXPECT_EQ(rdf::ToNTriples(*loaded), rdf::ToNTriples(sc.graph));
+    std::remove(path.c_str());
+  }
 }
 
 TEST(SerializeTest, EmptyGraphRoundTrips) {

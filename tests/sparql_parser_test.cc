@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/hash.h"
 #include "rdf/vocab.h"
+#include "testing/scenario.h"
 
 namespace rdfref {
 namespace query {
@@ -187,6 +189,95 @@ TEST(SparqlParserTest, TrailingGarbageRejected) {
           .status()
           .code(),
       StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property: for random generated queries, parse(ToSparql(q)) is
+// structurally identical to q — equal CanonicalKey (identity modulo variable
+// renaming), arity, and atom count. Serializer and parser check each other.
+
+TEST(SparqlRoundTripTest, HandWrittenCqRoundTrips) {
+  rdf::Dictionary dict;
+  auto q = ParseSparql(
+      "SELECT ?x ?y WHERE { ?x a <http://t/C> . ?x <http://t/p> ?y . "
+      "?y <http://t/q> \"a \\\"quoted\\\" \\\\ literal\" . }",
+      &dict);
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto text = ToSparql(*q, dict);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto back = ParseSparql(*text, &dict);
+  ASSERT_TRUE(back.ok()) << *text << "\n" << back.status();
+  EXPECT_EQ(back->CanonicalKey(), q->CanonicalKey()) << *text;
+}
+
+TEST(SparqlRoundTripTest, RandomCqsRoundTrip) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    rdfref::testing::Scenario sc = rdfref::testing::GenerateScenario(seed);
+    Rng rng(seed * 977 + 11);
+    for (int trial = 0; trial < 4; ++trial) {
+      Cq q = rdfref::testing::GenerateQuery(sc, &rng);
+      rdf::Dictionary& dict = sc.graph.dict();
+      auto text = ToSparql(q, dict);
+      ASSERT_TRUE(text.ok()) << text.status();
+      auto back = ParseSparql(*text, &dict);
+      ASSERT_TRUE(back.ok()) << *text << "\n" << back.status();
+      EXPECT_EQ(back->CanonicalKey(), q.CanonicalKey())
+          << "seed=" << seed << " trial=" << trial << "\n" << *text;
+      EXPECT_EQ(back->head().size(), q.head().size());
+      EXPECT_EQ(back->body().size(), q.body().size());
+    }
+  }
+}
+
+TEST(SparqlRoundTripTest, RandomUcqsRoundTrip) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    rdfref::testing::Scenario sc = rdfref::testing::GenerateScenario(seed);
+    Rng rng(seed * 613 + 5);
+    Ucq u = rdfref::testing::GenerateUcq(sc, &rng, 2);
+    rdf::Dictionary& dict = sc.graph.dict();
+    auto text = ToSparql(u, dict);
+    ASSERT_TRUE(text.ok()) << text.status();
+    auto back = ParseSparqlUnion(*text, &dict);
+    ASSERT_TRUE(back.ok()) << *text << "\n" << back.status();
+    ASSERT_EQ(back->size(), u.size()) << *text;
+    EXPECT_EQ(back->arity(), u.arity());
+    for (size_t m = 0; m < u.size(); ++m) {
+      EXPECT_EQ(back->members()[m].CanonicalKey(),
+                u.members()[m].CanonicalKey())
+          << "seed=" << seed << " member=" << m << "\n" << *text;
+    }
+  }
+}
+
+TEST(SparqlRoundTripTest, InexpressibleQueriesRejected) {
+  rdf::Dictionary dict;
+  // Constant head slot (reformulation can produce these).
+  Cq constant_head;
+  VarId x = constant_head.AddVar("x");
+  constant_head.AddAtom(Atom(QTerm::Var(x), QTerm::Const(rdf::vocab::kTypeId),
+                             QTerm::Const(dict.InternUri("http://t/C"))));
+  constant_head.AddHead(QTerm::Const(dict.InternUri("http://t/C")));
+  EXPECT_EQ(ToSparql(constant_head, dict).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Blank-node constant.
+  Cq blank;
+  VarId y = blank.AddVar("y");
+  blank.AddAtom(Atom(QTerm::Const(dict.InternBlank("b0")),
+                     QTerm::Const(dict.InternUri("http://t/p")),
+                     QTerm::Var(y)));
+  blank.AddHead(QTerm::Var(y));
+  EXPECT_EQ(ToSparql(blank, dict).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Variable name with SPARQL-hostile characters.
+  Cq bad_name;
+  VarId z = bad_name.AddVar("bad name");
+  bad_name.AddAtom(Atom(QTerm::Var(z), QTerm::Const(rdf::vocab::kTypeId),
+                        QTerm::Const(dict.InternUri("http://t/C"))));
+  bad_name.AddHead(QTerm::Var(z));
+  EXPECT_EQ(ToSparql(bad_name, dict).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 #include "query/sparql_parser.h"
 #include "rdf/vocab.h"
 #include "storage/delta_store.h"
+#include "testing/metamorphic.h"
+#include "testing/scenario.h"
 
 namespace rdfref {
 namespace api {
@@ -178,6 +180,34 @@ TEST(DeltaStoreTest, OverlaySemantics) {
   EXPECT_TRUE(delta.Remove(rdf::Triple(s, p, o2)));  // drop the addition
   EXPECT_EQ(delta.num_added(), 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Randomized incremental-update differential test: random insert/delete
+// sequences through the facade; after every operation the incrementally
+// maintained saturation (forward chase on insert, DRed on delete) and every
+// Ref strategy must equal a from-scratch QueryAnswerer over the current
+// explicit triples. Shared relation implementation with the fuzz driver.
+
+class IncrementalUpdateDifferentialTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalUpdateDifferentialTest, DredMatchesFromScratch) {
+  const uint64_t seed = GetParam();
+  rdfref::testing::Scenario sc = rdfref::testing::GenerateScenario(seed);
+  Rng query_rng(seed * 71 + 13);
+  for (int trial = 0; trial < 3; ++trial) {
+    query::Cq q = rdfref::testing::GenerateQuery(sc, &query_rng);
+    Rng op_rng(seed * 10007 + trial * 97 + 1);
+    rdfref::testing::Divergence d =
+        rdfref::testing::CheckUpdateConsistency(sc, q, &op_rng,
+                                                /*num_ops=*/6);
+    EXPECT_FALSE(d.found) << "seed=" << seed << " trial=" << trial << " "
+                          << d.relation << "\n" << d.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, IncrementalUpdateDifferentialTest,
+                         ::testing::Range<uint64_t>(200, 215));
 
 }  // namespace
 }  // namespace api
