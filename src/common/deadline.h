@@ -37,13 +37,17 @@ class Deadline {
     return d;
   }
 
-  bool is_infinite() const { return !has_deadline_; }
+  [[nodiscard]] bool is_infinite() const { return !has_deadline_; }
 
-  bool expired() const { return has_deadline_ && Clock::now() >= at_; }
+  /// \brief True once the budget is gone. [[nodiscard]]: polling a
+  /// deadline and dropping the answer means the overrun goes unhandled.
+  [[nodiscard]] bool expired() const {
+    return has_deadline_ && Clock::now() >= at_;
+  }
 
   /// \brief Milliseconds until expiry: +infinity when infinite, <= 0 once
   /// expired.
-  double remaining_millis() const {
+  [[nodiscard]] double remaining_millis() const {
     if (!has_deadline_) return std::numeric_limits<double>::infinity();
     auto left = std::chrono::duration_cast<std::chrono::microseconds>(
         at_ - Clock::now());
@@ -71,7 +75,7 @@ class CancelToken {
                        std::atomic<bool>* stop = nullptr)
       : deadline_(deadline), stop_(stop) {}
 
-  bool ShouldStop() const {
+  [[nodiscard]] bool ShouldStop() const {
     if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) {
       return true;
     }

@@ -14,8 +14,14 @@ namespace rdfref {
 /// This is the value-returning companion of Status (in the spirit of
 /// arrow::Result / absl::StatusOr). Accessing the value of an errored
 /// Result is a programming error and aborts in debug builds.
+///
+/// The class is [[nodiscard]]: silently dropping a Result discards an
+/// error the caller was obligated to observe (a dropped kUnavailable in
+/// the federation path is a lost-data bug). The `-Werror` CI build and
+/// tools/rdfref_lint.py keep it that way; a deliberate discard must be
+/// spelled `(void)expr;` with a comment.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// \brief Constructs from a value (implicit, so functions can
   /// `return value;`).

@@ -32,7 +32,11 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy (the
 /// message is empty in the OK case, which is the common path).
-class Status {
+///
+/// The class is [[nodiscard]]: a function returning Status failed for a
+/// reason, and ignoring it is a correctness bug (see result.h). Deliberate
+/// discards must be spelled `(void)expr;` with a comment.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

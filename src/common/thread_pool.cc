@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace rdfref {
 namespace common {
@@ -9,12 +10,17 @@ ThreadPool::ThreadPool(int num_threads)
     : num_threads_(num_threads < 1 ? 1 : num_threads) {}
 
 ThreadPool::~ThreadPool() {
+  // Move the worker handles out under the lock: join() must not run with
+  // mu_ held (a worker draining its last batch re-acquires mu_), and
+  // workers_ must not be read unlocked either.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
-    work_cv_.notify_all();
+    work_cv_.SignalAll();
+    workers.swap(workers_);
   }
-  for (std::thread& w : workers_) w.join();
+  for (std::thread& w : workers) w.join();
 }
 
 ThreadPool& ThreadPool::Shared() {
@@ -38,12 +44,16 @@ void ThreadPool::StartWorkersLocked() {
   }
 }
 
+void ThreadPool::CompleteOneLocked(Batch* batch) {
+  if (++batch->done == batch->n) batch->done_cv.SignalAll();
+}
+
 bool ThreadPool::RunOne(Batch* batch) {
   const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
   if (i >= batch->n) return false;
   (*batch->fn)(i);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (++batch->done == batch->n) batch->done_cv.notify_all();
+  MutexLock lock(&mu_);
+  CompleteOneLocked(batch);
   return true;
 }
 
@@ -57,16 +67,19 @@ void ThreadPool::RetireLocked(Batch* batch) {
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
-    work_cv_.wait(lock, [this] { return shutdown_ || !active_.empty(); });
-    if (shutdown_) return;
+    while (!shutdown_ && active_.empty()) work_cv_.Wait(&mu_);
+    if (shutdown_) {
+      mu_.Unlock();
+      return;
+    }
     // Steal from the oldest in-flight batch; holding a shared_ptr keeps
     // the batch state alive even after the submitter unblocks.
     std::shared_ptr<Batch> batch = active_.front();
-    lock.unlock();
+    mu_.Unlock();
     const bool ran = RunOne(batch.get());
-    lock.lock();
+    mu_.Lock();
     if (!ran) RetireLocked(batch.get());
   }
 }
@@ -81,18 +94,18 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   batch->fn = &fn;
   batch->n = n;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     StartWorkersLocked();
     active_.push_back(batch);
-    work_cv_.notify_all();
+    work_cv_.SignalAll();
   }
   // The submitter works its own batch down (and, transitively, any nested
   // batches those tasks publish) instead of blocking while work is open.
   while (RunOne(batch.get())) {
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   RetireLocked(batch.get());
-  batch->done_cv.wait(lock, [&] { return batch->done == batch->n; });
+  while (batch->done != batch->n) batch->done_cv.Wait(&mu_);
 }
 
 }  // namespace common

@@ -2,13 +2,13 @@
 #define RDFREF_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace rdfref {
 namespace common {
@@ -34,6 +34,11 @@ namespace common {
 /// the pool costs nothing. The pool never owns the task state: batches
 /// live on the submitter's stack (kept alive through a shared_ptr until
 /// the last worker lets go).
+///
+/// Lock discipline (checked by -Wthread-safety): all queue state —
+/// `active_`, `workers_`, `started_`, `shutdown_`, and every
+/// `Batch::done` counter — is guarded by `mu_`; `Batch::next` is the one
+/// lock-free member (an atomic claim ticket).
 class ThreadPool {
  public:
   /// \brief A pool with `num_threads` workers (clamped to >= 1). With one
@@ -46,7 +51,7 @@ class ThreadPool {
   /// \brief Joins all workers. Outstanding batches must have completed
   /// (ParallelFor blocks until its batch drains, so this holds whenever
   /// no ParallelFor call is in flight).
-  ~ThreadPool();
+  ~ThreadPool() RDFREF_EXCLUDES(mu_);
 
   /// \brief The process-wide shared pool, sized by DefaultThreads() and
   /// lazily constructed (and lazily *started* on first use).
@@ -64,31 +69,40 @@ class ThreadPool {
   /// all have completed. Iterations run concurrently in no particular
   /// order; the calling thread participates. Safe to call from inside a
   /// running task (nested parallelism) and from multiple threads at once.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      RDFREF_EXCLUDES(mu_);
 
  private:
   struct Batch {
     const std::function<void(size_t)>* fn = nullptr;
     size_t n = 0;
-    std::atomic<size_t> next{0};  ///< next unclaimed index
-    size_t done = 0;              ///< completed iterations (pool mutex)
-    std::condition_variable done_cv;
+    std::atomic<size_t> next{0};  ///< next unclaimed index (lock-free)
+    // `done` and `done_cv` belong to the owning pool's critical section;
+    // TSA cannot name a foreign instance's mutex from a nested struct, so
+    // the guard is enforced by CompleteOneLocked / ParallelFor instead of
+    // an annotation.
+    size_t done = 0;  ///< completed iterations (guarded by the pool's mu_)
+    CondVar done_cv;
   };
 
-  void StartWorkersLocked();
-  void WorkerLoop();
+  void StartWorkersLocked() RDFREF_REQUIRES(mu_);
+  void WorkerLoop() RDFREF_EXCLUDES(mu_);
   // Claims and runs one iteration of `batch`; false when none remain.
-  bool RunOne(Batch* batch);
+  bool RunOne(Batch* batch) RDFREF_EXCLUDES(mu_);
+  // Marks one iteration of `batch` complete, waking its submitter when it
+  // was the last.
+  void CompleteOneLocked(Batch* batch) RDFREF_REQUIRES(mu_);
   // Removes a drained batch from the active list (idempotent).
-  void RetireLocked(Batch* batch);
+  void RetireLocked(Batch* batch) RDFREF_REQUIRES(mu_);
 
   const int num_threads_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::vector<std::shared_ptr<Batch>> active_;  // batches with unclaimed work
-  std::vector<std::thread> workers_;
-  bool started_ = false;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  /// Batches with unclaimed work.
+  std::vector<std::shared_ptr<Batch>> active_ RDFREF_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ RDFREF_GUARDED_BY(mu_);
+  bool started_ RDFREF_GUARDED_BY(mu_) = false;
+  bool shutdown_ RDFREF_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace common

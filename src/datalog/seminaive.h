@@ -68,7 +68,7 @@ class SemiNaive {
   /// relations and returns the derived head tuples (used for query rules —
   /// queries need one pass, not another fixpoint). Constant head arguments
   /// are emitted as-is.
-  std::vector<std::vector<rdf::TermId>> EvaluateRuleOnce(
+  [[nodiscard]] std::vector<std::vector<rdf::TermId>> EvaluateRuleOnce(
       const DlRule& rule) const;
 
  private:

@@ -1,6 +1,7 @@
 #include "engine/evaluator.h"
 
 #include <algorithm>
+#include <cassert>
 #include <functional>
 #include <limits>
 #include <optional>
@@ -271,7 +272,11 @@ Table Evaluator::EvaluateCq(const Cq& q) const {
   for (const QTerm& h : q.head()) {
     table.columns.push_back(h.is_var ? h.var() : kConstColumn);
   }
-  EvaluateCqInto(q, CancelToken(), &table.rows);
+  // A default CancelToken never fires, so the evaluation runs to
+  // completion unconditionally.
+  const bool complete = EvaluateCqInto(q, CancelToken(), &table.rows);
+  assert(complete);
+  (void)complete;
   table.Dedup();
   return table;
 }

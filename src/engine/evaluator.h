@@ -75,10 +75,10 @@ class Evaluator {
   int threads() const { return threads_; }
 
   /// \brief Evaluates one CQ; returns head tuples, deduplicated.
-  Table EvaluateCq(const query::Cq& q) const;
+  [[nodiscard]] Table EvaluateCq(const query::Cq& q) const;
 
   /// \brief Evaluates a UCQ (members must share head arity).
-  Table EvaluateUcq(const query::Ucq& ucq) const;
+  [[nodiscard]] Table EvaluateUcq(const query::Ucq& ucq) const;
 
   /// \brief Deadline-bounded UCQ evaluation: the deadline is checked at
   /// every CQ boundary and inside each CQ's scans, so an exploding
@@ -95,7 +95,7 @@ class Evaluator {
   /// and projects `q`'s head. `profile` may be null; when given, each
   /// FragmentProfile::cover_fragment is labeled with the fragment's atom
   /// indexes in `q` (e.g. "{t0,t2}").
-  Table EvaluateJucq(const query::Cq& q,
+  [[nodiscard]] Table EvaluateJucq(const query::Cq& q,
                      const std::vector<query::Cq>& fragment_queries,
                      const std::vector<query::Ucq>& fragment_ucqs,
                      JucqProfile* profile = nullptr) const;
@@ -134,8 +134,9 @@ class Evaluator {
   // Appends q's answer rows (head tuples) to `out` (no dedup). Returns
   // false iff the cancel token fired mid-evaluation (rows appended so far
   // are then an unusable partial result).
-  bool EvaluateCqInto(const query::Cq& q, const CancelToken& cancel,
-                      std::vector<std::vector<rdf::TermId>>* out) const;
+  [[nodiscard]] bool EvaluateCqInto(
+      const query::Cq& q, const CancelToken& cancel,
+      std::vector<std::vector<rdf::TermId>>* out) const;
 
   // Sequential / parallel bodies of the deadline-bounded EvaluateUcq.
   Result<Table> EvaluateUcqSequential(const query::Ucq& ucq,

@@ -10,7 +10,7 @@ namespace federation {
 Result<size_t> Endpoint::Request(
     rdf::TermId s, rdf::TermId p, rdf::TermId o,
     const std::function<void(const rdf::Triple&)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++requests_served_;
   const FaultProfile& fault = options_.fault;
   if (fault.hard_down) {

@@ -2,11 +2,11 @@
 #define RDFREF_FEDERATION_ENDPOINT_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "common/result.h"
+#include "common/synchronization.h"
 #include "federation/resilience.h"
 #include "rdf/graph.h"
 #include "storage/store.h"
@@ -65,7 +65,7 @@ class Endpoint {
   /// the answer to `fn`, so callers that retry must buffer and discard.
   Result<size_t> Request(rdf::TermId s, rdf::TermId p, rdf::TermId o,
                          const std::function<void(const rdf::Triple&)>& fn)
-      const;
+      const RDFREF_EXCLUDES(mu_);
 
   /// \brief How many triples a (successful) Request for this pattern would
   /// deliver: the store's match count clamped to max_answers_per_request.
@@ -74,21 +74,22 @@ class Endpoint {
   size_t CountMatches(rdf::TermId s, rdf::TermId p, rdf::TermId o) const;
 
   /// \brief Total requests served (for the demo's cost displays).
-  uint64_t requests_served() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t requests_served() const RDFREF_EXCLUDES(mu_) {
+    common::MutexLock lock(&mu_);
     return requests_served_;
   }
 
  private:
+  // Immutable after construction (safe to read from any thread unlocked).
   std::string name_;
   EndpointOptions options_;
   std::unique_ptr<storage::Store> store_;
   // Serializes requests to this endpoint (as a remote server would): the
   // fault injector's failure stream and the served counter stay exact
   // when the mediator fans out scans in parallel.
-  mutable std::mutex mu_;
-  mutable FaultInjector injector_;
-  mutable uint64_t requests_served_ = 0;
+  mutable common::Mutex mu_;
+  mutable FaultInjector injector_ RDFREF_GUARDED_BY(mu_);
+  mutable uint64_t requests_served_ RDFREF_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace federation

@@ -100,17 +100,18 @@ uint64_t NameSeed(const std::string& name) {
 // ---------------------------------------------------------------------------
 
 void FederatedSource::set_resilience(const ResilienceOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   resilience_ = options;
   breakers_.clear();
 }
 
 void FederatedSource::set_threads(int threads) {
-  threads_ = threads <= 0 ? common::ThreadPool::DefaultThreads() : threads;
+  threads_.store(threads <= 0 ? common::ThreadPool::DefaultThreads() : threads,
+                 std::memory_order_relaxed);
 }
 
 void FederatedSource::ResetHealth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   health_.clear();
 }
 
@@ -129,13 +130,13 @@ EndpointHealth& FederatedSource::HealthFor(const std::string& name) const {
 }
 
 CircuitState FederatedSource::BreakerState(const std::string& endpoint) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = breakers_.find(endpoint);
   return it == breakers_.end() ? CircuitState::kClosed : it->second.state();
 }
 
 CompletenessReport FederatedSource::Report() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   CompletenessReport report;
   for (const auto& [name, h] : health_) {
     report.total_retries += h.retries;
@@ -148,12 +149,20 @@ CompletenessReport FederatedSource::Report() const {
 bool FederatedSource::ScanEndpoint(const Endpoint& ep, rdf::TermId s,
                                    rdf::TermId p, rdf::TermId o,
                                    std::vector<rdf::Triple>* out) const {
-  const RetryPolicy& retry = resilience_.retry;
+  // Snapshot the policy under the lock: set_resilience may replace it
+  // concurrently, and a torn read of the backoff schedule mid-scan would
+  // desynchronize retries (found by the thread-safety annotation pass —
+  // the old code read resilience_.retry by reference, unlocked).
+  RetryPolicy retry;
+  {
+    common::MutexLock lock(&mu_);
+    retry = resilience_.retry;
+  }
   const int max_attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     uint64_t backoff_salt = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       CircuitBreaker& breaker = BreakerFor(ep.name());
       EndpointHealth& health = HealthFor(ep.name());
       if (!breaker.AllowRequest()) {
@@ -180,7 +189,7 @@ bool FederatedSource::ScanEndpoint(const Endpoint& ep, rdf::TermId s,
     out->clear();
     Result<size_t> r =
         ep.Request(s, p, o, [&](const rdf::Triple& t) { out->push_back(t); });
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     CircuitBreaker& breaker = BreakerFor(ep.name());
     EndpointHealth& health = HealthFor(ep.name());
     if (r.ok()) {
@@ -191,7 +200,7 @@ bool FederatedSource::ScanEndpoint(const Endpoint& ep, rdf::TermId s,
     ++health.failures;
     health.last_error = r.status().message();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++HealthFor(ep.name()).gave_up;
   return false;
 }
@@ -200,7 +209,8 @@ void FederatedSource::Scan(
     rdf::TermId s, rdf::TermId p, rdf::TermId o,
     const std::function<void(const rdf::Triple&)>& fn) const {
   const size_t n = endpoints_->size();
-  if (threads_ <= 1 || n < 2) {
+  const int threads = threads_.load(std::memory_order_relaxed);
+  if (threads <= 1 || n < 2) {
     std::vector<rdf::Triple> buffer;
     for (const std::unique_ptr<Endpoint>& ep : *endpoints_) {
       buffer.clear();
@@ -218,7 +228,7 @@ void FederatedSource::Scan(
   std::vector<std::vector<rdf::Triple>> buffers(n);
   std::vector<char> complete(n, 0);
   // Contiguous endpoint chunks keep concurrency bounded by the knob.
-  const size_t chunks = std::min(n, static_cast<size_t>(threads_));
+  const size_t chunks = std::min(n, static_cast<size_t>(threads));
   common::ThreadPool::Shared().ParallelFor(chunks, [&](size_t c) {
     for (size_t i = n * c / chunks; i < n * (c + 1) / chunks; ++i) {
       complete[i] =

@@ -1,14 +1,15 @@
 #ifndef RDFREF_FEDERATION_FEDERATION_H_
 #define RDFREF_FEDERATION_FEDERATION_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/deadline.h"
 #include "common/result.h"
+#include "common/synchronization.h"
 #include "engine/table.h"
 #include "federation/endpoint.h"
 #include "federation/resilience.h"
@@ -40,18 +41,23 @@ class FederatedSource : public storage::TripleSource {
 
   void Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
             const std::function<void(const rdf::Triple&)>& fn)
-      const override;
+      const override RDFREF_EXCLUDES(mu_);
   /// \brief Cost-model cardinality: per-endpoint match counts clamped to
   /// each endpoint's answer cap, skipping endpoints that cannot currently
   /// deliver (hard-down or open circuit breaker) — estimates match what
   /// Scan actually returns.
   size_t CountMatches(rdf::TermId s, rdf::TermId p,
-                      rdf::TermId o) const override;
+                      rdf::TermId o) const override RDFREF_EXCLUDES(mu_);
   const rdf::Dictionary& dict() const override { return *dict_; }
 
   /// \brief Replaces the retry/breaker policy and resets all breakers.
-  void set_resilience(const ResilienceOptions& options);
-  const ResilienceOptions& resilience() const { return resilience_; }
+  void set_resilience(const ResilienceOptions& options) RDFREF_EXCLUDES(mu_);
+  /// \brief Snapshot of the current policy (by value: the stored options
+  /// are guarded by mu_ and may be replaced concurrently).
+  ResilienceOptions resilience() const RDFREF_EXCLUDES(mu_) {
+    common::MutexLock lock(&mu_);
+    return resilience_;
+  }
 
   /// \brief Scan fan-out parallelism: 1 (the default) requests endpoints
   /// one after another on the calling thread; n > 1 requests up to n
@@ -60,40 +66,50 @@ class FederatedSource : public storage::TripleSource {
   /// to the scan callback sequentially, in endpoint registration order,
   /// so answers are identical across settings.
   void set_threads(int threads);
-  int threads() const { return threads_; }
+  int threads() const { return threads_.load(std::memory_order_relaxed); }
 
   /// \brief Clears accumulated health counters (breaker states persist —
   /// an open breaker stays open across queries until its cool-down).
-  void ResetHealth() const;
+  void ResetHealth() const RDFREF_EXCLUDES(mu_);
 
   /// \brief Health accumulated since the last ResetHealth, sorted by
   /// endpoint name.
-  CompletenessReport Report() const;
+  CompletenessReport Report() const RDFREF_EXCLUDES(mu_);
 
   /// \brief Breaker state for one endpoint (kClosed if it has no traffic).
-  CircuitState BreakerState(const std::string& endpoint) const;
+  CircuitState BreakerState(const std::string& endpoint) const
+      RDFREF_EXCLUDES(mu_);
 
  private:
   // Scans one endpoint with retries, collecting its triples into `out`
   // (flushed by Scan in endpoint order); true iff its data arrived in
   // full. Thread-safe: multiple endpoints may be scanned concurrently.
   bool ScanEndpoint(const Endpoint& ep, rdf::TermId s, rdf::TermId p,
-                    rdf::TermId o, std::vector<rdf::Triple>* out) const;
+                    rdf::TermId o, std::vector<rdf::Triple>* out) const
+      RDFREF_EXCLUDES(mu_);
   // Both require mu_ to be held by the caller.
-  CircuitBreaker& BreakerFor(const std::string& name) const;
-  EndpointHealth& HealthFor(const std::string& name) const;
+  CircuitBreaker& BreakerFor(const std::string& name) const
+      RDFREF_REQUIRES(mu_);
+  EndpointHealth& HealthFor(const std::string& name) const
+      RDFREF_REQUIRES(mu_);
 
   const rdf::Dictionary* dict_;
   const std::vector<std::unique_ptr<Endpoint>>* endpoints_;
-  ResilienceOptions resilience_;
-  int threads_ = 1;
-  // Guards breakers_ and health_ (touched by concurrent endpoint scans);
-  // never held across a sleep, a request, or a callback delivery.
-  mutable std::mutex mu_;
+  // Fan-out parallelism knob; atomic because AnswerResilient reconfigures
+  // it while a concurrent Scan (another query on the same mediator) may be
+  // reading it.
+  std::atomic<int> threads_{1};
+  // Guards the policy, breakers_ and health_ (touched by concurrent
+  // endpoint scans); never held across a sleep, a request, or a callback
+  // delivery.
+  mutable common::Mutex mu_;
+  ResilienceOptions resilience_ RDFREF_GUARDED_BY(mu_);
   // std::map: nested Scan calls (index nested-loop joins re-enter Scan from
   // inside callbacks) must not invalidate references held by outer frames.
-  mutable std::map<std::string, CircuitBreaker> breakers_;
-  mutable std::map<std::string, EndpointHealth> health_;
+  mutable std::map<std::string, CircuitBreaker> breakers_
+      RDFREF_GUARDED_BY(mu_);
+  mutable std::map<std::string, EndpointHealth> health_
+      RDFREF_GUARDED_BY(mu_);
 };
 
 /// \brief Options for one resilient federated answering call.
@@ -167,7 +183,8 @@ class Federation {
 
   /// \brief Evaluates q against the endpoints without any reasoning
   /// (what a naive mediator would return — incomplete).
-  engine::Table EvaluateWithoutReasoning(const query::Cq& q) const;
+  [[nodiscard]] engine::Table EvaluateWithoutReasoning(
+      const query::Cq& q) const;
 
   /// \brief Shared dictionary, for parsing queries against the federation.
   rdf::Dictionary& dict() { return dict_; }

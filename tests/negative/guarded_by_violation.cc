@@ -1,0 +1,44 @@
+// Negative-compilation probe: accessing a RDFREF_GUARDED_BY field without
+// holding its mutex must fail the Clang thread-safety build
+// (-Wthread-safety -Werror=thread-safety). Registered only when the
+// compiler is Clang — GCC ignores the annotations by design.
+//
+// Compiled twice by tests/negative/CMakeLists.txt:
+//   - without RDFREF_NEGATIVE: the control build — must SUCCEED (the
+//     locked accessors below are the blessed pattern);
+//   - with -DRDFREF_NEGATIVE: adds the unlocked access — must FAIL.
+
+#include "common/synchronization.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() RDFREF_EXCLUDES(mu_) {
+    rdfref::common::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Get() const RDFREF_EXCLUDES(mu_) {
+    rdfref::common::MutexLock lock(&mu_);
+    return value_;
+  }
+
+#ifdef RDFREF_NEGATIVE
+  int GetUnlocked() const {
+    return value_;  // unguarded read of a GUARDED_BY field — must not compile
+  }
+#endif
+
+ private:
+  mutable rdfref::common::Mutex mu_;
+  int value_ RDFREF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get() == 1 ? 0 : 1;
+}

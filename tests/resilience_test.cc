@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/query_answering.h"
@@ -406,6 +408,116 @@ TEST_F(ResilientFederationTest, FederationDeadlinePropagates) {
   auto answer = federation.AnswerResilient(q, options);
   ASSERT_FALSE(answer.ok());
   EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// Lock-discipline regressions (found by the thread-safety annotation pass)
+// ---------------------------------------------------------------------------
+
+// Regression: FederatedSource::ScanEndpoint used to read the retry policy
+// by reference without the mediator lock, racing set_resilience (a torn
+// read of the backoff schedule mid-scan). The policy is now snapshotted
+// under the lock; swapping it during concurrent answering must neither
+// crash nor lose the healthy endpoint's data. TSan (this suite is in the
+// thread-sanitizer CI job) would flag the old unlocked read here.
+TEST_F(ResilientFederationTest, PolicySwapDuringConcurrentAnswersIsSafe) {
+  Federation federation;
+  federation.AddEndpoint("healthy", healthy_graph_);
+  EndpointOptions flaky;
+  flaky.fault.failure_probability = 0.5;
+  flaky.fault.seed = 11;
+  federation.AddEndpoint("flaky", flaky_graph_, flaky);
+
+  ResilienceOptions initial;
+  initial.retry.max_attempts = 4;
+  federation.set_resilience(initial);
+
+  query::Cq q =
+      Parse(&federation, "SELECT ?x WHERE { ?x a bib:Publication . }");
+
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    ResilienceOptions a = initial;
+    ResilienceOptions b;
+    b.retry.max_attempts = 2;
+    b.breaker.failure_threshold = 5;
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      federation.set_resilience(++i % 2 == 0 ? a : b);
+    }
+  });
+
+  FederationAnswerOptions degraded;
+  degraded.allow_partial = true;
+  for (int round = 0; round < 25; ++round) {
+    auto answer = federation.AnswerResilient(q, degraded);
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    // The healthy endpoint never fails: its derivable answer (doi1 as a
+    // Publication via Book ⊑ Publication) must survive every policy swap.
+    EXPECT_GE(answer->table.NumRows(), 1u) << "round " << round;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  swapper.join();
+}
+
+// Regression: FederatedSource::threads_ was a plain int written by
+// set_threads while concurrent Scans (another query on the same mediator)
+// read it. Now atomic: concurrent answering calls with different `threads`
+// settings must all deliver the same complete answer.
+TEST_F(ResilientFederationTest, ConcurrentAnswersWithDifferentThreadKnobs) {
+  Federation federation;
+  federation.AddEndpoint("healthy", healthy_graph_);
+  federation.AddEndpoint("second", flaky_graph_);  // no faults configured
+
+  query::Cq q =
+      Parse(&federation, "SELECT ?x WHERE { ?x a bib:Publication . }");
+
+  // Warm-up: materializes the virtual mediated-schema endpoint once.
+  // (Concurrent *answering* is supported; concurrent *first* answers are
+  // not — RefreshSchemaEndpoint mutates the endpoint list.)
+  ASSERT_TRUE(federation.AnswerResilient(q).ok());
+
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 10;
+  std::vector<std::thread> callers;
+  std::vector<std::string> errors(kCallers);
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      FederationAnswerOptions options;
+      options.threads = (t % 2 == 0) ? 1 : 4;  // races the knob by design
+      for (int round = 0; round < kRounds; ++round) {
+        auto answer = federation.AnswerResilient(q, options);
+        if (!answer.ok()) {
+          errors[t] = answer.status().ToString();
+          return;
+        }
+        if (answer->table.NumRows() != 2u) {  // doi1 + doi2 as Publications
+          errors[t] = "caller " + std::to_string(t) + " round " +
+                      std::to_string(round) + ": got " +
+                      std::to_string(answer->table.NumRows()) + " rows";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int t = 0; t < kCallers; ++t) EXPECT_EQ(errors[t], "") << "caller " << t;
+}
+
+// The resilience() accessor returns a snapshot by value (the stored options
+// are mutex-guarded and may be swapped concurrently); the snapshot must
+// reflect the last set_resilience.
+TEST_F(ResilientFederationTest, ResilienceAccessorReturnsSnapshot) {
+  Federation federation;
+  federation.AddEndpoint("healthy", healthy_graph_);
+  ResilienceOptions options;
+  options.retry.max_attempts = 7;
+  options.breaker.failure_threshold = 9;
+  federation.set_resilience(options);
+  ResilienceOptions snapshot = federation.source().resilience();
+  EXPECT_EQ(snapshot.retry.max_attempts, 7);
+  EXPECT_EQ(snapshot.breaker.failure_threshold, 9);
 }
 
 }  // namespace

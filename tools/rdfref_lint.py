@@ -1,0 +1,296 @@
+#!/usr/bin/env python3
+"""rdfref_lint: fast AST-free checker for rdfref-specific invariants.
+
+Run from anywhere: `python3 tools/rdfref_lint.py` (add --root to point at a
+checkout). Exits non-zero when any finding is reported; CI runs it as a
+blocking step of the `static-analysis` job, and `ctest -R rdfref_lint`
+runs it locally.
+
+Rules (see DESIGN.md section 8):
+
+  raw-sync      No raw std::mutex / std::condition_variable / lock scopes
+                outside src/common/synchronization.h. Everything must go
+                through the capability-annotated wrappers so Clang's
+                -Wthread-safety can see every lock in the repository.
+  nodiscard     Result<T> and Status stay class-level [[nodiscard]], and
+                every Answer*/Evaluate* function declared in a public
+                header carries [[nodiscard]] (directly or via a
+                [[nodiscard]] return type).
+  rng-seed      No wall-clock or entropy seeding (std::random_device,
+                srand, time(...)): every random stream in rdfref is
+                seeded explicitly so fault injection, fuzzing and jitter
+                replay bit-exactly.
+  layering      Library-level include DAG: each of the 15 src/ libraries
+                may only include the libraries listed in ALLOWED_DEPS
+                (common at the bottom, engine never includes federation,
+                ...). New edges are a design decision: add them here in
+                the same PR, with a reason.
+  include-cycle No #include cycles among src/ headers (file-level DFS).
+
+A finding can be silenced for one line with a trailing
+`// rdfref-lint: allow(<rule>)` comment — pair it with a justification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from collections import defaultdict
+
+# --------------------------------------------------------------------------
+# Configuration
+# --------------------------------------------------------------------------
+
+# The one file allowed to name the raw primitives.
+SYNC_SHIM = os.path.join("common", "synchronization.h")
+
+RAW_SYNC_PATTERNS = [
+    (re.compile(r"\bstd::(recursive_|shared_|timed_)?mutex\b"), "std::mutex"),
+    (re.compile(r"\bstd::condition_variable(_any)?\b"),
+     "std::condition_variable"),
+    (re.compile(r"\bstd::(lock_guard|unique_lock|scoped_lock|shared_lock)\b"),
+     "raw lock scope"),
+    (re.compile(r'#\s*include\s*<(mutex|condition_variable|shared_mutex)>'),
+     "raw synchronization header"),
+]
+
+RNG_SEED_PATTERNS = [
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"), "time(...)"),
+    (re.compile(r"\bseed\s*\(\s*std::chrono\b"), "clock-seeded RNG"),
+]
+
+# Library-level allowed dependencies (edges not listed here are findings).
+# This is the architecture: `common` at the bottom of everything, the
+# engine never reaching into the federation, `testing` alone allowed to
+# see it all. Adding an edge is a deliberate design change — do it here,
+# in the PR that introduces the include.
+ALLOWED_DEPS = {
+    "common": set(),
+    "rdf": {"common"},
+    "schema": {"rdf", "common"},
+    "query": {"common", "rdf"},
+    "storage": {"common", "rdf"},
+    "reasoner": {"rdf", "schema", "common"},
+    "cost": {"query", "rdf", "storage", "common"},
+    "engine": {"common", "query", "rdf", "storage"},
+    "datagen": {"common", "rdf"},
+    "reformulation": {"common", "query", "rdf", "schema"},
+    "datalog": {"common", "engine", "query", "rdf", "storage"},
+    "optimizer": {"common", "cost", "query", "reformulation"},
+    "federation": {"common", "cost", "engine", "optimizer", "query", "rdf",
+                   "reformulation", "schema", "storage"},
+    "api": {"common", "datalog", "engine", "optimizer", "query", "rdf",
+            "reasoner", "reformulation", "schema", "storage"},
+    "testing": {"api", "common", "engine", "federation", "query", "rdf",
+                "schema", "storage", "datagen"},
+}
+
+ALLOW_RE = re.compile(r"//\s*rdfref-lint:\s*allow\(([a-z-]+)\)")
+
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+# Answer*/Evaluate* declarations in headers must be [[nodiscard]], either
+# on the declaration itself or via a [[nodiscard]] return type
+# (Result<T>/Status are class-level [[nodiscard]]).
+ENTRY_POINT_RE = re.compile(
+    r"^\s*(?:virtual\s+)?"
+    r"(?P<ret>[A-Za-z_][\w:<>,\s&*]*?)\s+"
+    r"(?P<name>Answer\w*|Evaluate\w*)\s*\(")
+NODISCARD_COVERED_TYPES = re.compile(r"^(Result\s*<|::rdfref::Status\b|Status\b|void\b)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def allowed(line: str, rule: str) -> bool:
+    m = ALLOW_RE.search(line)
+    return bool(m) and m.group(1) == rule
+
+
+def iter_source_files(src_root):
+    for dirpath, _, names in os.walk(src_root):
+        for name in sorted(names):
+            if name.endswith((".h", ".cc")):
+                yield os.path.join(dirpath, name)
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+def check_raw_sync(path, rel, lines, findings):
+    if rel == SYNC_SHIM:
+        return
+    for i, line in enumerate(lines, 1):
+        for pattern, what in RAW_SYNC_PATTERNS:
+            if pattern.search(line) and not allowed(line, "raw-sync"):
+                findings.append(Finding(path, i, "raw-sync",
+                    f"{what} outside common/synchronization.h — use "
+                    "common::Mutex / common::MutexLock / common::CondVar"))
+
+
+def check_rng_seed(path, rel, lines, findings):
+    for i, line in enumerate(lines, 1):
+        for pattern, what in RNG_SEED_PATTERNS:
+            if pattern.search(line) and not allowed(line, "rng-seed"):
+                findings.append(Finding(path, i, "rng-seed",
+                    f"{what}: rdfref randomness must be explicitly seeded "
+                    "(deterministic replay of faults/fuzzing/jitter)"))
+
+
+def check_nodiscard_classes(src_root, findings):
+    for rel, cls in (("common/result.h", "Result"),
+                     ("common/status.h", "Status")):
+        path = os.path.join(src_root, rel)
+        try:
+            text = open(path, encoding="utf-8").read()
+        except OSError:
+            findings.append(Finding(path, 1, "nodiscard", "file missing"))
+            continue
+        if not re.search(r"class\s+\[\[nodiscard\]\]\s+" + cls, text):
+            findings.append(Finding(path, 1, "nodiscard",
+                f"class {cls} must be declared `class [[nodiscard]] {cls}` "
+                "(dropped statuses are correctness bugs)"))
+
+
+def check_entry_points(path, rel, lines, findings):
+    if not rel.endswith(".h"):
+        return
+    for i, line in enumerate(lines, 1):
+        m = ENTRY_POINT_RE.match(line)
+        if not m:
+            continue
+        ret = m.group("ret").strip()
+        if NODISCARD_COVERED_TYPES.match(ret):
+            continue  # Result<T>/Status are class-level [[nodiscard]]
+        window = (lines[i - 2] if i >= 2 else "") + " " + line
+        if "[[nodiscard]]" in window:
+            continue
+        if allowed(line, "nodiscard"):
+            continue
+        findings.append(Finding(path, i, "nodiscard",
+            f"{m.group('name')}() returns {ret} without [[nodiscard]] — "
+            "answer-producing entry points must not be silently droppable"))
+
+
+def library_of(rel):
+    head = rel.split(os.sep, 1)[0]
+    return head if head in ALLOWED_DEPS else None
+
+
+def check_layering_and_cycles(src_root, findings):
+    includes = {}  # rel path -> [(line_no, included rel path)]
+    for path in iter_source_files(src_root):
+        rel = os.path.relpath(path, src_root)
+        entries = []
+        with open(path, encoding="utf-8") as f:
+            for i, line in enumerate(f, 1):
+                m = INCLUDE_RE.search(line)
+                if not m:
+                    continue
+                inc = m.group(1)
+                if library_of(inc) is None:
+                    continue  # not an intra-src include
+                if allowed(line, "layering"):
+                    continue
+                entries.append((i, inc, line))
+        includes[rel] = entries
+
+    # Library-level layering.
+    for rel, entries in sorted(includes.items()):
+        lib = library_of(rel)
+        if lib is None:
+            continue
+        for line_no, inc, line in entries:
+            target = library_of(inc)
+            if target == lib:
+                continue
+            if target not in ALLOWED_DEPS[lib]:
+                findings.append(Finding(
+                    os.path.join(src_root, rel), line_no, "layering",
+                    f'library "{lib}" must not include "{target}" '
+                    f'("{inc}"); allowed deps: '
+                    f'{sorted(ALLOWED_DEPS[lib]) or "none"}'))
+
+    # File-level include cycles among headers (iterative DFS).
+    graph = {rel: [inc for _, inc, _ in entries if inc in includes]
+             for rel, entries in includes.items() if rel.endswith(".h")}
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = defaultdict(int)
+    for start in sorted(graph):
+        if color[start] != WHITE:
+            continue
+        stack = [(start, iter(graph.get(start, ())))]
+        color[start] = GRAY
+        trail = [start]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color[nxt] == GRAY:
+                    cycle = trail[trail.index(nxt):] + [nxt]
+                    findings.append(Finding(
+                        os.path.join(src_root, nxt), 1, "include-cycle",
+                        "#include cycle: " + " -> ".join(cycle)))
+                elif color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    stack.append((nxt, iter(graph.get(nxt, ()))))
+                    trail.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                trail.pop()
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print findings only, no summary")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    src_root = os.path.join(root, "src")
+    if not os.path.isdir(src_root):
+        print(f"rdfref_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for path in iter_source_files(src_root):
+        rel = os.path.relpath(path, src_root)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        check_raw_sync(path, rel, lines, findings)
+        check_rng_seed(path, rel, lines, findings)
+        check_entry_points(path, rel, lines, findings)
+    check_nodiscard_classes(src_root, findings)
+    check_layering_and_cycles(src_root, findings)
+
+    for finding in findings:
+        print(finding)
+    if not args.quiet:
+        n_files = sum(1 for _ in iter_source_files(src_root))
+        print(f"rdfref_lint: {len(findings)} finding(s) across "
+              f"{n_files} files", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
