@@ -152,8 +152,7 @@ Result<engine::Table> QueryAnswerer::AnswerUnion(
     if (i == 0) {
       result = std::move(branch_table);
     } else {
-      result.rows.insert(result.rows.end(), branch_table.rows.begin(),
-                         branch_table.rows.end());
+      result.Append(branch_table);
     }
     if (profile != nullptr) {
       profile->prepare_millis += branch_profile.prepare_millis;

@@ -126,7 +126,10 @@ Result<engine::Table> DatalogAnswerer::Answer(const query::Cq& q) {
                                 ? h.var()
                                 : std::numeric_limits<query::VarId>::max());
   }
-  table.rows = evaluator_->EvaluateRuleOnce(rule);
+  table.SetArity(q.head().size());
+  for (const std::vector<rdf::TermId>& row : evaluator_->EvaluateRuleOnce(rule)) {
+    table.AppendRow(row);
+  }
   table.Dedup();
   return table;
 }

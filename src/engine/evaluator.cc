@@ -1,8 +1,8 @@
 #include "engine/evaluator.h"
 
 #include <algorithm>
-#include <cassert>
-#include <functional>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <optional>
 #include <set>
@@ -11,6 +11,7 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "engine/scan_cache.h"
 #include "storage/store.h"
 
 namespace rdfref {
@@ -25,9 +26,14 @@ using query::VarId;
 
 constexpr rdf::TermId kUnbound = rdf::kInvalidTermId;
 
-// Constant head slots carry no variable; their column id is this sentinel
-// (mirrored from EvaluateCq's final-answer convention).
-constexpr VarId kConstColumn = std::numeric_limits<VarId>::max();
+// Engine invariant violations abort with a message in every build mode
+// (NDEBUG included): a silently truncated answer table is worse than a
+// crash.
+[[noreturn]] void EngineFatal(const char* msg) {
+  std::fprintf(stderr, "rdfref: engine invariant violated: %s\n", msg);
+  std::fflush(stderr);
+  std::abort();
+}
 
 // Resolves a query term under the current bindings: a constant, a bound
 // variable's value, or kAny when still free.
@@ -39,31 +45,38 @@ rdf::TermId Resolve(const QTerm& t, const std::vector<rdf::TermId>& bindings) {
 
 // Greedy join order: start from the atom with the smallest index-estimated
 // match count (variables wildcarded), then repeatedly append the
-// smallest-count atom connected to the already-ordered ones.
-std::vector<int> OrderAtoms(const storage::TripleSource& store, const Cq& q) {
+// smallest-count atom connected to the already-ordered ones. Counts come
+// from the shared per-UCQ cache, so sibling members with the same atoms
+// never re-count; each atom's variables are computed once up front (flat
+// vectors probed against a bound bitmap) instead of a std::set rebuilt
+// inside the O(n²) selection loop.
+std::vector<int> OrderAtoms(const ScanCache& cache, const Cq& q) {
   const std::vector<Atom>& body = q.body();
   const int n = static_cast<int>(body.size());
   std::vector<uint64_t> base(n);
+  std::vector<std::vector<VarId>> atom_vars(n);
   for (int i = 0; i < n; ++i) {
     rdf::TermId s = body[i].s.is_var ? storage::kAny : body[i].s.term();
     rdf::TermId p = body[i].p.is_var ? storage::kAny : body[i].p.term();
     rdf::TermId o = body[i].o.is_var ? storage::kAny : body[i].o.term();
-    base[i] = store.CountMatches(s, p, o);
+    base[i] = cache.CountMatches(s, p, o);
+    const std::set<VarId> vars = Cq::AtomVars(body[i]);
+    atom_vars[i].assign(vars.begin(), vars.end());
   }
   std::vector<int> order;
+  order.reserve(n);
   std::vector<bool> used(n, false);
-  std::set<VarId> bound_vars;
+  std::vector<char> bound(q.num_vars(), 0);
   for (int step = 0; step < n; ++step) {
     int best = -1;
     uint64_t best_count = std::numeric_limits<uint64_t>::max();
     bool best_connected = false;
     for (int i = 0; i < n; ++i) {
       if (used[i]) continue;
-      std::set<VarId> vars = Cq::AtomVars(body[i]);
+      const std::vector<VarId>& vars = atom_vars[i];
       bool connected =
-          step == 0 || std::any_of(vars.begin(), vars.end(), [&](VarId v) {
-            return bound_vars.count(v) > 0;
-          });
+          step == 0 || std::any_of(vars.begin(), vars.end(),
+                                   [&](VarId v) { return bound[v] != 0; });
       // Prefer connected atoms; among equals, the smaller base count.
       if (best == -1 || (connected && !best_connected) ||
           (connected == best_connected && base[i] < best_count)) {
@@ -74,8 +87,7 @@ std::vector<int> OrderAtoms(const storage::TripleSource& store, const Cq& q) {
     }
     used[best] = true;
     order.push_back(best);
-    std::set<VarId> vars = Cq::AtomVars(body[best]);
-    bound_vars.insert(vars.begin(), vars.end());
+    for (VarId v : atom_vars[best]) bound[v] = 1;
   }
   return order;
 }
@@ -142,6 +154,23 @@ Status UcqDeadlineError(size_t evaluated, size_t total) {
       std::to_string(total) + " reformulation CQs");
 }
 
+// One open atom of the iterative binding-stack join: the contiguous range
+// being iterated (zero-copy for range-capable sources, else owned by the
+// frame's cursor buffer, which is reused across re-openings at the same
+// depth), the iteration position, and the undo record of the variables the
+// current row bound.
+struct JoinFrame {
+  std::span<const rdf::Triple> range;
+  size_t pos = 0;
+  storage::PatternCursor cursor;
+  // Carried across re-openings at this depth: the outer range is iterated
+  // in index order, so successive inner prefixes are non-decreasing and
+  // the source can gallop from the previous position (see RangeHint).
+  storage::RangeHint hint;
+  VarId newly[3];
+  int num_new = 0;
+};
+
 }  // namespace
 
 Evaluator::Evaluator(const storage::TripleSource* source, int threads)
@@ -154,7 +183,8 @@ void Evaluator::set_threads(int threads) {
 }
 
 std::vector<int> Evaluator::AtomOrder(const query::Cq& q) const {
-  return OrderAtoms(*store_, q);
+  ScanCache cache(store_);
+  return OrderAtoms(cache, q);
 }
 
 std::string Evaluator::ExplainCq(const Cq& q) const {
@@ -192,13 +222,13 @@ std::string Evaluator::ExplainJucq(
   return out.str();
 }
 
-bool Evaluator::EvaluateCqInto(
-    const Cq& q, const CancelToken& cancel,
-    std::vector<std::vector<rdf::TermId>>* out) const {
+bool Evaluator::EvaluateCqInto(const Cq& q, const CancelToken& cancel,
+                               ScanCache* cache, Table* out) const {
+  if (!out->has_arity()) out->SetArity(q.head().size());
   const std::vector<Atom>& body = q.body();
   if (body.empty()) return true;
   if (cancel.ShouldStop()) return false;
-  std::vector<int> order = OrderAtoms(*store_, q);
+  const std::vector<int> order = OrderAtoms(*cache, q);
   std::vector<rdf::TermId> bindings(q.num_vars(), kUnbound);
   // Resource-constrained variables (reformulation rules 3/7) reject
   // literal bindings: a literal cannot be the subject of an entailed
@@ -207,64 +237,100 @@ bool Evaluator::EvaluateCqInto(
   for (VarId v : q.resource_vars()) resource_only[v] = 1;
   const rdf::Dictionary& dict = store_->dict();
 
-  // Cancellation state of this evaluation: once `stopped` flips, every
-  // pending scan callback returns immediately, unwinding the join without
-  // emitting further rows. The token is polled every kCancelStride scan
-  // deliveries, bounding the overrun of a runaway CQ (the store's Scan has
-  // no early exit, but the exponential cost lives in the recursion, which
-  // this cuts off).
+  // The cancel token is polled every kCancelStride consumed triples,
+  // bounding the overrun of a runaway CQ. A single pattern scan (one cache
+  // fill or cursor reset) is not cancellable mid-buffer, exactly like the
+  // scan callbacks of the recursive engine this replaces.
   constexpr size_t kCancelStride = 1024;
-  bool stopped = false;
   size_t steps = 0;
 
-  // Recursive index nested-loop join over the ordered atoms.
-  auto emit = [&]() {
-    std::vector<rdf::TermId> row;
-    row.reserve(q.head().size());
-    for (const QTerm& h : q.head()) {
-      row.push_back(h.is_var ? bindings[h.var()] : h.term());
+  const size_t num_atoms = order.size();
+  const size_t head_arity = q.head().size();
+  std::vector<JoinFrame> frames(num_atoms);
+
+  // Opens frame d: resolves its atom's pattern under the current bindings
+  // and binds the frame's range. Depth-0 patterns with no residual go
+  // through the shared cache (they are identical across sibling members of
+  // a reformulation union); inner patterns depend on the outer bindings
+  // and use the frame's reusable cursor.
+  auto open_frame = [&](size_t d) {
+    const Atom& atom = body[order[d]];
+    const rdf::TermId ps = Resolve(atom.s, bindings);
+    const rdf::TermId pp = Resolve(atom.p, bindings);
+    const rdf::TermId po = Resolve(atom.o, bindings);
+    // An intra-atom repeated *unbound* variable becomes a residual filter
+    // (a bound repeat is already a constant in the pattern).
+    storage::ResidualEq residual;
+    residual.s_eq_p = atom.s.is_var && atom.p.is_var &&
+                      atom.s.var() == atom.p.var() && ps == storage::kAny;
+    residual.s_eq_o = atom.s.is_var && atom.o.is_var &&
+                      atom.s.var() == atom.o.var() && ps == storage::kAny;
+    residual.p_eq_o = atom.p.is_var && atom.o.is_var &&
+                      atom.p.var() == atom.o.var() && pp == storage::kAny;
+    JoinFrame& f = frames[d];
+    f.pos = 0;
+    f.num_new = 0;
+    if (d == 0 && !residual.any()) {
+      f.range = cache->LeafRange(ps, pp, po);
+    } else {
+      f.range = f.cursor.Reset(*store_, ps, pp, po, residual, &f.hint);
     }
-    out->push_back(std::move(row));
   };
 
-  std::function<void(size_t)> recurse = [&](size_t depth) {
-    if (depth == order.size()) {
-      emit();
-      return;
-    }
-    const Atom& atom = body[order[depth]];
-    rdf::TermId ps = Resolve(atom.s, bindings);
-    rdf::TermId pp = Resolve(atom.p, bindings);
-    rdf::TermId po = Resolve(atom.o, bindings);
-    store_->Scan(ps, pp, po, [&](const rdf::Triple& t) {
-      if (stopped) return;
-      if (++steps % kCancelStride == 0 && cancel.ShouldStop()) {
-        stopped = true;
-        return;
-      }
-      // Bind free variables, honoring repeated variables within the atom.
-      VarId newly[3];
-      int num_new = 0;
-      auto bind = [&](const QTerm& qt, rdf::TermId value) -> bool {
-        if (!qt.is_var) return true;  // matched by the scan pattern
-        rdf::TermId& slot = bindings[qt.var()];
-        if (slot == kUnbound) {
-          if (resource_only[qt.var()] && dict.Lookup(value).is_literal()) {
-            return false;
-          }
-          slot = value;
-          newly[num_new++] = qt.var();
-          return true;
+  // Binds the free variables of frame d's atom against triple t, recording
+  // the undo set in the frame. Honors repeated variables within the atom
+  // (the residual filter already discharged unbound repeats; the equality
+  // recheck is kept as the single source of truth) and the resource-only
+  // constraint.
+  auto bind_row = [&](size_t d, const rdf::Triple& t) -> bool {
+    const Atom& atom = body[order[d]];
+    JoinFrame& f = frames[d];
+    auto bind = [&](const QTerm& qt, rdf::TermId value) -> bool {
+      if (!qt.is_var) return true;  // matched by the scan pattern
+      rdf::TermId& slot = bindings[qt.var()];
+      if (slot == kUnbound) {
+        if (resource_only[qt.var()] && dict.Lookup(value).is_literal()) {
+          return false;
         }
-        return slot == value;
-      };
-      bool ok = bind(atom.s, t.s) && bind(atom.p, t.p) && bind(atom.o, t.o);
-      if (ok) recurse(depth + 1);
-      for (int k = 0; k < num_new; ++k) bindings[newly[k]] = kUnbound;
-    });
+        slot = value;
+        f.newly[f.num_new++] = qt.var();
+        return true;
+      }
+      return slot == value;
+    };
+    return bind(atom.s, t.s) && bind(atom.p, t.p) && bind(atom.o, t.o);
   };
-  recurse(0);
-  return !stopped;
+
+  // Iterative index nested-loop join. Each loop iteration first undoes the
+  // bindings of the current frame's previous row (mirroring the recursive
+  // engine's unbind-after-recurse), then advances it: descend on a
+  // successful bind, emit at the deepest frame, pop when exhausted.
+  open_frame(0);
+  size_t depth = 0;
+  while (true) {
+    JoinFrame& f = frames[depth];
+    for (int k = 0; k < f.num_new; ++k) bindings[f.newly[k]] = kUnbound;
+    f.num_new = 0;
+    if (f.pos == f.range.size()) {
+      if (depth == 0) break;
+      --depth;
+      continue;
+    }
+    const rdf::Triple& t = f.range[f.pos++];
+    if (++steps % kCancelStride == 0 && cancel.ShouldStop()) return false;
+    if (!bind_row(depth, t)) continue;
+    if (depth + 1 == num_atoms) {
+      rdf::TermId* row = out->AppendUninitialized();
+      for (size_t k = 0; k < head_arity; ++k) {
+        const QTerm& h = q.head()[k];
+        row[k] = h.is_var ? bindings[h.var()] : h.term();
+      }
+      continue;
+    }
+    ++depth;
+    open_frame(depth);
+  }
+  return true;
 }
 
 Table Evaluator::EvaluateCq(const Cq& q) const {
@@ -272,11 +338,13 @@ Table Evaluator::EvaluateCq(const Cq& q) const {
   for (const QTerm& h : q.head()) {
     table.columns.push_back(h.is_var ? h.var() : kConstColumn);
   }
-  // A default CancelToken never fires, so the evaluation runs to
-  // completion unconditionally.
-  const bool complete = EvaluateCqInto(q, CancelToken(), &table.rows);
-  assert(complete);
-  (void)complete;
+  table.SetArity(q.head().size());
+  ScanCache cache(store_);
+  // A default CancelToken never fires; a partial result here would mean
+  // the engine truncated an answer under an infinite budget.
+  if (!EvaluateCqInto(q, CancelToken(), &cache, &table)) {
+    EngineFatal("EvaluateCq: cancellation fired under an infinite deadline");
+  }
   table.Dedup();
   return table;
 }
@@ -288,26 +356,37 @@ Table Evaluator::EvaluateUcq(const query::Ucq& ucq) const {
 
 Result<Table> Evaluator::EvaluateUcq(const query::Ucq& ucq,
                                      const Deadline& deadline) const {
+  // One scan memo for the whole union: members of a reformulation UCQ
+  // overlap heavily in their atoms.
+  ScanCache cache(store_);
+  return EvaluateUcqWithCache(ucq, deadline, &cache);
+}
+
+Result<Table> Evaluator::EvaluateUcqWithCache(const query::Ucq& ucq,
+                                              const Deadline& deadline,
+                                              ScanCache* cache) const {
   Table table;
   if (!ucq.empty()) {
     for (const QTerm& h : ucq.members()[0].head()) {
       table.columns.push_back(h.is_var ? h.var() : kConstColumn);
     }
+    table.SetArity(ucq.members()[0].head().size());
   }
   if (threads_ <= 1 || ucq.size() < 2) {
-    return EvaluateUcqSequential(ucq, deadline, std::move(table));
+    return EvaluateUcqSequential(ucq, deadline, cache, std::move(table));
   }
-  return EvaluateUcqParallel(ucq, deadline, std::move(table));
+  return EvaluateUcqParallel(ucq, deadline, cache, std::move(table));
 }
 
 Result<Table> Evaluator::EvaluateUcqSequential(const query::Ucq& ucq,
                                                const Deadline& deadline,
+                                               ScanCache* cache,
                                                Table table) const {
   CancelToken token(&deadline);
   size_t evaluated = 0;
   for (const Cq& member : ucq.members()) {
     if (deadline.expired() ||
-        !EvaluateCqInto(member, token, &table.rows)) {
+        !EvaluateCqInto(member, token, cache, &table)) {
       return UcqDeadlineError(evaluated, ucq.size());
     }
     ++evaluated;
@@ -318,15 +397,17 @@ Result<Table> Evaluator::EvaluateUcqSequential(const query::Ucq& ucq,
 
 Result<Table> Evaluator::EvaluateUcqParallel(const query::Ucq& ucq,
                                              const Deadline& deadline,
+                                             ScanCache* cache,
                                              Table table) const {
   const size_t n = ucq.size();
   // One contiguous chunk per thread: concurrency is honestly bounded by
-  // the `threads` knob, and concatenating the chunk buffers in chunk order
+  // the `threads` knob, and concatenating the chunk tables in chunk order
   // reproduces the sequential append order exactly — so the single dedup
-  // below yields a bit-identical table.
+  // below yields a bit-identical table. All chunks share the UCQ-level
+  // scan cache (it is thread-safe).
   const size_t chunks = std::min(n, static_cast<size_t>(threads_));
   const std::vector<std::pair<size_t, size_t>> ranges = SplitRanges(n, chunks);
-  std::vector<std::vector<std::vector<rdf::TermId>>> buffers(chunks);
+  std::vector<Table> buffers(chunks);
   std::atomic<bool> stop{false};
   std::atomic<size_t> completed{0};
   CancelToken token(&deadline, &stop);
@@ -336,19 +417,19 @@ Result<Table> Evaluator::EvaluateUcqParallel(const query::Ucq& ucq,
       // CQ-boundary check: stop promptly when a sibling chunk saw the
       // deadline expire (or it expired here).
       if (token.ShouldStop()) return;
-      if (!EvaluateCqInto(ucq.members()[i], token, &buffers[c])) return;
+      if (!EvaluateCqInto(ucq.members()[i], token, cache, &buffers[c])) {
+        return;
+      }
       completed.fetch_add(1, std::memory_order_relaxed);
     }
   });
   if (stop.load(std::memory_order_relaxed)) {
     return UcqDeadlineError(completed.load(std::memory_order_relaxed), n);
   }
-  size_t total = table.rows.size();
-  for (const auto& buffer : buffers) total += buffer.size();
-  table.rows.reserve(total);
-  for (auto& buffer : buffers) {
-    for (auto& row : buffer) table.rows.push_back(std::move(row));
-  }
+  size_t total = 0;
+  for (const Table& buffer : buffers) total += buffer.NumRows();
+  table.ReserveRows(total);
+  for (const Table& buffer : buffers) table.Append(buffer);
   table.Dedup();
   return table;
 }
@@ -371,11 +452,15 @@ Result<Table> Evaluator::EvaluateJucq(
 
   // 1. Materialize every fragment (one pool task per fragment when
   // parallel; each task's member loop may itself run parallel chunks).
+  // The scan memo is shared across fragments: cover fragments of one query
+  // re-reformulate the same atoms, so their leaf patterns and counts
+  // coincide.
+  ScanCache cache(store_);
   std::vector<std::optional<Result<Table>>> materialized(nf);
   std::vector<double> fragment_millis(nf, 0.0);
   auto materialize_one = [&](size_t i) {
     Timer t;
-    materialized[i] = EvaluateUcq(fragment_ucqs[i], deadline);
+    materialized[i] = EvaluateUcqWithCache(fragment_ucqs[i], deadline, &cache);
     fragment_millis[i] = t.ElapsedMillis();
   };
   if (threads_ > 1 && nf > 1) {
@@ -464,24 +549,26 @@ Result<Table> Evaluator::EvaluateJucq(
     }
   }
 
-  // 3. Project the original head.
+  // 3. Project the original head: one arena append per row, reading the
+  // joined rows as stride slices.
   Table answer;
   for (const QTerm& h : q.head()) {
     answer.columns.push_back(h.is_var ? h.var() : kConstColumn);
   }
+  answer.SetArity(q.head().size());
   std::vector<int> proj;
   proj.reserve(q.head().size());
   for (const QTerm& h : q.head()) {
     proj.push_back(h.is_var ? result.ColumnOf(h.var()) : -1);
   }
-  answer.rows.reserve(result.rows.size());
-  for (const std::vector<rdf::TermId>& row : result.rows) {
-    std::vector<rdf::TermId> out;
-    out.reserve(proj.size());
+  const size_t num_rows = result.NumRows();
+  answer.ReserveRows(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    const std::span<const rdf::TermId> row = result.row(r);
+    rdf::TermId* dst = answer.AppendUninitialized();
     for (size_t i = 0; i < proj.size(); ++i) {
-      out.push_back(proj[i] >= 0 ? row[proj[i]] : q.head()[i].term());
+      dst[i] = proj[i] >= 0 ? row[proj[i]] : q.head()[i].term();
     }
-    answer.rows.push_back(std::move(out));
   }
   answer.Dedup();
   if (profile != nullptr) {

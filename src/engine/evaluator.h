@@ -17,6 +17,8 @@
 namespace rdfref {
 namespace engine {
 
+class ScanCache;
+
 /// \brief Per-fragment measurements of a JUCQ evaluation — the numbers the
 /// demonstration displays in step 3 ("cardinalities and costs of
 /// (sub)queries"), and the ones quoted by Example 1 (e.g. the 33,328,108
@@ -39,7 +41,15 @@ struct JucqProfile {
 ///
 /// - CQs run as selectivity-ordered index nested-loop joins over the
 ///   store's permutation indexes (the plan an RDBMS would pick on a fully
-///   indexed triple table).
+///   indexed triple table). The join is an iterative binding-stack loop
+///   over contiguous triple ranges (TryGetRange / ScanInto), appending
+///   head tuples straight into a columnar Table arena — no std::function
+///   recursion, no per-row heap allocation.
+/// - Each UCQ/JUCQ evaluation shares one ScanCache across its members and
+///   fragments: pattern cardinalities (the join-order inputs) and
+///   materialized leaf scans are computed once per *distinct* bound
+///   pattern, not once per member — reformulation unions repeat the same
+///   few patterns hundreds of times.
 /// - UCQs run member-by-member with union duplicate elimination. With
 ///   `threads > 1` the members are partitioned into contiguous chunks
 ///   evaluated concurrently on the shared common::ThreadPool; chunk
@@ -131,20 +141,27 @@ class Evaluator {
   const storage::TripleSource& source() const { return *store_; }
 
  private:
-  // Appends q's answer rows (head tuples) to `out` (no dedup). Returns
-  // false iff the cancel token fired mid-evaluation (rows appended so far
-  // are then an unusable partial result).
-  [[nodiscard]] bool EvaluateCqInto(
-      const query::Cq& q, const CancelToken& cancel,
-      std::vector<std::vector<rdf::TermId>>* out) const;
+  // Appends q's answer rows (head tuples) to `out` (no dedup), resolving
+  // counts and leaf scans through `cache`. Returns false iff the cancel
+  // token fired mid-evaluation (rows appended so far are then an unusable
+  // partial result).
+  [[nodiscard]] bool EvaluateCqInto(const query::Cq& q,
+                                    const CancelToken& cancel,
+                                    ScanCache* cache, Table* out) const;
+
+  // Deadline-bounded UCQ evaluation over a caller-owned scan cache (the
+  // JUCQ path shares one cache across all fragment UCQs).
+  Result<Table> EvaluateUcqWithCache(const query::Ucq& ucq,
+                                     const Deadline& deadline,
+                                     ScanCache* cache) const;
 
   // Sequential / parallel bodies of the deadline-bounded EvaluateUcq.
   Result<Table> EvaluateUcqSequential(const query::Ucq& ucq,
                                       const Deadline& deadline,
-                                      Table table) const;
+                                      ScanCache* cache, Table table) const;
   Result<Table> EvaluateUcqParallel(const query::Ucq& ucq,
                                     const Deadline& deadline,
-                                    Table table) const;
+                                    ScanCache* cache, Table table) const;
 
   const storage::TripleSource* store_;
   int threads_;

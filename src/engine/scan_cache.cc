@@ -1,0 +1,47 @@
+#include "engine/scan_cache.h"
+
+#include <utility>
+
+namespace rdfref {
+namespace engine {
+
+size_t ScanCache::CountMatches(rdf::TermId s, rdf::TermId p,
+                               rdf::TermId o) const {
+  const PatternKey key{s, p, o};
+  {
+    common::MutexLock lock(&mu_);
+    auto it = counts_.find(key);
+    if (it != counts_.end()) return it->second;
+  }
+  // Compute outside the lock: a federation count fans out to every
+  // endpoint, and sibling chunks must not queue behind it.
+  const size_t count = source_->CountMatches(s, p, o);
+  common::MutexLock lock(&mu_);
+  return counts_.emplace(key, count).first->second;
+}
+
+std::span<const rdf::Triple> ScanCache::LeafRange(rdf::TermId s, rdf::TermId p,
+                                                  rdf::TermId o) const {
+  std::span<const rdf::Triple> range;
+  if (source_->TryGetRange(s, p, o, &range)) return range;  // zero-copy
+
+  const PatternKey key{s, p, o};
+  {
+    common::MutexLock lock(&mu_);
+    auto it = leaves_.find(key);
+    if (it != leaves_.end()) return {it->second->data(), it->second->size()};
+  }
+  auto owned = std::make_unique<std::vector<rdf::Triple>>();
+  source_->ScanInto(s, p, o, owned.get());
+  common::MutexLock lock(&mu_);
+  auto it = leaves_.find(key);
+  if (it == leaves_.end()) {
+    it = leaves_.emplace(key, std::move(owned)).first;
+  }
+  // On a lost race `owned` is dropped: first insert wins, so every caller
+  // sees one stable buffer.
+  return {it->second->data(), it->second->size()};
+}
+
+}  // namespace engine
+}  // namespace rdfref

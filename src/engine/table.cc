@@ -1,6 +1,10 @@
 #include "engine/table.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -8,33 +12,174 @@
 namespace rdfref {
 namespace engine {
 
-void Table::Dedup() {
-  std::unordered_set<std::vector<rdf::TermId>, RowHash> seen;
-  seen.reserve(rows.size());
-  std::vector<std::vector<rdf::TermId>> unique;
-  unique.reserve(rows.size());
-  for (std::vector<rdf::TermId>& row : rows) {
-    if (seen.insert(row).second) unique.push_back(std::move(row));
-  }
-  rows = std::move(unique);
+namespace {
+
+[[noreturn]] void TableFatal(const char* message) {
+  std::fprintf(stderr, "rdfref: engine::Table: %s\n", message);
+  std::abort();
 }
 
-void Table::Sort() { std::sort(rows.begin(), rows.end()); }
+// Hashes `stride` ids starting at `base + index * stride`. Used by Dedup
+// and HashJoin to key hash containers on arena slices by row index — the
+// arena pointer must stay fixed while the container lives.
+struct SliceHash {
+  const rdf::TermId* base;
+  size_t stride;
+  size_t operator()(size_t index) const {
+    const rdf::TermId* row = base + index * stride;
+    size_t seed = 0x51ed270b;
+    for (size_t k = 0; k < stride; ++k) seed = HashCombine(seed, row[k]);
+    return seed;
+  }
+};
+
+struct SliceEq {
+  const rdf::TermId* base;
+  size_t stride;
+  bool operator()(size_t a, size_t b) const {
+    return std::memcmp(base + a * stride, base + b * stride,
+                       stride * sizeof(rdf::TermId)) == 0;
+  }
+};
+
+}  // namespace
+
+Table Table::FromRows(std::vector<query::VarId> cols,
+                      const std::vector<std::vector<rdf::TermId>>& rows) {
+  Table t;
+  t.columns = std::move(cols);
+  if (!rows.empty()) {
+    t.SetArity(rows.front().size());
+    t.data_.reserve(rows.size() * rows.front().size());
+  }
+  for (const std::vector<rdf::TermId>& row : rows) t.AppendRow(row);
+  return t;
+}
+
+void Table::SetArity(size_t arity) {
+  if (arity_set_ && arity != arity_ && NumRows() > 0) {
+    TableFatal("SetArity would change the stride of a non-empty table");
+  }
+  arity_ = arity;
+  arity_set_ = true;
+}
+
+void Table::AppendRow(std::span<const rdf::TermId> values) {
+  if (!arity_set_) SetArity(values.size());
+  if (values.size() != arity_) {
+    TableFatal("AppendRow arity mismatch");
+  }
+  if (arity_ == 0) {
+    ++zero_arity_rows_;
+    return;
+  }
+  data_.insert(data_.end(), values.begin(), values.end());
+}
+
+void Table::RemoveLastRow() {
+  if (arity_ == 0) {
+    if (zero_arity_rows_ > 0) --zero_arity_rows_;
+    return;
+  }
+  if (!data_.empty()) data_.resize(data_.size() - arity_);
+}
+
+void Table::Append(const Table& other) {
+  if (other.NumRows() == 0) return;
+  if (!arity_set_) SetArity(other.arity_);
+  if (other.arity_ != arity_) {
+    TableFatal("Append arity mismatch");
+  }
+  if (arity_ == 0) {
+    zero_arity_rows_ += other.zero_arity_rows_;
+    return;
+  }
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+}
+
+std::vector<std::vector<rdf::TermId>> Table::RowVectors() const {
+  std::vector<std::vector<rdf::TermId>> out;
+  const size_t n = NumRows();
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::span<const rdf::TermId> r = row(i);
+    out.emplace_back(r.begin(), r.end());
+  }
+  return out;
+}
+
+std::set<std::vector<rdf::TermId>> Table::RowSet() const {
+  std::set<std::vector<rdf::TermId>> out;
+  const size_t n = NumRows();
+  for (size_t i = 0; i < n; ++i) {
+    std::span<const rdf::TermId> r = row(i);
+    out.emplace(r.begin(), r.end());
+  }
+  return out;
+}
+
+void Table::Dedup() {
+  if (arity_ == 0) {
+    zero_arity_rows_ = zero_arity_rows_ > 0 ? 1 : 0;
+    return;
+  }
+  const size_t n = NumRows();
+  if (n < 2) return;
+  // Compact kept rows toward the front: candidate row r is copied to write
+  // position w (w <= r, so nothing unprocessed is clobbered), then looked
+  // up among the already-kept slices [0, w). The set stores compacted row
+  // indexes and hashes the arena in place.
+  SliceHash hash{data_.data(), arity_};
+  SliceEq eq{data_.data(), arity_};
+  std::unordered_set<size_t, SliceHash, SliceEq> seen(n, hash, eq);
+  size_t w = 0;
+  for (size_t r = 0; r < n; ++r) {
+    if (w != r) {
+      std::memmove(data_.data() + w * arity_, data_.data() + r * arity_,
+                   arity_ * sizeof(rdf::TermId));
+    }
+    if (seen.insert(w).second) ++w;
+  }
+  data_.resize(w * arity_);
+}
+
+void Table::Sort() {
+  if (arity_ == 0) return;
+  const size_t n = NumRows();
+  if (n < 2) return;
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const rdf::TermId* base = data_.data();
+  const size_t stride = arity_;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::lexicographical_compare(
+        base + a * stride, base + (a + 1) * stride, base + b * stride,
+        base + (b + 1) * stride);
+  });
+  std::vector<rdf::TermId> sorted;
+  sorted.reserve(data_.size());
+  for (size_t i : order) {
+    sorted.insert(sorted.end(), base + i * stride, base + (i + 1) * stride);
+  }
+  data_ = std::move(sorted);
+}
 
 std::string Table::ToString(const rdf::Dictionary& dict,
                             size_t max_rows) const {
   std::ostringstream out;
-  out << rows.size() << " row(s)\n";
-  for (size_t i = 0; i < rows.size() && i < max_rows; ++i) {
+  const size_t n = NumRows();
+  out << n << " row(s)\n";
+  for (size_t i = 0; i < n && i < max_rows; ++i) {
+    std::span<const rdf::TermId> r = row(i);
     out << "  <";
-    for (size_t j = 0; j < rows[i].size(); ++j) {
+    for (size_t j = 0; j < r.size(); ++j) {
       if (j > 0) out << ", ";
-      out << dict.Lookup(rows[i][j]).ToString();
+      out << dict.Lookup(r[j]).ToString();
     }
     out << ">\n";
   }
-  if (rows.size() > max_rows) {
-    out << "  ... (" << (rows.size() - max_rows) << " more)\n";
+  if (n > max_rows) {
+    out << "  ... (" << (n - max_rows) << " more)\n";
   }
   return out.str();
 }
@@ -56,29 +201,76 @@ Table HashJoin(const Table& left, const Table& right) {
   Table out;
   out.columns = left.columns;
   for (int j : right_carry) out.columns.push_back(right.columns[j]);
+  // Stride follows the left rows' actual width (equal to columns.size()
+  // for every table the engine builds; hand-built tables may differ).
+  const size_t left_width =
+      left.NumRows() > 0 ? left.arity() : left.columns.size();
+  out.SetArity(left_width + right_carry.size());
 
-  // Build on the right side.
-  std::unordered_map<std::vector<rdf::TermId>, std::vector<size_t>, RowHash>
-      build;
-  build.reserve(right.rows.size());
-  std::vector<rdf::TermId> key(right_key.size());
-  for (size_t r = 0; r < right.rows.size(); ++r) {
-    for (size_t k = 0; k < right_key.size(); ++k) {
-      key[k] = right.rows[r][right_key[k]];
+  const size_t nl = left.NumRows();
+  const size_t nr = right.NumRows();
+  if (nl == 0 || nr == 0) return out;
+
+  const size_t nk = right_key.size();
+  if (nk == 0) {
+    // Cross product: every pair, left-major (the seed row order).
+    for (size_t l = 0; l < nl; ++l) {
+      std::span<const rdf::TermId> lrow = left.row(l);
+      for (size_t r = 0; r < nr; ++r) {
+        rdf::TermId* slot = out.AppendUninitialized();
+        if (!lrow.empty()) {
+          std::memcpy(slot, lrow.data(), lrow.size() * sizeof(rdf::TermId));
+        }
+        std::span<const rdf::TermId> rrow = right.row(r);
+        for (size_t c = 0; c < right_carry.size(); ++c) {
+          slot[lrow.size() + c] = rrow[right_carry[c]];
+        }
+      }
     }
-    build[key].push_back(r);
+    return out;
   }
 
-  // Probe with the left side.
-  std::vector<rdf::TermId> probe(left_key.size());
-  for (const std::vector<rdf::TermId>& lrow : left.rows) {
-    for (size_t k = 0; k < left_key.size(); ++k) probe[k] = lrow[left_key[k]];
-    auto it = build.find(probe);
+  // Build on the right side: one flat key arena (one slot per build row,
+  // plus a scratch slot the probe key is written into), and first/next
+  // chains so each key's rows replay in build order.
+  std::vector<rdf::TermId> keys((nr + 1) * nk);
+  for (size_t r = 0; r < nr; ++r) {
+    std::span<const rdf::TermId> rrow = right.row(r);
+    for (size_t k = 0; k < nk; ++k) keys[r * nk + k] = rrow[right_key[k]];
+  }
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  std::vector<size_t> next(nr, kNone);
+  SliceHash hash{keys.data(), nk};
+  SliceEq eq{keys.data(), nk};
+  // key-arena row index -> (first, last) build row of its chain.
+  std::unordered_map<size_t, std::pair<size_t, size_t>, SliceHash, SliceEq>
+      build(nr, hash, eq);
+  for (size_t r = 0; r < nr; ++r) {
+    auto [it, inserted] = build.try_emplace(r, r, r);
+    if (!inserted) {
+      next[it->second.second] = r;
+      it->second.second = r;
+    }
+  }
+
+  // Probe with the left side; the scratch slot holds the probe key.
+  const size_t scratch = nr;
+  for (size_t l = 0; l < nl; ++l) {
+    std::span<const rdf::TermId> lrow = left.row(l);
+    for (size_t k = 0; k < nk; ++k) {
+      keys[scratch * nk + k] = lrow[left_key[k]];
+    }
+    auto it = build.find(scratch);
     if (it == build.end()) continue;
-    for (size_t r : it->second) {
-      std::vector<rdf::TermId> row = lrow;
-      for (int j : right_carry) row.push_back(right.rows[r][j]);
-      out.rows.push_back(std::move(row));
+    for (size_t r = it->second.first; r != kNone; r = next[r]) {
+      rdf::TermId* slot = out.AppendUninitialized();
+      if (!lrow.empty()) {
+        std::memcpy(slot, lrow.data(), lrow.size() * sizeof(rdf::TermId));
+      }
+      std::span<const rdf::TermId> rrow = right.row(r);
+      for (size_t c = 0; c < right_carry.size(); ++c) {
+        slot[lrow.size() + c] = rrow[right_carry[c]];
+      }
     }
   }
   return out;

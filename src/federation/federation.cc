@@ -241,6 +241,37 @@ void FederatedSource::Scan(
   }
 }
 
+void FederatedSource::ScanInto(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                               std::vector<rdf::Triple>* out) const {
+  out->clear();
+  const size_t n = endpoints_->size();
+  const int threads = threads_.load(std::memory_order_relaxed);
+  if (threads <= 1 || n < 2) {
+    std::vector<rdf::Triple> buffer;
+    for (const std::unique_ptr<Endpoint>& ep : *endpoints_) {
+      buffer.clear();
+      if (ScanEndpoint(*ep, s, p, o, &buffer)) {
+        out->insert(out->end(), buffer.begin(), buffer.end());
+      }
+    }
+    return;
+  }
+  // Parallel fan-out, flushed in endpoint registration order (see Scan).
+  std::vector<std::vector<rdf::Triple>> buffers(n);
+  std::vector<char> complete(n, 0);
+  const size_t chunks = std::min(n, static_cast<size_t>(threads));
+  common::ThreadPool::Shared().ParallelFor(chunks, [&](size_t c) {
+    for (size_t i = n * c / chunks; i < n * (c + 1) / chunks; ++i) {
+      complete[i] =
+          ScanEndpoint(*(*endpoints_)[i], s, p, o, &buffers[i]) ? 1 : 0;
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    if (!complete[i]) continue;
+    out->insert(out->end(), buffers[i].begin(), buffers[i].end());
+  }
+}
+
 size_t FederatedSource::CountMatches(rdf::TermId s, rdf::TermId p,
                                      rdf::TermId o) const {
   size_t total = 0;

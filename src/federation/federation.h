@@ -42,6 +42,14 @@ class FederatedSource : public storage::TripleSource {
   void Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
             const std::function<void(const rdf::Triple&)>& fn)
       const override RDFREF_EXCLUDES(mu_);
+
+  /// \brief Batch path for the columnar engine: the same fault-tolerant
+  /// fan-out as Scan (buffered per endpoint, retried, breaker-gated,
+  /// delivered in endpoint registration order), appended straight into
+  /// `out` — no per-triple callback crosses the mediator boundary.
+  void ScanInto(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                std::vector<rdf::Triple>* out) const override
+      RDFREF_EXCLUDES(mu_);
   /// \brief Cost-model cardinality: per-endpoint match counts clamped to
   /// each endpoint's answer cap, skipping endpoints that cannot currently
   /// deliver (hard-down or open circuit breaker) — estimates match what

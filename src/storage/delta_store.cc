@@ -22,7 +22,7 @@ bool DeltaStore::Contains(const rdf::Triple& t) const {
 
 void DeltaStore::Scan(
     rdf::TermId s, rdf::TermId p, rdf::TermId o,
-    const std::function<void(const rdf::Triple&)>& fn) const {
+    const std::function<void(const rdf::Triple&)>& fn) const {  // rdfref-lint: allow(std-function)
   if (removed_.empty()) {
     base_->Scan(s, p, o, fn);
   } else {
@@ -32,6 +32,22 @@ void DeltaStore::Scan(
   }
   for (const rdf::Triple& t : added_) {
     if (Matches(t, s, p, o)) fn(t);
+  }
+}
+
+void DeltaStore::ScanInto(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                          std::vector<rdf::Triple>* out) const {
+  out->clear();
+  std::span<const rdf::Triple> base = base_->EqualRangeSpan(s, p, o);
+  if (removed_.empty()) {
+    out->insert(out->end(), base.begin(), base.end());
+  } else {
+    for (const rdf::Triple& t : base) {
+      if (!removed_.count(t)) out->push_back(t);
+    }
+  }
+  for (const rdf::Triple& t : added_) {
+    if (Matches(t, s, p, o)) out->push_back(t);
   }
 }
 

@@ -1,7 +1,9 @@
 #ifndef RDFREF_STORAGE_DELTA_STORE_H_
 #define RDFREF_STORAGE_DELTA_STORE_H_
 
+#include <span>
 #include <unordered_set>
+#include <vector>
 
 #include "rdf/triple.h"
 #include "storage/store.h"
@@ -34,7 +36,32 @@ class DeltaStore : public TripleSource {
 
   void Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
             const std::function<void(const rdf::Triple&)>& fn)
-      const override;
+      const override;  // rdfref-lint: allow(std-function)
+
+  /// \brief Batch fast path: with an empty overlay the base store's
+  /// contiguous range is the whole answer (zero-copy); any overlay
+  /// forces the buffered path so additions/removals are applied.
+  bool TryGetRange(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                   std::span<const rdf::Triple>* out) const override {
+    if (!added_.empty() || !removed_.empty()) return false;
+    return base_->TryGetRange(s, p, o, out);
+  }
+
+  /// \brief Hinted fast path: forwarded to the base store's galloping
+  /// search while the overlay is empty (the hint stays valid — it points
+  /// into the immutable base indexes).
+  bool TryGetRangeHinted(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                         std::span<const rdf::Triple>* out,
+                         RangeHint* hint) const override {
+    if (!added_.empty() || !removed_.empty()) return false;
+    return base_->TryGetRangeHinted(s, p, o, out, hint);
+  }
+
+  /// \brief Batch fallback: base range filtered by removals, then the
+  /// matching additions — the same order Scan delivers.
+  void ScanInto(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                std::vector<rdf::Triple>* out) const override;
+
   size_t CountMatches(rdf::TermId s, rdf::TermId p,
                       rdf::TermId o) const override;
   const rdf::Dictionary& dict() const override { return base_->dict(); }

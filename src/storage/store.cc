@@ -50,6 +50,75 @@ std::pair<const rdf::Triple*, const rdf::Triple*> PrefixRange(
   return {&*begin, &*begin + (end - begin)};
 }
 
+// Galloping lower_bound: first i in [from, n) with base[i] >= key.
+// Probes from..from+1, +2, +4, ... then binary-searches the bracketed gap,
+// so a lookup `gap` positions past the hint costs O(log gap) comparisons.
+template <typename Order>
+size_t GallopLowerBound(const rdf::Triple* base, size_t from, size_t n,
+                        const rdf::Triple& key) {
+  Order less;
+  size_t lo = from, hi = from, step = 1;
+  while (hi < n && less(base[hi], key)) {
+    lo = hi + 1;
+    hi = from + step;
+    step *= 2;
+  }
+  if (hi > n) hi = n;
+  return static_cast<size_t>(
+      std::lower_bound(base + lo, base + hi, key, less) - base);
+}
+
+// Galloping upper_bound: first i in [from, n) with base[i] > key.
+template <typename Order>
+size_t GallopUpperBound(const rdf::Triple* base, size_t from, size_t n,
+                        const rdf::Triple& key) {
+  Order less;
+  size_t lo = from, hi = from, step = 1;
+  while (hi < n && !less(key, base[hi])) {
+    lo = hi + 1;
+    hi = from + step;
+    step *= 2;
+  }
+  if (hi > n) hi = n;
+  return static_cast<size_t>(
+      std::upper_bound(base + lo, base + hi, key, less) - base);
+}
+
+// PrefixRange resumed from a hint: identical result, found by galloping
+// forward from the previous lookup's begin offset when that offset is
+// still a valid lower fence for the new prefix (everything before it
+// compares below `lo`). Repeated lookups of the same prefix keep the
+// fence, so they cost O(1) probes; a backward or cross-index hint falls
+// back to galloping from 0, which is within a constant of the plain
+// binary search. The hint is always rewritten to the returned range.
+template <typename Order>
+std::pair<const rdf::Triple*, const rdf::Triple*> PrefixRangeHinted(
+    const std::vector<rdf::Triple>& index, const rdf::Triple& lo,
+    const rdf::Triple& hi, RangeHint* hint) {
+  const rdf::Triple* base = index.data();
+  const size_t n = index.size();
+  size_t from = 0;
+  if (hint->index == &index && hint->pos <= n &&
+      (hint->pos == 0 || Order()(base[hint->pos - 1], lo))) {
+    from = hint->pos;
+  }
+  const size_t begin = GallopLowerBound<Order>(base, from, n, lo);
+  const size_t end = GallopUpperBound<Order>(base, begin, n, hi);
+  hint->index = &index;
+  hint->pos = begin;
+  if (begin >= end) return {nullptr, nullptr};
+  return {base + begin, base + end};
+}
+
+// Dispatches to the hinted or the plain search per index + prefix pair.
+template <typename Order>
+std::pair<const rdf::Triple*, const rdf::Triple*> PrefixRangeImpl(
+    const std::vector<rdf::Triple>& index, const rdf::Triple& lo,
+    const rdf::Triple& hi, RangeHint* hint) {
+  if (hint == nullptr) return PrefixRange<Order>(index, lo, hi);
+  return PrefixRangeHinted<Order>(index, lo, hi, hint);
+}
+
 }  // namespace
 
 Store::Store(const rdf::Graph& graph)
@@ -124,6 +193,11 @@ Store::Store(const rdf::Dictionary* dict, std::vector<rdf::Triple> triples)
 
 Store::Range Store::EqualRange(rdf::TermId s, rdf::TermId p,
                                rdf::TermId o) const {
+  return EqualRangeImpl(s, p, o, nullptr);
+}
+
+Store::Range Store::EqualRangeImpl(rdf::TermId s, rdf::TermId p,
+                                   rdf::TermId o, RangeHint* hint) const {
   const bool bs = s != kAny, bp = p != kAny, bo = o != kAny;
   const rdf::TermId kMin = 0;
   const rdf::TermId kMax = static_cast<rdf::TermId>(-2);
@@ -131,39 +205,52 @@ Store::Range Store::EqualRange(rdf::TermId s, rdf::TermId p,
     if (bp) {
       // (s p ?) or (s p o) on SPO.
       rdf::Triple lo(s, p, bo ? o : kMin), hi(s, p, bo ? o : kMax);
-      return PrefixRange<OrderSpo>(spo_, lo, hi);
+      return PrefixRangeImpl<OrderSpo>(spo_, lo, hi, hint);
     }
     if (bo) {
       // (s ? o) on OSP, prefix (o, s).
       rdf::Triple lo(s, kMin, o), hi(s, kMax, o);
-      return PrefixRange<OrderOsp>(osp_, lo, hi);
+      return PrefixRangeImpl<OrderOsp>(osp_, lo, hi, hint);
     }
     // (s ? ?) on SPO.
     rdf::Triple lo(s, kMin, kMin), hi(s, kMax, kMax);
-    return PrefixRange<OrderSpo>(spo_, lo, hi);
+    return PrefixRangeImpl<OrderSpo>(spo_, lo, hi, hint);
   }
   if (bp) {
     if (bo) {
       // (? p o) on POS.
       rdf::Triple lo(kMin, p, o), hi(kMax, p, o);
-      return PrefixRange<OrderPos>(pos_, lo, hi);
+      return PrefixRangeImpl<OrderPos>(pos_, lo, hi, hint);
     }
     // (? p ?) on PSO.
     rdf::Triple lo(kMin, p, kMin), hi(kMax, p, kMax);
-    return PrefixRange<OrderPso>(pso_, lo, hi);
+    return PrefixRangeImpl<OrderPso>(pso_, lo, hi, hint);
   }
   if (bo) {
     // (? ? o) on OSP.
     rdf::Triple lo(kMin, kMin, o), hi(kMax, kMax, o);
-    return PrefixRange<OrderOsp>(osp_, lo, hi);
+    return PrefixRangeImpl<OrderOsp>(osp_, lo, hi, hint);
   }
   // (? ? ?): full scan.
   if (spo_.empty()) return {nullptr, nullptr};
   return {spo_.data(), spo_.data() + spo_.size()};
 }
 
+std::span<const rdf::Triple> Store::EqualRangeSpan(rdf::TermId s,
+                                                   rdf::TermId p,
+                                                   rdf::TermId o) const {
+  Range r = EqualRange(s, p, o);
+  return {r.first, static_cast<size_t>(r.second - r.first)};
+}
+
+std::span<const rdf::Triple> Store::EqualRangeSpanHinted(
+    rdf::TermId s, rdf::TermId p, rdf::TermId o, RangeHint* hint) const {
+  Range r = EqualRangeImpl(s, p, o, hint);
+  return {r.first, static_cast<size_t>(r.second - r.first)};
+}
+
 void Store::Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
-                 const std::function<void(const rdf::Triple&)>& fn) const {
+                 const std::function<void(const rdf::Triple&)>& fn) const {  // rdfref-lint: allow(std-function)
   Range r = EqualRange(s, p, o);
   for (const rdf::Triple* t = r.first; t != r.second; ++t) fn(*t);
 }

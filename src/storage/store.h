@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "rdf/dictionary.h"
@@ -44,9 +45,44 @@ class Store : public TripleSource {
   Store& operator=(Store&&) = default;
 
   /// \brief Invokes `fn` on every triple matching the pattern; kAny
-  /// wildcards any position.
+  /// wildcards any position. Legacy path — the engine drives the
+  /// zero-overhead range API below.
   void Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
-            const std::function<void(const rdf::Triple&)>& fn) const override;
+            const std::function<void(const rdf::Triple&)>& fn) const override;  // rdfref-lint: allow(std-function)
+
+  /// \brief Zero-overhead range scan: every pattern is a binary-searched
+  /// contiguous run of one clustered permutation (SPO/PSO/POS/OSP), so the
+  /// matches come back as one span into the index — no callback, no copy.
+  /// Valid for the store's lifetime (the store is immutable after build).
+  std::span<const rdf::Triple> EqualRangeSpan(rdf::TermId s, rdf::TermId p,
+                                              rdf::TermId o) const;
+
+  /// \brief Hinted range scan: identical result to EqualRangeSpan, found by
+  /// galloping forward from the previous lookup's position when the hint is
+  /// for the same permutation index and the new prefix is not below it
+  /// (O(log gap) instead of O(log n) for the monotone lookup sequences a
+  /// nested-loop join produces). A stale or backward hint falls back to the
+  /// full binary search; the hint is updated to the returned range.
+  std::span<const rdf::Triple> EqualRangeSpanHinted(rdf::TermId s,
+                                                    rdf::TermId p,
+                                                    rdf::TermId o,
+                                                    RangeHint* hint) const;
+
+  /// \brief Batch fast path: always succeeds (see EqualRangeSpan).
+  bool TryGetRange(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                   std::span<const rdf::Triple>* out) const override {
+    *out = EqualRangeSpan(s, p, o);
+    return true;
+  }
+
+  /// \brief Hinted batch fast path (see EqualRangeSpanHinted).
+  bool TryGetRangeHinted(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                         std::span<const rdf::Triple>* out,
+                         RangeHint* hint) const override {
+    *out = hint == nullptr ? EqualRangeSpan(s, p, o)
+                           : EqualRangeSpanHinted(s, p, o, hint);
+    return true;
+  }
 
   /// \brief Exact number of triples matching the pattern (index-only).
   size_t CountMatches(rdf::TermId s, rdf::TermId p,
@@ -62,8 +98,11 @@ class Store : public TripleSource {
 
  private:
   // Returns [begin, end) of the index range matching the bound prefix.
+  // With a non-null `hint`, searches resume from the hinted position.
   using Range = std::pair<const rdf::Triple*, const rdf::Triple*>;
   Range EqualRange(rdf::TermId s, rdf::TermId p, rdf::TermId o) const;
+  Range EqualRangeImpl(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                       RangeHint* hint) const;
 
   const rdf::Dictionary* dict_;
   std::vector<rdf::Triple> spo_;  // sorted (s, p, o)

@@ -2,6 +2,8 @@
 #define RDFREF_STORAGE_TRIPLE_SOURCE_H_
 
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "rdf/dictionary.h"
 #include "rdf/triple.h"
@@ -12,12 +14,29 @@ namespace storage {
 /// \brief Wildcard marker in scan patterns ("any value at this position").
 inline constexpr rdf::TermId kAny = rdf::kInvalidTermId;
 
+/// \brief Opaque position hint threaded through TryGetRangeHinted calls.
+/// `index` identifies which physical ordering the position refers to (the
+/// source compares it against its own index identity and ignores a stale
+/// hint); `pos` is the begin offset of the previous result in that index.
+struct RangeHint {
+  const void* index = nullptr;
+  size_t pos = 0;
+};
+
 /// \brief Abstract triple-pattern access path: what the evaluation engine
 /// needs from a database.
 ///
 /// Implemented by the local Store (clustered indexes) and by
 /// federation::FederatedSource (a mediator over independent RDF endpoints,
 /// Section 1 of the paper: data "split across independent sources").
+///
+/// Access comes in two granularities:
+///   - the batch API (`TryGetRange` / `ScanInto`), which the columnar
+///     engine drives: a whole pattern's matches at once, as a contiguous
+///     block (zero-copy when the source is range-capable, one buffered
+///     copy otherwise);
+///   - the legacy per-triple callback `Scan`, kept for federation
+///     compatibility and the reference evaluator.
 class TripleSource {
  public:
   virtual ~TripleSource() = default;
@@ -25,9 +44,49 @@ class TripleSource {
   /// \brief Invokes `fn` on every triple matching the pattern; kAny
   /// (rdf::kInvalidTermId) wildcards a position. May deliver duplicates
   /// across underlying sources; the engine deduplicates answers.
+  /// Legacy path: hot code should use TryGetRange/ScanInto instead.
   virtual void Scan(
       rdf::TermId s, rdf::TermId p, rdf::TermId o,
-      const std::function<void(const rdf::Triple&)>& fn) const = 0;
+      const std::function<void(const rdf::Triple&)>& fn) const = 0;  // rdfref-lint: allow(std-function)
+
+  /// \brief Batch fast path: when the source can expose every match as one
+  /// contiguous block (valid until the source is modified), sets `*out`
+  /// and returns true. The local Store answers every pattern this way from
+  /// its clustered permutation indexes; overlay and mediator sources
+  /// return false and are served by ScanInto.
+  virtual bool TryGetRange(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                           std::span<const rdf::Triple>* out) const {
+    (void)s;
+    (void)p;
+    (void)o;
+    (void)out;
+    return false;
+  }
+
+  /// \brief Hinted batch fast path: like TryGetRange, but carries a
+  /// position hint between successive lookups. When a nested-loop join
+  /// drives its inner atom from an index-ordered outer range, successive
+  /// patterns have non-decreasing bound prefixes, so the next range starts
+  /// at or after the previous one: range-capable sources gallop forward
+  /// from the hint (O(log gap)) instead of binary-searching the whole
+  /// index (O(log n)). The hint is advisory — results are always exactly
+  /// the pattern's matches — and sources without a fast path ignore it.
+  virtual bool TryGetRangeHinted(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                                 std::span<const rdf::Triple>* out,
+                                 RangeHint* hint) const {
+    (void)hint;
+    return TryGetRange(s, p, o, out);
+  }
+
+  /// \brief Batch fallback: clears `*out` and appends every match, in the
+  /// same order Scan would deliver them. Sources with internal buffering
+  /// (the federation mediator) override this to fill `out` directly; the
+  /// default adapts the legacy callback.
+  virtual void ScanInto(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                        std::vector<rdf::Triple>* out) const {
+    out->clear();
+    Scan(s, p, o, [out](const rdf::Triple& t) { out->push_back(t); });
+  }
 
   /// \brief Number of triples matching the pattern (exact for local
   /// stores; an upper bound for federations).
@@ -36,6 +95,69 @@ class TripleSource {
 
   /// \brief The dictionary the triples are encoded against.
   virtual const rdf::Dictionary& dict() const = 0;
+};
+
+/// \brief Residual equality constraints a triple-pattern scan cannot
+/// express: repeated variables within one atom, e.g. (?x p ?x) requires
+/// s == o on every delivered triple.
+struct ResidualEq {
+  bool s_eq_p = false;
+  bool s_eq_o = false;
+  bool p_eq_o = false;
+
+  bool any() const { return s_eq_p || s_eq_o || p_eq_o; }
+  bool Accepts(const rdf::Triple& t) const {
+    return (!s_eq_p || t.s == t.p) && (!s_eq_o || t.s == t.o) &&
+           (!p_eq_o || t.p == t.o);
+  }
+};
+
+/// \brief Reusable pattern cursor: binds to one (s, p, o) pattern at a time
+/// and exposes the matches as a contiguous span. Range-capable sources are
+/// served zero-copy; others are materialized into an internal buffer that
+/// is reused across Reset calls, so a join's inner atoms amortize to zero
+/// allocations. The optional residual filter materializes only the triples
+/// satisfying intra-atom equality constraints (the "thin filtering cursor"
+/// for patterns a prefix range cannot express).
+class PatternCursor {
+ public:
+  /// \brief Re-binds the cursor. The returned span (also available via
+  /// triples()) is valid until the next Reset or the cursor's destruction;
+  /// for zero-copy sources, until the source is modified.
+  std::span<const rdf::Triple> Reset(const TripleSource& source,
+                                     rdf::TermId s, rdf::TermId p,
+                                     rdf::TermId o, ResidualEq residual = {},
+                                     RangeHint* hint = nullptr) {
+    if (!residual.any()) {
+      if (source.TryGetRangeHinted(s, p, o, &view_, hint)) return view_;
+      source.ScanInto(s, p, o, &buffer_);
+      view_ = buffer_;
+      return view_;
+    }
+    // Residual filtering: copy only the accepted triples.
+    std::span<const rdf::Triple> raw;
+    if (source.TryGetRangeHinted(s, p, o, &raw, hint)) {
+      buffer_.clear();
+      for (const rdf::Triple& t : raw) {
+        if (residual.Accepts(t)) buffer_.push_back(t);
+      }
+    } else {
+      source.ScanInto(s, p, o, &scratch_);
+      buffer_.clear();
+      for (const rdf::Triple& t : scratch_) {
+        if (residual.Accepts(t)) buffer_.push_back(t);
+      }
+    }
+    view_ = buffer_;
+    return view_;
+  }
+
+  std::span<const rdf::Triple> triples() const { return view_; }
+
+ private:
+  std::span<const rdf::Triple> view_;
+  std::vector<rdf::Triple> buffer_;
+  std::vector<rdf::Triple> scratch_;
 };
 
 }  // namespace storage

@@ -31,7 +31,7 @@ class VerticalStore : public TripleSource {
   VerticalStore& operator=(const VerticalStore&) = delete;
 
   void Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
-            const std::function<void(const rdf::Triple&)>& fn)
+            const std::function<void(const rdf::Triple&)>& fn)  // rdfref-lint: allow(std-function)
       const override;
   size_t CountMatches(rdf::TermId s, rdf::TermId p,
                       rdf::TermId o) const override;
@@ -49,7 +49,7 @@ class VerticalStore : public TripleSource {
   // Scans one property table under the given subject/object bounds.
   static void ScanTable(const PropertyTable& table, rdf::TermId p,
                         rdf::TermId s, rdf::TermId o,
-                        const std::function<void(const rdf::Triple&)>& fn);
+                        const std::function<void(const rdf::Triple&)>& fn);  // rdfref-lint: allow(std-function)
   static size_t CountTable(const PropertyTable& table, rdf::TermId s,
                            rdf::TermId o);
 

@@ -32,6 +32,12 @@ Divergence RunChecks(const Scenario& sc, const query::Cq& q,
     Divergence d = count(oracle.Check(q));
     if (d.found) return d;
   }
+  if (options.check_columnar) {
+    // Bit-for-bit: the columnar batch engine against the retained
+    // row-materializing reference evaluator, sequential and parallel.
+    Divergence d = count(CheckColumnarVsReference(sc, q));
+    if (d.found) return d;
+  }
   if (options.check_metamorphic) {
     Divergence d = count(CheckThreadInvariance(sc, q, options.thread_settings));
     if (d.found) return d;

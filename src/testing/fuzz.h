@@ -7,6 +7,7 @@
 
 #include "testing/metamorphic.h"
 #include "testing/oracle.h"
+#include "testing/reference_eval.h"
 #include "testing/scenario.h"
 #include "testing/shrink.h"
 
@@ -23,6 +24,7 @@ struct FuzzOptions {
   int trials_per_seed = 4;
 
   /// Relation families (the oracle always runs).
+  bool check_columnar = true;     ///< columnar engine vs reference evaluator
   bool check_metamorphic = true;  ///< threads / deadline invariance
   bool check_federation = true;   ///< graph partitioning across endpoints
   bool check_updates = true;      ///< monotone insert + DRed delete checks

@@ -1,5 +1,6 @@
 #include "testing/oracle.h"
 
+#include <span>
 #include <sstream>
 #include <utility>
 
@@ -9,7 +10,8 @@ namespace testing {
 std::set<DecodedRow> DecodeRows(const engine::Table& table,
                                 const rdf::Dictionary& dict) {
   std::set<DecodedRow> out;
-  for (const auto& row : table.rows) {
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    const std::span<const rdf::TermId> row = table.row(r);
     DecodedRow decoded;
     decoded.reserve(row.size());
     for (rdf::TermId id : row) decoded.push_back(dict.Lookup(id));

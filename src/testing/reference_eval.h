@@ -1,0 +1,38 @@
+#ifndef RDFREF_TESTING_REFERENCE_EVAL_H_
+#define RDFREF_TESTING_REFERENCE_EVAL_H_
+
+#include "engine/table.h"
+#include "query/cq.h"
+#include "query/ucq.h"
+#include "storage/triple_source.h"
+#include "testing/oracle.h"
+#include "testing/scenario.h"
+
+namespace rdfref {
+namespace testing {
+
+/// \brief Reference row-materializing evaluator: the pre-columnar engine,
+/// retained verbatim as an oracle. It runs the same greedy join order, but
+/// as a std::function-recursive index nested-loop join over per-triple Scan
+/// callbacks, heap-allocating one row vector per emitted tuple and
+/// deduplicating through a set of row vectors — the exact algorithm the
+/// columnar batch engine replaced. Slow by design; its only job is to be
+/// obviously correct and independently derived.
+engine::Table ReferenceEvaluateCq(const storage::TripleSource& source,
+                                  const query::Cq& q);
+
+/// \brief Member-by-member union with a single seed-order dedup — the
+/// reference UCQ path.
+engine::Table ReferenceEvaluateUcq(const storage::TripleSource& source,
+                                   const query::Ucq& ucq);
+
+/// \brief Differential check: the columnar engine (sequential and parallel)
+/// must match the reference evaluator *bit for bit* — same column labels,
+/// same row order, same TermId in every slot — on the plain CQ and on its
+/// full UCQ reformulation over the scenario's explicit database.
+Divergence CheckColumnarVsReference(const Scenario& sc, const query::Cq& q);
+
+}  // namespace testing
+}  // namespace rdfref
+
+#endif  // RDFREF_TESTING_REFERENCE_EVAL_H_

@@ -51,7 +51,7 @@ TEST_F(ApiTest, Section3QueryAllCompleteStrategiesAgree) {
     auto table = answerer_->Answer(q, s);
     ASSERT_TRUE(table.ok()) << StrategyName(s) << ": " << table.status();
     ASSERT_EQ(table->NumRows(), 1u) << StrategyName(s);
-    EXPECT_EQ(answerer_->dict().Lookup(table->rows[0][0]).lexical,
+    EXPECT_EQ(answerer_->dict().Lookup(table->row(0)[0]).lexical,
               "J. L. Borges")
         << StrategyName(s);
   }
@@ -200,17 +200,14 @@ TEST(FuzzRepro, Seed231Trial3) {
   api::QueryAnswerer answerer(std::move(g));
   auto sat = answerer.Answer(q, api::Strategy::kSaturation);
   ASSERT_TRUE(sat.ok()) << sat.status();
-  std::set<std::vector<rdf::TermId>> expected(sat->rows.begin(),
-                                              sat->rows.end());
+  std::set<std::vector<rdf::TermId>> expected = sat->RowSet();
   EXPECT_EQ(expected.size(), 2u);  // (⊑, C0) and (⊑, C3)
   for (api::Strategy s :
        {api::Strategy::kRefUcq, api::Strategy::kRefScq,
         api::Strategy::kRefGcov, api::Strategy::kDatalog}) {
     auto got = answerer.Answer(q, s);
     ASSERT_TRUE(got.ok()) << api::StrategyName(s);
-    EXPECT_EQ(std::set<std::vector<rdf::TermId>>(got->rows.begin(),
-                                                 got->rows.end()),
-              expected)
+    EXPECT_EQ(got->RowSet(), expected)
         << api::StrategyName(s);
   }
 }

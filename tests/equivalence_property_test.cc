@@ -26,7 +26,7 @@ using query::Cq;
 using testing::Scenario;
 
 std::set<std::vector<rdf::TermId>> RowSet(const engine::Table& t) {
-  return std::set<std::vector<rdf::TermId>>(t.rows.begin(), t.rows.end());
+  return t.RowSet();
 }
 
 class EquivalencePropertyTest : public ::testing::TestWithParam<uint64_t> {};
@@ -69,7 +69,7 @@ TEST_P(EquivalencePropertyTest, AllCompleteStrategiesAgree) {
     // The incomplete (hierarchy-only) Ref returns a subset.
     auto incomplete = answerer.Answer(q, api::Strategy::kRefIncomplete);
     ASSERT_TRUE(incomplete.ok());
-    for (const auto& row : incomplete->rows) {
+    for (const std::vector<rdf::TermId>& row : incomplete->RowVectors()) {
       EXPECT_TRUE(expected.count(row))
           << "incomplete Ref produced a spurious answer, seed=" << seed;
     }

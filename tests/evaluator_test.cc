@@ -76,7 +76,7 @@ TEST_F(EvaluatorTest, ConstantsRestrictMatches) {
   Table t = eval.EvaluateCq(
       Parse("SELECT ?y WHERE { <http://ex/ann> <http://ex/knows> ?y . }"));
   ASSERT_EQ(t.NumRows(), 1u);
-  EXPECT_EQ(t.rows[0][0], bob_);
+  EXPECT_EQ(t.row(0)[0], bob_);
 }
 
 TEST_F(EvaluatorTest, RepeatedVariableWithinAtom) {
@@ -87,7 +87,7 @@ TEST_F(EvaluatorTest, RepeatedVariableWithinAtom) {
   Table t = eval.EvaluateCq(
       Parse("SELECT ?x WHERE { ?x <http://ex/knows> ?x . }"));
   ASSERT_EQ(t.NumRows(), 1u);
-  EXPECT_EQ(t.rows[0][0], carl_);
+  EXPECT_EQ(t.row(0)[0], carl_);
 }
 
 TEST_F(EvaluatorTest, CyclicTriangleJoin) {
@@ -123,8 +123,8 @@ TEST_F(EvaluatorTest, ConstantHeadSlotEmitted) {
   Evaluator eval(store_.get());
   Table t = eval.EvaluateCq(q);
   ASSERT_EQ(t.NumRows(), 1u);
-  EXPECT_EQ(t.rows[0][0], ann_);
-  EXPECT_EQ(t.rows[0][1], person_);
+  EXPECT_EQ(t.row(0)[0], ann_);
+  EXPECT_EQ(t.row(0)[1], person_);
 }
 
 TEST_F(EvaluatorTest, UcqUnionsAndDedups) {
@@ -155,7 +155,7 @@ TEST_F(EvaluatorTest, JucqEqualsDirectEvaluation) {
 
   direct.Sort();
   jucq.Sort();
-  EXPECT_EQ(direct.rows, jucq.rows);
+  EXPECT_EQ(direct.RowVectors(), jucq.RowVectors());
   ASSERT_EQ(profile.fragments.size(), 2u);
   // Fragment labels name the atom indexes the fragment covers in q.
   EXPECT_EQ(profile.fragments[0].cover_fragment, "{t0,t2}");
@@ -203,7 +203,7 @@ TEST_F(EvaluatorTest, JucqConstantHeadFragmentJoinsOnlyOnVariables) {
   Table direct = EvalDirect(q);
   direct.Sort();
   jucq.Sort();
-  EXPECT_EQ(direct.rows, jucq.rows);
+  EXPECT_EQ(direct.RowVectors(), jucq.RowVectors());
   EXPECT_EQ(jucq.NumRows(), 3u);  // ann→carl, bob→ann, carl→bob
 }
 

@@ -146,7 +146,7 @@ TEST_F(FederationTest, ExplicitCoverAccepted) {
   auto table = federation.Answer(q, &cover);
   ASSERT_TRUE(table.ok()) << table.status();
   ASSERT_EQ(table->NumRows(), 1u);
-  EXPECT_EQ(federation.dict().Lookup(table->rows[0][0]).lexical,
+  EXPECT_EQ(federation.dict().Lookup(table->row(0)[0]).lexical,
             "J. L. Borges");
 }
 

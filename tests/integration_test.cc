@@ -39,7 +39,7 @@ class LubmIntegrationTest : public ::testing::Test {
   }
 
   std::set<std::vector<rdf::TermId>> Rows(const engine::Table& t) {
-    return std::set<std::vector<rdf::TermId>>(t.rows.begin(), t.rows.end());
+    return t.RowSet();
   }
 
   static api::QueryAnswerer* answerer_;

@@ -148,8 +148,8 @@ TEST(MinimizeUcqTest, ReformulationAnswersUnchanged) {
                            minimized);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  std::set<std::vector<rdf::TermId>> ra(a->rows.begin(), a->rows.end());
-  std::set<std::vector<rdf::TermId>> rb(b->rows.begin(), b->rows.end());
+  std::set<std::vector<rdf::TermId>> ra = a->RowSet();
+  std::set<std::vector<rdf::TermId>> rb = b->RowSet();
   EXPECT_EQ(ra, rb);
   // Minimization prunes the rule 9-13 members the variable-property atom
   // already covers.

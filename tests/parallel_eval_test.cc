@@ -65,7 +65,7 @@ TEST_F(ParallelEvalTest, AnswersAreBitIdenticalAcrossThreadCounts) {
         auto got = answerer_->Answer(q, strategy, nullptr, parallel);
         ASSERT_TRUE(got.ok()) << got.status();
         // Bit-identical: same rows in the same order, no sorting applied.
-        EXPECT_EQ(got->rows, base->rows)
+        EXPECT_EQ(got->RowVectors(), base->RowVectors())
             << api::StrategyName(strategy) << " with " << threads
             << " threads on " << text;
         EXPECT_EQ(got->columns, base->columns);
@@ -146,7 +146,7 @@ TEST_F(ParallelEvalTest, EmptyAndSingleMemberUcqUnderParallelEvaluator) {
   engine::Evaluator sequential(&answerer_->explicit_source(), 1);
   auto base = sequential.EvaluateUcq(query::Ucq({q}), Deadline::Infinite());
   ASSERT_TRUE(base.ok());
-  EXPECT_EQ(single->rows, base->rows);
+  EXPECT_EQ(single->RowVectors(), base->RowVectors());
 }
 
 TEST_F(ParallelEvalTest, ZeroResolvesToDefaultThreads) {
@@ -212,7 +212,7 @@ TEST_F(ParallelFederationTest, ParallelFanOutMatchesSequential) {
   auto got = fed.AnswerResilient(q, parallel);
   ASSERT_TRUE(got.ok()) << got.status();
   EXPECT_TRUE(got->report.known_complete);
-  EXPECT_EQ(got->table.rows, base->table.rows);
+  EXPECT_EQ(got->table.RowVectors(), base->table.RowVectors());
   EXPECT_EQ(got->table.columns, base->table.columns);
 }
 

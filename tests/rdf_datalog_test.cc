@@ -48,7 +48,7 @@ TEST_F(RdfDatalogTest, AnswersSection3Query) {
       "?x1 ?x4 \"1949\" . }"));
   ASSERT_TRUE(table.ok()) << table.status();
   ASSERT_EQ(table->NumRows(), 1u);
-  EXPECT_EQ(store_->dict().Lookup(table->rows[0][0]).lexical,
+  EXPECT_EQ(store_->dict().Lookup(table->row(0)[0]).lexical,
             "J. L. Borges");
 }
 
@@ -66,8 +66,8 @@ TEST_F(RdfDatalogTest, LiteralsNotTyped) {
   // "1949" must not become a Publication/Person through the range rule.
   auto table = dat_->Answer(Parse("SELECT ?x ?c WHERE { ?x a ?c . }"));
   ASSERT_TRUE(table.ok());
-  for (const auto& row : table->rows) {
-    EXPECT_FALSE(store_->dict().Lookup(row[0]).is_literal());
+  for (size_t r = 0; r < table->NumRows(); ++r) {
+    EXPECT_FALSE(store_->dict().Lookup(table->row(r)[0]).is_literal());
   }
 }
 

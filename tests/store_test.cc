@@ -100,6 +100,54 @@ TEST_F(StoreTest, StatisticsAreExact) {
   EXPECT_EQ(ps.distinct_objects, 2u);
 }
 
+// The hinted search must return exactly EqualRangeSpan's result for every
+// lookup sequence: monotone (the fast case), repeated, backward (stale
+// hint falls back), and across a change of pattern shape (which switches
+// the permutation index the hint refers to).
+TEST_F(StoreTest, HintedRangesMatchPlainRangesUnderAnyLookupOrder) {
+  // A larger store so the gallop actually skips over runs.
+  rdf::Graph g;
+  auto uri = [&](const std::string& n) {
+    return g.dict().InternUri("http://ex/" + n);
+  };
+  rdf::TermId prop = uri("p");
+  rdf::TermId other = uri("q");
+  std::vector<rdf::TermId> subjects;
+  for (int i = 0; i < 64; ++i) {
+    rdf::TermId s = uri("s" + std::to_string(i));
+    subjects.push_back(s);
+    for (int j = 0; j < 1 + i % 3; ++j) {
+      g.Add(s, prop, uri("o" + std::to_string(j)));
+    }
+    if (i % 2 == 0) g.Add(s, other, uri("x"));
+  }
+  Store store(g);
+
+  auto same = [&](rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                  RangeHint* hint) {
+    std::span<const rdf::Triple> plain = store.EqualRangeSpan(s, p, o);
+    std::span<const rdf::Triple> hinted =
+        store.EqualRangeSpanHinted(s, p, o, hint);
+    EXPECT_EQ(plain.data(), hinted.data());
+    EXPECT_EQ(plain.size(), hinted.size());
+  };
+
+  RangeHint hint;
+  // Monotone sweep (the nested-loop inner-atom pattern), with repeats.
+  for (rdf::TermId s : subjects) {
+    same(s, prop, kAny, &hint);
+    same(s, prop, kAny, &hint);  // repeated prefix keeps the fence
+  }
+  // Backward lookup: stale hint must not corrupt the result.
+  same(subjects.front(), prop, kAny, &hint);
+  // Pattern-shape change switches index (SPO -> OSP); hint is re-keyed.
+  same(kAny, kAny, uri("x"), &hint);
+  same(subjects.back(), prop, kAny, &hint);
+  // Empty results, hinted and not.
+  same(subjects.front(), other, uri("nope"), &hint);
+  same(uri("ghost"), prop, kAny, &hint);
+}
+
 TEST_F(StoreTest, ClassCardinalities) {
   rdf::TermId c1 = U("C1"), c2 = U("C2"), x = U("x"), y = U("y");
   graph_.Add(x, rdf::vocab::kTypeId, c1);

@@ -1,26 +1,27 @@
 #include "engine/table.h"
 
+#include <limits>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace rdfref {
 namespace engine {
 namespace {
 
-TEST(TableTest, DedupRemovesDuplicates) {
-  Table t;
-  t.columns = {0, 1};
-  t.rows = {{1, 2}, {1, 2}, {3, 4}, {1, 2}};
+TEST(TableTest, DedupRemovesDuplicatesKeepingFirstOccurrenceOrder) {
+  Table t = Table::FromRows({0, 1}, {{1, 2}, {1, 2}, {3, 4}, {1, 2}, {5, 6}});
   t.Dedup();
-  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.RowVectors(), (std::vector<std::vector<rdf::TermId>>{
+                                {1, 2}, {3, 4}, {5, 6}}));
 }
 
 TEST(TableTest, SortIsLexicographic) {
-  Table t;
-  t.rows = {{2, 1}, {1, 9}, {1, 2}};
+  Table t = Table::FromRows({0, 1}, {{2, 1}, {1, 9}, {1, 2}});
   t.Sort();
-  EXPECT_EQ(t.rows[0], (std::vector<rdf::TermId>{1, 2}));
-  EXPECT_EQ(t.rows[1], (std::vector<rdf::TermId>{1, 9}));
-  EXPECT_EQ(t.rows[2], (std::vector<rdf::TermId>{2, 1}));
+  EXPECT_EQ(t.RowVectors(), (std::vector<std::vector<rdf::TermId>>{
+                                {1, 2}, {1, 9}, {2, 1}}));
 }
 
 TEST(TableTest, ColumnOf) {
@@ -30,55 +31,139 @@ TEST(TableTest, ColumnOf) {
   EXPECT_EQ(t.ColumnOf(5), -1);
 }
 
+TEST(TableTest, ArenaLayoutIsContiguousRowMajor) {
+  Table t;
+  t.SetArity(3);
+  t.AppendRow({1, 2, 3});
+  rdf::TermId* slots = t.AppendUninitialized();
+  slots[0] = 4;
+  slots[1] = 5;
+  slots[2] = 6;
+  EXPECT_EQ(t.data(), (std::vector<rdf::TermId>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.row(1)[1], 5u);
+  t.RemoveLastRow();
+  EXPECT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.data(), (std::vector<rdf::TermId>{1, 2, 3}));
+}
+
+TEST(TableTest, AppendRowInfersArity) {
+  Table t;
+  EXPECT_FALSE(t.has_arity());
+  t.AppendRow({7, 8});
+  EXPECT_TRUE(t.has_arity());
+  EXPECT_EQ(t.arity(), 2u);
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+// Zero-arity rows (boolean queries): no values, but the row count — and
+// dedup down to a single witness — must still work.
+TEST(TableTest, ZeroArityRowsCountAndDedup) {
+  Table t;
+  t.SetArity(0);
+  EXPECT_TRUE(t.has_arity());
+  EXPECT_EQ(t.NumRows(), 0u);
+  EXPECT_EQ(t.AppendUninitialized(), nullptr);
+  t.AppendRow(std::span<const rdf::TermId>{});
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.row(0).size(), 0u);
+  t.Dedup();
+  EXPECT_EQ(t.NumRows(), 1u);  // all zero-arity rows are the same row
+  t.RemoveLastRow();
+  EXPECT_EQ(t.NumRows(), 0u);
+}
+
+TEST(TableTest, AppendConcatenatesArenas) {
+  Table a = Table::FromRows({0}, {{1}, {2}});
+  Table b = Table::FromRows({0}, {{3}});
+  a.Append(b);
+  EXPECT_EQ(a.RowVectors(),
+            (std::vector<std::vector<rdf::TermId>>{{1}, {2}, {3}}));
+  // Appending an empty, arity-less table is a no-op.
+  Table fresh;
+  a.Append(fresh);
+  EXPECT_EQ(a.NumRows(), 3u);
+}
+
+// Dedup of a moved-from arena: moving a table out must leave the source
+// valid-but-empty, and Dedup on it must be a safe no-op.
+TEST(TableTest, DedupOfMovedFromArenaIsSafe) {
+  Table t = Table::FromRows({0, 1}, {{1, 2}, {1, 2}});
+  Table stolen = std::move(t);
+  EXPECT_EQ(stolen.NumRows(), 2u);
+  t.Dedup();  // NOLINT(bugprone-use-after-move): deliberate
+  EXPECT_EQ(t.NumRows(), 0u);
+  stolen.Dedup();
+  EXPECT_EQ(stolen.NumRows(), 1u);
+}
+
+// The kConstColumn sentinel marks constant head slots. It is the maximum
+// VarId, so it can never collide with a real variable, and two constant
+// columns must NOT be treated as a shared join column in the usual way —
+// they simply behave as a (degenerate) equality column.
+TEST(TableTest, ConstColumnSentinelNeverAliasesRealVariables) {
+  EXPECT_EQ(kConstColumn, std::numeric_limits<query::VarId>::max());
+  Table t = Table::FromRows({0, kConstColumn}, {{1, 42}, {2, 42}});
+  EXPECT_EQ(t.ColumnOf(kConstColumn), 1);
+  EXPECT_EQ(t.ColumnOf(3), -1);
+  // A fragment with variable 5 shares nothing with a constant column.
+  Table other = Table::FromRows({5}, {{9}});
+  Table joined = HashJoin(t, other);  // cross product: no shared VarId
+  EXPECT_EQ(joined.NumRows(), 2u);
+  EXPECT_EQ(joined.columns,
+            (std::vector<query::VarId>{0, kConstColumn, 5}));
+}
+
 TEST(HashJoinTest, JoinsOnSharedColumn) {
-  Table left, right;
-  left.columns = {0, 1};
-  left.rows = {{1, 10}, {2, 20}, {3, 30}};
-  right.columns = {1, 2};
-  right.rows = {{10, 100}, {10, 101}, {30, 300}};
+  Table left = Table::FromRows({0, 1}, {{1, 10}, {2, 20}, {3, 30}});
+  Table right = Table::FromRows({1, 2}, {{10, 100}, {10, 101}, {30, 300}});
   Table joined = HashJoin(left, right);
   EXPECT_EQ(joined.columns, (std::vector<query::VarId>{0, 1, 2}));
   joined.Sort();
-  ASSERT_EQ(joined.NumRows(), 3u);
-  EXPECT_EQ(joined.rows[0], (std::vector<rdf::TermId>{1, 10, 100}));
-  EXPECT_EQ(joined.rows[1], (std::vector<rdf::TermId>{1, 10, 101}));
-  EXPECT_EQ(joined.rows[2], (std::vector<rdf::TermId>{3, 30, 300}));
+  EXPECT_EQ(joined.RowVectors(),
+            (std::vector<std::vector<rdf::TermId>>{
+                {1, 10, 100}, {1, 10, 101}, {3, 30, 300}}));
 }
 
 TEST(HashJoinTest, MultiColumnKeys) {
-  Table left, right;
-  left.columns = {0, 1};
-  left.rows = {{1, 2}, {1, 3}};
-  right.columns = {0, 1, 2};
-  right.rows = {{1, 2, 9}, {1, 3, 8}, {1, 4, 7}};
+  Table left = Table::FromRows({0, 1}, {{1, 2}, {1, 3}});
+  Table right = Table::FromRows({0, 1, 2}, {{1, 2, 9}, {1, 3, 8}, {1, 4, 7}});
   Table joined = HashJoin(left, right);
   joined.Sort();
-  ASSERT_EQ(joined.NumRows(), 2u);
-  EXPECT_EQ(joined.rows[0], (std::vector<rdf::TermId>{1, 2, 9}));
-  EXPECT_EQ(joined.rows[1], (std::vector<rdf::TermId>{1, 3, 8}));
+  EXPECT_EQ(joined.RowVectors(), (std::vector<std::vector<rdf::TermId>>{
+                                     {1, 2, 9}, {1, 3, 8}}));
+}
+
+// Duplicate join columns: the left table carries the same VarId twice
+// (e.g. after joining fragments that both exported it). Every occurrence
+// participates in the key via ColumnOf's first match, and the join must
+// still line up values correctly rather than crash or mis-stride.
+TEST(HashJoinTest, DuplicateJoinColumnsOnOneSide) {
+  Table left = Table::FromRows({0, 0}, {{1, 1}, {2, 2}, {3, 9}});
+  Table right = Table::FromRows({0, 1}, {{1, 100}, {2, 200}, {9, 900}});
+  Table joined = HashJoin(left, right);
+  EXPECT_EQ(joined.columns, (std::vector<query::VarId>{0, 0, 1}));
+  joined.Sort();
+  // Key is the first occurrence of column 0 on each side: rows {1,1} and
+  // {2,2} match; {3,9} keys as 3, which has no build-side partner.
+  EXPECT_EQ(joined.RowVectors(), (std::vector<std::vector<rdf::TermId>>{
+                                     {1, 1, 100}, {2, 2, 200}}));
 }
 
 TEST(HashJoinTest, NoSharedColumnIsCrossProduct) {
-  Table left, right;
-  left.columns = {0};
-  left.rows = {{1}, {2}};
-  right.columns = {1};
-  right.rows = {{7}, {8}};
+  Table left = Table::FromRows({0}, {{1}, {2}});
+  Table right = Table::FromRows({1}, {{7}, {8}});
   Table joined = HashJoin(left, right);
   EXPECT_EQ(joined.columns, (std::vector<query::VarId>{0, 1}));
   joined.Sort();
-  ASSERT_EQ(joined.NumRows(), 4u);
-  EXPECT_EQ(joined.rows[0], (std::vector<rdf::TermId>{1, 7}));
-  EXPECT_EQ(joined.rows[1], (std::vector<rdf::TermId>{1, 8}));
-  EXPECT_EQ(joined.rows[2], (std::vector<rdf::TermId>{2, 7}));
-  EXPECT_EQ(joined.rows[3], (std::vector<rdf::TermId>{2, 8}));
+  EXPECT_EQ(joined.RowVectors(), (std::vector<std::vector<rdf::TermId>>{
+                                     {1, 7}, {1, 8}, {2, 7}, {2, 8}}));
 }
 
 TEST(HashJoinTest, EmptySideYieldsEmpty) {
   Table left, right;
   left.columns = {0};
-  right.columns = {0};
-  right.rows = {{1}};
+  right = Table::FromRows({0}, {{1}});
   EXPECT_EQ(HashJoin(left, right).NumRows(), 0u);
   EXPECT_EQ(HashJoin(right, left).NumRows(), 0u);
 }
@@ -88,8 +173,7 @@ TEST(HashJoinTest, EmptySideOfCrossProductYieldsEmpty) {
   // anything with the empty table is empty, whichever side is empty.
   Table empty, nonempty;
   empty.columns = {0};
-  nonempty.columns = {1};
-  nonempty.rows = {{7}, {8}};
+  nonempty = Table::FromRows({1}, {{7}, {8}});
   EXPECT_EQ(HashJoin(empty, nonempty).NumRows(), 0u);
   EXPECT_EQ(HashJoin(nonempty, empty).NumRows(), 0u);
   EXPECT_EQ(HashJoin(empty, nonempty).columns.size(), 2u);
@@ -100,7 +184,8 @@ TEST(TableTest, ToStringTruncates) {
   rdf::TermId a = dict.InternUri("http://a");
   Table t;
   t.columns = {0};
-  for (int i = 0; i < 30; ++i) t.rows.push_back({a});
+  t.SetArity(1);
+  for (int i = 0; i < 30; ++i) t.AppendRow({a});
   std::string s = t.ToString(dict, 5);
   EXPECT_NE(s.find("30 row(s)"), std::string::npos);
   EXPECT_NE(s.find("25 more"), std::string::npos);

@@ -45,7 +45,7 @@ class UpdatesTest : public ::testing::Test {
   std::set<std::vector<rdf::TermId>> Rows(Strategy s, const query::Cq& q) {
     auto table = answerer_->Answer(q, s);
     EXPECT_TRUE(table.ok()) << table.status();
-    return {table->rows.begin(), table->rows.end()};
+    return table->RowSet();
   }
 
   void ExpectAllStrategiesAgree(const query::Cq& q) {

@@ -91,7 +91,7 @@ TEST_F(VerticalStoreTest, EvaluatorRunsOnVerticalBackend) {
   engine::Table b = clustered.EvaluateCq(*q);
   a.Sort();
   b.Sort();
-  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.RowVectors(), b.RowVectors());
 }
 
 TEST_F(VerticalStoreTest, RandomizedAgreementWithClusteredStore) {

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""bench_runner: pinned perf-smoke subset with machine-readable output.
+
+Runs a fixed, small subset of the benchmark suite — the reformulation-heavy
+strategy comparison (Q6, the largest UCQ of the LUBM suite: 462 CQs after
+reformulation) and the parallel-evaluation suite at 1 and 8 threads — and
+writes one JSON document per run (default BENCH_PR5.json).
+
+The subset is pinned so numbers stay comparable across commits: same
+queries, same scenario (the shared LUBM dataset the bench binaries build),
+same benchmark filters. Google Benchmark's JSON goes to a temp file via
+--benchmark_out (stdout carries the human tables), and this script folds
+every binary's results into one document:
+
+    {
+      "schema": "rdfref-bench/1",
+      "generated_by": "tools/bench_runner.py",
+      "git_rev": "<short rev or null>",
+      "benchmarks": [
+        {"binary": "bench_strategies", "name": "BM_Q6_RefUcq",
+         "real_time_ms": 5.43, "cpu_time_ms": 5.42, "iterations": 130},
+        ...
+      ]
+    }
+
+CI runs this as the perf-smoke job and uploads the JSON as an artifact;
+compare against the committed BENCH_PR5.json to spot regressions. The job
+is a smoke test, not a gate: shared CI runners are too noisy for hard
+thresholds, so regressions are judged by humans diffing the artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# The pinned subset: (binary, benchmark_filter). Q6 is the reformulation
+# stress case (largest UCQ); the Suite benchmarks cover the parallel chunk
+# path that shares the per-UCQ scan cache.
+PINNED = [
+    ("bench/bench_strategies",
+     "BM_Q6_(Sat|RefUcq|RefScq|RefGcov)$"),
+    ("bench/bench_parallel",
+     "BM_Suite_Ref(Ucq|Scq|Gcov)_Threads/(1|8)$"),
+]
+
+
+def git_rev(root):
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=root,
+            capture_output=True, text=True, timeout=10)
+        return out.stdout.strip() or None if out.returncode == 0 else None
+    except OSError:
+        return None
+
+
+def run_one(binary, bench_filter, min_time):
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    try:
+        cmd = [
+            binary,
+            f"--benchmark_filter={bench_filter}",
+            f"--benchmark_out={out_path}",
+            "--benchmark_out_format=json",
+        ]
+        if min_time is not None:
+            cmd.append(f"--benchmark_min_time={min_time}s")
+        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                              stderr=subprocess.PIPE, text=True)
+        if proc.returncode != 0:
+            print(f"bench_runner: {binary} failed:\n{proc.stderr}",
+                  file=sys.stderr)
+            return None
+        with open(out_path, encoding="utf-8") as f:
+            return json.load(f)
+    finally:
+        os.unlink(out_path)
+
+
+def fold(binary, raw):
+    rows = []
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        # The binaries declare Unit(kMillisecond); trust but record it.
+        unit = b.get("time_unit", "ms")
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}.get(unit)
+        if scale is None:
+            print(f"bench_runner: unknown time unit {unit!r} in "
+                  f"{b.get('name')}", file=sys.stderr)
+            continue
+        rows.append({
+            "binary": os.path.basename(binary),
+            "name": b["name"],
+            "real_time_ms": round(b["real_time"] * scale, 4),
+            "cpu_time_ms": round(b["cpu_time"] * scale, 4),
+            "iterations": b["iterations"],
+        })
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory with bench binaries")
+    parser.add_argument("--out", default="BENCH_PR5.json",
+                        help="output JSON path")
+    parser.add_argument("--min-time", default=None,
+                        help="per-benchmark min time in seconds "
+                             "(default: library default)")
+    args = parser.parse_args(argv)
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    results = []
+    for rel, bench_filter in PINNED:
+        binary = os.path.join(args.build_dir, rel)
+        if not os.path.exists(binary):
+            print(f"bench_runner: missing binary {binary} "
+                  "(build the bench targets first)", file=sys.stderr)
+            return 2
+        raw = run_one(binary, bench_filter, args.min_time)
+        if raw is None:
+            return 1
+        rows = fold(binary, raw)
+        if not rows:
+            print(f"bench_runner: filter {bench_filter!r} matched nothing "
+                  f"in {binary}", file=sys.stderr)
+            return 1
+        results.extend(rows)
+
+    doc = {
+        "schema": "rdfref-bench/1",
+        "generated_by": "tools/bench_runner.py",
+        "git_rev": git_rev(root),
+        "benchmarks": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    for row in results:
+        print(f"{row['binary']:>18} {row['name']:<40} "
+              f"{row['real_time_ms']:>10.3f} ms")
+    print(f"bench_runner: wrote {len(results)} result(s) to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

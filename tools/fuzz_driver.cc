@@ -49,9 +49,13 @@ bool ParseSeedRange(const std::string& arg, uint64_t* begin, uint64_t* end) {
     *end = std::strtoull(arg.c_str(), &parse_end, 10);
     return parse_end && *parse_end == '\0';
   }
-  *begin = std::strtoull(arg.substr(0, dots).c_str(), &parse_end, 10);
+  // Keep the substrings alive past the *parse_end checks (a temporary's
+  // c_str() would dangle by then).
+  const std::string head = arg.substr(0, dots);
+  const std::string tail = arg.substr(dots + 2);
+  *begin = std::strtoull(head.c_str(), &parse_end, 10);
   if (!parse_end || *parse_end != '\0') return false;
-  *end = std::strtoull(arg.substr(dots + 2).c_str(), &parse_end, 10);
+  *end = std::strtoull(tail.c_str(), &parse_end, 10);
   return parse_end && *parse_end == '\0' && *begin <= *end;
 }
 
@@ -130,8 +134,8 @@ int main(int argc, char** argv) {
     // This models a real evaluator bug class (a lost tuple); the oracle
     // must flag it and the shrinker must reduce it to a tiny repro.
     options.mutate = [](rdfref::api::Strategy s, rdfref::engine::Table* t) {
-      if (s == rdfref::api::Strategy::kRefScq && !t->rows.empty()) {
-        t->rows.pop_back();
+      if (s == rdfref::api::Strategy::kRefScq && !t->empty()) {
+        t->RemoveLastRow();
       }
     };
   }

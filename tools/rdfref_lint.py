@@ -20,6 +20,13 @@ Rules (see DESIGN.md section 8):
                 srand, time(...)): every random stream in rdfref is
                 seeded explicitly so fault injection, fuzzing and jitter
                 replay bit-exactly.
+  std-function  No std::function parameters in the src/engine/ and
+                src/storage/ hot paths: the per-triple virtual callback
+                was the seed scan API and survives only as a
+                compatibility shim (see DESIGN.md section 9). New code
+                takes spans (TryGetRange), buffers (ScanInto) or
+                cursors (PatternCursor) — all inlineable, none
+                type-erased.
   layering      Library-level include DAG: each of the 15 src/ libraries
                 may only include the libraries listed in ALLOWED_DEPS
                 (common at the bottom, engine never includes federation,
@@ -86,7 +93,7 @@ ALLOWED_DEPS = {
     "api": {"common", "datalog", "engine", "optimizer", "query", "rdf",
             "reasoner", "reformulation", "schema", "storage"},
     "testing": {"api", "common", "engine", "federation", "query", "rdf",
-                "schema", "storage", "datagen"},
+                "reformulation", "schema", "storage", "datagen"},
 }
 
 ALLOW_RE = re.compile(r"//\s*rdfref-lint:\s*allow\(([a-z-]+)\)")
@@ -145,6 +152,30 @@ def check_rng_seed(path, rel, lines, findings):
                 findings.append(Finding(path, i, "rng-seed",
                     f"{what}: rdfref randomness must be explicitly seeded "
                     "(deterministic replay of faults/fuzzing/jitter)"))
+
+
+# Directories whose scan/join inner loops are performance-critical: a
+# std::function parameter there forces a type-erased indirect call per
+# triple. The legacy Scan() overrides carry explicit allows.
+STD_FUNCTION_DIRS = ("engine", "storage")
+STD_FUNCTION_RE = re.compile(r"\bstd::function\s*<")
+
+
+def check_std_function(path, rel, lines, findings):
+    if rel.split(os.sep, 1)[0] not in STD_FUNCTION_DIRS:
+        return
+    for i, line in enumerate(lines, 1):
+        code = line.split("//", 1)[0]  # prose mentions in comments are fine
+        if not STD_FUNCTION_RE.search(code):
+            continue
+        # Wrapped signatures may carry the allow on the closing line.
+        nxt = lines[i] if i < len(lines) else ""
+        if allowed(line, "std-function") or allowed(nxt, "std-function"):
+            continue
+        findings.append(Finding(path, i, "std-function",
+            "std::function parameter in a storage/engine hot path — use "
+            "TryGetRange/ScanInto/PatternCursor (DESIGN.md section 9); "
+            "legacy Scan shims need an explicit allow"))
 
 
 def check_nodiscard_classes(src_root, findings):
@@ -279,6 +310,7 @@ def main(argv=None):
             lines = f.read().splitlines()
         check_raw_sync(path, rel, lines, findings)
         check_rng_seed(path, rel, lines, findings)
+        check_std_function(path, rel, lines, findings)
         check_entry_points(path, rel, lines, findings)
     check_nodiscard_classes(src_root, findings)
     check_layering_and_cycles(src_root, findings)
