@@ -1,0 +1,134 @@
+// Experiment T14 — snapshot-isolation read-path overhead.
+//
+// Three read latencies over the same LUBM dataset and the same
+// reformulated UCQ (Q9-teachers, a three-atom join): a pristine immutable
+// Store; a pinned snapshot over a VersionSet carrying sealed delta runs
+// (churn triples use a dedicated bench property, so the measured overhead
+// is exactly the per-generation presence checks and range bookkeeping, not
+// extra answers); and the same pinned read while a writer thread churns
+// with background compaction enabled. The PR 6 acceptance bar: SealedRuns
+// stays within ~1.2x of Pristine, and UnderWriter close behind — writers
+// must not collapse reader latency.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "engine/evaluator.h"
+#include "reformulation/reformulator.h"
+#include "storage/version_set.h"
+
+namespace rdfref {
+namespace bench {
+namespace {
+
+struct SnapshotWorkload {
+  api::QueryAnswerer* answerer = nullptr;
+  query::Ucq ucq;
+  // Pre-interned churn triples over a bench-only property: the writer
+  // threads must never touch the (unsynchronized) dictionary.
+  std::vector<rdf::Triple> churn;
+};
+
+SnapshotWorkload* Workload() {
+  static SnapshotWorkload* workload = [] {
+    auto* out = new SnapshotWorkload;
+    out->answerer = SharedLubm();
+    query::Cq q = ParseUb(out->answerer,
+                          "SELECT ?f ?c ?s WHERE { ?f ub:teacherOf ?c . "
+                          "?s ub:takesCourse ?c . ?s a ub:Student . }");
+    reformulation::Reformulator ref(&out->answerer->schema(), {},
+                                    &out->answerer->dict());
+    auto ucq = ref.Reformulate(q);
+    if (!ucq.ok()) std::abort();
+    out->ucq = std::move(*ucq);
+
+    rdf::Dictionary& dict = out->answerer->dict();
+    const rdf::TermId touches = dict.InternUri("http://bench/touches");
+    out->churn.reserve(1536);
+    for (int i = 0; i < 1536; ++i) {
+      out->churn.emplace_back(
+          dict.InternUri("http://bench/s" + std::to_string(i % 256)),
+          touches, dict.InternUri("http://bench/o" + std::to_string(i)));
+    }
+    return out;
+  }();
+  return workload;
+}
+
+void BM_Snapshot_Pristine(benchmark::State& state) {
+  SnapshotWorkload* w = Workload();
+  engine::Evaluator evaluator(&w->answerer->ref_store());
+  for (auto _ : state) {
+    engine::Table table = evaluator.EvaluateUcq(w->ucq);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_Snapshot_Pristine)->Unit(benchmark::kMillisecond);
+
+void BM_Snapshot_SealedRuns(benchmark::State& state) {
+  SnapshotWorkload* w = Workload();
+  storage::VersionSet versions(&w->answerer->ref_store());
+  // Three sealed runs of 512 adds each — the multi-generation shape a
+  // write-heavy phase leaves behind before compaction catches up.
+  for (size_t i = 0; i < w->churn.size(); ++i) {
+    versions.Insert(w->churn[i]);
+    if ((i + 1) % 512 == 0) versions.Freeze();
+  }
+  for (auto _ : state) {
+    storage::SnapshotPtr snap = versions.snapshot();
+    engine::Evaluator evaluator(snap.get());
+    engine::Table table = evaluator.EvaluateUcq(w->ucq);
+    benchmark::DoNotOptimize(table);
+  }
+  state.counters["runs"] = static_cast<double>(versions.num_runs());
+}
+BENCHMARK(BM_Snapshot_SealedRuns)->Unit(benchmark::kMillisecond);
+
+void BM_Snapshot_UnderWriter(benchmark::State& state) {
+  SnapshotWorkload* w = Workload();
+  storage::VersionSet versions(&w->answerer->ref_store());
+  storage::VersionSetOptions maintenance;
+  maintenance.freeze_threshold = 512;
+  maintenance.compact_min_runs = 3;
+  versions.StartBackgroundCompaction(maintenance);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    // Insert the churn set, drain it, repeat: the head fills toward the
+    // freeze threshold continuously and compaction keeps firing.
+    while (!stop.load()) {
+      for (const rdf::Triple& t : w->churn) {
+        versions.Insert(t);
+        if (stop.load()) return;
+      }
+      for (const rdf::Triple& t : w->churn) {
+        versions.Remove(t);
+        if (stop.load()) return;
+      }
+    }
+  });
+
+  for (auto _ : state) {
+    storage::SnapshotPtr snap = versions.snapshot();
+    engine::Evaluator evaluator(snap.get());
+    engine::Table table = evaluator.EvaluateUcq(w->ucq);
+    benchmark::DoNotOptimize(table);
+  }
+
+  stop.store(true);
+  writer.join();
+  versions.StopBackgroundCompaction();
+}
+BENCHMARK(BM_Snapshot_UnderWriter)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfref
+
+BENCHMARK_MAIN();

@@ -36,7 +36,7 @@ QueryAnswerer::QueryAnswerer(rdf::Graph graph) : graph_(std::move(graph)) {
   // constraint, and schema-level queries are answerable directly.
   schema_.EmitTriples(&graph_);
   ref_store_ = std::make_unique<storage::Store>(graph_);
-  ref_delta_ = std::make_unique<storage::DeltaStore>(ref_store_.get());
+  versions_ = std::make_unique<storage::VersionSet>(ref_store_.get());
 }
 
 Status QueryAnswerer::InsertTriple(const rdf::Triple& t) {
@@ -48,7 +48,7 @@ Status QueryAnswerer::InsertTriple(const rdf::Triple& t) {
       !graph_.dict().Contains(t.o)) {
     return Status::InvalidArgument("triple references unknown term ids");
   }
-  ref_delta_->Insert(t);
+  versions_->Insert(t);
   if (graph_saturated_) {
     reasoner::Saturator saturator(&schema_);
     if (saturator.Insert(&graph_, t) > 0) sat_snapshot_dirty_ = true;
@@ -56,6 +56,7 @@ Status QueryAnswerer::InsertTriple(const rdf::Triple& t) {
     graph_.Add(t);
   }
   dat_.reset();  // the Datalog program re-reads the explicit source lazily
+  dat_snapshot_.reset();
   return Status::OK();
 }
 
@@ -64,20 +65,27 @@ Status QueryAnswerer::RemoveTriple(const rdf::Triple& t) {
     return Status::Unimplemented(
         "constraint updates change the schema; rebuild the QueryAnswerer");
   }
-  if (!ref_delta_->Contains(t)) {
+  if (!versions_->Contains(t)) {
     return Status::NotFound("triple is not in the explicit database");
   }
-  ref_delta_->Remove(t);
+  versions_->Remove(t);
   if (graph_saturated_) {
     reasoner::Saturator saturator(&schema_);
+    // DRed re-derivation probes run against the write epoch just
+    // published by Remove — pinned once, so a concurrent writer cannot
+    // shift the explicit set mid-maintenance.
+    storage::SnapshotPtr write_epoch = versions_->snapshot();
     size_t removed = saturator.Delete(
         &graph_, t,
-        [this](const rdf::Triple& x) { return ref_delta_->Contains(x); });
+        [&write_epoch](const rdf::Triple& x) {
+          return write_epoch->Contains(x);
+        });
     if (removed > 0) sat_snapshot_dirty_ = true;
   } else {
     graph_.Remove(t);
   }
   dat_.reset();
+  dat_snapshot_.reset();
   return Status::OK();
 }
 
@@ -116,7 +124,9 @@ Result<engine::Table> QueryAnswerer::AnswerJucq(
   double prepare_ms = prepare.ElapsedMillis();
 
   Timer eval;
-  engine::Evaluator evaluator(ref_delta_.get(), options.threads);
+  storage::SnapshotPtr snap =
+      options.snapshot != nullptr ? options.snapshot : versions_->snapshot();
+  engine::Evaluator evaluator(snap.get(), options.threads);
   engine::JucqProfile jucq_profile;
   RDFREF_ASSIGN_OR_RETURN(
       engine::Table table,
@@ -141,6 +151,10 @@ Result<engine::Table> QueryAnswerer::AnswerUnion(
   engine::Table result;
   AnswerProfile branch_profile;
   if (profile != nullptr) *profile = AnswerProfile{};
+  // Pin one epoch for the whole union: every branch must see the same
+  // database even while writers race between branch evaluations.
+  AnswerOptions pinned = options;
+  if (pinned.snapshot == nullptr) pinned.snapshot = versions_->snapshot();
   for (size_t i = 0; i < user_union.members().size(); ++i) {
     const query::Cq& branch = user_union.members()[i];
     if (branch.head().size() != user_union.members()[0].head().size()) {
@@ -148,7 +162,7 @@ Result<engine::Table> QueryAnswerer::AnswerUnion(
     }
     RDFREF_ASSIGN_OR_RETURN(
         engine::Table branch_table,
-        Answer(branch, strategy, &branch_profile, options));
+        Answer(branch, strategy, &branch_profile, pinned));
     if (i == 0) {
       result = std::move(branch_table);
     } else {
@@ -196,7 +210,10 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
       RDFREF_ASSIGN_OR_RETURN(query::Ucq ucq, ref.Reformulate(q));
       double prepare_ms = prepare.ElapsedMillis();
       Timer eval;
-      engine::Evaluator evaluator(ref_delta_.get(), options.threads);
+      storage::SnapshotPtr snap = options.snapshot != nullptr
+                                      ? options.snapshot
+                                      : versions_->snapshot();
+      engine::Evaluator evaluator(snap.get(), options.threads);
       RDFREF_ASSIGN_OR_RETURN(engine::Table table,
                               evaluator.EvaluateUcq(ucq, options.deadline));
       if (profile != nullptr) {
@@ -240,7 +257,10 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
       RDFREF_ASSIGN_OR_RETURN(query::Ucq ucq, ref.Reformulate(q));
       double prepare_ms = prepare.ElapsedMillis();
       Timer eval;
-      engine::Evaluator evaluator(ref_delta_.get(), options.threads);
+      storage::SnapshotPtr snap = options.snapshot != nullptr
+                                      ? options.snapshot
+                                      : versions_->snapshot();
+      engine::Evaluator evaluator(snap.get(), options.threads);
       RDFREF_ASSIGN_OR_RETURN(engine::Table table,
                               evaluator.EvaluateUcq(ucq, options.deadline));
       if (profile != nullptr) {
@@ -252,7 +272,11 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
     }
     case Strategy::kDatalog: {
       if (dat_ == nullptr) {
-        dat_ = std::make_unique<datalog::DatalogAnswerer>(ref_delta_.get());
+        // The program pins the epoch it is built against; updates reset
+        // dat_ (and this pin), so the closure is never stale.
+        dat_snapshot_ = options.snapshot != nullptr ? options.snapshot
+                                                    : versions_->snapshot();
+        dat_ = std::make_unique<datalog::DatalogAnswerer>(dat_snapshot_.get());
       }
       const double closure_before = dat_->closure_millis();
       Timer eval;

@@ -16,8 +16,8 @@
 #include "reformulation/reformulator.h"
 #include "rdf/graph.h"
 #include "schema/schema.h"
-#include "storage/delta_store.h"
 #include "storage/store.h"
+#include "storage/version_set.h"
 
 namespace rdfref {
 namespace api {
@@ -57,6 +57,14 @@ struct AnswerOptions {
   /// bounds the concurrent tasks at n. Answers are bit-identical across
   /// all settings.
   int threads = 1;
+  /// Pinned snapshot for the Ref strategies: when set, evaluation runs
+  /// against exactly this epoch of the explicit database, regardless of
+  /// concurrent updates (pin one with PinSnapshot()). When null, each call
+  /// pins the current epoch itself. kSaturation is unaffected (it reads the
+  /// saturated store, whose maintenance is externally synchronized);
+  /// kDatalog evaluates the snapshot it pinned when its program was built —
+  /// updates reset the program, so it is never stale.
+  storage::SnapshotPtr snapshot;
 };
 
 /// \brief Measurements of one Answer() call — what the demonstration's
@@ -118,9 +126,17 @@ class QueryAnswerer {
   /// Sat side). Same restrictions as InsertTriple.
   Status RemoveTriple(const rdf::Triple& t);
 
-  /// \brief The current explicit database (base snapshot + update
-  /// overlay) that Ref strategies evaluate against.
-  const storage::DeltaStore& explicit_source() const { return *ref_delta_; }
+  /// \brief Pins the current epoch of the explicit database as an
+  /// immutable snapshot: the view the Ref strategies would evaluate
+  /// against right now. Hold the pointer to keep evaluating that exact
+  /// epoch while concurrent updates proceed; pass it via
+  /// AnswerOptions::snapshot to answer queries against it.
+  storage::SnapshotPtr PinSnapshot() const { return versions_->snapshot(); }
+
+  /// \brief The versioned explicit database (updates, snapshots, and
+  /// freeze/compact maintenance).
+  storage::VersionSet& versions() { return *versions_; }
+  const storage::VersionSet& versions() const { return *versions_; }
 
   /// \brief Dictionary for parsing queries against this database.
   rdf::Dictionary& dict() { return graph_.dict(); }
@@ -151,9 +167,13 @@ class QueryAnswerer {
 
   rdf::Graph graph_;
   schema::Schema schema_;
+  // versions_ references ref_store_ as its initial base: keep the store
+  // declared first so the version set is destroyed before it.
   std::unique_ptr<storage::Store> ref_store_;
-  std::unique_ptr<storage::DeltaStore> ref_delta_;
+  std::unique_ptr<storage::VersionSet> versions_;
   std::unique_ptr<storage::Store> sat_store_;
+  // Epoch the Datalog program was built against (kept alive with dat_).
+  storage::SnapshotPtr dat_snapshot_;
   std::unique_ptr<datalog::DatalogAnswerer> dat_;
   double saturation_millis_ = 0.0;
   size_t saturation_added_ = 0;

@@ -68,8 +68,9 @@ struct JucqProfile {
 ///
 /// Thread-safety: all evaluation methods are const and concurrency-safe
 /// provided the underlying TripleSource tolerates concurrent Scan /
-/// CountMatches calls (true for Store, DeltaStore without concurrent
-/// writes, and FederatedSource).
+/// CountMatches calls (true for Store, the immutable SnapshotSource —
+/// which is also safe *under* concurrent writers, since the writers only
+/// ever touch newer epochs — and FederatedSource).
 class Evaluator {
  public:
   /// \brief `source` may be a local Store or any other TripleSource (e.g.

@@ -1,23 +1,41 @@
 #include "storage/delta_store.h"
 
+#include <utility>
+
 namespace rdfref {
 namespace storage {
 
 bool DeltaStore::Insert(const rdf::Triple& t) {
-  if (removed_.erase(t) > 0) return true;  // un-hide a base triple
-  if (base_->Contains(t)) return false;    // already visible
-  return added_.insert(t).second;
+  if (removed_.erase(t) > 0) {  // un-hide a base triple
+    if (removed_.empty()) removed_presence_.Clear();
+    return true;
+  }
+  if (base_->Contains(t)) return false;  // already visible
+  if (!added_.insert(t).second) return false;
+  added_presence_.Add(t);
+  return true;
 }
 
 bool DeltaStore::Remove(const rdf::Triple& t) {
-  if (added_.erase(t) > 0) return true;
+  if (added_.erase(t) > 0) {
+    if (added_.empty()) added_presence_.Clear();
+    return true;
+  }
   if (!base_->Contains(t)) return false;  // was never visible
-  return removed_.insert(t).second;
+  if (!removed_.insert(t).second) return false;
+  removed_presence_.Add(t);
+  return true;
 }
 
 bool DeltaStore::Contains(const rdf::Triple& t) const {
   if (added_.count(t)) return true;
   return base_->Contains(t) && !removed_.count(t);
+}
+
+std::unique_ptr<Store> DeltaStore::Compact() const {
+  std::vector<rdf::Triple> triples;
+  ScanInto(kAny, kAny, kAny, &triples);
+  return std::make_unique<Store>(&base_->dict(), std::move(triples));
 }
 
 void DeltaStore::Scan(
@@ -31,7 +49,7 @@ void DeltaStore::Scan(
     });
   }
   for (const rdf::Triple& t : added_) {
-    if (Matches(t, s, p, o)) fn(t);
+    if (MatchesPattern(t, s, p, o)) fn(t);
   }
 }
 
@@ -47,7 +65,7 @@ void DeltaStore::ScanInto(rdf::TermId s, rdf::TermId p, rdf::TermId o,
     }
   }
   for (const rdf::Triple& t : added_) {
-    if (Matches(t, s, p, o)) out->push_back(t);
+    if (MatchesPattern(t, s, p, o)) out->push_back(t);
   }
 }
 
@@ -55,10 +73,10 @@ size_t DeltaStore::CountMatches(rdf::TermId s, rdf::TermId p,
                                 rdf::TermId o) const {
   size_t count = base_->CountMatches(s, p, o);
   for (const rdf::Triple& t : removed_) {
-    if (Matches(t, s, p, o)) --count;  // removed_ only holds base triples
+    if (MatchesPattern(t, s, p, o)) --count;  // removed_ only holds base triples
   }
   for (const rdf::Triple& t : added_) {
-    if (Matches(t, s, p, o)) ++count;
+    if (MatchesPattern(t, s, p, o)) ++count;
   }
   return count;
 }

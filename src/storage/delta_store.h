@@ -1,6 +1,7 @@
 #ifndef RDFREF_STORAGE_DELTA_STORE_H_
 #define RDFREF_STORAGE_DELTA_STORE_H_
 
+#include <memory>
 #include <span>
 #include <unordered_set>
 #include <vector>
@@ -19,7 +20,10 @@ namespace storage {
 /// §1: Ref needs no "effort to maintain the saturation"): an update is two
 /// hash operations here, while Sat must chase consequences. The overlay is
 /// meant to stay small relative to the base (scans filter the additions
-/// linearly); compact into a fresh Store when it grows.
+/// linearly); Compact() seals base + overlay into a fresh Store when it
+/// grows. For versioned multi-generation overlays with snapshot isolation
+/// see storage/version_set.h, whose sealed runs build on the same overlay
+/// semantics.
 class DeltaStore : public TripleSource {
  public:
   /// \brief `base` must outlive the overlay.
@@ -34,26 +38,33 @@ class DeltaStore : public TripleSource {
   /// \brief True when `t` is currently visible.
   bool Contains(const rdf::Triple& t) const;
 
+  /// \brief Materializes base + overlay into a fresh fully indexed Store
+  /// (the "compact into a fresh Store when it grows" the overlay is
+  /// designed around). The new store shares the base's dictionary, which
+  /// must outlive it; the overlay itself is left untouched.
+  std::unique_ptr<Store> Compact() const;
+
   void Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
             const std::function<void(const rdf::Triple&)>& fn)
       const override;  // rdfref-lint: allow(std-function)
 
-  /// \brief Batch fast path: with an empty overlay the base store's
-  /// contiguous range is the whole answer (zero-copy); any overlay
-  /// forces the buffered path so additions/removals are applied.
+  /// \brief Batch fast path: the base store's contiguous range is the whole
+  /// answer (zero-copy) whenever the overlay cannot intersect the pattern —
+  /// tracked conservatively by per-position presence sets, so a non-empty
+  /// overlay only forces the buffered path on scans it may actually affect.
   bool TryGetRange(rdf::TermId s, rdf::TermId p, rdf::TermId o,
                    std::span<const rdf::Triple>* out) const override {
-    if (!added_.empty() || !removed_.empty()) return false;
+    if (OverlayMayAffect(s, p, o)) return false;
     return base_->TryGetRange(s, p, o, out);
   }
 
   /// \brief Hinted fast path: forwarded to the base store's galloping
-  /// search while the overlay is empty (the hint stays valid — it points
-  /// into the immutable base indexes).
+  /// search while the overlay cannot intersect the pattern (the hint stays
+  /// valid — it points into the immutable base indexes).
   bool TryGetRangeHinted(rdf::TermId s, rdf::TermId p, rdf::TermId o,
                          std::span<const rdf::Triple>* out,
                          RangeHint* hint) const override {
-    if (!added_.empty() || !removed_.empty()) return false;
+    if (OverlayMayAffect(s, p, o)) return false;
     return base_->TryGetRangeHinted(s, p, o, out, hint);
   }
 
@@ -71,15 +82,19 @@ class DeltaStore : public TripleSource {
   size_t num_removed() const { return removed_.size(); }
 
  private:
-  static bool Matches(const rdf::Triple& t, rdf::TermId s, rdf::TermId p,
-                      rdf::TermId o) {
-    return (s == kAny || t.s == s) && (p == kAny || t.p == p) &&
-           (o == kAny || t.o == o);
+  // Conservatively true when an addition or removal could change the
+  // pattern's result set (presence sets may hold stale residue from erased
+  // triples; they are cleared whenever their side set empties out).
+  bool OverlayMayAffect(rdf::TermId s, rdf::TermId p, rdf::TermId o) const {
+    return (!added_.empty() && added_presence_.MayMatch(s, p, o)) ||
+           (!removed_.empty() && removed_presence_.MayMatch(s, p, o));
   }
 
   const Store* base_;
   std::unordered_set<rdf::Triple, rdf::TripleHash> added_;
   std::unordered_set<rdf::Triple, rdf::TripleHash> removed_;
+  PatternPresence added_presence_;
+  PatternPresence removed_presence_;
 };
 
 }  // namespace storage

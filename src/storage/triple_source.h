@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "rdf/dictionary.h"
@@ -13,6 +14,46 @@ namespace storage {
 
 /// \brief Wildcard marker in scan patterns ("any value at this position").
 inline constexpr rdf::TermId kAny = rdf::kInvalidTermId;
+
+/// \brief True when triple `t` matches the (s, p, o) pattern; kAny
+/// wildcards a position.
+inline bool MatchesPattern(const rdf::Triple& t, rdf::TermId s, rdf::TermId p,
+                           rdf::TermId o) {
+  return (s == kAny || t.s == s) && (p == kAny || t.p == p) &&
+         (o == kAny || t.o == o);
+}
+
+/// \brief Conservative index of which triple patterns a set of overlay
+/// triples can intersect: the distinct subjects, properties and objects the
+/// set has ever touched. MayMatch answers "could any tracked triple match
+/// this pattern?" — false positives are allowed (entries are never evicted,
+/// so erased triples leave stale residue until the owner clears the whole
+/// presence), false negatives are not. Overlay sources consult it to keep
+/// the zero-copy base fast path for scans the overlay provably cannot
+/// affect.
+class PatternPresence {
+ public:
+  void Add(const rdf::Triple& t) {
+    s_.insert(t.s);
+    p_.insert(t.p);
+    o_.insert(t.o);
+  }
+
+  void Clear() {
+    s_.clear();
+    p_.clear();
+    o_.clear();
+  }
+
+  bool MayMatch(rdf::TermId s, rdf::TermId p, rdf::TermId o) const {
+    if (p_.empty()) return false;  // nothing tracked
+    return (s == kAny || s_.count(s) > 0) && (p == kAny || p_.count(p) > 0) &&
+           (o == kAny || o_.count(o) > 0);
+  }
+
+ private:
+  std::unordered_set<rdf::TermId> s_, p_, o_;
+};
 
 /// \brief Opaque position hint threaded through TryGetRangeHinted calls.
 /// `index` identifies which physical ordering the position refers to (the

@@ -1,0 +1,421 @@
+#include "storage/version_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rdfref {
+namespace storage {
+
+// ---------------------------------------------------------------------------
+// DeltaRun
+// ---------------------------------------------------------------------------
+
+DeltaRun::DeltaRun(const rdf::Dictionary* dict, std::vector<rdf::Triple> added,
+                   std::vector<rdf::Triple> removed)
+    : adds_(dict, std::move(added)), removed_(std::move(removed)) {
+  std::sort(removed_.begin(), removed_.end());
+  for (const rdf::Triple& t : adds_.EqualRangeSpan(kAny, kAny, kAny)) {
+    added_presence_.Add(t);
+  }
+  for (const rdf::Triple& t : removed_) removed_presence_.Add(t);
+}
+
+bool DeltaRun::Removes(const rdf::Triple& t) const {
+  return std::binary_search(removed_.begin(), removed_.end(), t);
+}
+
+size_t DeltaRun::CountRemovedMatches(rdf::TermId s, rdf::TermId p,
+                                     rdf::TermId o) const {
+  if (!MayRemoveMatch(s, p, o)) return 0;
+  size_t count = 0;
+  for (const rdf::Triple& t : removed_) {
+    if (MatchesPattern(t, s, p, o)) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+/// Folds one sealed run into a version's combined presence union.
+void AddRunToPresence(const DeltaRun& run, PatternPresence* added,
+                      PatternPresence* removed) {
+  for (const rdf::Triple& t : run.adds().EqualRangeSpan(kAny, kAny, kAny)) {
+    added->Add(t);
+  }
+  for (const rdf::Triple& t : run.removed()) removed->Add(t);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SnapshotSource
+// ---------------------------------------------------------------------------
+
+SnapshotSource::SnapshotSource(uint64_t epoch,
+                               std::shared_ptr<const Version> version,
+                               HeadDelta head)
+    : epoch_(epoch), version_(std::move(version)), head_(std::move(head)) {
+  any_removals_ = !head_.removed.empty();
+  for (const auto& run : version_->runs) {
+    any_removals_ = any_removals_ || run->has_removals();
+  }
+}
+
+bool SnapshotSource::RemovedAbove(const rdf::Triple& t, size_t gen) const {
+  if (!any_removals_) return false;
+  // runs[j] is generation j + 1, so generations above `gen` start at j = gen.
+  const auto& runs = version_->runs;
+  for (size_t j = gen; j < runs.size(); ++j) {
+    if (runs[j]->Removes(t)) return true;
+  }
+  return !head_.removed.empty() && head_.removed.count(t) > 0;
+}
+
+bool SnapshotSource::Contains(const rdf::Triple& t) const {
+  // Newest generation wins: a generation never both adds and removes one
+  // triple, so the first verdict walking downward is the visibility.
+  if (!head_.added.empty() && head_.added.count(t) > 0) return true;
+  if (!head_.removed.empty() && head_.removed.count(t) > 0) return false;
+  const auto& runs = version_->runs;
+  for (size_t i = runs.size(); i-- > 0;) {
+    if (runs[i]->Removes(t)) return false;
+    if (runs[i]->adds().Contains(t)) return true;
+  }
+  return version_->base->Contains(t);
+}
+
+void SnapshotSource::ScanInto(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                              std::vector<rdf::Triple>* out) const {
+  out->clear();
+  const auto& runs = version_->runs;
+  // One pattern-level presence check decides whether any generation's
+  // removals can filter this scan; when none can, every span is appended
+  // verbatim with no per-triple membership probes.
+  bool filter =
+      !head_.removed.empty() && head_.removed_presence.MayMatch(s, p, o);
+  if (!filter && version_->RunsMayRemove(s, p, o)) {
+    for (const auto& run : runs) {
+      filter = filter || run->MayRemoveMatch(s, p, o);
+    }
+  }
+  const bool runs_may_add = version_->RunsMayAdd(s, p, o);
+  size_t sorted_contributors = 0;  // spans appended verbatim, each sorted
+  std::span<const rdf::Triple> base = version_->base->EqualRangeSpan(s, p, o);
+  if (!filter) {
+    if (!base.empty()) ++sorted_contributors;
+    out->insert(out->end(), base.begin(), base.end());
+    if (runs_may_add) {
+      for (const auto& run : runs) {
+        if (!run->MayAddMatch(s, p, o)) continue;
+        std::span<const rdf::Triple> adds = run->adds().EqualRangeSpan(s, p, o);
+        if (!adds.empty()) ++sorted_contributors;
+        out->insert(out->end(), adds.begin(), adds.end());
+      }
+    }
+  } else {
+    sorted_contributors = 2;  // filtered interleaving: always re-sort
+    for (const rdf::Triple& t : base) {
+      if (!RemovedAbove(t, 0)) out->push_back(t);
+    }
+    if (runs_may_add) {
+      for (size_t i = 0; i < runs.size(); ++i) {
+        if (!runs[i]->MayAddMatch(s, p, o)) continue;
+        for (const rdf::Triple& t : runs[i]->adds().EqualRangeSpan(s, p, o)) {
+          if (!RemovedAbove(t, i + 1)) out->push_back(t);
+        }
+      }
+    }
+  }
+  if (!head_.added.empty() && head_.added_presence.MayMatch(s, p, o)) {
+    for (const rdf::Triple& t : head_.added) {  // hash order: needs re-sort
+      if (MatchesPattern(t, s, p, o)) {
+        out->push_back(t);
+        sorted_contributors = 2;
+      }
+    }
+  }
+  // Deliver in SPO order. Restricted to one pattern, every clustered
+  // permutation of a Store is SPO-ordered too (the bound positions are
+  // constant across the matches), so snapshot scans return matches in
+  // exactly the order a pristine Store over the visible set would — the
+  // invariant that makes pinned-epoch evaluation bit-identical to
+  // from-scratch evaluation. A single verbatim span is already sorted.
+  if (sorted_contributors > 1) std::sort(out->begin(), out->end());
+}
+
+void SnapshotSource::Scan(
+    rdf::TermId s, rdf::TermId p, rdf::TermId o,
+    const std::function<void(const rdf::Triple&)>& fn) const {  // rdfref-lint: allow(std-function)
+  std::vector<rdf::Triple> buffer;
+  ScanInto(s, p, o, &buffer);
+  for (const rdf::Triple& t : buffer) fn(t);
+}
+
+bool SnapshotSource::TryGetRange(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                                 std::span<const rdf::Triple>* out) const {
+  return TryGetRangeHinted(s, p, o, out, nullptr);
+}
+
+bool SnapshotSource::TryGetRangeHinted(rdf::TermId s, rdf::TermId p,
+                                       rdf::TermId o,
+                                       std::span<const rdf::Triple>* out,
+                                       RangeHint* hint) const {
+  // Zero-copy iff (a) the frozen head cannot touch the pattern, (b) no
+  // run's removals can filter it, and (c) at most one sealed generation
+  // holds matches — then that generation's clustered range IS the answer.
+  // The combined presence unions make the hot case (pattern untouched by
+  // every run) cost two presence checks regardless of the run count, so a
+  // snapshot probe stays within a few percent of a pristine Store's.
+  if (!head_.empty() && head_.MayAffect(s, p, o)) return false;
+  if (version_->RunsMayRemove(s, p, o)) return false;
+  // The hint always tracks the base index: in the monotone lookup sequences
+  // it accelerates, the base is overwhelmingly the contributing generation.
+  std::span<const rdf::Triple> chosen =
+      hint == nullptr ? version_->base->EqualRangeSpan(s, p, o)
+                      : version_->base->EqualRangeSpanHinted(s, p, o, hint);
+  if (!version_->RunsMayAdd(s, p, o)) {
+    *out = chosen;
+    return true;
+  }
+  size_t contributors = chosen.empty() ? 0 : 1;
+  for (const auto& run : version_->runs) {
+    if (!run->MayAddMatch(s, p, o)) continue;
+    std::span<const rdf::Triple> adds = run->adds().EqualRangeSpan(s, p, o);
+    if (adds.empty()) continue;
+    if (++contributors > 1) return false;
+    chosen = adds;
+  }
+  *out = chosen;  // contributors == 0 delivers the empty range, still exact
+  return true;
+}
+
+size_t SnapshotSource::CountMatches(rdf::TermId s, rdf::TermId p,
+                                    rdf::TermId o) const {
+  // Exact by the generation invariants: every add was invisible when
+  // recorded, every removal kills exactly one visible older occurrence.
+  size_t count = version_->base->CountMatches(s, p, o);
+  if (version_->RunsMayAdd(s, p, o) || version_->RunsMayRemove(s, p, o)) {
+    for (const auto& run : version_->runs) {
+      if (run->MayAddMatch(s, p, o)) count += run->adds().CountMatches(s, p, o);
+      count -= run->CountRemovedMatches(s, p, o);
+    }
+  }
+  if (!head_.added.empty() && head_.added_presence.MayMatch(s, p, o)) {
+    for (const rdf::Triple& t : head_.added) {
+      if (MatchesPattern(t, s, p, o)) ++count;
+    }
+  }
+  if (!head_.removed.empty() && head_.removed_presence.MayMatch(s, p, o)) {
+    for (const rdf::Triple& t : head_.removed) {
+      if (MatchesPattern(t, s, p, o)) --count;
+    }
+  }
+  return count;
+}
+
+std::vector<rdf::Triple> SnapshotSource::Materialize() const {
+  std::vector<rdf::Triple> triples;
+  ScanInto(kAny, kAny, kAny, &triples);  // already SPO-sorted (see ScanInto)
+  return triples;
+}
+
+// ---------------------------------------------------------------------------
+// VersionSet
+// ---------------------------------------------------------------------------
+
+VersionSet::VersionSet(const Store* base) : dict_(&base->dict()) {
+  auto initial = std::make_shared<Version>();
+  initial->generation = 0;
+  // Non-owning alias: the caller keeps the initial base alive.
+  initial->base = std::shared_ptr<const Store>(base, [](const Store*) {});
+  current_ = std::move(initial);
+}
+
+VersionSet::~VersionSet() { StopBackgroundCompaction(); }
+
+bool VersionSet::ContainsSealedLocked(const rdf::Triple& t) const {
+  const auto& runs = current_->runs;
+  for (size_t i = runs.size(); i-- > 0;) {
+    if (runs[i]->Removes(t)) return false;
+    if (runs[i]->adds().Contains(t)) return true;
+  }
+  return current_->base->Contains(t);
+}
+
+bool VersionSet::Insert(const rdf::Triple& t) {
+  bool changed = false;
+  bool signal = false;
+  {
+    common::MutexLock lock(&mu_);
+    if (head_.removed.erase(t) > 0) {  // un-hide a sealed triple
+      if (head_.removed.empty()) head_.removed_presence.Clear();
+      changed = true;
+    } else if (!ContainsSealedLocked(t) && head_.added.insert(t).second) {
+      head_.added_presence.Add(t);
+      changed = true;
+    }
+    if (changed) ++epoch_;
+    signal = maintenance_enabled_ && head_.size() >= options_.freeze_threshold;
+  }
+  if (signal) work_cv_.Signal();
+  return changed;
+}
+
+bool VersionSet::Remove(const rdf::Triple& t) {
+  bool changed = false;
+  bool signal = false;
+  {
+    common::MutexLock lock(&mu_);
+    if (head_.added.erase(t) > 0) {  // retract a head-only addition
+      if (head_.added.empty()) head_.added_presence.Clear();
+      changed = true;
+    } else if (ContainsSealedLocked(t) && head_.removed.insert(t).second) {
+      head_.removed_presence.Add(t);
+      changed = true;
+    }
+    if (changed) ++epoch_;
+    signal = maintenance_enabled_ && head_.size() >= options_.freeze_threshold;
+  }
+  if (signal) work_cv_.Signal();
+  return changed;
+}
+
+bool VersionSet::Contains(const rdf::Triple& t) const {
+  common::MutexLock lock(&mu_);
+  if (!head_.added.empty() && head_.added.count(t) > 0) return true;
+  if (!head_.removed.empty() && head_.removed.count(t) > 0) return false;
+  return ContainsSealedLocked(t);
+}
+
+uint64_t VersionSet::epoch() const {
+  common::MutexLock lock(&mu_);
+  return epoch_;
+}
+
+SnapshotPtr VersionSet::snapshot() const {
+  common::MutexLock lock(&mu_);
+  // Copies the (small, threshold-bounded) head; the version is shared.
+  // From here the reader never touches the VersionSet again.
+  return std::make_shared<const SnapshotSource>(epoch_, current_, head_);
+}
+
+void VersionSet::FreezeLocked() {
+  if (head_.empty()) return;
+  std::vector<rdf::Triple> added(head_.added.begin(), head_.added.end());
+  std::vector<rdf::Triple> removed(head_.removed.begin(), head_.removed.end());
+  auto run =
+      std::make_shared<const DeltaRun>(dict_, std::move(added), std::move(removed));
+  auto next = std::make_shared<Version>();
+  next->generation = current_->generation + 1;
+  next->base = current_->base;
+  next->runs = current_->runs;
+  // Extend the combined presence unions with the newly sealed run.
+  next->runs_added_presence = current_->runs_added_presence;
+  next->runs_removed_presence = current_->runs_removed_presence;
+  AddRunToPresence(*run, &next->runs_added_presence,
+                   &next->runs_removed_presence);
+  next->runs.push_back(std::move(run));
+  current_ = std::move(next);  // the single publication point
+  head_ = HeadDelta{};
+}
+
+void VersionSet::Freeze() {
+  bool signal = false;
+  {
+    common::MutexLock lock(&mu_);
+    FreezeLocked();
+    signal = maintenance_enabled_ &&
+             current_->runs.size() >= options_.compact_min_runs;
+  }
+  if (signal) work_cv_.Signal();
+}
+
+void VersionSet::Compact() {
+  std::shared_ptr<const Version> captured;
+  {
+    common::MutexLock lock(&mu_);
+    FreezeLocked();
+    captured = current_;
+  }
+  if (captured->runs.empty()) return;  // already fully compacted
+
+  // The O(base) merge runs outside the lock: writers and snapshots proceed
+  // against `captured` (or newer) meanwhile. An all-sealed snapshot of the
+  // captured version materializes exactly its visible set.
+  SnapshotSource frozen_view(0, captured, HeadDelta{});
+  auto merged = std::make_shared<const Store>(dict_, frozen_view.Materialize());
+
+  common::MutexLock lock(&mu_);
+  // Publish only if no racing compaction replaced the base while we merged
+  // (our merge would silently drop the runs that compaction consumed).
+  if (current_->base != captured->base) return;
+  auto next = std::make_shared<Version>();
+  next->generation = current_->generation + 1;
+  next->base = std::move(merged);
+  // Runs sealed after our capture still overlay the merged base; their
+  // combined presence is rebuilt from scratch (the unions cannot subtract).
+  next->runs.assign(current_->runs.begin() + captured->runs.size(),
+                    current_->runs.end());
+  for (const auto& run : next->runs) {
+    AddRunToPresence(*run, &next->runs_added_presence,
+                     &next->runs_removed_presence);
+  }
+  current_ = std::move(next);
+}
+
+void VersionSet::StartBackgroundCompaction(const VersionSetOptions& options) {
+  common::MutexLock lock(&mu_);
+  if (maintenance_enabled_) return;
+  assert(options.freeze_threshold > 0 && "freeze_threshold must be positive");
+  maintenance_enabled_ = true;
+  stop_maintenance_ = false;
+  options_ = options;
+  maintenance_ = std::thread([this] { MaintenanceLoop(); });
+}
+
+void VersionSet::StopBackgroundCompaction() {
+  std::thread joiner;
+  {
+    common::MutexLock lock(&mu_);
+    if (!maintenance_enabled_) return;
+    stop_maintenance_ = true;
+    maintenance_enabled_ = false;
+    joiner = std::move(maintenance_);
+  }
+  work_cv_.SignalAll();
+  if (joiner.joinable()) joiner.join();
+}
+
+void VersionSet::MaintenanceLoop() {
+  for (;;) {
+    bool do_compact = false;
+    {
+      common::MutexLock lock(&mu_);
+      work_cv_.Wait(&mu_, [this]() RDFREF_REQUIRES(mu_) {
+        return stop_maintenance_ ||
+               head_.size() >= options_.freeze_threshold ||
+               current_->runs.size() >= options_.compact_min_runs;
+      });
+      if (stop_maintenance_) return;
+      if (head_.size() >= options_.freeze_threshold) FreezeLocked();
+      do_compact = current_->runs.size() >= options_.compact_min_runs;
+    }
+    // Compaction re-acquires the lock only to capture and to publish; the
+    // merge itself never blocks writers or snapshot pinning.
+    if (do_compact) Compact();
+  }
+}
+
+size_t VersionSet::head_size() const {
+  common::MutexLock lock(&mu_);
+  return head_.size();
+}
+
+size_t VersionSet::num_runs() const {
+  common::MutexLock lock(&mu_);
+  return current_->runs.size();
+}
+
+}  // namespace storage
+}  // namespace rdfref

@@ -25,9 +25,9 @@ Divergence RunChecks(const Scenario& sc, const query::Cq& q,
     return d;
   };
 
-  Oracle::Options oracle_options;
-  oracle_options.mutate = options.mutate;
-  {
+  if (options.check_oracle) {
+    Oracle::Options oracle_options;
+    oracle_options.mutate = options.mutate;
     Oracle oracle(sc, oracle_options);
     Divergence d = count(oracle.Check(q));
     if (d.found) return d;
@@ -62,6 +62,19 @@ Divergence RunChecks(const Scenario& sc, const query::Cq& q,
       if (d.found) return d;
     }
   }
+  if (options.check_snapshots) {
+    // Deterministic snapshot-isolation churn: pinned-epoch answers must be
+    // bit-identical to from-scratch evaluation at every epoch.
+    Rng snap_rng(SubSeed(seed, trial, 0x5A9));
+    Divergence d = count(
+        CheckSnapshotIsolation(sc, q, &snap_rng, options.num_snapshot_ops));
+    if (d.found) return d;
+  }
+  if (options.check_concurrent) {
+    Divergence d = count(CheckConcurrentSnapshots(
+        sc, q, SubSeed(seed, trial, 0xC0C), options.concurrent));
+    if (d.found) return d;
+  }
   return Divergence::None();
 }
 
@@ -86,7 +99,11 @@ bool RunFuzzSeed(uint64_t seed, const FuzzOptions& options,
     failure.relation = d.relation;
     failure.detail = d.detail;
     failure.seed_file = EmitSeedFile(seed, trial, d.relation);
-    if (options.shrink) {
+    // Concurrent-relation failures are timing-dependent: the shrinker's
+    // "same relation must re-fail" predicate would flake, so they are
+    // reported at full size.
+    const bool concurrent = d.relation.rfind("concurrent", 0) == 0;
+    if (options.shrink && !concurrent) {
       // Deterministic predicate: re-run the full check battery (same
       // derived sub-seeds) and require the SAME relation to fail — a
       // different divergence on a reduced candidate is a different bug.

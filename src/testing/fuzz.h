@@ -10,6 +10,7 @@
 #include "testing/reference_eval.h"
 #include "testing/scenario.h"
 #include "testing/shrink.h"
+#include "testing/snapshot_oracle.h"
 
 namespace rdfref {
 namespace testing {
@@ -23,15 +24,24 @@ struct FuzzOptions {
   /// Random queries drawn per seed.
   int trials_per_seed = 4;
 
-  /// Relation families (the oracle always runs).
+  /// Relation families.
+  bool check_oracle = true;       ///< strategy-agreement oracle protocol
   bool check_columnar = true;     ///< columnar engine vs reference evaluator
   bool check_metamorphic = true;  ///< threads / deadline invariance
   bool check_federation = true;   ///< graph partitioning across endpoints
   bool check_updates = true;      ///< monotone insert + DRed delete checks
+  bool check_snapshots = true;    ///< single-threaded snapshot isolation
+  /// Threaded snapshot churn (fuzz_driver --updates-concurrent): a writer
+  /// thread + background compaction race reader threads pinning epochs.
+  /// Off by default — concurrent failures are timing-dependent and are
+  /// reported unshrunk.
+  bool check_concurrent = false;
   std::vector<int> thread_settings = {1, 0, 8};
   int federation_endpoints = 3;
-  int num_inserts = 2;     ///< insertions per monotonicity check
-  int num_update_ops = 4;  ///< ops per insert/delete consistency check
+  int num_inserts = 2;       ///< insertions per monotonicity check
+  int num_update_ops = 4;    ///< ops per insert/delete consistency check
+  int num_snapshot_ops = 6;  ///< ops per snapshot-isolation check
+  ConcurrentSnapshotOptions concurrent;
 
   /// Corrupts a strategy's answer before the oracle compares — the
   /// mutation check: with a bug injected, the harness MUST catch and

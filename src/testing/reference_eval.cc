@@ -12,7 +12,7 @@
 #include "api/query_answering.h"
 #include "engine/evaluator.h"
 #include "reformulation/reformulator.h"
-#include "storage/delta_store.h"
+#include "storage/version_set.h"
 
 namespace rdfref {
 namespace testing {
@@ -159,7 +159,8 @@ std::vector<query::VarId> HeadColumns(const Cq& q) {
   return columns;
 }
 
-// Bit-for-bit comparison: column labels, row order, every TermId.
+}  // namespace
+
 Divergence CompareBitForBit(const std::string& relation,
                             const engine::Table& columnar,
                             const engine::Table& reference, const Cq& q,
@@ -187,8 +188,6 @@ Divergence CompareBitForBit(const std::string& relation,
   return Divergence::Of(relation, os.str());
 }
 
-}  // namespace
-
 engine::Table ReferenceEvaluateCq(const storage::TripleSource& source,
                                   const query::Cq& q) {
   std::vector<std::vector<rdf::TermId>> rows;
@@ -211,7 +210,8 @@ engine::Table ReferenceEvaluateUcq(const storage::TripleSource& source,
 
 Divergence CheckColumnarVsReference(const Scenario& sc, const query::Cq& q) {
   api::QueryAnswerer answerer(sc.graph.Clone());
-  const storage::DeltaStore& source = answerer.explicit_source();
+  storage::SnapshotPtr pinned = answerer.PinSnapshot();
+  const storage::TripleSource& source = *pinned;
   const rdf::Dictionary& dict = answerer.dict();
   engine::Evaluator sequential(&source);
 

@@ -1,15 +1,28 @@
 #ifndef RDFREF_TESTING_REFERENCE_EVAL_H_
 #define RDFREF_TESTING_REFERENCE_EVAL_H_
 
+#include <string>
+
 #include "engine/table.h"
 #include "query/cq.h"
 #include "query/ucq.h"
+#include "rdf/dictionary.h"
 #include "storage/triple_source.h"
 #include "testing/oracle.h"
 #include "testing/scenario.h"
 
 namespace rdfref {
 namespace testing {
+
+/// \brief Bit-for-bit table comparison: column labels, row order, every
+/// TermId. Returns a divergence tagged `relation` (with the query appended
+/// to the detail) on the first difference. Shared by the differential
+/// relations that demand byte-identical answers (columnar vs reference,
+/// pinned snapshot vs materialized rebuild).
+Divergence CompareBitForBit(const std::string& relation,
+                            const engine::Table& columnar,
+                            const engine::Table& reference, const query::Cq& q,
+                            const rdf::Dictionary& dict);
 
 /// \brief Reference row-materializing evaluator: the pre-columnar engine,
 /// retained verbatim as an oracle. It runs the same greedy join order, but

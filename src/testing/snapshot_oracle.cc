@@ -1,0 +1,197 @@
+#include "testing/snapshot_oracle.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/synchronization.h"
+#include "engine/evaluator.h"
+#include "reformulation/reformulator.h"
+#include "rdf/vocab.h"
+#include "schema/schema.h"
+#include "storage/store.h"
+#include "storage/version_set.h"
+#include "testing/reference_eval.h"
+
+namespace rdfref {
+namespace testing {
+
+namespace {
+
+namespace vocab = rdf::vocab;
+
+/// The fixed part of both relations: the scenario's database indexed as the
+/// VersionSet's base, plus q's UCQ reformulation (computed once — the
+/// schema never changes during the churn, so the reformulation is valid at
+/// every epoch).
+struct SnapshotHarness {
+  rdf::Graph graph;
+  schema::Schema schema;
+  std::unique_ptr<storage::Store> base;
+  query::Ucq ucq;
+  bool reformulated = false;  // false: budget blown, relations are vacuous
+};
+
+SnapshotHarness BuildHarness(const Scenario& sc, const query::Cq& q) {
+  SnapshotHarness h;
+  h.graph = sc.graph.Clone();
+  h.schema = schema::Schema::FromGraph(h.graph);
+  h.schema.Saturate();
+  h.schema.EmitTriples(&h.graph);
+  h.base = std::make_unique<storage::Store>(h.graph);
+  reformulation::Reformulator ref(&h.schema, {}, &h.graph.dict());
+  auto ucq = ref.Reformulate(q);
+  if (!ucq.ok()) return h;
+  h.ucq = std::move(*ucq);
+  h.reformulated = true;
+  return h;
+}
+
+/// One random operation against the versioned store. Inserts draw fresh
+/// facts over the scenario's vocabulary (the dictionary is never touched —
+/// essential for the threaded relation); removes drain the live pool, which
+/// tracks exactly the instance triples currently visible.
+void ApplyRandomOp(const Scenario& sc, Rng* rng, storage::VersionSet* versions,
+                   std::vector<rdf::Triple>* pool, bool allow_maintenance) {
+  const double roll = rng->UniformDouble();
+  if (allow_maintenance && roll < 0.15) {
+    versions->Freeze();
+    return;
+  }
+  if (allow_maintenance && roll < 0.25) {
+    versions->Compact();
+    return;
+  }
+  if (roll < 0.55 && !pool->empty()) {
+    const size_t at = rng->Uniform(pool->size());
+    versions->Remove((*pool)[at]);
+    pool->erase(pool->begin() + at);
+    return;
+  }
+  rdf::TermId s = sc.subjects[rng->Uniform(sc.subjects.size())];
+  rdf::Triple t =
+      rng->Chance(0.3)
+          ? rdf::Triple(s, vocab::kTypeId,
+                        sc.classes[rng->Uniform(sc.classes.size())])
+          : rdf::Triple(s, sc.properties[rng->Uniform(sc.properties.size())],
+                        sc.subjects[rng->Uniform(sc.subjects.size())]);
+  if (versions->Insert(t)) pool->push_back(t);
+}
+
+/// From-scratch ground truth: index the snapshot's materialized triple set
+/// as a pristine Store and evaluate against that. Bit-identity with
+/// pinned-snapshot evaluation is the whole claim under test.
+engine::Table EvaluateMaterialized(const rdf::Dictionary& dict,
+                                   const storage::SnapshotSource& snap,
+                                   const query::Ucq& ucq) {
+  storage::Store rebuilt(&dict, snap.Materialize());
+  engine::Evaluator evaluator(&rebuilt);
+  return evaluator.EvaluateUcq(ucq);
+}
+
+}  // namespace
+
+Divergence CheckSnapshotIsolation(const Scenario& sc, const query::Cq& q,
+                                  Rng* rng, int num_ops) {
+  SnapshotHarness h = BuildHarness(sc, q);
+  if (!h.reformulated) return Divergence::None();
+  const rdf::Dictionary& dict = h.graph.dict();
+
+  storage::VersionSet versions(h.base.get());
+  storage::SnapshotPtr epoch0 = versions.snapshot();
+  engine::Evaluator epoch0_eval(epoch0.get());
+  const engine::Table epoch0_answer = epoch0_eval.EvaluateUcq(h.ucq);
+
+  std::vector<rdf::Triple> pool = sc.data_triples;
+  for (int op = 0; op < num_ops; ++op) {
+    ApplyRandomOp(sc, rng, &versions, &pool, /*allow_maintenance=*/true);
+
+    storage::SnapshotPtr snap = versions.snapshot();
+    engine::Evaluator pinned(snap.get());
+    engine::Table fast = pinned.EvaluateUcq(h.ucq);
+    engine::Table expected = EvaluateMaterialized(dict, *snap, h.ucq);
+    Divergence d =
+        CompareBitForBit("snapshot:epoch=" + std::to_string(snap->epoch()),
+                         fast, expected, q, dict);
+    if (d.found) return d;
+
+    // The epoch-0 pin is immune to everything that happened since.
+    engine::Table again = epoch0_eval.EvaluateUcq(h.ucq);
+    d = CompareBitForBit("snapshot:pinned", again, epoch0_answer, q, dict);
+    if (d.found) return d;
+  }
+  return Divergence::None();
+}
+
+Divergence CheckConcurrentSnapshots(
+    const Scenario& sc, const query::Cq& q, uint64_t seed,
+    const ConcurrentSnapshotOptions& options) {
+  SnapshotHarness h = BuildHarness(sc, q);
+  if (!h.reformulated) return Divergence::None();
+  const rdf::Dictionary& dict = h.graph.dict();
+
+  storage::VersionSet versions(h.base.get());
+  storage::VersionSetOptions maintenance;
+  maintenance.freeze_threshold = 24;  // small: force churn inside the test
+  maintenance.compact_min_runs = 2;
+  versions.StartBackgroundCompaction(maintenance);
+
+  common::Mutex mu;
+  Divergence first;
+  auto record = [&mu, &first](const Divergence& d) {
+    if (!d.found) return;
+    common::MutexLock lock(&mu);
+    if (!first.found) first = d;
+  };
+
+  // The writer: random inserts/removes with explicit Freeze/Compact
+  // interleaved, racing the background maintenance thread and the readers.
+  std::thread writer([&] {
+    Rng wrng(seed * 0x9E3779B97F4A7C15ULL + 0xC0C);
+    std::vector<rdf::Triple> pool = sc.data_triples;
+    int freezes = 0;
+    for (int op = 0; op < options.writer_ops; ++op) {
+      ApplyRandomOp(sc, &wrng, &versions, &pool, /*allow_maintenance=*/false);
+      if (options.freeze_every > 0 && (op + 1) % options.freeze_every == 0) {
+        ++freezes;
+        if (options.compact_every > 0 && freezes % options.compact_every == 0) {
+          versions.Compact();
+        } else {
+          versions.Freeze();
+        }
+      }
+    }
+  });
+
+  // Readers: whatever epoch a pin lands on, pinned evaluation must be
+  // bit-identical to from-scratch evaluation over that epoch's
+  // materialization, and deterministic on re-evaluation.
+  std::vector<std::thread> readers;
+  readers.reserve(options.reader_threads);
+  for (int r = 0; r < options.reader_threads; ++r) {
+    readers.emplace_back([&] {
+      for (int c = 0; c < options.checks_per_reader; ++c) {
+        storage::SnapshotPtr snap = versions.snapshot();
+        engine::Evaluator pinned(snap.get());
+        engine::Table fast = pinned.EvaluateUcq(h.ucq);
+        engine::Table expected = EvaluateMaterialized(dict, *snap, h.ucq);
+        record(CompareBitForBit(
+            "concurrent:epoch=" + std::to_string(snap->epoch()), fast,
+            expected, q, dict));
+        engine::Table again = pinned.EvaluateUcq(h.ucq);
+        record(CompareBitForBit("concurrent:redo", again, fast, q, dict));
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  versions.StopBackgroundCompaction();
+  common::MutexLock lock(&mu);
+  return first;
+}
+
+}  // namespace testing
+}  // namespace rdfref

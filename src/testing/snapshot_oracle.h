@@ -1,0 +1,61 @@
+#ifndef RDFREF_TESTING_SNAPSHOT_ORACLE_H_
+#define RDFREF_TESTING_SNAPSHOT_ORACLE_H_
+
+#include <cstdint>
+
+#include "query/cq.h"
+#include "testing/oracle.h"
+#include "testing/scenario.h"
+
+namespace rdfref {
+namespace testing {
+
+/// \brief Knobs of the concurrent-snapshot metamorphic check.
+struct ConcurrentSnapshotOptions {
+  /// Reader threads pinning and evaluating snapshots.
+  int reader_threads = 2;
+  /// Insert/remove operations the churning writer performs.
+  int writer_ops = 96;
+  /// The writer calls Freeze() every this many operations...
+  int freeze_every = 12;
+  /// ...and Compact() every `compact_every` freezes.
+  int compact_every = 3;
+  /// Snapshot pin+evaluate rounds per reader.
+  int checks_per_reader = 6;
+};
+
+/// \brief Deterministic (single-threaded) snapshot-isolation relation: over
+/// a VersionSet seeded with the scenario's explicit database, applies
+/// `num_ops` random operations — inserts, removes, Freeze(), Compact() —
+/// and after every operation demands that
+///
+///   1. evaluating q's UCQ reformulation against a freshly pinned snapshot
+///      is bit-identical to from-scratch evaluation over a Store built from
+///      that snapshot's materialized triple set
+///      (relation "snapshot:epoch=E"), and
+///   2. a snapshot pinned at epoch 0 keeps answering exactly its original
+///      table no matter how the store churns, freezes, or compacts
+///      underneath it (relation "snapshot:pinned").
+///
+/// Runs in the default fuzz battery; divergences shrink like any other
+/// relation because every draw comes from the caller's seeded `rng`.
+Divergence CheckSnapshotIsolation(const Scenario& sc, const query::Cq& q,
+                                  Rng* rng, int num_ops);
+
+/// \brief Threaded snapshot-isolation relation (fuzz_driver
+/// --updates-concurrent): one writer thread churns a VersionSet (with
+/// background compaction running) while reader threads repeatedly pin
+/// snapshots and demand bit-identical agreement between pinned-epoch
+/// evaluation and from-scratch evaluation over the snapshot's materialized
+/// set, plus re-evaluation determinism on the same snapshot. Relations are
+/// prefixed "concurrent:"; failures are timing-dependent, so the harness
+/// skips shrinking for them. Run under TSan in CI, the check also proves
+/// the version-swap protocol race-free.
+Divergence CheckConcurrentSnapshots(const Scenario& sc, const query::Cq& q,
+                                    uint64_t seed,
+                                    const ConcurrentSnapshotOptions& options);
+
+}  // namespace testing
+}  // namespace rdfref
+
+#endif  // RDFREF_TESTING_SNAPSHOT_ORACLE_H_

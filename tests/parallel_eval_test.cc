@@ -109,7 +109,8 @@ TEST_F(ParallelEvalTest, DeadlineCancelsInsideASingleHugeCq) {
   query::Cq q = Parse(
       "SELECT ?x ?z ?s ?c ?f ?k WHERE { ?x ub:memberOf ?z . "
       "?s ub:takesCourse ?c . ?f ub:teacherOf ?k . }");
-  engine::Evaluator evaluator(&answerer_->explicit_source());
+  storage::SnapshotPtr snap = answerer_->PinSnapshot();
+  engine::Evaluator evaluator(snap.get());
   query::Ucq ucq({q});
   auto result = evaluator.EvaluateUcq(ucq, Deadline::AfterMicros(500));
   ASSERT_FALSE(result.ok());
@@ -124,7 +125,8 @@ TEST_F(ParallelEvalTest, ParallelUcqReportsDeadlineWithMemberCounts) {
       "SELECT ?x ?z ?s ?c WHERE { ?x ub:memberOf ?z . "
       "?s ub:takesCourse ?c . }");
   query::Ucq ucq({member, member, member, member});
-  engine::Evaluator evaluator(&answerer_->explicit_source(), 4);
+  storage::SnapshotPtr snap = answerer_->PinSnapshot();
+  engine::Evaluator evaluator(snap.get(), 4);
   auto result = evaluator.EvaluateUcq(ucq, Deadline::AfterMicros(200));
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
@@ -134,7 +136,8 @@ TEST_F(ParallelEvalTest, ParallelUcqReportsDeadlineWithMemberCounts) {
 }
 
 TEST_F(ParallelEvalTest, EmptyAndSingleMemberUcqUnderParallelEvaluator) {
-  engine::Evaluator evaluator(&answerer_->explicit_source(), 4);
+  storage::SnapshotPtr snap = answerer_->PinSnapshot();
+  engine::Evaluator evaluator(snap.get(), 4);
   query::Ucq empty;
   auto none = evaluator.EvaluateUcq(empty, Deadline::Infinite());
   ASSERT_TRUE(none.ok());
@@ -143,14 +146,15 @@ TEST_F(ParallelEvalTest, EmptyAndSingleMemberUcqUnderParallelEvaluator) {
   query::Cq q = Parse("SELECT ?x WHERE { ?x a ub:Person . }");
   auto single = evaluator.EvaluateUcq(query::Ucq({q}), Deadline::Infinite());
   ASSERT_TRUE(single.ok());
-  engine::Evaluator sequential(&answerer_->explicit_source(), 1);
+  engine::Evaluator sequential(snap.get(), 1);
   auto base = sequential.EvaluateUcq(query::Ucq({q}), Deadline::Infinite());
   ASSERT_TRUE(base.ok());
   EXPECT_EQ(single->RowVectors(), base->RowVectors());
 }
 
 TEST_F(ParallelEvalTest, ZeroResolvesToDefaultThreads) {
-  engine::Evaluator evaluator(&answerer_->explicit_source(), 0);
+  storage::SnapshotPtr snap = answerer_->PinSnapshot();
+  engine::Evaluator evaluator(snap.get(), 0);
   EXPECT_GE(evaluator.threads(), 2);
   evaluator.set_threads(1);
   EXPECT_EQ(evaluator.threads(), 1);

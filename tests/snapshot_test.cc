@@ -1,0 +1,426 @@
+// Epoch-based snapshot isolation (DESIGN.md §11): VersionSet epoch
+// semantics, pinned-snapshot immutability across Freeze/Compact, the
+// per-generation zero-copy fast path, background compaction, a
+// K-reader/1-writer stress test (run under TSan in CI), and the facade's
+// AnswerOptions::snapshot pinning.
+
+#include "storage/version_set.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/query_answering.h"
+#include "common/hash.h"
+#include "common/synchronization.h"
+#include "datagen/bibliography.h"
+#include "query/sparql_parser.h"
+#include "rdf/vocab.h"
+#include "storage/store.h"
+
+namespace rdfref {
+namespace storage {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s1_ = U("s1");
+    s2_ = U("s2");
+    p_ = U("p");
+    q_ = U("q");
+    o1_ = U("o1");
+    o2_ = U("o2");
+    graph_.Add(s1_, p_, o1_);
+    graph_.Add(s1_, p_, o2_);
+    graph_.Add(s2_, p_, o1_);
+    graph_.Add(s1_, q_, o1_);
+    graph_.Add(s2_, q_, o2_);
+    base_ = std::make_unique<Store>(graph_);
+  }
+
+  rdf::TermId U(const std::string& name) {
+    return graph_.dict().InternUri("http://ex/" + name);
+  }
+
+  rdf::Graph graph_;
+  std::unique_ptr<Store> base_;
+  rdf::TermId s1_, s2_, p_, q_, o1_, o2_;
+};
+
+TEST_F(SnapshotTest, EpochBumpsOnlyOnVisibilityChanges) {
+  VersionSet v(base_.get());
+  EXPECT_EQ(v.epoch(), 0u);
+
+  rdf::Triple fresh(s2_, p_, o2_);
+  EXPECT_TRUE(v.Insert(fresh));
+  EXPECT_EQ(v.epoch(), 1u);
+  EXPECT_FALSE(v.Insert(fresh));  // already visible via the head
+  EXPECT_FALSE(v.Insert(rdf::Triple(s1_, p_, o1_)));  // visible via the base
+  EXPECT_EQ(v.epoch(), 1u);
+
+  EXPECT_TRUE(v.Remove(rdf::Triple(s1_, p_, o1_)));
+  EXPECT_EQ(v.epoch(), 2u);
+  EXPECT_FALSE(v.Remove(rdf::Triple(s1_, p_, o1_)));  // already hidden
+  EXPECT_FALSE(v.Remove(rdf::Triple(s2_, q_, o1_)));  // never visible
+  EXPECT_EQ(v.epoch(), 2u);
+
+  EXPECT_TRUE(v.Insert(rdf::Triple(s1_, p_, o1_)));  // un-hide
+  EXPECT_EQ(v.epoch(), 3u);
+
+  // Reorganization is invisible: sealing and merging leave the epoch alone.
+  v.Freeze();
+  v.Compact();
+  EXPECT_EQ(v.epoch(), 3u);
+  EXPECT_TRUE(v.Contains(fresh));
+  EXPECT_TRUE(v.Contains(rdf::Triple(s1_, p_, o1_)));
+}
+
+TEST_F(SnapshotTest, PinnedSnapshotImmuneToLaterChurn) {
+  VersionSet v(base_.get());
+  SnapshotPtr pin = v.snapshot();
+  const std::vector<rdf::Triple> before = pin->Materialize();
+  EXPECT_EQ(before.size(), 5u);
+
+  ASSERT_TRUE(v.Insert(rdf::Triple(s2_, p_, o2_)));
+  ASSERT_TRUE(v.Remove(rdf::Triple(s1_, q_, o1_)));
+  v.Freeze();
+  ASSERT_TRUE(v.Remove(rdf::Triple(s2_, p_, o2_)));
+  v.Compact();
+
+  // The pin still answers as epoch 0 no matter what happened since.
+  EXPECT_EQ(pin->epoch(), 0u);
+  EXPECT_EQ(pin->Materialize(), before);
+  EXPECT_TRUE(pin->Contains(rdf::Triple(s1_, q_, o1_)));
+  EXPECT_FALSE(pin->Contains(rdf::Triple(s2_, p_, o2_)));
+  EXPECT_EQ(pin->CountMatches(kAny, kAny, kAny), 5u);
+
+  // A fresh pin sees the churned state: +o2 fact then -o2 fact, -q fact.
+  SnapshotPtr now = v.snapshot();
+  EXPECT_EQ(now->epoch(), 3u);
+  EXPECT_EQ(now->CountMatches(kAny, kAny, kAny), 4u);
+  EXPECT_FALSE(now->Contains(rdf::Triple(s1_, q_, o1_)));
+}
+
+TEST_F(SnapshotTest, CountsStayExactAcrossGenerations) {
+  VersionSet v(base_.get());
+  // Generation 1 (sealed run): one add, one removal against the base.
+  ASSERT_TRUE(v.Insert(rdf::Triple(s2_, p_, o2_)));
+  ASSERT_TRUE(v.Remove(rdf::Triple(s1_, p_, o1_)));
+  v.Freeze();
+  ASSERT_EQ(v.num_runs(), 1u);
+  // Head: one more removal (of a run-added triple) and one add.
+  ASSERT_TRUE(v.Remove(rdf::Triple(s2_, p_, o2_)));
+  ASSERT_TRUE(v.Insert(rdf::Triple(s2_, q_, o1_)));
+
+  SnapshotPtr snap = v.snapshot();
+  // Ground truth: a pristine store over the materialized set must count
+  // identically for every pattern shape.
+  Store rebuilt(&graph_.dict(), snap->Materialize());
+  for (rdf::TermId s : {kAny, s1_, s2_}) {
+    for (rdf::TermId p : {kAny, p_, q_}) {
+      for (rdf::TermId o : {kAny, o1_, o2_}) {
+        EXPECT_EQ(snap->CountMatches(s, p, o), rebuilt.CountMatches(s, p, o))
+            << s << " " << p << " " << o;
+      }
+    }
+  }
+  EXPECT_EQ(snap->CountMatches(kAny, kAny, kAny), 5u);  // 5 - 1 + 1 - 1 + 1
+}
+
+TEST_F(SnapshotTest, ZeroCopyForwardsSingleGenerationRanges) {
+  VersionSet v(base_.get());
+  rdf::TermId r = U("r");
+  rdf::TermId s3 = U("s3");
+  ASSERT_TRUE(v.Insert(rdf::Triple(s3, r, o1_)));
+  ASSERT_TRUE(v.Insert(rdf::Triple(s3, r, o2_)));
+  v.Freeze();  // one sealed run, adds only — nothing filters anything
+
+  SnapshotPtr snap = v.snapshot();
+  std::span<const rdf::Triple> span;
+
+  // Base-only pattern: the span aliases the base store's own index.
+  ASSERT_TRUE(snap->TryGetRange(kAny, p_, kAny, &span));
+  std::span<const rdf::Triple> plain = base_->EqualRangeSpan(kAny, p_, kAny);
+  EXPECT_EQ(span.data(), plain.data());
+  EXPECT_EQ(span.size(), plain.size());
+
+  // Run-only pattern: forwarded from the run's clustered index.
+  ASSERT_TRUE(snap->TryGetRange(kAny, r, kAny, &span));
+  EXPECT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0].p, r);
+
+  // Hinted variant forwards for base-only patterns too.
+  RangeHint hint;
+  ASSERT_TRUE(snap->TryGetRangeHinted(s1_, p_, kAny, &span, &hint));
+  EXPECT_EQ(span.size(), 2u);
+
+  // No generation matches: success with an empty span.
+  ASSERT_TRUE(snap->TryGetRange(s2_, r, kAny, &span));
+  EXPECT_TRUE(span.empty());
+
+  // Two generations contribute: the merged (buffered) path is required.
+  EXPECT_FALSE(snap->TryGetRange(kAny, kAny, o1_, &span));
+
+  // A head write poisons only the patterns it may affect.
+  ASSERT_TRUE(v.Insert(rdf::Triple(s1_, r, o1_)));
+  SnapshotPtr with_head = v.snapshot();
+  EXPECT_FALSE(with_head->TryGetRange(kAny, r, kAny, &span));
+  ASSERT_TRUE(with_head->TryGetRange(kAny, q_, kAny, &span));
+  EXPECT_EQ(span.size(), 2u);
+
+  // After compaction everything is one generation again: even the full
+  // scan is a single zero-copy range.
+  v.Compact();
+  SnapshotPtr compacted = v.snapshot();
+  EXPECT_EQ(compacted->num_runs(), 0u);
+  EXPECT_EQ(compacted->head_size(), 0u);
+  ASSERT_TRUE(compacted->TryGetRange(kAny, kAny, kAny, &span));
+  EXPECT_EQ(span.size(), 8u);  // 5 base + 3 inserted
+}
+
+TEST_F(SnapshotTest, CompactPreservesVisibilityAndDrainsRuns) {
+  VersionSet v(base_.get());
+  ASSERT_TRUE(v.Insert(rdf::Triple(s2_, p_, o2_)));
+  v.Freeze();
+  ASSERT_TRUE(v.Remove(rdf::Triple(s1_, p_, o1_)));
+  v.Freeze();
+  ASSERT_EQ(v.num_runs(), 2u);
+
+  SnapshotPtr before = v.snapshot();
+  const std::vector<rdf::Triple> visible = before->Materialize();
+  const uint64_t epoch = v.epoch();
+
+  v.Compact();
+  EXPECT_EQ(v.num_runs(), 0u);
+  EXPECT_EQ(v.head_size(), 0u);
+  EXPECT_EQ(v.epoch(), epoch);
+
+  SnapshotPtr after = v.snapshot();
+  EXPECT_EQ(after->Materialize(), visible);
+  // Freeze on an empty head is a no-op: no empty runs accumulate.
+  v.Freeze();
+  EXPECT_EQ(v.num_runs(), 0u);
+}
+
+TEST_F(SnapshotTest, BackgroundMaintenanceFreezesAndCompacts) {
+  // Intern everything before the maintenance thread starts; the dictionary
+  // is not synchronized.
+  std::vector<rdf::Triple> inserted;
+  inserted.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    inserted.emplace_back(U("bg" + std::to_string(i)), p_, o1_);
+  }
+
+  VersionSet v(base_.get());
+  VersionSetOptions opts;
+  opts.freeze_threshold = 8;
+  opts.compact_min_runs = 2;
+  v.StartBackgroundCompaction(opts);
+  for (const rdf::Triple& t : inserted) ASSERT_TRUE(v.Insert(t));
+
+  // The maintenance thread must eventually seal the oversized head and
+  // merge the accumulated runs back under both thresholds.
+  for (int tries = 0; tries < 500; ++tries) {
+    if (v.head_size() < opts.freeze_threshold &&
+        v.num_runs() < opts.compact_min_runs) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_LT(v.head_size(), opts.freeze_threshold);
+  EXPECT_LT(v.num_runs(), opts.compact_min_runs);
+  v.StopBackgroundCompaction();
+
+  SnapshotPtr snap = v.snapshot();
+  EXPECT_EQ(snap->epoch(), 100u);
+  EXPECT_EQ(snap->Materialize().size(), 105u);
+  for (const rdf::Triple& t : inserted) EXPECT_TRUE(snap->Contains(t));
+}
+
+// The TSan-targeted stress test: readers pin snapshots while one writer
+// churns (inserts, removes, explicit Freeze/Compact) and the background
+// maintenance thread races both. Every observation of a given epoch — no
+// matter which reader, or whether the triples lived in head, runs, or a
+// compacted base at pin time — must materialize the identical set.
+TEST_F(SnapshotTest, ConcurrentReadersSeeDeterministicEpochs) {
+  std::vector<rdf::TermId> subjects, objects;
+  for (int i = 0; i < 8; ++i) subjects.push_back(U("cs" + std::to_string(i)));
+  for (int i = 0; i < 4; ++i) objects.push_back(U("co" + std::to_string(i)));
+
+  VersionSet v(base_.get());
+  VersionSetOptions opts;
+  opts.freeze_threshold = 16;
+  opts.compact_min_runs = 2;
+  v.StartBackgroundCompaction(opts);
+
+  common::Mutex mu;
+  std::map<uint64_t, std::vector<rdf::Triple>> by_epoch;  // guarded by mu
+  std::atomic<bool> done{false};
+  std::atomic<int> mismatches{0};
+
+  auto check = [&](const SnapshotPtr& snap) {
+    std::vector<rdf::Triple> mat = snap->Materialize();
+    if (snap->CountMatches(kAny, kAny, kAny) != mat.size()) {
+      ++mismatches;
+      return;
+    }
+    common::MutexLock lock(&mu);
+    auto it = by_epoch.find(snap->epoch());
+    if (it == by_epoch.end()) {
+      by_epoch.emplace(snap->epoch(), std::move(mat));
+    } else if (it->second != mat) {
+      ++mismatches;
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      for (int c = 0; c < 400 && !done.load(); ++c) check(v.snapshot());
+    });
+  }
+
+  // Writer churn on the test thread.
+  Rng rng(7);
+  std::vector<rdf::Triple> pool;
+  for (int op = 0; op < 300; ++op) {
+    if (!pool.empty() && rng.Chance(0.4)) {
+      const size_t at = rng.Uniform(pool.size());
+      ASSERT_TRUE(v.Remove(pool[at]));
+      pool.erase(pool.begin() + at);
+    } else {
+      rdf::Triple t(subjects[rng.Uniform(subjects.size())], p_,
+                    objects[rng.Uniform(objects.size())]);
+      if (v.Insert(t)) pool.push_back(t);
+    }
+    if (op % 37 == 36) v.Freeze();
+    if (op % 97 == 96) v.Compact();
+  }
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  v.StopBackgroundCompaction();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // The final epoch must agree with the writer's own bookkeeping.
+  SnapshotPtr last = v.snapshot();
+  EXPECT_EQ(last->Materialize().size(), 5u + pool.size());
+}
+
+}  // namespace
+}  // namespace storage
+
+// ---------------------------------------------------------------------------
+// Facade-level pinning: AnswerOptions::snapshot.
+
+namespace api {
+namespace {
+
+namespace vocab = rdf::vocab;
+
+class SnapshotApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rdf::Graph graph;
+    datagen::Bibliography::AddFigure2Graph(&graph);
+    answerer_ = std::make_unique<QueryAnswerer>(std::move(graph));
+  }
+
+  rdf::TermId Bib(const std::string& local) {
+    return answerer_->dict().InternUri(datagen::Bibliography::Uri(local));
+  }
+
+  query::Cq Parse(const std::string& text) {
+    auto q = query::ParseSparql(
+        "PREFIX bib: <http://example.org/bib/>\n" + text, &answerer_->dict());
+    EXPECT_TRUE(q.ok()) << q.status();
+    return *q;
+  }
+
+  std::set<std::vector<rdf::TermId>> Rows(Strategy s, const query::Cq& q,
+                                          const AnswerOptions& options = {}) {
+    auto table = answerer_->Answer(q, s, nullptr, options);
+    EXPECT_TRUE(table.ok()) << table.status();
+    return table->RowSet();
+  }
+
+  std::unique_ptr<QueryAnswerer> answerer_;
+};
+
+TEST_F(SnapshotApiTest, PinnedAnswersIgnoreLaterUpdates) {
+  query::Cq q = Parse("SELECT ?x WHERE { ?x a bib:Book . }");
+  AnswerOptions pinned;
+  pinned.snapshot = answerer_->PinSnapshot();
+  const auto before = Rows(Strategy::kRefUcq, q, pinned);
+  EXPECT_EQ(before.size(), 1u);
+
+  rdf::TermId doi2 = Bib("doi2");
+  ASSERT_TRUE(
+      answerer_->InsertTriple(rdf::Triple(doi2, vocab::kTypeId, Bib("Book")))
+          .ok());
+
+  // The pinned epoch keeps answering the old state; fresh calls see the new.
+  EXPECT_EQ(Rows(Strategy::kRefUcq, q, pinned), before);
+  EXPECT_EQ(Rows(Strategy::kRefGcov, q, pinned), before);
+  EXPECT_EQ(Rows(Strategy::kRefUcq, q).size(), 2u);
+
+  // Maintenance does not disturb a held pin either.
+  answerer_->versions().Freeze();
+  answerer_->versions().Compact();
+  EXPECT_EQ(Rows(Strategy::kRefUcq, q, pinned), before);
+  EXPECT_EQ(Rows(Strategy::kRefUcq, q).size(), 2u);
+}
+
+TEST_F(SnapshotApiTest, DatalogPinsTheEpochItsProgramWasBuiltAgainst) {
+  query::Cq q = Parse("SELECT ?x WHERE { ?x a bib:Book . }");
+  AnswerOptions pinned;
+  pinned.snapshot = answerer_->PinSnapshot();
+
+  rdf::TermId doi2 = Bib("doi2");
+  ASSERT_TRUE(
+      answerer_->InsertTriple(rdf::Triple(doi2, vocab::kTypeId, Bib("Book")))
+          .ok());
+
+  // The insert reset the program; building it against the pre-insert pin
+  // answers the pinned epoch.
+  EXPECT_EQ(Rows(Strategy::kDatalog, q, pinned).size(), 1u);
+  // A fresh program (after another update resets it) sees the insert.
+  ASSERT_TRUE(
+      answerer_->InsertTriple(rdf::Triple(Bib("doi3"), Bib("writtenBy"),
+                                          answerer_->dict().InternBlank("b9")))
+          .ok());
+  EXPECT_EQ(Rows(Strategy::kDatalog, q).size(), 3u);  // doi3 typed via domain
+}
+
+TEST_F(SnapshotApiTest, MaintenanceThroughFacadeKeepsAllStrategiesAgreeing) {
+  query::Cq q = Parse("SELECT ?x WHERE { ?x a bib:Person . }");
+  const auto before = Rows(Strategy::kSaturation, q);
+
+  rdf::TermId doi2 = Bib("doi2");
+  ASSERT_TRUE(answerer_
+                  ->InsertTriple(rdf::Triple(doi2, Bib("writtenBy"),
+                                             answerer_->dict().InternBlank(
+                                                 "b2")))
+                  .ok());
+  answerer_->versions().Freeze();
+  answerer_->versions().Compact();
+
+  const auto expected = Rows(Strategy::kSaturation, q);
+  EXPECT_EQ(expected.size(), before.size() + 1);
+  for (Strategy s :
+       {Strategy::kRefUcq, Strategy::kRefGcov, Strategy::kDatalog}) {
+    EXPECT_EQ(Rows(s, q), expected) << StrategyName(s);
+  }
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace rdfref

@@ -3,8 +3,10 @@
 
 Runs a fixed, small subset of the benchmark suite — the reformulation-heavy
 strategy comparison (Q6, the largest UCQ of the LUBM suite: 462 CQs after
-reformulation) and the parallel-evaluation suite at 1 and 8 threads — and
-writes one JSON document per run (default BENCH_PR5.json).
+reformulation), the parallel-evaluation suite at 1 and 8 threads, and the
+snapshot-isolation read-path overhead (pristine store vs sealed delta runs
+vs a racing writer) — and writes one JSON document per run (default
+BENCH_PR6.json).
 
 The subset is pinned so numbers stay comparable across commits: same
 queries, same scenario (the shared LUBM dataset the bench binaries build),
@@ -16,6 +18,8 @@ every binary's results into one document:
       "schema": "rdfref-bench/1",
       "generated_by": "tools/bench_runner.py",
       "git_rev": "<short rev or null>",
+      "config": {"pinned": [["bench/bench_strategies", "<filter>"], ...],
+                 "min_time": null},
       "benchmarks": [
         {"binary": "bench_strategies", "name": "BM_Q6_RefUcq",
          "real_time_ms": 5.43, "cpu_time_ms": 5.42, "iterations": 130},
@@ -23,8 +27,12 @@ every binary's results into one document:
       ]
     }
 
+The git_rev + config stamp makes every artifact self-describing: a JSON
+diffed months later still says which commit produced it and which pinned
+scenario (binaries, filters, min time) it measured.
+
 CI runs this as the perf-smoke job and uploads the JSON as an artifact;
-compare against the committed BENCH_PR5.json to spot regressions. The job
+compare against the committed BENCH_PR6.json to spot regressions. The job
 is a smoke test, not a gate: shared CI runners are too noisy for hard
 thresholds, so regressions are judged by humans diffing the artifacts.
 """
@@ -40,12 +48,15 @@ import tempfile
 
 # The pinned subset: (binary, benchmark_filter). Q6 is the reformulation
 # stress case (largest UCQ); the Suite benchmarks cover the parallel chunk
-# path that shares the per-UCQ scan cache.
+# path that shares the per-UCQ scan cache; the Snapshot trio measures the
+# versioned-storage read path (pristine vs sealed runs vs racing writer).
 PINNED = [
     ("bench/bench_strategies",
      "BM_Q6_(Sat|RefUcq|RefScq|RefGcov)$"),
     ("bench/bench_parallel",
      "BM_Suite_Ref(Ucq|Scq|Gcov)_Threads/(1|8)$"),
+    ("bench/bench_snapshot",
+     "BM_Snapshot_(Pristine|SealedRuns|UnderWriter)$"),
 ]
 
 
@@ -110,7 +121,7 @@ def main(argv=None):
         description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build",
                         help="CMake build directory with bench binaries")
-    parser.add_argument("--out", default="BENCH_PR5.json",
+    parser.add_argument("--out", default="BENCH_PR6.json",
                         help="output JSON path")
     parser.add_argument("--min-time", default=None,
                         help="per-benchmark min time in seconds "
@@ -139,6 +150,11 @@ def main(argv=None):
         "schema": "rdfref-bench/1",
         "generated_by": "tools/bench_runner.py",
         "git_rev": git_rev(root),
+        # Self-describing artifact: the exact pinned scenario measured.
+        "config": {
+            "pinned": [list(entry) for entry in PINNED],
+            "min_time": args.min_time,
+        },
         "benchmarks": results,
     }
     with open(args.out, "w", encoding="utf-8") as f:

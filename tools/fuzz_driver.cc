@@ -19,6 +19,12 @@
 //   --no-federation   skip the federation partition relation
 //   --no-updates      skip insert/delete relations
 //   --no-shrink       report the unshrunk failing case
+//   --updates-concurrent
+//                     ONLY the threaded snapshot relation: a churning
+//                     writer (with background compaction) races reader
+//                     threads whose pinned epochs must answer bit-
+//                     identically to from-scratch evaluation; divergences
+//                     are reported unshrunk (timing-dependent)
 //   --out PATH        write the shrunken repro test here (default
 //                     fuzz_repro.cc next to the seed file fuzz_repro.seed)
 //
@@ -121,6 +127,15 @@ int main(int argc, char** argv) {
       options.check_federation = false;
     } else if (arg == "--no-updates") {
       options.check_updates = false;
+    } else if (arg == "--updates-concurrent") {
+      // Focused mode: every cycle goes to the threaded snapshot relation.
+      options.check_oracle = false;
+      options.check_columnar = false;
+      options.check_metamorphic = false;
+      options.check_federation = false;
+      options.check_updates = false;
+      options.check_snapshots = false;
+      options.check_concurrent = true;
     } else if (arg == "--no-shrink") {
       options.shrink = false;
     } else {

@@ -27,6 +27,14 @@ Rules (see DESIGN.md section 8):
                 takes spans (TryGetRange), buffers (ScanInto) or
                 cursors (PatternCursor) — all inlineable, none
                 type-erased.
+  delta-mutation
+                The engine evaluates immutable TripleSource views; naming
+                the mutable storage types (DeltaStore, VersionSet) from
+                src/engine/ is banned. Updates go through
+                api::QueryAnswerer, and concurrent evaluation pins an
+                immutable SnapshotSource (storage/version_set.h) — engine
+                code reaching for the mutable overlay would bypass epoch
+                isolation.
   layering      Library-level include DAG: each of the 15 src/ libraries
                 may only include the libraries listed in ALLOWED_DEPS
                 (common at the bottom, engine never includes federation,
@@ -178,6 +186,29 @@ def check_std_function(path, rel, lines, findings):
             "legacy Scan shims need an explicit allow"))
 
 
+# The engine must see the database only through immutable TripleSource
+# views: snapshot isolation is enforced at the storage layer, and an
+# evaluator holding the mutable overlay (or the version set itself) could
+# observe a torn epoch. Only api/ wires updates to evaluation.
+DELTA_MUTATION_DIRS = ("engine",)
+DELTA_MUTATION_RE = re.compile(r"\b(DeltaStore|VersionSet)\b")
+
+
+def check_delta_mutation(path, rel, lines, findings):
+    if rel.split(os.sep, 1)[0] not in DELTA_MUTATION_DIRS:
+        return
+    for i, line in enumerate(lines, 1):
+        code = line.split("//", 1)[0]  # prose mentions in comments are fine
+        if not DELTA_MUTATION_RE.search(code):
+            continue
+        if allowed(line, "delta-mutation"):
+            continue
+        findings.append(Finding(path, i, "delta-mutation",
+            "engine code must not name the mutable storage types "
+            "(DeltaStore/VersionSet) — evaluate an immutable TripleSource; "
+            "pin a SnapshotSource via api::QueryAnswerer::PinSnapshot()"))
+
+
 def check_nodiscard_classes(src_root, findings):
     for rel, cls in (("common/result.h", "Result"),
                      ("common/status.h", "Status")):
@@ -311,6 +342,7 @@ def main(argv=None):
         check_raw_sync(path, rel, lines, findings)
         check_rng_seed(path, rel, lines, findings)
         check_std_function(path, rel, lines, findings)
+        check_delta_mutation(path, rel, lines, findings)
         check_entry_points(path, rel, lines, findings)
     check_nodiscard_classes(src_root, findings)
     check_layering_and_cycles(src_root, findings)
