@@ -1,0 +1,126 @@
+// Experiment T15 — hierarchy-aware term encoding (DESIGN.md §12).
+//
+// The same deep-hierarchy reformulation queries answered two ways over the
+// same LUBM dataset and the same (encoded) id space:
+//
+//   Classic:  ReformulationOptions::use_encoding = false — every subclass /
+//             subproperty of the queried term contributes its own UCQ
+//             member, exactly the pre-encoding plan.
+//   Interval: the default — the reformulator collapses each hierarchy
+//             union into one interval atom and the store answers it as a
+//             single contiguous range scan.
+//
+// Q1-persons is the paper's Q6/Q9 class of query: `?x a ub:Person` fans
+// out across the whole Person subtree under classic reformulation and is
+// one range scan when encoded. Q9-teachers shows the same collapse inside
+// a three-atom join. Qdeep-taxon isolates the hierarchy cost on a
+// synthetic 256-class subclass chain where the union is purely subclass
+// members — LUBM's Person union keeps 27 domain/range-derived members
+// that no interval can absorb, so its collapse is partial (44 -> 28).
+// The `cqs` counter reports the evaluated UCQ size — the structural
+// effect the wall-clock speedup comes from.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace bench {
+namespace {
+
+api::QueryAnswerer* LubmAnswerer() { return SharedLubm(); }
+
+// A 256-deep subclass chain with 30 instances typed at every class:
+// `?x a C0` reformulates into 256 point-scan members under classic
+// reformulation and into a single POS range scan when encoded.
+api::QueryAnswerer* DeepTaxonAnswerer() {
+  static api::QueryAnswerer* answerer = []() {
+    constexpr int kClasses = 256;
+    constexpr int kPerClass = 30;
+    rdf::Graph g;
+    std::vector<rdf::TermId> cls;
+    cls.reserve(kClasses);
+    for (int i = 0; i < kClasses; ++i) {
+      cls.push_back(
+          g.dict().InternUri("http://deep.example/C" + std::to_string(i)));
+    }
+    for (int i = 1; i < kClasses; ++i) {
+      g.Add(cls[i], rdf::vocab::kSubClassOfId, cls[i - 1]);
+    }
+    for (int i = 0; i < kClasses; ++i) {
+      for (int j = 0; j < kPerClass; ++j) {
+        g.Add(g.dict().InternUri("http://deep.example/i" +
+                                 std::to_string(i) + "_" +
+                                 std::to_string(j)),
+              rdf::vocab::kTypeId, cls[i]);
+      }
+    }
+    return new api::QueryAnswerer(std::move(g));
+  }();
+  return answerer;
+}
+
+struct EncodingCase {
+  const char* name;
+  api::QueryAnswerer* (*answerer)();
+  const char* sparql;
+};
+
+const EncodingCase kCases[] = {
+    {"Q1-persons", LubmAnswerer, "SELECT ?x WHERE { ?x a ub:Person . }"},
+    {"Q9-teachers", LubmAnswerer,
+     "SELECT ?f ?c ?s WHERE { ?f ub:teacherOf ?c . "
+     "?s ub:takesCourse ?c . ?s a ub:Student . }"},
+    {"Qdeep-taxon", DeepTaxonAnswerer,
+     "SELECT ?x WHERE { ?x a <http://deep.example/C0> . }"},
+};
+
+void RunCase(benchmark::State& state, const EncodingCase& c,
+             bool use_encoding) {
+  api::QueryAnswerer* answerer = c.answerer();
+  const query::Cq q = ParseUb(answerer, c.sparql);
+  api::AnswerOptions options;
+  options.reform.use_encoding = use_encoding;
+
+  uint64_t cqs = 0;
+  size_t rows = 0;
+  for (auto _ : state) {
+    api::AnswerProfile profile;
+    auto table = answerer->Answer(q, api::Strategy::kRefUcq, &profile,
+                                  options);
+    if (!table.ok()) std::abort();
+    cqs = profile.reformulation_cqs;
+    rows = table->NumRows();
+    benchmark::DoNotOptimize(table);
+  }
+  state.counters["cqs"] = static_cast<double>(cqs);
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_Encoding_Classic(benchmark::State& state) {
+  RunCase(state, kCases[state.range(0)], /*use_encoding=*/false);
+}
+
+void BM_Encoding_Interval(benchmark::State& state) {
+  RunCase(state, kCases[state.range(0)], /*use_encoding=*/true);
+}
+
+void NameCases(benchmark::internal::Benchmark* b) {
+  for (int i = 0; i < static_cast<int>(std::size(kCases)); ++i) b->Arg(i);
+}
+
+BENCHMARK(BM_Encoding_Classic)->Apply(NameCases)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Encoding_Interval)->Apply(NameCases)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfref
+
+BENCHMARK_MAIN();

@@ -28,7 +28,14 @@ const char* StrategyName(Strategy s) {
   return "UNKNOWN";
 }
 
-QueryAnswerer::QueryAnswerer(rdf::Graph graph) : graph_(std::move(graph)) {
+QueryAnswerer::QueryAnswerer(rdf::Graph graph,
+                             const schema::EncoderOptions& encoder_options)
+    : graph_(std::move(graph)) {
+  // Hierarchy-encode the id space first (while the graph holds only the
+  // *direct* constraint edges): subtrees become contiguous id intervals,
+  // which the reformulator fuses into single range-scan atoms.
+  encoding_report_ =
+      schema::EncodeGraphHierarchy(&graph_, encoder_options).report;
   schema_ = schema::Schema::FromGraph(graph_);
   schema_.Saturate();
   // Per [9], the (small) schema component of the database is stored
@@ -39,14 +46,57 @@ QueryAnswerer::QueryAnswerer(rdf::Graph graph) : graph_(std::move(graph)) {
   versions_ = std::make_unique<storage::VersionSet>(ref_store_.get());
 }
 
-Status QueryAnswerer::InsertTriple(const rdf::Triple& t) {
-  if (rdf::vocab::IsSchemaProperty(t.p)) {
-    return Status::Unimplemented(
-        "constraint updates change the schema; rebuild the QueryAnswerer");
+Status QueryAnswerer::InsertSchemaTriple(const rdf::Triple& t) {
+  switch (t.p) {
+    case rdf::vocab::kSubClassOfId:
+      schema_.AddSubClass(t.s, t.o);
+      break;
+    case rdf::vocab::kSubPropertyOfId:
+      schema_.AddSubProperty(t.s, t.o);
+      break;
+    case rdf::vocab::kDomainId:
+      schema_.AddDomain(t.s, t.o);
+      break;
+    case rdf::vocab::kRangeId:
+      schema_.AddRange(t.s, t.o);
+      break;
+    default:
+      return Status::InvalidArgument("not a constraint property");
   }
+  // Closing the *extended* schema over the already-closed one is exact:
+  // transitive closure is monotone and idempotent.
+  schema_.Saturate();
+  // Store the inserted constraint and everything it newly entails. The
+  // hierarchy encoding is deliberately left alone: schema growth only adds
+  // sub-edges, so every existing interval stays sound, and the new edges
+  // escape to classic reformulation members until Reencode().
+  rdf::Graph closed;  // id-carrier only; ids are against graph_.dict()
+  schema_.EmitTriples(&closed);
+  graph_.Add(t);
+  versions_->Insert(t);
+  for (const rdf::Triple& st : closed.triples()) {
+    graph_.Add(st);
+    versions_->Insert(st);  // no-op for constraints already stored
+  }
+  if (graph_saturated_) {
+    // graph_ holds G∞ under the old schema; re-closing under the extended
+    // schema derives exactly the new consequences (saturation is monotone).
+    reasoner::Saturator saturator(&schema_);
+    saturation_added_ += saturator.Saturate(&graph_);
+    sat_snapshot_dirty_ = true;
+  }
+  dat_.reset();
+  dat_snapshot_.reset();
+  return Status::OK();
+}
+
+Status QueryAnswerer::InsertTriple(const rdf::Triple& t) {
   if (!graph_.dict().Contains(t.s) || !graph_.dict().Contains(t.p) ||
       !graph_.dict().Contains(t.o)) {
     return Status::InvalidArgument("triple references unknown term ids");
+  }
+  if (rdf::vocab::IsSchemaProperty(t.p)) {
+    return InsertSchemaTriple(t);
   }
   versions_->Insert(t);
   if (graph_saturated_) {
@@ -87,6 +137,37 @@ Status QueryAnswerer::RemoveTriple(const rdf::Triple& t) {
   dat_.reset();
   dat_snapshot_.reset();
   return Status::OK();
+}
+
+schema::EncodingReport QueryAnswerer::Reencode(
+    const schema::EncoderOptions& options) {
+  // Fold every sealed and pending update into one flat explicit set.
+  versions_->StopBackgroundCompaction();
+  versions_->Compact();
+  std::vector<rdf::Triple> explicit_triples =
+      versions_->snapshot()->Materialize();
+  // The version set references ref_store_ as its base: tear both down
+  // before the id space shifts underneath them.
+  versions_.reset();
+  ref_store_.reset();
+  sat_store_.reset();
+  dat_.reset();
+  dat_snapshot_.reset();
+  schema::EncodingResult result =
+      schema::EncodeGraphHierarchy(&graph_, options);
+  for (rdf::Triple& t : explicit_triples) {
+    t = rdf::Triple(result.old_to_new[t.s], result.old_to_new[t.p],
+                    result.old_to_new[t.o]);
+  }
+  // Schema ids are stale after the remap; re-extract from the (remapped,
+  // closure-carrying) graph and re-close — a no-op closure over a closure.
+  schema_ = schema::Schema::FromGraph(graph_);
+  schema_.Saturate();
+  ref_store_ = std::make_unique<storage::Store>(&graph_.dict(),
+                                                std::move(explicit_triples));
+  versions_ = std::make_unique<storage::VersionSet>(ref_store_.get());
+  encoding_report_ = result.report;
+  return encoding_report_;
 }
 
 const storage::Store& QueryAnswerer::sat_store() {

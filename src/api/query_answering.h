@@ -15,6 +15,7 @@
 #include "reasoner/saturation.h"
 #include "reformulation/reformulator.h"
 #include "rdf/graph.h"
+#include "schema/encoder.h"
 #include "schema/schema.h"
 #include "storage/store.h"
 #include "storage/version_set.h"
@@ -96,7 +97,15 @@ struct AnswerProfile {
 class QueryAnswerer {
  public:
   /// \brief Takes ownership of the graph (data + constraint triples).
-  explicit QueryAnswerer(rdf::Graph graph);
+  ///
+  /// Before anything else the graph's id space is hierarchy-encoded
+  /// (schema::EncodeGraphHierarchy): every class/property subtree becomes a
+  /// contiguous TermId interval, which lets the reformulator collapse
+  /// subclass/subproperty unions into single range-scan atoms. TermIds the
+  /// caller interned before construction are therefore *remapped* — resolve
+  /// ids through dict() afterwards, not from values held across the call.
+  explicit QueryAnswerer(rdf::Graph graph,
+                         const schema::EncoderOptions& encoder_options = {});
 
   QueryAnswerer(const QueryAnswerer&) = delete;
   QueryAnswerer& operator=(const QueryAnswerer&) = delete;
@@ -115,16 +124,36 @@ class QueryAnswerer {
                                     AnswerProfile* profile = nullptr,
                                     const AnswerOptions& options = {});
 
-  /// \brief Inserts an explicit instance triple. Ref strategies see it
-  /// immediately (two hash operations); Sat maintenance chases its
-  /// consequences incrementally; Dat rebuilds its program lazily.
-  /// Constraint (schema) triples are a schema change and are rejected —
-  /// rebuild the answerer for those.
+  /// \brief Inserts an explicit triple. Instance triples are visible to the
+  /// Ref strategies immediately (two hash operations); Sat maintenance
+  /// chases their consequences incrementally; Dat rebuilds its program
+  /// lazily. Constraint (schema) triples are accepted too: the schema is
+  /// extended, re-saturated, and the entailed constraints are stored — the
+  /// hierarchy encoding stays *sound* (schema growth is monotone, so
+  /// existing intervals never over-approximate) and the new edges fall back
+  /// to classic reformulation members until Reencode() is called.
   Status InsertTriple(const rdf::Triple& t);
 
   /// \brief Removes an explicit instance triple (DRed maintenance on the
-  /// Sat side). Same restrictions as InsertTriple.
+  /// Sat side). Constraint (schema) triples cannot be retracted (RDFS
+  /// entailment is monotone; removal would require full re-derivation) —
+  /// rebuild the answerer for those.
   Status RemoveTriple(const rdf::Triple& t);
+
+  /// \brief Rebuilds the hierarchy encoding at a compaction point: folds
+  /// every sealed update into one base store, recomputes the interval id
+  /// space from the *current* schema (picking up edges inserted after
+  /// load, which until now escaped to classic members), and remaps every
+  /// layer through the new dictionary. All previously issued TermIds are
+  /// invalidated (resolve through dict() again) and any pinned snapshots
+  /// or background compaction must be released/stopped by the caller
+  /// first. Returns the fresh encoder report.
+  schema::EncodingReport Reencode(const schema::EncoderOptions& options = {});
+
+  /// \brief The load-time (or latest Reencode) hierarchy-encoder report.
+  const schema::EncodingReport& encoding_report() const {
+    return encoding_report_;
+  }
 
   /// \brief Pins the current epoch of the explicit database as an
   /// immutable snapshot: the view the Ref strategies would evaluate
@@ -165,8 +194,11 @@ class QueryAnswerer {
                                    const AnswerOptions& options,
                                    AnswerProfile* profile);
 
+  Status InsertSchemaTriple(const rdf::Triple& t);
+
   rdf::Graph graph_;
   schema::Schema schema_;
+  schema::EncodingReport encoding_report_;
   // versions_ references ref_store_ as its initial base: keep the store
   // declared first so the version set is destroyed before it.
   std::unique_ptr<storage::Store> ref_store_;

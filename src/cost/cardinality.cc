@@ -20,6 +20,55 @@ double SafeDiv(double num, double den) { return den < 1.0 ? num : num / den; }
 
 double CardinalityEstimator::EstimateAtom(const Atom& atom) const {
   const double total = static_cast<double>(stats_->total_triples());
+  if (atom.has_range()) {
+    // Interval atom (hierarchy encoding): the [lo, hi] id range IS the
+    // subtree, so the estimate is the sum of the member statistics — the
+    // exact analogue of summing the classic UCQ members it replaces.
+    // rdfref-lint: allow(termid-arith)
+    if (atom.range_pos == Atom::kRangeO && !atom.p.is_var &&
+        atom.p.term() == rdf::vocab::kTypeId) {
+      // (s?, τ, [c .. hi]): per-class cardinalities over the class subtree.
+      double card = 0.0;
+      // rdfref-lint: allow(termid-arith)
+      for (rdf::TermId c = atom.o.term(); c <= atom.range_hi; ++c) {
+        card += static_cast<double>(stats_->ClassCardinality(c));
+      }
+      if (!atom.s.is_var) {
+        card = SafeDiv(card, static_cast<double>(
+                                 stats_->ForProperty(rdf::vocab::kTypeId)
+                                     .distinct_subjects));
+      }
+      return card;
+    }
+    if (atom.range_pos == Atom::kRangeP) {
+      // (s?, [p .. hi], o?): the property subtree's triples.
+      double card = 0.0, ds = 0.0, dobj = 0.0;
+      // rdfref-lint: allow(termid-arith)
+      for (rdf::TermId p = atom.p.term(); p <= atom.range_hi; ++p) {
+        storage::PropertyStats ps = stats_->ForProperty(p);
+        card += static_cast<double>(ps.count);
+        ds += static_cast<double>(ps.distinct_subjects);
+        dobj += static_cast<double>(ps.distinct_objects);
+      }
+      if (!atom.s.is_var) card = SafeDiv(card, ds);
+      if (!atom.o.is_var) card = SafeDiv(card, dobj);
+      return card;
+    }
+    // Object interval under an unknown/non-type property: uniform share of
+    // the object domain, widened by the interval.
+    const double width = static_cast<double>(atom.range_hi) -
+                         static_cast<double>(atom.range_lo()) + 1.0;
+    double card = atom.p.is_var
+                      ? total
+                      : static_cast<double>(
+                            stats_->ForProperty(atom.p.term()).count);
+    if (!atom.s.is_var) {
+      card = SafeDiv(card, static_cast<double>(stats_->distinct_subjects()));
+    }
+    card = SafeDiv(card, static_cast<double>(stats_->distinct_objects())) *
+           width;
+    return card;
+  }
   if (!atom.p.is_var) {
     const rdf::TermId p = atom.p.term();
     if (p == rdf::vocab::kTypeId && !atom.o.is_var) {
@@ -58,6 +107,16 @@ double CardinalityEstimator::DistinctValues(const Atom& atom,
   double distinct = card;
   if (!atom.p.is_var) {
     storage::PropertyStats ps = stats_->ForProperty(atom.p.term());
+    if (atom.has_range() && atom.range_pos == Atom::kRangeP) {
+      // Property interval: union the subtree's stats (an upper bound; the
+      // final clamp against `card` keeps it sane).
+      // rdfref-lint: allow(termid-arith)
+      for (rdf::TermId p = atom.p.term() + 1; p <= atom.range_hi; ++p) {
+        storage::PropertyStats more = stats_->ForProperty(p);
+        ps.distinct_subjects += more.distinct_subjects;
+        ps.distinct_objects += more.distinct_objects;
+      }
+    }
     if (atom.s.is_var && atom.s.var() == v) {
       distinct = static_cast<double>(ps.distinct_subjects);
     } else if (atom.o.is_var && atom.o.var() == v) {

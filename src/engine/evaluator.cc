@@ -59,7 +59,10 @@ std::vector<int> OrderAtoms(const ScanCache& cache, const Cq& q) {
     rdf::TermId s = body[i].s.is_var ? storage::kAny : body[i].s.term();
     rdf::TermId p = body[i].p.is_var ? storage::kAny : body[i].p.term();
     rdf::TermId o = body[i].o.is_var ? storage::kAny : body[i].o.term();
-    base[i] = cache.CountMatches(s, p, o);
+    base[i] = body[i].has_range()
+                  ? cache.CountIntervalMatches(s, p, o, body[i].range_pos,
+                                               body[i].range_hi)
+                  : cache.CountMatches(s, p, o);
     const std::set<VarId> vars = Cq::AtomVars(body[i]);
     atom_vars[i].assign(vars.begin(), vars.end());
   }
@@ -196,9 +199,14 @@ std::string Evaluator::ExplainCq(const Cq& q) const {
     rdf::TermId s = atom.s.is_var ? storage::kAny : atom.s.term();
     rdf::TermId p = atom.p.is_var ? storage::kAny : atom.p.term();
     rdf::TermId o = atom.o.is_var ? storage::kAny : atom.o.term();
+    const size_t count =
+        atom.has_range()
+            ? store_->CountIntervalMatches(s, p, o, atom.range_pos,
+                                           atom.range_hi)
+            : store_->CountMatches(s, p, o);
     out << "  " << (depth == 0 ? "scan " : "probe") << " t"
-        << order[depth] << "  (~" << store_->CountMatches(s, p, o)
-        << " index matches unbound)\n";
+        << order[depth] << "  (~" << count << " index matches unbound"
+        << (atom.has_range() ? ", interval" : "") << ")\n";
   }
   return out.str();
 }
@@ -270,7 +278,17 @@ bool Evaluator::EvaluateCqInto(const Cq& q, const CancelToken& cancel,
     JoinFrame& f = frames[d];
     f.pos = 0;
     f.num_new = 0;
-    if (d == 0 && !residual.any()) {
+    if (atom.has_range()) {
+      // Interval atom (hierarchy-encoded reformulation): the ranged
+      // position's pattern value is the interval's low endpoint.
+      if (d == 0 && !residual.any()) {
+        f.range = cache->LeafIntervalRange(ps, pp, po, atom.range_pos,
+                                           atom.range_hi);
+      } else {
+        f.range = f.cursor.ResetInterval(*store_, ps, pp, po, atom.range_pos,
+                                         atom.range_hi, residual);
+      }
+    } else if (d == 0 && !residual.any()) {
       f.range = cache->LeafRange(ps, pp, po);
     } else {
       f.range = f.cursor.Reset(*store_, ps, pp, po, residual, &f.hint);

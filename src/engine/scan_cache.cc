@@ -20,6 +20,43 @@ size_t ScanCache::CountMatches(rdf::TermId s, rdf::TermId p,
   return counts_.emplace(key, count).first->second;
 }
 
+size_t ScanCache::CountIntervalMatches(rdf::TermId s, rdf::TermId p,
+                                       rdf::TermId o, int range_pos,
+                                       rdf::TermId hi) const {
+  const PatternKey key{s, p, o, range_pos, hi};
+  {
+    common::MutexLock lock(&mu_);
+    auto it = counts_.find(key);
+    if (it != counts_.end()) return it->second;
+  }
+  const size_t count = source_->CountIntervalMatches(s, p, o, range_pos, hi);
+  common::MutexLock lock(&mu_);
+  return counts_.emplace(key, count).first->second;
+}
+
+std::span<const rdf::Triple> ScanCache::LeafIntervalRange(
+    rdf::TermId s, rdf::TermId p, rdf::TermId o, int range_pos,
+    rdf::TermId hi) const {
+  std::span<const rdf::Triple> range;
+  if (source_->TryGetIntervalRange(s, p, o, range_pos, hi, &range)) {
+    return range;  // zero-copy: the interval is contiguous in some order
+  }
+  const PatternKey key{s, p, o, range_pos, hi};
+  {
+    common::MutexLock lock(&mu_);
+    auto it = leaves_.find(key);
+    if (it != leaves_.end()) return {it->second->data(), it->second->size()};
+  }
+  auto owned = std::make_unique<std::vector<rdf::Triple>>();
+  source_->ScanIntervalInto(s, p, o, range_pos, hi, owned.get());
+  common::MutexLock lock(&mu_);
+  auto it = leaves_.find(key);
+  if (it == leaves_.end()) {
+    it = leaves_.emplace(key, std::move(owned)).first;
+  }
+  return {it->second->data(), it->second->size()};
+}
+
 std::span<const rdf::Triple> ScanCache::LeafRange(rdf::TermId s, rdf::TermId p,
                                                   rdf::TermId o) const {
   std::span<const rdf::Triple> range;

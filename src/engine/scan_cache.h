@@ -59,11 +59,26 @@ class ScanCache {
   size_t CountMatches(rdf::TermId s, rdf::TermId p, rdf::TermId o) const
       RDFREF_EXCLUDES(mu_);
 
+  /// \brief Memoized source->CountIntervalMatches: the interval-atom
+  /// analogue, keyed on (pattern, range_pos, hi) so classic and interval
+  /// probes of the same bound pattern never collide.
+  size_t CountIntervalMatches(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                              int range_pos, rdf::TermId hi) const
+      RDFREF_EXCLUDES(mu_);
+
   /// \brief All matches of the pattern as a contiguous span: zero-copy
   /// when the source is range-capable, otherwise materialized once per
   /// distinct pattern and shared by every later caller (and every thread).
   std::span<const rdf::Triple> LeafRange(rdf::TermId s, rdf::TermId p,
                                          rdf::TermId o) const
+      RDFREF_EXCLUDES(mu_);
+
+  /// \brief Interval analogue of LeafRange: zero-copy when the source
+  /// exposes the interval contiguously, else one shared materialization of
+  /// the widened-and-filtered scan per distinct interval pattern.
+  std::span<const rdf::Triple> LeafIntervalRange(rdf::TermId s, rdf::TermId p,
+                                                 rdf::TermId o, int range_pos,
+                                                 rdf::TermId hi) const
       RDFREF_EXCLUDES(mu_);
 
   const storage::TripleSource& source() const { return *source_; }
@@ -81,13 +96,21 @@ class ScanCache {
  private:
   struct PatternKey {
     rdf::TermId s, p, o;
+    // Interval annotation; 3 (query::Atom::kRangeNone) + 0 for classic
+    // patterns, so classic and interval entries share one map without
+    // colliding.
+    int range_pos = 3;
+    rdf::TermId range_hi = 0;
     friend bool operator==(const PatternKey& a, const PatternKey& b) {
-      return a.s == b.s && a.p == b.p && a.o == b.o;
+      return a.s == b.s && a.p == b.p && a.o == b.o &&
+             a.range_pos == b.range_pos && a.range_hi == b.range_hi;
     }
   };
   struct PatternKeyHash {
     size_t operator()(const PatternKey& k) const {
-      return HashCombine(HashCombine(HashCombine(0x5ca9c4a3, k.s), k.p), k.o);
+      size_t h = HashCombine(HashCombine(HashCombine(0x5ca9c4a3, k.s), k.p), k.o);
+      return HashCombine(HashCombine(h, static_cast<size_t>(k.range_pos)),
+                         k.range_hi);
     }
   };
 

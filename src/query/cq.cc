@@ -81,7 +81,14 @@ std::string Cq::CanonicalKey() const {
   for (const QTerm& t : head_) key << canon(t) << ",";
   key << ":-";
   for (const Atom& a : body_) {
-    key << canon(a.s) << " " << canon(a.p) << " " << canon(a.o) << ".";
+    key << canon(a.s) << " " << canon(a.p) << " " << canon(a.o);
+    if (a.has_range()) {
+      // Interval atoms reference concrete dictionary intervals, so the raw
+      // bounds (not renamed) are the canonical form.
+      key << "R" << static_cast<int>(a.range_pos) << ".."
+          << std::to_string(a.range_hi);
+    }
+    key << ".";
   }
   // Resource constraints distinguish otherwise-identical CQs.
   for (VarId v : resource_vars_) {
@@ -103,10 +110,16 @@ std::string Cq::ToString(const rdf::Dictionary& dict) const {
     out << render(head_[i]);
   }
   out << ") :- ";
+  auto render_pos = [&](const Atom& a, const QTerm& t, uint8_t pos) {
+    if (a.range_pos != pos) return render(t);
+    // Interval position: [lo..hi] over the encoded id space.
+    return "[" + render(t) + " .. " + dict.Lookup(a.range_hi).ToString() + "]";
+  };
   for (size_t i = 0; i < body_.size(); ++i) {
     if (i > 0) out << ", ";
-    out << render(body_[i].s) << " " << render(body_[i].p) << " "
-        << render(body_[i].o);
+    const Atom& a = body_[i];
+    out << render(a.s) << " " << render_pos(a, a.p, Atom::kRangeP) << " "
+        << render_pos(a, a.o, Atom::kRangeO);
   }
   return out.str();
 }

@@ -40,20 +40,45 @@ struct QTerm {
 /// \brief A triple pattern (atom of a BGP): subject, property, object, any of
 /// which may be a variable — the DB fragment allows variables in *all*
 /// positions, including property and class positions.
+///
+/// An atom may additionally carry an *id interval* on its property or object
+/// position (range_pos/range_hi): the position's QTerm then holds the
+/// interval's low endpoint and the atom matches any id in [lo, range_hi].
+/// Interval atoms are an internal reformulation form — the hierarchy
+/// encoding (rdf/encoding.h) fuses "C or any subclass of C" unions into one
+/// such atom. User-written queries and serialized SPARQL never contain them.
 struct Atom {
+  /// Values of range_pos: which position carries the interval.
+  static constexpr uint8_t kRangeP = 1;
+  static constexpr uint8_t kRangeO = 2;
+  static constexpr uint8_t kRangeNone = 3;
+
   QTerm s, p, o;
+  uint8_t range_pos = kRangeNone;
+  rdf::TermId range_hi = 0;  ///< inclusive upper bound; meaningful iff ranged
 
   Atom() = default;
   Atom(QTerm subject, QTerm property, QTerm object)
       : s(subject), p(property), o(object) {}
 
+  bool has_range() const { return range_pos != kRangeNone; }
+
+  /// \brief The interval's inclusive low endpoint (the ranged position's
+  /// constant). Only meaningful when has_range().
+  rdf::TermId range_lo() const {
+    return range_pos == kRangeP ? p.term() : o.term();
+  }
+
   friend bool operator==(const Atom& a, const Atom& b) {
-    return a.s == b.s && a.p == b.p && a.o == b.o;
+    return a.s == b.s && a.p == b.p && a.o == b.o &&
+           a.range_pos == b.range_pos && a.range_hi == b.range_hi;
   }
   friend bool operator<(const Atom& a, const Atom& b) {
     if (!(a.s == b.s)) return a.s < b.s;
     if (!(a.p == b.p)) return a.p < b.p;
-    return a.o < b.o;
+    if (!(a.o == b.o)) return a.o < b.o;
+    if (a.range_pos != b.range_pos) return a.range_pos < b.range_pos;
+    return a.range_hi < b.range_hi;
   }
 };
 

@@ -25,6 +25,13 @@ bool MatchAtoms(const Cq& container, const Cq& contained, size_t depth,
   if (depth == container.body().size()) return true;
   const Atom& atom = container.body()[depth];
   for (const Atom& target : contained.body()) {
+    // An interval atom is semantically a union over its id range, so the
+    // syntactic homomorphism argument only holds between atoms with
+    // *identical* range annotations (conservative: containments involving
+    // differing intervals are simply not detected).
+    if (atom.range_pos != target.range_pos || atom.range_hi != target.range_hi) {
+      continue;
+    }
     Mapping saved = *mapping;
     if (Unify(atom.s, target.s, mapping) &&
         Unify(atom.p, target.p, mapping) &&

@@ -348,6 +348,15 @@ Result<std::string> RenderGroup(const Cq& q, const rdf::Dictionary& dict,
 Status CheckSerializable(const Cq& q) {
   if (q.body().empty()) return Status::InvalidArgument("empty body");
   if (q.head().empty()) return Status::InvalidArgument("empty head");
+  for (const Atom& a : q.body()) {
+    if (a.has_range()) {
+      // Id intervals are meaningless outside one dictionary's encoded id
+      // space; serialized queries must survive a dictionary rebuild.
+      return Status::InvalidArgument(
+          "interval atoms are an internal reformulation form and are not "
+          "expressible in SPARQL");
+    }
+  }
   for (const QTerm& h : q.head()) {
     if (!h.is_var) {
       return Status::InvalidArgument(

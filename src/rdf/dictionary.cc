@@ -28,5 +28,20 @@ TermId Dictionary::Find(const Term& term) const {
   return it == index_.end() ? kInvalidTermId : it->second;
 }
 
+void Dictionary::ApplyPermutation(const std::vector<TermId>& old_to_new) {
+  // rdfref-lint: allow(termid-arith) — the dictionary owns id assignment.
+  std::vector<Term> permuted(terms_.size());
+  for (TermId old_id = 0; old_id < terms_.size(); ++old_id) {
+    permuted[old_to_new[old_id]] = std::move(terms_[old_id]);
+  }
+  terms_ = std::move(permuted);
+  index_.clear();
+  index_.reserve(terms_.size());
+  for (TermId id = 0; id < terms_.size(); ++id) {
+    index_.emplace(terms_[id], id);
+  }
+  encoding_.reset();
+}
+
 }  // namespace rdf
 }  // namespace rdfref

@@ -1,10 +1,12 @@
 #ifndef RDFREF_RDF_DICTIONARY_H_
 #define RDFREF_RDF_DICTIONARY_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "rdf/encoding.h"
 #include "rdf/term.h"
 
 namespace rdfref {
@@ -53,9 +55,29 @@ class Dictionary {
   /// \brief Number of interned terms (including built-ins).
   size_t size() const { return terms_.size(); }
 
+  /// \brief Reassigns every term's id through a bijection over [0, size()).
+  /// `old_to_new[i]` is the new id of the term currently named `i`; the five
+  /// built-ins must map to themselves. Every TermId held outside the
+  /// dictionary is invalidated (translate it through the permutation). Any
+  /// attached encoding is dropped — the caller installs the one matching the
+  /// new layout.
+  void ApplyPermutation(const std::vector<TermId>& old_to_new);
+
+  /// \brief Hierarchy encoding of this id space, or nullptr when the
+  /// dictionary is unencoded (the common case: encoding is an explicit
+  /// opt-in pass, see schema/encoder.h).
+  const TermEncoding* encoding() const { return encoding_.get(); }
+  std::shared_ptr<const TermEncoding> encoding_ptr() const {
+    return encoding_;
+  }
+  void set_encoding(std::shared_ptr<const TermEncoding> encoding) {
+    encoding_ = std::move(encoding);
+  }
+
  private:
   std::vector<Term> terms_;
   std::unordered_map<Term, TermId, TermHash> index_;
+  std::shared_ptr<const TermEncoding> encoding_;
 };
 
 }  // namespace rdf

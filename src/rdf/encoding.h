@@ -1,0 +1,110 @@
+#ifndef RDFREF_RDF_ENCODING_H_
+#define RDFREF_RDF_ENCODING_H_
+
+#include <cstddef>
+#include <map>
+#include <optional>
+
+#include "rdf/term.h"
+
+namespace rdfref {
+namespace rdf {
+
+/// \brief Hierarchy-aware id-interval tables of an encoded dictionary.
+///
+/// After the schema encoder (schema/encoder.h) has permuted a dictionary,
+/// every class of the subClassOf DAG and every property of the subPropertyOf
+/// DAG owns a closed TermId interval [lo, hi] with two guarantees:
+///
+///   soundness     every id in [lo, hi] names the term itself, a member of
+///                 its subClassOf/subPropertyOf cycle (SCC), or a term below
+///                 it in the saturated hierarchy;
+///   shared SCCs   all members of one cycle share a single interval (the
+///                 seed-231 reflexive-cycle family maps to one interval,
+///                 it does not diverge per member).
+///
+/// Completeness is NOT guaranteed per interval: a multi-parent term is
+/// covered by the interval of its primary parent only, and terms added or
+/// related after encoding are outside every interval. The reformulator
+/// compensates by emitting classic UCQ members for every sub-term that
+/// escapes the interval, so fused and classic reformulations stay
+/// answer-set-equal (proved by the check_encoded fuzz relation).
+///
+/// The tables are keyed by *current* (post-permutation) TermIds and use
+/// ordered maps so serialization and equality are deterministic.
+class TermEncoding {
+ public:
+  struct Interval {
+    TermId lo = 0;
+    TermId hi = 0;  // closed: lo <= id <= hi
+
+    friend bool operator==(const Interval& a, const Interval& b) {
+      return a.lo == b.lo && a.hi == b.hi;
+    }
+    friend bool operator!=(const Interval& a, const Interval& b) {
+      return !(a == b);
+    }
+  };
+
+  /// \brief Subtree interval of class `c`, when `c` is encoded.
+  std::optional<Interval> ClassInterval(TermId c) const {
+    auto it = class_intervals_.find(c);
+    if (it == class_intervals_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// \brief Subtree interval of property `p`, when `p` is encoded.
+  std::optional<Interval> PropertyInterval(TermId p) const {
+    auto it = property_intervals_.find(p);
+    if (it == property_intervals_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// \brief Canonical member of `id`'s hierarchy cycle; `id` itself when it
+  /// is not part of any cycle (or not encoded at all).
+  TermId SccRepresentative(TermId id) const {
+    auto it = scc_representative_.find(id);
+    return it == scc_representative_.end() ? id : it->second;
+  }
+
+  void SetClassInterval(TermId c, Interval iv) { class_intervals_[c] = iv; }
+  void SetPropertyInterval(TermId p, Interval iv) {
+    property_intervals_[p] = iv;
+  }
+  void SetSccRepresentative(TermId id, TermId rep) {
+    scc_representative_[id] = rep;
+  }
+
+  const std::map<TermId, Interval>& class_intervals() const {
+    return class_intervals_;
+  }
+  const std::map<TermId, Interval>& property_intervals() const {
+    return property_intervals_;
+  }
+  const std::map<TermId, TermId>& scc_representatives() const {
+    return scc_representative_;
+  }
+
+  bool empty() const {
+    return class_intervals_.empty() && property_intervals_.empty();
+  }
+
+  friend bool operator==(const TermEncoding& a, const TermEncoding& b) {
+    return a.class_intervals_ == b.class_intervals_ &&
+           a.property_intervals_ == b.property_intervals_ &&
+           a.scc_representative_ == b.scc_representative_;
+  }
+  friend bool operator!=(const TermEncoding& a, const TermEncoding& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::map<TermId, Interval> class_intervals_;
+  std::map<TermId, Interval> property_intervals_;
+  std::map<TermId, TermId> scc_representative_;
+};
+
+}  // namespace rdf
+}  // namespace rdfref
+
+#endif  // RDFREF_RDF_ENCODING_H_

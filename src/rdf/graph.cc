@@ -11,6 +11,16 @@ std::vector<Triple> Graph::SortedTriples() const {
   return out;
 }
 
+void Graph::Remap(const std::vector<TermId>& old_to_new) {
+  dict_->ApplyPermutation(old_to_new);
+  std::unordered_set<Triple, TripleHash> remapped;
+  remapped.reserve(triples_.size());
+  for (const Triple& t : triples_) {
+    remapped.insert(Triple(old_to_new[t.s], old_to_new[t.p], old_to_new[t.o]));
+  }
+  triples_ = std::move(remapped);
+}
+
 size_t Graph::CountSchemaTriples() const {
   size_t n = 0;
   for (const Triple& t : triples_) {

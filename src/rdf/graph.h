@@ -76,10 +76,18 @@ class Graph {
     for (TermId id = vocab::kNumBuiltins; id < dict_->size(); ++id) {
       out.dict_->Intern(dict_->Lookup(id));
     }
+    // The hierarchy encoding describes the id space, which the clone shares.
+    out.dict_->set_encoding(dict_->encoding_ptr());
     out.triples_ = triples_;
     out.blank_counter_ = blank_counter_;
     return out;
   }
+
+  /// \brief Rewrites the graph through a term-id permutation: the dictionary
+  /// is permuted (see Dictionary::ApplyPermutation) and every triple's ids
+  /// are translated. Drops any attached encoding; the schema encoder is the
+  /// intended caller and installs the matching tables afterwards.
+  void Remap(const std::vector<TermId>& old_to_new);
 
   /// \brief Copies all triples as a sorted vector (deterministic order for
   /// tests and store loading).

@@ -50,6 +50,15 @@ std::string MemberKey(const AtomReformulation& m) {
   add(m.atom.s);
   add(m.atom.p);
   add(m.atom.o);
+  if (m.atom.has_range()) {
+    // An interval member and a classic member on the interval's low endpoint
+    // must not collide.
+    key += 'R';
+    key += std::to_string(m.atom.range_pos);
+    key += "..";
+    key += std::to_string(m.atom.range_hi);
+    key += ' ';
+  }
   std::vector<std::pair<VarId, rdf::TermId>> sorted = m.bindings;
   std::sort(sorted.begin(), sorted.end());
   for (const auto& [v, c] : sorted) {
@@ -95,20 +104,71 @@ Reformulator::Reformulator(const schema::Schema* schema,
                            const rdf::Dictionary* dict)
     : schema_(schema), options_(options), dict_(dict) {}
 
+void Reformulator::EmitSubTermMembers(const AtomReformulation& member,
+                                      const Atom& atom, rdf::TermId term,
+                                      const std::set<rdf::TermId>& subs,
+                                      bool property_position,
+                                      std::optional<VarId> bind_var, int rule,
+                                      std::vector<AtomReformulation>* out)
+    const {
+  auto classic_atom = [&](rdf::TermId sub) {
+    return property_position ? Atom(atom.s, QTerm::Const(sub), atom.o)
+                             : Atom(atom.s, atom.p, QTerm::Const(sub));
+  };
+  auto emit = [&](const Atom& a) {
+    out->push_back(bind_var ? DeriveBound(member, a, *bind_var, term, rule)
+                            : Derive(member, a, rule));
+  };
+  const rdf::TermEncoding* enc =
+      options_.use_encoding && dict_ != nullptr ? dict_->encoding() : nullptr;
+  std::optional<rdf::TermEncoding::Interval> iv;
+  if (enc != nullptr) {
+    iv = property_position ? enc->PropertyInterval(term)
+                           : enc->ClassInterval(term);
+  }
+  if (!iv.has_value() || iv->lo >= iv->hi) {
+    // No usable interval (or a single-id one, which fuses nothing):
+    // classic enumeration.
+    for (rdf::TermId sub : subs) emit(classic_atom(sub));
+    return;
+  }
+  // One interval member covers term's whole encoded subtree (including the
+  // term itself and its hierarchy cycle, which share the interval)...
+  Atom fused = atom;
+  if (property_position) {
+    fused.p = QTerm::Const(iv->lo);
+    fused.range_pos = Atom::kRangeP;
+  } else {
+    fused.o = QTerm::Const(iv->lo);
+    fused.range_pos = Atom::kRangeO;
+  }
+  fused.range_hi = iv->hi;
+  emit(fused);
+  // ... and the sub-terms escaping it (secondary parents of multi-parent
+  // nodes, terms subordinated after encoding) keep classic members.
+  for (rdf::TermId sub : subs) {
+    if (sub >= iv->lo && sub <= iv->hi) continue;
+    emit(classic_atom(sub));
+  }
+}
+
 void Reformulator::ApplyRules(const Cq& q, const AtomReformulation& member,
                               std::vector<AtomReformulation>* out) const {
   (void)q;
   const Atom& atom = member.atom;
+  // Interval members are closed under the rules: the fused hierarchy is
+  // already exhausted, and the saturated schema's (S1)-(S6) closure makes
+  // the seed atom's own domain/range/sub-term members cover everything the
+  // interval's individual ids could contribute.
+  if (atom.has_range()) return;
   if (!atom.p.is_var) {
     const rdf::TermId p = atom.p.term();
     if (p == rdf::vocab::kTypeId) {
       if (!atom.o.is_var) {
         // Rules 1-3: type atom with a constant class.
         const rdf::TermId c = atom.o.term();
-        for (rdf::TermId sub : schema_->SubClassesOf(c)) {
-          out->push_back(
-              Derive(member, Atom(atom.s, atom.p, QTerm::Const(sub)), 1));
-        }
+        EmitSubTermMembers(member, atom, c, schema_->SubClassesOf(c),
+                           /*property_position=*/false, std::nullopt, 1, out);
         for (rdf::TermId pp : schema_->DomainPropertiesOf(c)) {
           out->push_back(
               Derive(member, Atom(atom.s, QTerm::Const(pp), Fresh()), 2));
@@ -129,10 +189,8 @@ void Reformulator::ApplyRules(const Cq& q, const AtomReformulation& member,
         // retrieves.
         const VarId y = atom.o.var();
         for (const auto& [super, subs] : schema_->sub_class_map()) {
-          for (rdf::TermId sub : subs) {
-            out->push_back(DeriveBound(
-                member, Atom(atom.s, atom.p, QTerm::Const(sub)), y, super, 5));
-          }
+          EmitSubTermMembers(member, atom, super, subs,
+                             /*property_position=*/false, y, 5, out);
         }
         for (const auto& [pp, classes] : schema_->domain_map()) {
           for (rdf::TermId c : classes) {
@@ -155,10 +213,8 @@ void Reformulator::ApplyRules(const Cq& q, const AtomReformulation& member,
       }
     } else if (!rdf::vocab::IsSchemaProperty(p)) {
       // Rule 4: property atom with a constant (non-built-in) property.
-      for (rdf::TermId sub : schema_->SubPropertiesOf(p)) {
-        out->push_back(
-            Derive(member, Atom(atom.s, QTerm::Const(sub), atom.o), 4));
-      }
+      EmitSubTermMembers(member, atom, p, schema_->SubPropertiesOf(p),
+                         /*property_position=*/true, std::nullopt, 4, out);
     }
     // Constant RDFS schema property: answered directly against the
     // saturated schema stored in the database; no rule applies.
@@ -166,10 +222,8 @@ void Reformulator::ApplyRules(const Cq& q, const AtomReformulation& member,
     // Rules 8-13: variable in property position.
     const VarId y = atom.p.var();
     for (const auto& [super, subs] : schema_->sub_property_map()) {
-      for (rdf::TermId sub : subs) {
-        out->push_back(DeriveBound(
-            member, Atom(atom.s, QTerm::Const(sub), atom.o), y, super, 8));
-      }
+      EmitSubTermMembers(member, atom, super, subs,
+                         /*property_position=*/true, y, 8, out);
     }
     out->push_back(DeriveBound(
         member, Atom(atom.s, QTerm::Const(rdf::vocab::kTypeId), atom.o), y,
@@ -193,20 +247,18 @@ void IncompleteReformulator::ApplyRules(
   // Hierarchies only (rules 1 and 4): the fixed strategy of Virtuoso /
   // AllegroGraph-style engines, which ignore rdfs:domain and rdfs:range [6].
   const Atom& atom = member.atom;
+  if (atom.has_range()) return;  // interval members are closed
   if (atom.p.is_var) return;
   const rdf::TermId p = atom.p.term();
   if (p == rdf::vocab::kTypeId) {
     if (!atom.o.is_var) {
-      for (rdf::TermId sub : schema_->SubClassesOf(atom.o.term())) {
-        out->push_back(
-            Derive(member, Atom(atom.s, atom.p, QTerm::Const(sub)), 1));
-      }
+      EmitSubTermMembers(member, atom, atom.o.term(),
+                         schema_->SubClassesOf(atom.o.term()),
+                         /*property_position=*/false, std::nullopt, 1, out);
     }
   } else if (!rdf::vocab::IsSchemaProperty(p)) {
-    for (rdf::TermId sub : schema_->SubPropertiesOf(p)) {
-      out->push_back(
-          Derive(member, Atom(atom.s, QTerm::Const(sub), atom.o), 4));
-    }
+    EmitSubTermMembers(member, atom, p, schema_->SubPropertiesOf(p),
+                       /*property_position=*/true, std::nullopt, 4, out);
   }
 }
 

@@ -2,6 +2,8 @@
 #define RDFREF_REFORMULATION_REFORMULATOR_H_
 
 #include <cstdint>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "common/result.h"
@@ -27,6 +29,16 @@ struct ReformulationOptions {
   /// minimize_threshold members.
   bool minimize = false;
   uint64_t minimize_threshold = 4096;
+  /// Fuses the hierarchy rule families (rules 1/4/5/8) into single
+  /// id-interval members when the dictionary carries a hierarchy encoding
+  /// (schema/encoder.h). Terms escaping the encoding — secondary parents of
+  /// multi-parent nodes, over-budget hierarchies, terms related after
+  /// encoding — still get classic members, so the fused UCQ is answer-set
+  /// equal to the classic one (proved by the check_encoded fuzz relation).
+  /// Off forces classic enumeration even on an encoded dictionary (ablation
+  /// and the check_encoded comparison arm). A no-op when the dictionary has
+  /// no encoding, which is the default state.
+  bool use_encoding = true;
 };
 
 /// \brief One member of a single atom's reformulation: the rewritten atom
@@ -96,6 +108,21 @@ class Reformulator {
   /// Single-step rule application on `atom`; appends results to `out`.
   /// Overridden by IncompleteReformulator to drop rules.
   virtual void ApplyRules(const query::Cq& q, const AtomReformulation& member,
+                          std::vector<AtomReformulation>* out) const;
+
+  /// Emits the hierarchy rule family (rules 1/4/5/8) for one atom: when the
+  /// dictionary encodes `term`'s subtree as an id interval wider than one
+  /// id, a single interval member replaces the per-sub-term union, and only
+  /// the sub-terms escaping the interval are emitted classically; without a
+  /// usable interval the classic full enumeration is emitted. `subs` is the
+  /// saturated sub-term set of `term`, `property_position` selects the
+  /// property rules (4/8) over the class rules (1/5), and `bind_var`, when
+  /// set (rules 5/8), is bound to `term` on every emitted member.
+  void EmitSubTermMembers(const AtomReformulation& member,
+                          const query::Atom& atom, rdf::TermId term,
+                          const std::set<rdf::TermId>& subs,
+                          bool property_position,
+                          std::optional<query::VarId> bind_var, int rule,
                           std::vector<AtomReformulation>* out) const;
 
   const schema::Schema* schema_;

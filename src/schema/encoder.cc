@@ -1,0 +1,338 @@
+#include "schema/encoder.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "rdf/encoding.h"
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace schema {
+namespace {
+
+// rdfref-lint: allow(termid-arith) — the encoder assigns the id space.
+
+/// One hierarchy (class or property) on pre-encoding ids: the direct edges,
+/// not the saturated closure — the saturation is derivable and the direct
+/// DAG is what the forest layout needs.
+struct Hierarchy {
+  std::vector<rdf::TermId> nodes;  // sorted, unique
+  std::map<rdf::TermId, std::set<rdf::TermId>> supers;  // sub -> direct supers
+};
+
+/// Interval layout of one hierarchy: slots are 0-based positions inside the
+/// hierarchy's id block; the caller adds the block base.
+struct Layout {
+  std::map<rdf::TermId, uint32_t> slot;    // node (old id) -> slot
+  std::map<rdf::TermId, uint32_t> scc_of;  // node (old id) -> scc index
+  std::vector<uint32_t> scc_first_slot;    // per scc: first member slot
+  std::vector<uint32_t> scc_subtree_end;   // per scc: last slot of subtree
+  std::vector<std::vector<rdf::TermId>> members;  // per scc, old-id order
+  uint32_t num_slots = 0;
+  size_t cycles = 0;        // multi-member SCCs
+  size_t multi_parent = 0;  // nodes with >=2 distinct super-SCCs
+};
+
+/// Tarjan SCC condensation + primary-parent forest + DFS preorder slots.
+/// Everything iterates sorted containers, so the layout is deterministic.
+Layout LayOutHierarchy(const Hierarchy& h) {
+  Layout layout;
+  const uint32_t n = static_cast<uint32_t>(h.nodes.size());
+  if (n == 0) return layout;
+
+  std::map<rdf::TermId, uint32_t> index_of;
+  for (uint32_t i = 0; i < n; ++i) index_of[h.nodes[i]] = i;
+  std::vector<std::vector<uint32_t>> adj(n);  // sub -> supers, sorted
+  for (const auto& [sub, supers] : h.supers) {
+    uint32_t u = index_of.at(sub);
+    for (rdf::TermId super : supers) adj[u].push_back(index_of.at(super));
+  }
+
+  // Iterative Tarjan (schema hierarchies can be deep chains; no recursion).
+  constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> disc(n, kUnvisited);
+  std::vector<uint32_t> low(n, 0);
+  std::vector<uint32_t> comp(n, kUnvisited);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  struct Frame {
+    uint32_t v;
+    size_t edge;
+  };
+  std::vector<Frame> frames;
+  uint32_t timer = 0;
+  uint32_t num_sccs = 0;
+  for (uint32_t start = 0; start < n; ++start) {
+    if (disc[start] != kUnvisited) continue;
+    frames.push_back({start, 0});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const uint32_t v = f.v;
+      if (f.edge == 0) {
+        disc[v] = low[v] = timer++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      if (f.edge < adj[v].size()) {
+        const uint32_t w = adj[v][f.edge++];
+        if (disc[w] == kUnvisited) {
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], disc[w]);
+        }
+      } else {
+        if (low[v] == disc[v]) {
+          while (true) {
+            const uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = num_sccs;
+            if (w == v) break;
+          }
+          ++num_sccs;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          Frame& parent = frames.back();
+          low[parent.v] = std::min(low[parent.v], low[v]);
+        }
+      }
+    }
+  }
+
+  // Condensation. Members stay in old-id order because h.nodes is sorted.
+  layout.members.assign(num_sccs, {});
+  for (uint32_t i = 0; i < n; ++i) {
+    layout.members[comp[i]].push_back(h.nodes[i]);
+    layout.scc_of[h.nodes[i]] = comp[i];
+  }
+  for (uint32_t s = 0; s < num_sccs; ++s) {
+    if (layout.members[s].size() > 1) ++layout.cycles;
+  }
+  std::vector<rdf::TermId> min_old(num_sccs);
+  for (uint32_t s = 0; s < num_sccs; ++s) min_old[s] = layout.members[s][0];
+
+  // Parent SCCs, transitively reduced. The input edges may be the *closure*
+  // (a re-encode reads the stored saturated schema back), under which every
+  // ancestor looks like a parent; reducing to the Hasse diagram recovers
+  // the direct forest, so direct-edge and closure inputs lay out
+  // identically. Tarjan numbers SCCs in reverse topological order (an edge
+  // sub->super implies comp[super] < comp[sub]), so one increasing-index
+  // pass computes ancestor sets.
+  std::vector<std::set<uint32_t>> parents(num_sccs);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t w : adj[i]) {
+      if (comp[w] != comp[i]) parents[comp[i]].insert(comp[w]);
+    }
+  }
+  std::vector<std::set<uint32_t>> ancestors(num_sccs);
+  for (uint32_t s = 0; s < num_sccs; ++s) {
+    for (uint32_t p : parents[s]) {
+      ancestors[s].insert(p);
+      ancestors[s].insert(ancestors[p].begin(), ancestors[p].end());
+    }
+  }
+  for (uint32_t s = 0; s < num_sccs; ++s) {
+    std::set<uint32_t> reduced;
+    for (uint32_t p : parents[s]) {
+      bool dominated = false;
+      for (uint32_t q : parents[s]) {
+        if (q != p && ancestors[q].count(p) > 0) {
+          dominated = true;  // p is an ancestor of sibling parent q
+          break;
+        }
+      }
+      if (!dominated) reduced.insert(p);
+    }
+    // A true diamond survives reduction: every member escapes the
+    // non-primary parents' intervals (classic members cover them).
+    if (reduced.size() >= 2) layout.multi_parent += layout.members[s].size();
+    parents[s] = std::move(reduced);
+  }
+  std::vector<std::vector<uint32_t>> children(num_sccs);
+  std::vector<uint32_t> roots;
+  for (uint32_t s = 0; s < num_sccs; ++s) {
+    if (parents[s].empty()) {
+      roots.push_back(s);
+      continue;
+    }
+    uint32_t primary = *parents[s].begin();
+    for (uint32_t p : parents[s]) {
+      if (min_old[p] < min_old[primary]) primary = p;
+    }
+    children[primary].push_back(s);
+  }
+  auto by_min_old = [&](uint32_t a, uint32_t b) {
+    return min_old[a] < min_old[b];
+  };
+  std::sort(roots.begin(), roots.end(), by_min_old);
+  for (auto& c : children) std::sort(c.begin(), c.end(), by_min_old);
+
+  // DFS preorder: an SCC's members take consecutive slots, then its primary
+  // subtree follows, so [first_slot, subtree_end] is contiguous.
+  layout.scc_first_slot.assign(num_sccs, 0);
+  layout.scc_subtree_end.assign(num_sccs, 0);
+  uint32_t next_slot = 0;
+  auto enter = [&](uint32_t s) {
+    layout.scc_first_slot[s] = next_slot;
+    for (rdf::TermId node : layout.members[s]) layout.slot[node] = next_slot++;
+  };
+  struct DfsFrame {
+    uint32_t scc;
+    size_t child;
+  };
+  std::vector<DfsFrame> dfs;
+  for (uint32_t root : roots) {
+    dfs.push_back({root, 0});
+    enter(root);
+    while (!dfs.empty()) {
+      DfsFrame& f = dfs.back();
+      if (f.child < children[f.scc].size()) {
+        const uint32_t next = children[f.scc][f.child++];
+        dfs.push_back({next, 0});
+        enter(next);
+      } else {
+        layout.scc_subtree_end[f.scc] = next_slot - 1;
+        dfs.pop_back();
+      }
+    }
+  }
+  layout.num_slots = next_slot;
+  return layout;
+}
+
+void AddEdge(Hierarchy* h, rdf::TermId sub, rdf::TermId super) {
+  h->supers[sub].insert(super);
+}
+
+void CollectNodes(Hierarchy* h) {
+  std::set<rdf::TermId> nodes;
+  for (const auto& [sub, supers] : h->supers) {
+    nodes.insert(sub);
+    nodes.insert(supers.begin(), supers.end());
+  }
+  h->nodes.assign(nodes.begin(), nodes.end());
+}
+
+}  // namespace
+
+EncodingResult EncodeGraphHierarchy(rdf::Graph* graph,
+                                    const EncoderOptions& options) {
+  // rdfref-lint: allow(termid-arith)
+  EncodingResult result;
+  rdf::Dictionary& dict = graph->dict();
+  const size_t n = dict.size();
+
+  // 1. Direct hierarchy edges. Built-ins keep their pinned ids, so they
+  // never participate; self-loops carry no structure (a lone reflexive
+  // constraint entails nothing the term itself doesn't cover).
+  Hierarchy cls;
+  Hierarchy prop;
+  for (const rdf::Triple& t : graph->triples()) {
+    if (t.s == t.o) continue;
+    if (t.s < rdf::vocab::kNumBuiltins || t.o < rdf::vocab::kNumBuiltins) {
+      continue;
+    }
+    if (t.p == rdf::vocab::kSubClassOfId) {
+      AddEdge(&cls, t.s, t.o);
+    } else if (t.p == rdf::vocab::kSubPropertyOfId) {
+      AddEdge(&prop, t.s, t.o);
+    }
+  }
+  CollectNodes(&cls);
+
+  // A term in both hierarchies (degenerate schema) is encoded as a class
+  // only: one id cannot sit in two blocks. Its property queries fall back
+  // to classic members.
+  if (!cls.nodes.empty()) {
+    std::set<rdf::TermId> class_nodes(cls.nodes.begin(), cls.nodes.end());
+    std::map<rdf::TermId, std::set<rdf::TermId>> kept;
+    for (const auto& [sub, supers] : prop.supers) {
+      if (class_nodes.count(sub)) continue;
+      for (rdf::TermId super : supers) {
+        if (class_nodes.count(super)) continue;
+        kept[sub].insert(super);
+      }
+    }
+    prop.supers = std::move(kept);
+  }
+  CollectNodes(&prop);
+
+  // 2. Budget: an over-budget hierarchy is skipped wholesale (classic UCQ
+  // fallback) rather than partially encoded.
+  const bool encode_classes =
+      !cls.nodes.empty() && cls.nodes.size() <= options.max_hierarchy_terms;
+  const bool encode_properties =
+      !prop.nodes.empty() && prop.nodes.size() <= options.max_hierarchy_terms;
+  if (!encode_classes) result.report.classes_skipped = cls.nodes.size();
+  if (!encode_properties) result.report.properties_skipped = prop.nodes.size();
+
+  Layout cls_layout = encode_classes ? LayOutHierarchy(cls) : Layout{};
+  Layout prop_layout = encode_properties ? LayOutHierarchy(prop) : Layout{};
+
+  // 3. Compose the permutation: built-ins, class block, property block,
+  // then every remaining term in old relative order.
+  std::vector<rdf::TermId> old_to_new(n, rdf::kInvalidTermId);
+  for (rdf::TermId b = 0; b < rdf::vocab::kNumBuiltins; ++b) {
+    old_to_new[b] = b;
+  }
+  const rdf::TermId class_base = rdf::vocab::kNumBuiltins;
+  for (const auto& [node, slot] : cls_layout.slot) {
+    old_to_new[node] = class_base + slot;
+  }
+  const rdf::TermId prop_base = class_base + cls_layout.num_slots;
+  for (const auto& [node, slot] : prop_layout.slot) {
+    old_to_new[node] = prop_base + slot;
+  }
+  rdf::TermId next = prop_base + prop_layout.num_slots;
+  for (size_t id = rdf::vocab::kNumBuiltins; id < n; ++id) {
+    if (old_to_new[id] == rdf::kInvalidTermId) old_to_new[id] = next++;
+  }
+
+  // 4. Interval and SCC tables, keyed by post-permutation ids.
+  auto encoding = std::make_shared<rdf::TermEncoding>();
+  auto fill = [&](const Layout& layout, rdf::TermId base, bool classes) {
+    for (const auto& [node, scc] : layout.scc_of) {
+      const rdf::TermId new_id = old_to_new[node];
+      const rdf::TermEncoding::Interval iv{
+          base + layout.scc_first_slot[scc],
+          base + layout.scc_subtree_end[scc]};
+      if (classes) {
+        encoding->SetClassInterval(new_id, iv);
+      } else {
+        encoding->SetPropertyInterval(new_id, iv);
+      }
+      if (layout.members[scc].size() > 1) {
+        // All cycle members share the interval; the representative is the
+        // member occupying the interval's first slot.
+        encoding->SetSccRepresentative(new_id, iv.lo);
+      }
+    }
+  };
+  if (encode_classes) {
+    fill(cls_layout, class_base, /*classes=*/true);
+    result.report.classes_encoded = cls_layout.slot.size();
+    result.report.class_cycles = cls_layout.cycles;
+    result.report.multi_parent_classes = cls_layout.multi_parent;
+  }
+  if (encode_properties) {
+    fill(prop_layout, prop_base, /*classes=*/false);
+    result.report.properties_encoded = prop_layout.slot.size();
+    result.report.property_cycles = prop_layout.cycles;
+    result.report.multi_parent_properties = prop_layout.multi_parent;
+  }
+
+  // 5. Remap the graph in place and attach the tables.
+  graph->Remap(old_to_new);
+  if (!encoding->empty()) {
+    dict.set_encoding(std::move(encoding));
+  }
+  result.old_to_new = std::move(old_to_new);
+  return result;
+}
+
+}  // namespace schema
+}  // namespace rdfref

@@ -1,0 +1,77 @@
+#ifndef RDFREF_SCHEMA_ENCODER_H_
+#define RDFREF_SCHEMA_ENCODER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace rdfref {
+namespace schema {
+
+/// \brief Knobs of the hierarchy-aware dictionary assignment pass.
+struct EncoderOptions {
+  /// Largest hierarchy (node count of one kind) the encoder will lay out.
+  /// Plays the role of LiteMat's interval bit budget: a subClassOf or
+  /// subPropertyOf hierarchy with more terms than this is left unencoded and
+  /// every query over it falls back to classic UCQ members. The default
+  /// comfortably covers any real ontology; tests shrink it to exercise the
+  /// fallback.
+  uint32_t max_hierarchy_terms = 1u << 20;
+};
+
+/// \brief What the encoder did, for logging, stats and tests.
+struct EncodingReport {
+  size_t classes_encoded = 0;      ///< class-hierarchy terms with an interval
+  size_t properties_encoded = 0;   ///< property-hierarchy terms likewise
+  size_t class_cycles = 0;         ///< multi-member subClassOf SCCs
+  size_t property_cycles = 0;      ///< multi-member subPropertyOf SCCs
+  size_t multi_parent_classes = 0;     ///< classes with >1 direct super-SCC
+  size_t multi_parent_properties = 0;  ///< properties likewise
+  size_t classes_skipped = 0;      ///< class hierarchy over budget (all of it)
+  size_t properties_skipped = 0;   ///< property hierarchy over budget
+};
+
+/// \brief Result of EncodeGraphHierarchy: the applied permutation plus the
+/// report. `old_to_new[i]` is the new id of the term previously named `i`;
+/// callers holding pre-encoding TermIds translate them through it.
+struct EncodingResult {
+  std::vector<rdf::TermId> old_to_new;
+  EncodingReport report;
+};
+
+/// \brief Hierarchy-aware dictionary assignment (LiteMat-style, PAPERS.md).
+///
+/// Reads the *direct* subClassOf/subPropertyOf triples of `graph`, condenses
+/// cycles (Tarjan SCC) so every cycle shares one interval, picks a primary
+/// parent per SCC (the candidate with the smallest pre-encoding id, for
+/// determinism) to turn each DAG into a forest, and assigns new TermIds by
+/// DFS preorder so that every class/property owns a contiguous id interval
+/// [lo, hi] covering its SCC and its primary subtree. The graph is remapped
+/// in place (Graph::Remap) and the resulting TermEncoding is attached to its
+/// dictionary.
+///
+/// Layout of the new id space:
+///   [0 .. 4]                     the five built-ins, unchanged;
+///   [5 .. 5+C)                   class-hierarchy terms in preorder;
+///   [5+C .. 5+C+P)               property-hierarchy terms in preorder;
+///   [5+C+P .. size)              every other term, in old relative order.
+///
+/// Guarantees: soundness (every id inside an interval is a saturated
+/// sub-term of the interval's owner) and shared cycle intervals. Not
+/// guaranteed: completeness — secondary parents of multi-parent terms and
+/// over-budget hierarchies are not covered, and ids interned after encoding
+/// land beyond every interval. The reformulator emits classic members for
+/// those escapees, so fused and classic answers coincide.
+///
+/// Call this BEFORE building a QueryAnswerer (the pass invalidates every
+/// outstanding TermId); for a live answerer use QueryAnswerer::Reencode,
+/// which re-runs it at a compaction epoch.
+EncodingResult EncodeGraphHierarchy(rdf::Graph* graph,
+                                    const EncoderOptions& options = {});
+
+}  // namespace schema
+}  // namespace rdfref
+
+#endif  // RDFREF_SCHEMA_ENCODER_H_

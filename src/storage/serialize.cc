@@ -3,8 +3,12 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "rdf/encoding.h"
 #include "rdf/vocab.h"
 
 namespace rdfref {
@@ -13,7 +17,8 @@ namespace storage {
 namespace {
 
 constexpr char kMagic[4] = {'R', 'D', 'F', 'B'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;  // v1: no trailing encoding section
 
 void WriteU32(std::ostream& out, uint32_t v) {
   char buf[4] = {static_cast<char>(v & 0xff),
@@ -44,6 +49,8 @@ Status SaveGraph(const rdf::Graph& graph, const std::string& path) {
   WriteU32(out, static_cast<uint32_t>(dict.size()));
   WriteU32(out, static_cast<uint32_t>(graph.size()));
 
+  // Dictionary ids are dense 0..size-1 under any permutation; the image
+  // records terms in id order.  // rdfref-lint: allow(termid-arith)
   for (rdf::TermId id = 0; id < dict.size(); ++id) {
     const rdf::Term& term = dict.Lookup(id);
     char kind = static_cast<char>(term.kind);
@@ -56,6 +63,28 @@ Status SaveGraph(const rdf::Graph& graph, const std::string& path) {
     WriteU32(out, t.s);
     WriteU32(out, t.p);
     WriteU32(out, t.o);
+  }
+
+  const rdf::TermEncoding* encoding = dict.encoding();
+  WriteU32(out, encoding != nullptr ? 1 : 0);
+  if (encoding != nullptr) {
+    auto write_intervals =
+        [&](const std::map<rdf::TermId, rdf::TermEncoding::Interval>& m) {
+          WriteU32(out, static_cast<uint32_t>(m.size()));
+          for (const auto& [id, iv] : m) {
+            WriteU32(out, id);
+            WriteU32(out, iv.lo);
+            WriteU32(out, iv.hi);
+          }
+        };
+    write_intervals(encoding->class_intervals());
+    write_intervals(encoding->property_intervals());
+    WriteU32(out,
+             static_cast<uint32_t>(encoding->scc_representatives().size()));
+    for (const auto& [id, rep] : encoding->scc_representatives()) {
+      WriteU32(out, id);
+      WriteU32(out, rep);
+    }
   }
   if (!out) return Status::Internal("write failed: " + path);
   return Status::OK();
@@ -70,7 +99,8 @@ Result<rdf::Graph> LoadGraph(const std::string& path) {
     return Status::ParseError("not an RDFB graph image: " + path);
   }
   uint32_t version = 0, num_terms = 0, num_triples = 0;
-  if (!ReadU32(in, &version) || version != kVersion) {
+  if (!ReadU32(in, &version) || version < kMinVersion ||
+      version > kVersion) {
     return Status::ParseError("unsupported RDFB version");
   }
   if (!ReadU32(in, &num_terms) || !ReadU32(in, &num_triples)) {
@@ -108,6 +138,55 @@ Result<rdf::Graph> LoadGraph(const std::string& path) {
       return Status::ParseError("triple references unknown term");
     }
     graph.Add(s, p, o);
+  }
+
+  if (version >= 2) {
+    uint32_t has_encoding = 0;
+    if (!ReadU32(in, &has_encoding)) {
+      return Status::ParseError("truncated encoding flag");
+    }
+    if (has_encoding > 1) {
+      return Status::ParseError("bad encoding flag");
+    }
+    if (has_encoding == 1) {
+      auto encoding = std::make_shared<rdf::TermEncoding>();
+      auto read_intervals = [&](bool classes) -> bool {
+        uint32_t n = 0;
+        if (!ReadU32(in, &n)) return false;
+        for (uint32_t i = 0; i < n; ++i) {
+          uint32_t id = 0, lo = 0, hi = 0;
+          if (!ReadU32(in, &id) || !ReadU32(in, &lo) || !ReadU32(in, &hi)) {
+            return false;
+          }
+          if (id >= num_terms || lo > hi || hi >= num_terms) return false;
+          rdf::TermEncoding::Interval iv{lo, hi};
+          if (classes) {
+            encoding->SetClassInterval(id, iv);
+          } else {
+            encoding->SetPropertyInterval(id, iv);
+          }
+        }
+        return true;
+      };
+      if (!read_intervals(true) || !read_intervals(false)) {
+        return Status::ParseError("truncated interval table");
+      }
+      uint32_t num_sccs = 0;
+      if (!ReadU32(in, &num_sccs)) {
+        return Status::ParseError("truncated SCC table");
+      }
+      for (uint32_t i = 0; i < num_sccs; ++i) {
+        uint32_t id = 0, rep = 0;
+        if (!ReadU32(in, &id) || !ReadU32(in, &rep)) {
+          return Status::ParseError("truncated SCC table");
+        }
+        if (id >= num_terms || rep >= num_terms) {
+          return Status::ParseError("SCC entry references unknown term");
+        }
+        encoding->SetSccRepresentative(id, rep);
+      }
+      graph.dict().set_encoding(std::move(encoding));
+    }
   }
   return graph;
 }

@@ -13,12 +13,20 @@ namespace storage {
 /// (magic "RDFB", little-endian fixed-width fields). Loading skips all
 /// parsing, so repeated benchmark/CLI runs start fast.
 ///
-/// Format:
+/// Format (version 2; version-1 images still load):
 ///   "RDFB" u32(version) u32(num_terms) u32(num_triples)
 ///   per term:   u8(kind) u32(length) bytes
 ///   per triple: u32(s) u32(p) u32(o)
+///   u32(has_encoding 0|1) — v2 only; when 1, the dictionary's hierarchy
+///   encoding (rdf/encoding.h) follows so an encoded id space round-trips
+///   bit-identically instead of silently degrading to classic members:
+///     u32(n) then per class interval:    u32(id) u32(lo) u32(hi)
+///     u32(n) then per property interval: u32(id) u32(lo) u32(hi)
+///     u32(n) then per SCC member:        u32(id) u32(representative)
 /// The first five terms must be the RDF/RDFS built-ins in vocab order (a
-/// dictionary always interns them first); Load verifies this.
+/// dictionary always interns them first); Load verifies this. Term ids are
+/// dense in id order — for an encoded graph that is the *post-permutation*
+/// order, so loaded triples and intervals agree with the saved ones.
 Status SaveGraph(const rdf::Graph& graph, const std::string& path);
 
 /// \brief Loads a graph image written by SaveGraph.

@@ -249,6 +249,44 @@ std::span<const rdf::Triple> Store::EqualRangeSpanHinted(
   return {r.first, static_cast<size_t>(r.second - r.first)};
 }
 
+bool Store::TryGetIntervalRange(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                                int range_pos, rdf::TermId hi,
+                                std::span<const rdf::Triple>* out) const {
+  const rdf::TermId kMin = 0;
+  const rdf::TermId kMax = static_cast<rdf::TermId>(-2);
+  Range r{nullptr, nullptr};
+  if (range_pos == 2) {
+    // Object interval [o, hi].
+    const bool bs = s != kAny;
+    const bool bp = p != kAny;
+    if (bs && bp) {
+      r = PrefixRange<OrderSpo>(spo_, rdf::Triple(s, p, o),
+                                rdf::Triple(s, p, hi));
+    } else if (bp) {
+      r = PrefixRange<OrderPos>(pos_, rdf::Triple(kMin, p, o),
+                                rdf::Triple(kMax, p, hi));
+    } else if (!bs) {
+      r = PrefixRange<OrderOsp>(osp_, rdf::Triple(kMin, kMin, o),
+                                rdf::Triple(kMax, kMax, hi));
+    } else {
+      return false;  // (s ? [lo..hi]): no order is contiguous
+    }
+  } else {
+    // Property interval [p, hi].
+    const bool bs = s != kAny;
+    if (o != kAny) return false;  // (? [lo..hi] o): no order is contiguous
+    if (bs) {
+      r = PrefixRange<OrderSpo>(spo_, rdf::Triple(s, p, kMin),
+                                rdf::Triple(s, hi, kMax));
+    } else {
+      r = PrefixRange<OrderPso>(pso_, rdf::Triple(kMin, p, kMin),
+                                rdf::Triple(kMax, hi, kMax));
+    }
+  }
+  *out = {r.first, static_cast<size_t>(r.second - r.first)};
+  return true;
+}
+
 void Store::Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
                  const std::function<void(const rdf::Triple&)>& fn) const {  // rdfref-lint: allow(std-function)
   Range r = EqualRange(s, p, o);

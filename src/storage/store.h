@@ -84,6 +84,17 @@ class Store : public TripleSource {
     return true;
   }
 
+  /// \brief Interval fast path for hierarchy-encoded atoms: succeeds when
+  /// one clustered permutation stores the interval contiguously —
+  ///   object interval   (s p [lo..hi]) on SPO, (? p [lo..hi]) on POS,
+  ///                     (? ? [lo..hi]) on OSP;
+  ///   property interval (s [lo..hi] ?) on SPO, (? [lo..hi] ?) on PSO.
+  /// The remaining shapes — (s ? [lo..hi]) and (? [lo..hi] o) — interleave
+  /// other ids inside every order and return false (buffered fallback).
+  bool TryGetIntervalRange(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                           int range_pos, rdf::TermId hi,
+                           std::span<const rdf::Triple>* out) const override;
+
   /// \brief Exact number of triples matching the pattern (index-only).
   size_t CountMatches(rdf::TermId s, rdf::TermId p,
                       rdf::TermId o) const override;

@@ -31,6 +31,11 @@ inline bool MatchesPattern(const rdf::Triple& t, rdf::TermId s, rdf::TermId p,
 /// presence), false negatives are not. Overlay sources consult it to keep
 /// the zero-copy base fast path for scans the overlay provably cannot
 /// affect.
+///
+/// MayMatch checks EXACT ids only. An interval probe (TryGetIntervalRange)
+/// must NOT pass the interval's low endpoint here — that would miss overlay
+/// triples touching ids strictly inside (lo, hi]. Interval callers widen the
+/// ranged position to kAny before consulting any presence filter.
 class PatternPresence {
  public:
   void Add(const rdf::Triple& t) {
@@ -134,6 +139,59 @@ class TripleSource {
   virtual size_t CountMatches(rdf::TermId s, rdf::TermId p,
                               rdf::TermId o) const = 0;
 
+  /// \brief Interval batch fast path, for the hierarchy-encoded atoms of
+  /// rdf/encoding.h: like TryGetRange, but the position selected by
+  /// `range_pos` (query::Atom::kRangeP = property, kRangeO = object)
+  /// matches any id in [its pattern value, hi] instead of exactly one id.
+  /// Range-capable sources answer when one of their clustered orders makes
+  /// the interval contiguous; everyone else returns false and is served by
+  /// ScanIntervalInto.
+  virtual bool TryGetIntervalRange(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                                   int range_pos, rdf::TermId hi,
+                                   std::span<const rdf::Triple>* out) const {
+    (void)s;
+    (void)p;
+    (void)o;
+    (void)range_pos;
+    (void)hi;
+    (void)out;
+    return false;
+  }
+
+  /// \brief Interval batch fallback: clears `*out` and appends every match
+  /// of the pattern with the ranged position relaxed to [lo, hi]. The
+  /// default widens the ranged position to a wildcard scan and filters;
+  /// sources with better access paths may override.
+  virtual void ScanIntervalInto(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                                int range_pos, rdf::TermId hi,
+                                std::vector<rdf::Triple>* out) const {
+    const bool on_p = range_pos == 1;
+    const rdf::TermId lo = on_p ? p : o;
+    const rdf::TermId ws = s;
+    const rdf::TermId wp = on_p ? kAny : p;
+    const rdf::TermId wo = on_p ? o : kAny;
+    out->clear();
+    Scan(ws, wp, wo, [&](const rdf::Triple& t) {
+      const rdf::TermId v = on_p ? t.p : t.o;
+      if (v >= lo && v <= hi) out->push_back(t);
+    });
+  }
+
+  /// \brief Number of triples matching the interval pattern: exact when the
+  /// interval is contiguous in some clustered order, otherwise the count of
+  /// the widened (wildcarded) pattern — an upper bound, which is what the
+  /// join-ordering and costing consumers need.
+  virtual size_t CountIntervalMatches(rdf::TermId s, rdf::TermId p,
+                                      rdf::TermId o, int range_pos,
+                                      rdf::TermId hi) const {
+    std::span<const rdf::Triple> range;
+    if (TryGetIntervalRange(s, p, o, range_pos, hi, &range)) {
+      return range.size();
+    }
+    const bool on_p = range_pos == 1;
+    return CountMatches(s, on_p ? kAny : p, on_p ? o : kAny);
+  }
+
   /// \brief The dictionary the triples are encoded against.
   virtual const rdf::Dictionary& dict() const = 0;
 };
@@ -184,6 +242,39 @@ class PatternCursor {
       }
     } else {
       source.ScanInto(s, p, o, &scratch_);
+      buffer_.clear();
+      for (const rdf::Triple& t : scratch_) {
+        if (residual.Accepts(t)) buffer_.push_back(t);
+      }
+    }
+    view_ = buffer_;
+    return view_;
+  }
+
+  /// \brief Re-binds the cursor to an interval pattern (the ranged position
+  /// holds the interval's low endpoint; see TryGetIntervalRange). Zero-copy
+  /// when the source exposes the interval contiguously, buffered otherwise.
+  std::span<const rdf::Triple> ResetInterval(const TripleSource& source,
+                                             rdf::TermId s, rdf::TermId p,
+                                             rdf::TermId o, int range_pos,
+                                             rdf::TermId hi,
+                                             ResidualEq residual = {}) {
+    if (!residual.any()) {
+      if (source.TryGetIntervalRange(s, p, o, range_pos, hi, &view_)) {
+        return view_;
+      }
+      source.ScanIntervalInto(s, p, o, range_pos, hi, &buffer_);
+      view_ = buffer_;
+      return view_;
+    }
+    std::span<const rdf::Triple> raw;
+    if (source.TryGetIntervalRange(s, p, o, range_pos, hi, &raw)) {
+      buffer_.clear();
+      for (const rdf::Triple& t : raw) {
+        if (residual.Accepts(t)) buffer_.push_back(t);
+      }
+    } else {
+      source.ScanIntervalInto(s, p, o, range_pos, hi, &scratch_);
       buffer_.clear();
       for (const rdf::Triple& t : scratch_) {
         if (residual.Accepts(t)) buffer_.push_back(t);

@@ -190,6 +190,40 @@ bool SnapshotSource::TryGetRangeHinted(rdf::TermId s, rdf::TermId p,
   return true;
 }
 
+bool SnapshotSource::TryGetIntervalRange(
+    rdf::TermId s, rdf::TermId p, rdf::TermId o, int range_pos, rdf::TermId hi,
+    std::span<const rdf::Triple>* out) const {
+  // Presence probes must cover every id the interval spans, so the ranged
+  // position is widened to a wildcard: conservative, never unsound.
+  const bool on_p = range_pos == 1;
+  const rdf::TermId ws = s;
+  const rdf::TermId wp = on_p ? kAny : p;
+  const rdf::TermId wo = on_p ? o : kAny;
+  if (!head_.empty() && head_.MayAffect(ws, wp, wo)) return false;
+  if (version_->RunsMayRemove(ws, wp, wo)) return false;
+  std::span<const rdf::Triple> chosen;
+  if (!version_->base->TryGetIntervalRange(s, p, o, range_pos, hi, &chosen)) {
+    return false;  // interval not contiguous in any clustered order
+  }
+  if (!version_->RunsMayAdd(ws, wp, wo)) {
+    *out = chosen;
+    return true;
+  }
+  size_t contributors = chosen.empty() ? 0 : 1;
+  for (const auto& run : version_->runs) {
+    if (!run->MayAddMatch(ws, wp, wo)) continue;
+    std::span<const rdf::Triple> adds;
+    if (!run->adds().TryGetIntervalRange(s, p, o, range_pos, hi, &adds)) {
+      return false;
+    }
+    if (adds.empty()) continue;
+    if (++contributors > 1) return false;
+    chosen = adds;
+  }
+  *out = chosen;
+  return true;
+}
+
 size_t SnapshotSource::CountMatches(rdf::TermId s, rdf::TermId p,
                                     rdf::TermId o) const {
   // Exact by the generation invariants: every add was invisible when

@@ -151,6 +151,15 @@ class SnapshotSource : public TripleSource {
                          std::span<const rdf::Triple>* out,
                          RangeHint* hint) const override;
 
+  /// \brief Interval fast path: zero-copy iff no generation's overlays can
+  /// touch the *widened* pattern (ranged position wildcarded — an interval
+  /// probe must be conservative against every id it spans) and at most one
+  /// sealed generation holds matches, delegating to that generation's own
+  /// contiguity table. Everyone else is served by ScanIntervalInto.
+  bool TryGetIntervalRange(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                           int range_pos, rdf::TermId hi,
+                           std::span<const rdf::Triple>* out) const override;
+
   void ScanInto(rdf::TermId s, rdf::TermId p, rdf::TermId o,
                 std::vector<rdf::Triple>* out) const override;
 

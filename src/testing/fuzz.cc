@@ -38,6 +38,10 @@ Divergence RunChecks(const Scenario& sc, const query::Cq& q,
     Divergence d = count(CheckColumnarVsReference(sc, q));
     if (d.found) return d;
   }
+  if (options.check_encoded) {
+    Divergence d = count(CheckEncodedEquivalence(sc, q));
+    if (d.found) return d;
+  }
   if (options.check_metamorphic) {
     Divergence d = count(CheckThreadInvariance(sc, q, options.thread_settings));
     if (d.found) return d;

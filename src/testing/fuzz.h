@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "testing/encoding_oracle.h"
 #include "testing/metamorphic.h"
 #include "testing/oracle.h"
 #include "testing/reference_eval.h"
@@ -31,6 +32,9 @@ struct FuzzOptions {
   bool check_federation = true;   ///< graph partitioning across endpoints
   bool check_updates = true;      ///< monotone insert + DRed delete checks
   bool check_snapshots = true;    ///< single-threaded snapshot isolation
+  /// Hierarchy-encoding equivalence: interval reformulation vs the classic
+  /// UCQ it fuses, at load, after a schema insert, and across Reencode().
+  bool check_encoded = true;
   /// Threaded snapshot churn (fuzz_driver --updates-concurrent): a writer
   /// thread + background compaction race reader threads pinning epochs.
   /// Off by default — concurrent failures are timing-dependent and are

@@ -16,24 +16,6 @@ namespace {
 
 namespace vocab = rdf::vocab;
 
-/// Re-expresses a query's constants against another dictionary (the
-/// federation interns endpoint values into its own shared dictionary).
-query::Cq TranslateQuery(const query::Cq& q, const rdf::Dictionary& from,
-                         rdf::Dictionary* to) {
-  query::Cq out;
-  for (query::VarId v = 0; v < q.num_vars(); ++v) out.AddVar(q.var_name(v));
-  auto xlate = [&](query::QTerm t) {
-    if (t.is_var) return t;
-    return query::QTerm::Const(to->Intern(from.Lookup(t.term())));
-  };
-  for (const query::Atom& a : q.body()) {
-    out.AddAtom(query::Atom(xlate(a.s), xlate(a.p), xlate(a.o)));
-  }
-  for (query::QTerm h : q.head()) out.AddHead(xlate(h));
-  for (query::VarId v : q.resource_vars()) out.AddResourceVar(v);
-  return out;
-}
-
 std::string Diagnose(const query::Cq& q, const rdf::Dictionary& dict,
                      const std::set<DecodedRow>& expected,
                      const std::set<DecodedRow>& got) {
@@ -45,9 +27,12 @@ std::string Diagnose(const query::Cq& q, const rdf::Dictionary& dict,
 
 }  // namespace
 
-Divergence CheckThreadInvariance(const Scenario& sc, const query::Cq& q,
+Divergence CheckThreadInvariance(const Scenario& sc,
+                                 const query::Cq& scenario_q,
                                  const std::vector<int>& thread_settings) {
   api::QueryAnswerer answerer(sc.graph.Clone());
+  const query::Cq q =
+      TranslateQuery(scenario_q, sc.graph.dict(), &answerer.dict());
   const api::Strategy strategies[] = {api::Strategy::kRefUcq,
                                       api::Strategy::kRefGcov};
   for (api::Strategy s : strategies) {
@@ -74,8 +59,11 @@ Divergence CheckThreadInvariance(const Scenario& sc, const query::Cq& q,
   return Divergence::None();
 }
 
-Divergence CheckDeadlineInvariance(const Scenario& sc, const query::Cq& q) {
+Divergence CheckDeadlineInvariance(const Scenario& sc,
+                                   const query::Cq& scenario_q) {
   api::QueryAnswerer answerer(sc.graph.Clone());
+  const query::Cq q =
+      TranslateQuery(scenario_q, sc.graph.dict(), &answerer.dict());
   auto baseline = answerer.Answer(q, api::Strategy::kRefUcq);
   if (!baseline.ok()) {
     return Divergence::Of("metamorphic:deadline",
@@ -107,9 +95,12 @@ Divergence CheckDeadlineInvariance(const Scenario& sc, const query::Cq& q) {
 
 Divergence CheckFederationPartition(const Scenario& sc, const query::Cq& q,
                                     int num_endpoints, uint64_t seed) {
-  // Centralized ground truth.
+  // Centralized ground truth (query translated into the answerer's
+  // hierarchy-encoded id space; the comparison below is over decoded terms,
+  // so the two id spaces never meet).
   api::QueryAnswerer central(sc.graph.Clone());
-  auto expected_table = central.Answer(q, api::Strategy::kSaturation);
+  query::Cq central_q = TranslateQuery(q, sc.graph.dict(), &central.dict());
+  auto expected_table = central.Answer(central_q, api::Strategy::kSaturation);
   if (!expected_table.ok()) {
     return Divergence::Of("metamorphic:federation",
                           expected_table.status().ToString());
@@ -149,9 +140,12 @@ Divergence CheckFederationPartition(const Scenario& sc, const query::Cq& q,
   return Divergence::None();
 }
 
-Divergence CheckInsertionMonotonicity(const Scenario& sc, const query::Cq& q,
-                                      Rng* rng, int num_inserts) {
+Divergence CheckInsertionMonotonicity(const Scenario& sc,
+                                      const query::Cq& scenario_q, Rng* rng,
+                                      int num_inserts) {
   api::QueryAnswerer answerer(sc.graph.Clone());
+  const query::Cq q =
+      TranslateQuery(scenario_q, sc.graph.dict(), &answerer.dict());
   auto before = answerer.Answer(q, api::Strategy::kSaturation);
   if (!before.ok()) {
     return Divergence::Of("metamorphic:monotonicity",
@@ -168,7 +162,8 @@ Divergence CheckInsertionMonotonicity(const Scenario& sc, const query::Cq& q,
                           sc.classes[rng->Uniform(sc.classes.size())])
             : rdf::Triple(s, sc.properties[rng->Uniform(sc.properties.size())],
                           sc.subjects[rng->Uniform(sc.subjects.size())]);
-    Status st = answerer.InsertTriple(t);
+    Status st = answerer.InsertTriple(
+        TranslateTriple(t, sc.graph.dict(), &answerer.dict()));
     if (!st.ok()) {
       return Divergence::Of("metamorphic:monotonicity",
                             "insert failed: " + st.ToString());
@@ -207,9 +202,12 @@ Divergence CheckInsertionMonotonicity(const Scenario& sc, const query::Cq& q,
   return Divergence::None();
 }
 
-Divergence CheckUpdateConsistency(const Scenario& sc, const query::Cq& q,
-                                  Rng* rng, int num_ops) {
+Divergence CheckUpdateConsistency(const Scenario& sc,
+                                  const query::Cq& scenario_q, Rng* rng,
+                                  int num_ops) {
   api::QueryAnswerer answerer(sc.graph.Clone());
+  const query::Cq q =
+      TranslateQuery(scenario_q, sc.graph.dict(), &answerer.dict());
   // Saturate now so every later update exercises the *incremental* paths
   // (forward chase on insert, DRed on delete) rather than a lazy rebuild.
   auto warm = answerer.Answer(q, api::Strategy::kSaturation);
@@ -224,7 +222,8 @@ Divergence CheckUpdateConsistency(const Scenario& sc, const query::Cq& q,
       size_t at = rng->Uniform(facts.size());
       rdf::Triple t = facts[at];
       facts.erase(facts.begin() + at);
-      Status st = answerer.RemoveTriple(t);
+      Status st = answerer.RemoveTriple(
+          TranslateTriple(t, sc.graph.dict(), &answerer.dict()));
       if (!st.ok()) {
         return Divergence::Of("metamorphic:updates",
                               "remove failed: " + st.ToString());
@@ -241,7 +240,8 @@ Divergence CheckUpdateConsistency(const Scenario& sc, const query::Cq& q,
       if (std::find(facts.begin(), facts.end(), t) == facts.end()) {
         facts.push_back(t);
       }
-      Status st = answerer.InsertTriple(t);
+      Status st = answerer.InsertTriple(
+          TranslateTriple(t, sc.graph.dict(), &answerer.dict()));
       if (!st.ok()) {
         return Divergence::Of("metamorphic:updates",
                               "insert failed: " + st.ToString());
@@ -249,9 +249,13 @@ Divergence CheckUpdateConsistency(const Scenario& sc, const query::Cq& q,
     }
 
     // Ground truth: a from-scratch answerer over the current explicit set.
+    // `facts` is kept in scenario ids; the fresh answerer re-encodes its own
+    // clone, so the query is translated into *its* id space independently.
     Scenario current = RestrictScenario(sc, sc.schema_triples, facts);
     api::QueryAnswerer fresh(current.graph.Clone());
-    auto expected_table = fresh.Answer(q, api::Strategy::kSaturation);
+    query::Cq fresh_q =
+        TranslateQuery(scenario_q, sc.graph.dict(), &fresh.dict());
+    auto expected_table = fresh.Answer(fresh_q, api::Strategy::kSaturation);
     if (!expected_table.ok()) {
       return Divergence::Of("metamorphic:updates",
                             expected_table.status().ToString());

@@ -38,6 +38,29 @@ std::string RowSetPreview(const std::set<DecodedRow>& rows, size_t max_rows) {
   return os.str();
 }
 
+query::Cq TranslateQuery(const query::Cq& q, const rdf::Dictionary& from,
+                         rdf::Dictionary* to) {
+  query::Cq out;
+  for (query::VarId v = 0; v < q.num_vars(); ++v) out.AddVar(q.var_name(v));
+  auto xlate = [&](query::QTerm t) {
+    if (t.is_var) return t;
+    return query::QTerm::Const(to->Intern(from.Lookup(t.term())));
+  };
+  for (const query::Atom& a : q.body()) {
+    out.AddAtom(query::Atom(xlate(a.s), xlate(a.p), xlate(a.o)));
+  }
+  for (query::QTerm h : q.head()) out.AddHead(xlate(h));
+  for (query::VarId v : q.resource_vars()) out.AddResourceVar(v);
+  return out;
+}
+
+rdf::Triple TranslateTriple(const rdf::Triple& t, const rdf::Dictionary& from,
+                            rdf::Dictionary* to) {
+  return rdf::Triple(to->Intern(from.Lookup(t.s)),
+                     to->Intern(from.Lookup(t.p)),
+                     to->Intern(from.Lookup(t.o)));
+}
+
 namespace {
 
 /// One-line diff of two decoded row sets (what's missing / spurious).
@@ -57,6 +80,7 @@ std::string DiffRowSets(const std::set<DecodedRow>& expected,
 
 Oracle::Oracle(const Scenario& sc, Options options)
     : options_(std::move(options)),
+      scenario_dict_(&sc.graph.dict()),
       answerer_(std::make_unique<api::QueryAnswerer>(sc.graph.Clone())) {}
 
 Result<engine::Table> Oracle::Answer(const query::Cq& q, api::Strategy s,
@@ -66,7 +90,9 @@ Result<engine::Table> Oracle::Answer(const query::Cq& q, api::Strategy s,
   return table;
 }
 
-Divergence Oracle::Check(const query::Cq& q) {
+Divergence Oracle::Check(const query::Cq& scenario_q) {
+  const query::Cq q =
+      TranslateQuery(scenario_q, *scenario_dict_, &answerer_->dict());
   const rdf::Dictionary& dict = answerer_->dict();
   auto sat = Answer(q, api::Strategy::kSaturation);
   if (!sat.ok()) {

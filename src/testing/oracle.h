@@ -44,6 +44,18 @@ using DecodedRow = std::vector<rdf::Term>;
 std::set<DecodedRow> DecodeRows(const engine::Table& table,
                                 const rdf::Dictionary& dict);
 
+/// \brief Re-expresses a query's constants against another dictionary.
+/// Every check that hands a scenario-id query to a QueryAnswerer must
+/// translate at that boundary: the answerer hierarchy-encodes (permutes)
+/// its dictionary at construction, so scenario TermIds are stale inside it.
+query::Cq TranslateQuery(const query::Cq& q, const rdf::Dictionary& from,
+                         rdf::Dictionary* to);
+
+/// \brief Same boundary translation for a triple built from scenario ids
+/// (update checks insert scenario-pool facts into a remapped answerer).
+rdf::Triple TranslateTriple(const rdf::Triple& t, const rdf::Dictionary& from,
+                            rdf::Dictionary* to);
+
 /// \brief Renders a small sample of a decoded row set for diagnostics.
 std::string RowSetPreview(const std::set<DecodedRow>& rows,
                           size_t max_rows = 4);
@@ -76,10 +88,12 @@ class Oracle {
   using Options = OracleOptions;
 
   /// \brief Builds a private QueryAnswerer over a clone of the scenario's
-  /// graph (the scenario stays reusable).
+  /// graph (the scenario stays reusable and must outlive the oracle: its
+  /// dictionary is the id space Check's queries arrive in).
   explicit Oracle(const Scenario& sc, Options options = {});
 
-  /// \brief Runs the full protocol for one query.
+  /// \brief Runs the full protocol for one query (given in scenario ids;
+  /// translated into the answerer's encoded id space at the boundary).
   Divergence Check(const query::Cq& q);
 
   api::QueryAnswerer& answerer() { return *answerer_; }
@@ -89,6 +103,7 @@ class Oracle {
                                const api::AnswerOptions& options = {});
 
   Options options_;
+  const rdf::Dictionary* scenario_dict_;
   std::unique_ptr<api::QueryAnswerer> answerer_;
 };
 

@@ -44,7 +44,10 @@ std::vector<int> ReferenceOrderAtoms(const storage::TripleSource& store,
     rdf::TermId s = body[i].s.is_var ? storage::kAny : body[i].s.term();
     rdf::TermId p = body[i].p.is_var ? storage::kAny : body[i].p.term();
     rdf::TermId o = body[i].o.is_var ? storage::kAny : body[i].o.term();
-    base[i] = store.CountMatches(s, p, o);
+    base[i] = body[i].has_range()
+                  ? store.CountIntervalMatches(s, p, o, body[i].range_pos,
+                                               body[i].range_hi)
+                  : store.CountMatches(s, p, o);
   }
   std::vector<int> order;
   std::vector<bool> used(n, false);
@@ -105,7 +108,7 @@ void ReferenceEvaluateCqInto(const storage::TripleSource& store, const Cq& q,
     rdf::TermId ps = Resolve(atom.s, bindings);
     rdf::TermId pp = Resolve(atom.p, bindings);
     rdf::TermId po = Resolve(atom.o, bindings);
-    store.Scan(ps, pp, po, [&](const rdf::Triple& t) {
+    auto per_triple = [&](const rdf::Triple& t) {
       VarId newly[3];
       int num_new = 0;
       auto bind = [&](const QTerm& qt, rdf::TermId value) -> bool {
@@ -124,7 +127,19 @@ void ReferenceEvaluateCqInto(const storage::TripleSource& store, const Cq& q,
       bool ok = bind(atom.s, t.s) && bind(atom.p, t.p) && bind(atom.o, t.o);
       if (ok) recurse(depth + 1);
       for (int k = 0; k < num_new; ++k) bindings[newly[k]] = kUnbound;
-    });
+    };
+    if (atom.has_range()) {
+      // Interval atom: iterate exactly what the engine's interval access
+      // path delivers (same order — the bit-for-bit comparison depends on
+      // the enumeration order, not just the set).
+      storage::PatternCursor cursor;
+      for (const rdf::Triple& t : cursor.ResetInterval(
+               store, ps, pp, po, atom.range_pos, atom.range_hi)) {
+        per_triple(t);
+      }
+    } else {
+      store.Scan(ps, pp, po, per_triple);
+    }
   };
   recurse(0);
 }
@@ -208,8 +223,11 @@ engine::Table ReferenceEvaluateUcq(const storage::TripleSource& source,
                  ucq.members()[0].head().size());
 }
 
-Divergence CheckColumnarVsReference(const Scenario& sc, const query::Cq& q) {
+Divergence CheckColumnarVsReference(const Scenario& sc,
+                                    const query::Cq& scenario_q) {
   api::QueryAnswerer answerer(sc.graph.Clone());
+  const query::Cq q =
+      TranslateQuery(scenario_q, sc.graph.dict(), &answerer.dict());
   storage::SnapshotPtr pinned = answerer.PinSnapshot();
   const storage::TripleSource& source = *pinned;
   const rdf::Dictionary& dict = answerer.dict();

@@ -8,8 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 
+#include "api/query_answering.h"
+#include "query/sparql_parser.h"
+#include "rdf/vocab.h"
 #include "testing/fuzz.h"
+#include "testing/oracle.h"
 
 namespace rdfref {
 namespace {
@@ -124,6 +129,53 @@ TEST(FuzzHarnessTest, ReplayReproducesFailure) {
   EXPECT_EQ(replay.failures.front().relation,
             first.failures.front().relation);
   EXPECT_EQ(replay.failures.front().trial, first.failures.front().trial);
+}
+
+// SPARQL serialization must be stable across re-encoding: ToSparql emits
+// IRIs, never raw TermIds, so a query's text survives any id permutation
+// and re-parses against the permuted dictionary to the same answers.
+TEST(FuzzHarnessTest, ToSparqlRoundTripStableUnderReencoding) {
+  rdf::Graph g;
+  {
+    rdf::Dictionary& dict = g.dict();
+    rdf::TermId top = dict.InternUri("http://ex/Top");
+    rdf::TermId mid = dict.InternUri("http://ex/Mid");
+    rdf::TermId leaf = dict.InternUri("http://ex/Leaf");
+    g.Add(mid, rdf::vocab::kSubClassOfId, top);
+    g.Add(leaf, rdf::vocab::kSubClassOfId, mid);
+    for (int i = 0; i < 4; ++i) {
+      g.Add(dict.InternUri("http://ex/s" + std::to_string(i)),
+            rdf::vocab::kTypeId, i % 2 == 0 ? leaf : mid);
+    }
+  }
+  api::QueryAnswerer answerer(std::move(g));
+
+  auto parsed = query::ParseSparql(
+      "SELECT ?x WHERE { ?x a <http://ex/Top> . }", &answerer.dict());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto text = query::ToSparql(*parsed, answerer.dict());
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_EQ(text->find("http://ex/Top") != std::string::npos, true);
+
+  auto before = answerer.Answer(*parsed, api::Strategy::kRefUcq);
+  ASSERT_TRUE(before.ok()) << before.status();
+  const std::set<testing::DecodedRow> before_rows =
+      testing::DecodeRows(*before, answerer.dict());
+  EXPECT_EQ(before_rows.size(), 4u);
+
+  // Re-encode: every TermId may move, invalidating *parsed's constants —
+  // but not the SPARQL text, which re-parses to the same decoded answers
+  // and re-serializes to the identical string.
+  answerer.Reencode();
+  auto reparsed = query::ParseSparql(*text, &answerer.dict());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  auto after = answerer.Answer(*reparsed, api::Strategy::kRefUcq);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(testing::DecodeRows(*after, answerer.dict()), before_rows);
+
+  auto text2 = query::ToSparql(*reparsed, answerer.dict());
+  ASSERT_TRUE(text2.ok()) << text2.status();
+  EXPECT_EQ(*text2, *text);
 }
 
 }  // namespace

@@ -351,7 +351,9 @@ rdf::Graph ExplodingGraph(int subclasses) {
 }
 
 // Acceptance: a 1 ms deadline on an exploding reformulation returns
-// kDeadlineExceeded — no hang, no crash.
+// kDeadlineExceeded — no hang, no crash. Hierarchy encoding would collapse
+// the explosion into interval atoms (that's its whole point), so this test
+// pins use_encoding = false to keep the 51^3-member UCQ it is about.
 TEST(ResilienceDeadlineTest, ExplodingUcqHitsDeadline) {
   api::QueryAnswerer answerer(ExplodingGraph(50));
   auto q = query::ParseSparql(
@@ -361,14 +363,17 @@ TEST(ResilienceDeadlineTest, ExplodingUcqHitsDeadline) {
       &answerer.dict());
   ASSERT_TRUE(q.ok()) << q.status();
 
+  api::AnswerOptions options;
+  options.reform.use_encoding = false;
+
   // Sanity: without a deadline the 51^3 = 132,651-CQ UCQ evaluates fully.
   api::AnswerProfile profile;
-  auto unbounded = answerer.Answer(*q, api::Strategy::kRefUcq, &profile);
+  auto unbounded =
+      answerer.Answer(*q, api::Strategy::kRefUcq, &profile, options);
   ASSERT_TRUE(unbounded.ok());
   EXPECT_EQ(profile.reformulation_cqs, 132651u);
   EXPECT_EQ(unbounded->NumRows(), 1u);
 
-  api::AnswerOptions options;
   options.deadline = Deadline::AfterMillis(1.0);
   auto bounded = answerer.Answer(*q, api::Strategy::kRefUcq, nullptr, options);
   ASSERT_FALSE(bounded.ok());

@@ -187,6 +187,50 @@ TEST_F(SnapshotTest, ZeroCopyForwardsSingleGenerationRanges) {
   EXPECT_EQ(span.size(), 8u);  // 5 base + 3 inserted
 }
 
+TEST_F(SnapshotTest, IntervalProbesAreConservativeAgainstMidIntervalOverlays) {
+  // o1_ and o2_ are interned consecutively, so [o1_, o2_] is a genuine id
+  // interval. Presence filters track EXACT ids, and the interval pattern
+  // only names the low endpoint — an overlay write at the interval's upper
+  // id must still gate the zero-copy interval fast path, which is why the
+  // probe wildcards the ranged position before consulting any presence set
+  // (see PatternPresence in triple_source.h).
+  ASSERT_EQ(o2_, o1_ + 1);  // rdfref-lint: allow(termid-arith)
+  constexpr int kRangeO = 2;  // query::Atom::kRangeO
+
+  VersionSet v(base_.get());
+  std::span<const rdf::Triple> span;
+
+  // Clean snapshot: the base answers the object interval zero-copy.
+  SnapshotPtr clean = v.snapshot();
+  ASSERT_TRUE(clean->TryGetIntervalRange(kAny, p_, o1_, kRangeO, o2_, &span));
+  EXPECT_EQ(span.size(), 3u);
+
+  // Head write at the interval's UPPER id: the probe's pattern
+  // (kAny, p_, o1_) never mentions o2_, so an exact-id presence check
+  // would wrongly keep the fast path and drop this triple.
+  ASSERT_TRUE(v.Insert(rdf::Triple(s2_, p_, o2_)));
+  SnapshotPtr dirty = v.snapshot();
+  EXPECT_FALSE(dirty->TryGetIntervalRange(kAny, p_, o1_, kRangeO, o2_, &span));
+
+  // The buffered interval path delivers the overlay triple.
+  PatternCursor cursor;
+  std::span<const rdf::Triple> rows =
+      cursor.ResetInterval(*dirty, kAny, p_, o1_, kRangeO, o2_);
+  EXPECT_EQ(rows.size(), 4u);
+  size_t overlay_hits = 0;
+  for (const rdf::Triple& t : rows) {
+    if (t == rdf::Triple(s2_, p_, o2_)) ++overlay_hits;
+  }
+  EXPECT_EQ(overlay_hits, 1u);
+
+  // A head write the widened pattern cannot match keeps the fast path.
+  VersionSet untouched(base_.get());
+  ASSERT_TRUE(untouched.Insert(rdf::Triple(s1_, q_, o2_)));
+  SnapshotPtr other = untouched.snapshot();
+  ASSERT_TRUE(other->TryGetIntervalRange(kAny, p_, o1_, kRangeO, o2_, &span));
+  EXPECT_EQ(span.size(), 3u);
+}
+
 TEST_F(SnapshotTest, CompactPreservesVisibilityAndDrainsRuns) {
   VersionSet v(base_.get());
   ASSERT_TRUE(v.Insert(rdf::Triple(s2_, p_, o2_)));

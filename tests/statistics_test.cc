@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "schema/encoder.h"
 #include "storage/store.h"
 
 namespace rdfref {
@@ -125,6 +128,63 @@ TEST(StatisticsTest, AbsorbKeepsDistinctCountsWithinCardinalities) {
   EXPECT_EQ(merged.ForProperty(p).count, 20u);
   EXPECT_EQ(merged.ForProperty(p).distinct_subjects, 20u);
   EXPECT_EQ(merged.ForProperty(p).distinct_objects, 10u);
+}
+
+TEST(StatisticsTest, InvariantUnderHierarchyReencoding) {
+  // Statistics keys everything by current TermId in hash maps — no density
+  // or intern-order assumption — so hierarchy re-encoding (an arbitrary id
+  // permutation) must leave every statistic unchanged when compared through
+  // the decoded terms.
+  auto build = [](rdf::Graph* g) {
+    rdf::Dictionary& dict = g->dict();
+    rdf::TermId top = dict.InternUri("http://ex/Top");
+    rdf::TermId mid = dict.InternUri("http://ex/Mid");
+    rdf::TermId leaf = dict.InternUri("http://ex/Leaf");
+    rdf::TermId p1 = dict.InternUri("http://ex/p1");
+    rdf::TermId p2 = dict.InternUri("http://ex/p2");
+    g->Add(mid, rdf::vocab::kSubClassOfId, top);
+    g->Add(leaf, rdf::vocab::kSubClassOfId, mid);
+    g->Add(p2, rdf::vocab::kSubPropertyOfId, p1);
+    for (int i = 0; i < 6; ++i) {
+      rdf::TermId s = dict.InternUri("http://ex/s" + std::to_string(i));
+      g->Add(s, rdf::vocab::kTypeId, i % 2 == 0 ? leaf : mid);
+      g->Add(s, i % 3 == 0 ? p1 : p2, top);
+      if (i % 2 == 0) g->Add(s, p2, mid);
+    }
+  };
+  rdf::Graph plain, encoded;
+  build(&plain);
+  build(&encoded);
+  schema::EncodeGraphHierarchy(&encoded);
+  ASSERT_NE(encoded.dict().encoding(), nullptr);
+
+  Store plain_store(plain), encoded_store(encoded);
+  const Statistics& a = plain_store.stats();
+  const Statistics& b = encoded_store.stats();
+  EXPECT_EQ(a.total_triples(), b.total_triples());
+  EXPECT_EQ(a.distinct_subjects(), b.distinct_subjects());
+  EXPECT_EQ(a.distinct_objects(), b.distinct_objects());
+
+  // Per-term statistics agree term-for-term across the permutation.
+  auto id_in = [](rdf::Dictionary& dict, const std::string& uri) {
+    return dict.InternUri(uri);
+  };
+  for (const char* uri : {"http://ex/p1", "http://ex/p2"}) {
+    const PropertyStats pa = a.ForProperty(id_in(plain.dict(), uri));
+    const PropertyStats pb = b.ForProperty(id_in(encoded.dict(), uri));
+    EXPECT_EQ(pa.count, pb.count) << uri;
+    EXPECT_EQ(pa.distinct_subjects, pb.distinct_subjects) << uri;
+    EXPECT_EQ(pa.distinct_objects, pb.distinct_objects) << uri;
+  }
+  for (const char* uri : {"http://ex/Top", "http://ex/Mid", "http://ex/Leaf"}) {
+    EXPECT_EQ(a.ClassCardinality(id_in(plain.dict(), uri)),
+              b.ClassCardinality(id_in(encoded.dict(), uri)))
+        << uri;
+  }
+  EXPECT_EQ(a.SubjectPairCount(id_in(plain.dict(), "http://ex/p1"),
+                               id_in(plain.dict(), "http://ex/p2")),
+            b.SubjectPairCount(id_in(encoded.dict(), "http://ex/p1"),
+                               id_in(encoded.dict(), "http://ex/p2")));
 }
 
 }  // namespace

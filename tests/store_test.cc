@@ -2,11 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <span>
+#include <utility>
 
+#include "api/query_answering.h"
 #include "rdf/vocab.h"
 #include "storage/delta_store.h"
+#include "storage/serialize.h"
+#include "testing/oracle.h"
 
 namespace rdfref {
 namespace storage {
@@ -230,6 +235,43 @@ TEST_F(StoreTest, ClassCardinalities) {
   EXPECT_EQ(store.stats().ClassCardinality(c1), 2u);
   EXPECT_EQ(store.stats().ClassCardinality(c2), 1u);
   EXPECT_EQ(store.stats().ClassCardinality(U("C3")), 0u);
+}
+
+TEST_F(StoreTest, SaveLoadQueryEquality) {
+  // Regression for the hierarchy-encoding PR: an answerer built from a
+  // loaded image must answer exactly like one built from the original
+  // graph. Both encode their dictionary at construction; the comparison is
+  // over decoded terms, where the id permutation cancels out.
+  rdf::TermId c1 = U("C1"), c2 = U("C2"), x = U("x"), y = U("y");
+  graph_.Add(c1, rdf::vocab::kSubClassOfId, c2);
+  graph_.Add(x, rdf::vocab::kTypeId, c1);
+  graph_.Add(y, rdf::vocab::kTypeId, c2);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/store_roundtrip.rdfb";
+  ASSERT_TRUE(SaveGraph(graph_, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  std::remove(path.c_str());
+
+  api::QueryAnswerer original(graph_.Clone());
+  api::QueryAnswerer reloaded(std::move(*loaded));
+  auto type_query = [](api::QueryAnswerer* answerer) {
+    query::Cq q;
+    query::VarId v = q.AddVar("x");
+    q.AddAtom(query::Atom(
+        query::QTerm::Var(v), query::QTerm::Const(rdf::vocab::kTypeId),
+        query::QTerm::Const(answerer->dict().InternUri("http://ex/C2"))));
+    q.AddHead(query::QTerm::Var(v));
+    return q;
+  };
+  auto a = original.Answer(type_query(&original), api::Strategy::kRefUcq);
+  auto b = reloaded.Answer(type_query(&reloaded), api::Strategy::kRefUcq);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(testing::DecodeRows(*a, original.dict()),
+            testing::DecodeRows(*b, reloaded.dict()));
+  EXPECT_EQ(a->NumRows(), 2u);  // x via C1 ⊑ C2, y directly
 }
 
 }  // namespace

@@ -3,10 +3,11 @@
 
 Runs a fixed, small subset of the benchmark suite — the reformulation-heavy
 strategy comparison (Q6, the largest UCQ of the LUBM suite: 462 CQs after
-reformulation), the parallel-evaluation suite at 1 and 8 threads, and the
+reformulation), the parallel-evaluation suite at 1 and 8 threads, the
 snapshot-isolation read-path overhead (pristine store vs sealed delta runs
-vs a racing writer) — and writes one JSON document per run (default
-BENCH_PR6.json).
+vs a racing writer), and the hierarchy-encoding comparison (classic
+per-subclass UCQ members vs collapsed interval range scans, T15) — and
+writes one JSON document per run (default BENCH_PR7.json).
 
 The subset is pinned so numbers stay comparable across commits: same
 queries, same scenario (the shared LUBM dataset the bench binaries build),
@@ -49,7 +50,9 @@ import tempfile
 # The pinned subset: (binary, benchmark_filter). Q6 is the reformulation
 # stress case (largest UCQ); the Suite benchmarks cover the parallel chunk
 # path that shares the per-UCQ scan cache; the Snapshot trio measures the
-# versioned-storage read path (pristine vs sealed runs vs racing writer).
+# versioned-storage read path (pristine vs sealed runs vs racing writer);
+# the Encoding pair measures the hierarchy-interval collapse against the
+# classic per-subclass reformulation on the same queries (T15).
 PINNED = [
     ("bench/bench_strategies",
      "BM_Q6_(Sat|RefUcq|RefScq|RefGcov)$"),
@@ -57,6 +60,8 @@ PINNED = [
      "BM_Suite_Ref(Ucq|Scq|Gcov)_Threads/(1|8)$"),
     ("bench/bench_snapshot",
      "BM_Snapshot_(Pristine|SealedRuns|UnderWriter)$"),
+    ("bench/bench_encoding",
+     "BM_Encoding_(Classic|Interval)/(0|1|2)$"),
 ]
 
 
@@ -121,7 +126,7 @@ def main(argv=None):
         description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build",
                         help="CMake build directory with bench binaries")
-    parser.add_argument("--out", default="BENCH_PR6.json",
+    parser.add_argument("--out", default="BENCH_PR7.json",
                         help="output JSON path")
     parser.add_argument("--min-time", default=None,
                         help="per-benchmark min time in seconds "

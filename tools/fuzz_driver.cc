@@ -18,6 +18,10 @@
 //   --no-metamorphic  oracle only
 //   --no-federation   skip the federation partition relation
 //   --no-updates      skip insert/delete relations
+//   --no-encoded      skip the hierarchy-encoding equivalence relation
+//   --check-encoded   ONLY the hierarchy-encoding relation: interval
+//                     reformulation vs the classic UCQ it fuses, at load,
+//                     after a schema insert, and across Reencode()
 //   --no-shrink       report the unshrunk failing case
 //   --updates-concurrent
 //                     ONLY the threaded snapshot relation: a churning
@@ -127,6 +131,17 @@ int main(int argc, char** argv) {
       options.check_federation = false;
     } else if (arg == "--no-updates") {
       options.check_updates = false;
+    } else if (arg == "--no-encoded") {
+      options.check_encoded = false;
+    } else if (arg == "--check-encoded") {
+      // Focused mode: every cycle goes to the encoding-equivalence relation.
+      options.check_oracle = false;
+      options.check_columnar = false;
+      options.check_metamorphic = false;
+      options.check_federation = false;
+      options.check_updates = false;
+      options.check_snapshots = false;
+      options.check_encoded = true;
     } else if (arg == "--updates-concurrent") {
       // Focused mode: every cycle goes to the threaded snapshot relation.
       options.check_oracle = false;
@@ -135,6 +150,7 @@ int main(int argc, char** argv) {
       options.check_federation = false;
       options.check_updates = false;
       options.check_snapshots = false;
+      options.check_encoded = false;
       options.check_concurrent = true;
     } else if (arg == "--no-shrink") {
       options.shrink = false;

@@ -35,6 +35,14 @@ Rules (see DESIGN.md section 8):
                 immutable SnapshotSource (storage/version_set.h) — engine
                 code reaching for the mutable overlay would bypass epoch
                 isolation.
+  termid-arith  No raw TermId arithmetic (id-space loops, `id + 1`-style
+                offsets, interval-endpoint math) outside rdf/ and the
+                hierarchy encoder (schema/encoder.*). Encoded ids are an
+                interval layout that Reencode() re-permutes at will; code
+                elsewhere doing arithmetic on ids bakes in an id-space
+                assumption that the next re-encoding silently breaks.
+                Sites where the interval invariant is load-bearing carry
+                an explicit allow with a justification.
   layering      Library-level include DAG: each of the 15 src/ libraries
                 may only include the libraries listed in ALLOWED_DEPS
                 (common at the bottom, engine never includes federation,
@@ -184,6 +192,40 @@ def check_std_function(path, rel, lines, findings):
             "std::function parameter in a storage/engine hot path — use "
             "TryGetRange/ScanInto/PatternCursor (DESIGN.md section 9); "
             "legacy Scan shims need an explicit allow"))
+
+
+# Hierarchy-encoded TermIds are opaque handles outside the id-assignment
+# layer: the interval layout is owned by rdf/ (dictionary + encoding) and
+# schema/encoder, and Reencode() permutes the entire id space at will.
+# Arithmetic on ids anywhere else assumes a layout the next re-encoding
+# breaks. The allow comment may sit on the flagged line or up to two lines
+# above it (loop headers often carry a justification block).
+TERMID_ARITH_ALLOWED_PREFIXES = ("rdf" + os.sep, "schema" + os.sep + "encoder")
+TERMID_ARITH_PATTERNS = [
+    (re.compile(r"for\s*\(\s*(rdf::)?TermId\s+\w+\s*="),
+     "TermId loop over the id space"),
+    (re.compile(r"\.term\(\)\s*[+\-]\s*\w"),
+     "arithmetic on a term id"),
+    (re.compile(r"\brange_hi\s*[+\-]\s*\w"),
+     "arithmetic on an interval endpoint"),
+]
+
+
+def check_termid_arith(path, rel, lines, findings):
+    if rel.startswith(TERMID_ARITH_ALLOWED_PREFIXES):
+        return
+    for i, line in enumerate(lines, 1):
+        code = line.split("//", 1)[0]
+        for pattern, what in TERMID_ARITH_PATTERNS:
+            if not pattern.search(code):
+                continue
+            context = lines[max(0, i - 3):i]  # flagged line + two above
+            if any(allowed(entry, "termid-arith") for entry in context):
+                continue
+            findings.append(Finding(path, i, "termid-arith",
+                f"{what} outside rdf/ and schema/encoder — Reencode() "
+                "permutes ids; resolve terms through the dictionary, or "
+                "justify with rdfref-lint: allow(termid-arith)"))
 
 
 # The engine must see the database only through immutable TripleSource
@@ -342,6 +384,7 @@ def main(argv=None):
         check_raw_sync(path, rel, lines, findings)
         check_rng_seed(path, rel, lines, findings)
         check_std_function(path, rel, lines, findings)
+        check_termid_arith(path, rel, lines, findings)
         check_delta_mutation(path, rel, lines, findings)
         check_entry_points(path, rel, lines, findings)
     check_nodiscard_classes(src_root, findings)
