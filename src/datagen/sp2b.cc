@@ -1,0 +1,336 @@
+#include "datagen/sp2b.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "rdf/vocab.h"
+
+namespace rdfref {
+namespace datagen {
+
+namespace {
+using rdf::Graph;
+using rdf::TermId;
+namespace vocab = rdf::vocab;
+
+struct Ns {
+  Graph* g;
+
+  TermId U(const std::string& local) {
+    return g->dict().InternUri(Sp2b::Uri(local));
+  }
+  TermId Lit(const std::string& value) {
+    return g->dict().InternLiteral(value);
+  }
+};
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  cumulative_.reserve(n == 0 ? 1 : n);
+  double total = 0.0;
+  for (size_t k = 0; k < std::max<size_t>(n, 1); ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cumulative_.push_back(total);
+  }
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble() * cumulative_.back();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;
+  return static_cast<size_t>(it - cumulative_.begin());
+}
+
+std::string Sp2b::Uri(const std::string& local) {
+  return std::string(kNs) + local;
+}
+
+std::string Sp2b::DocumentUri(int i) {
+  return std::string(kNs) + "doc/" + std::to_string(i);
+}
+
+void Sp2b::AddOntology(rdf::Graph* graph) {
+  Ns ns{graph};
+  auto sub_class = [&](const char* sub, const char* super) {
+    graph->Add(ns.U(sub), vocab::kSubClassOfId, ns.U(super));
+  };
+  auto sub_property = [&](const char* sub, const char* super) {
+    graph->Add(ns.U(sub), vocab::kSubPropertyOfId, ns.U(super));
+  };
+  auto domain = [&](const char* p, const char* c) {
+    graph->Add(ns.U(p), vocab::kDomainId, ns.U(c));
+  };
+  auto range = [&](const char* p, const char* c) {
+    graph->Add(ns.U(p), vocab::kRangeId, ns.U(c));
+  };
+
+  // --- Class hierarchy. The article axis is the deep chain (depth 8:
+  // BenchmarkArticle ⊑* Work); LUBM's deepest is 5.
+  sub_class("Document", "Work");
+  sub_class("Publication", "Document");
+  sub_class("Article", "Publication");
+  sub_class("JournalArticle", "Article");
+  sub_class("RefereedArticle", "JournalArticle");
+  sub_class("ResearchArticle", "RefereedArticle");
+  sub_class("BenchmarkArticle", "ResearchArticle");
+  sub_class("SurveyArticle", "RefereedArticle");
+  sub_class("InvitedArticle", "JournalArticle");
+  sub_class("ConferencePaper", "Article");
+  sub_class("FullPaper", "ConferencePaper");
+  sub_class("BestPaper", "FullPaper");
+  sub_class("ShortPaper", "ConferencePaper");
+  sub_class("DemoPaper", "ConferencePaper");
+  sub_class("Thesis", "Publication");
+  sub_class("PhdThesis", "Thesis");
+  sub_class("MastersThesis", "Thesis");
+  sub_class("Book", "Publication");
+  sub_class("Monograph", "Book");
+  sub_class("EditedVolume", "Publication");
+  sub_class("Proceedings", "EditedVolume");
+
+  sub_class("Person", "Agent");
+  sub_class("Author", "Person");
+  sub_class("StudentAuthor", "Author");
+  sub_class("SeniorAuthor", "Author");
+  sub_class("Editor", "Person");
+
+  sub_class("PublicationSeries", "Venue");
+  sub_class("JournalSeries", "PublicationSeries");
+  sub_class("BookSeries", "PublicationSeries");
+  sub_class("Event", "Venue");
+  sub_class("Conference", "Event");
+  sub_class("Workshop", "Conference");
+
+  // --- Property hierarchy. The citation axis is the deep chain (depth 5:
+  // reproduces ⊑* relatedTo); LUBM's deepest is 3.
+  sub_property("references", "relatedTo");
+  sub_property("cites", "references");
+  sub_property("extends", "cites");
+  sub_property("reproduces", "extends");
+  sub_property("refutes", "cites");
+
+  sub_property("hasAuthor", "hasContributor");
+  sub_property("hasFirstAuthor", "hasAuthor");
+  sub_property("hasEditor", "hasContributor");
+
+  sub_property("inJournal", "publishedIn");
+  sub_property("presentedAt", "publishedIn");
+  sub_property("inSeries", "publishedIn");
+
+  // --- Domains and ranges.
+  domain("relatedTo", "Work");
+  range("relatedTo", "Work");
+  domain("cites", "Publication");
+  range("cites", "Publication");
+  domain("hasContributor", "Publication");
+  range("hasContributor", "Person");
+  range("hasAuthor", "Author");
+  range("hasEditor", "Editor");
+  domain("publishedIn", "Publication");
+  range("publishedIn", "Venue");
+  range("inJournal", "JournalSeries");
+  range("presentedAt", "Event");
+  range("inSeries", "BookSeries");
+
+  // Literal attributes: domain only (a ranged property never takes a
+  // literal object — checker rule 3).
+  domain("title", "Document");
+  domain("year", "Publication");
+  domain("pages", "Article");
+  domain("abstract", "Publication");
+  domain("name", "Person");
+  domain("venueName", "Venue");
+}
+
+void Sp2b::Generate(const Sp2bConfig& config, rdf::Graph* graph) {
+  AddOntology(graph);
+  Ns ns{graph};
+  Rng rng(config.seed);
+
+  const TermId type = vocab::kTypeId;
+  const int docs = std::max(1, static_cast<int>(config.documents *
+                                                config.scale));
+  // DBLP-like ratios: authors grow sublinearly (reuse), venues slowly.
+  const int authors = std::max(2, docs * 3 / 5);
+  const int venues = std::max(3, docs / 25);
+
+  // Pre-intern the vocabulary used in the hot loops.
+  const TermId c_research = ns.U("ResearchArticle");
+  const TermId c_benchmark = ns.U("BenchmarkArticle");
+  const TermId c_survey = ns.U("SurveyArticle");
+  const TermId c_invited = ns.U("InvitedArticle");
+  const TermId c_full = ns.U("FullPaper");
+  const TermId c_best = ns.U("BestPaper");
+  const TermId c_short = ns.U("ShortPaper");
+  const TermId c_demo = ns.U("DemoPaper");
+  const TermId c_phd = ns.U("PhdThesis");
+  const TermId c_masters = ns.U("MastersThesis");
+  const TermId c_monograph = ns.U("Monograph");
+  const TermId c_proceedings = ns.U("Proceedings");
+  const TermId c_student = ns.U("StudentAuthor");
+  const TermId c_senior = ns.U("SeniorAuthor");
+  const TermId c_journal_series = ns.U("JournalSeries");
+  const TermId c_book_series = ns.U("BookSeries");
+  const TermId c_conference = ns.U("Conference");
+  const TermId c_workshop = ns.U("Workshop");
+
+  const TermId p_cites = ns.U("cites");
+  const TermId p_extends = ns.U("extends");
+  const TermId p_reproduces = ns.U("reproduces");
+  const TermId p_refutes = ns.U("refutes");
+  const TermId p_has_author = ns.U("hasAuthor");
+  const TermId p_first_author = ns.U("hasFirstAuthor");
+  const TermId p_has_editor = ns.U("hasEditor");
+  const TermId p_in_journal = ns.U("inJournal");
+  const TermId p_presented_at = ns.U("presentedAt");
+  const TermId p_in_series = ns.U("inSeries");
+  const TermId p_title = ns.U("title");
+  const TermId p_year = ns.U("year");
+  const TermId p_pages = ns.U("pages");
+  const TermId p_name = ns.U("name");
+  const TermId p_venue_name = ns.U("venueName");
+
+  // Venue pool, typed most-specifically. Venue kind decides which
+  // publishedIn sub-property a document attaches with.
+  enum VenueKind { kJournal, kConference, kWorkshop, kBookSeries };
+  std::vector<TermId> venue_ids(venues);
+  std::vector<VenueKind> venue_kinds(venues);
+  for (int i = 0; i < venues; ++i) {
+    venue_ids[i] =
+        graph->dict().InternUri(std::string(kNs) + "venue/" +
+                                std::to_string(i));
+    const double kind = rng.UniformDouble();
+    VenueKind vk = kind < 0.35   ? kJournal
+                   : kind < 0.70 ? kConference
+                   : kind < 0.88 ? kWorkshop
+                                 : kBookSeries;
+    venue_kinds[i] = vk;
+    const TermId venue_class = vk == kJournal      ? c_journal_series
+                               : vk == kConference ? c_conference
+                               : vk == kWorkshop   ? c_workshop
+                                                   : c_book_series;
+    graph->Add(venue_ids[i], type, venue_class);
+    graph->Add(venue_ids[i], p_venue_name,
+               ns.Lit("Venue" + std::to_string(i)));
+  }
+
+  // Author pool. A thin senior elite is explicitly typed (most-specific
+  // only); the long tail stays untyped — only the range of hasAuthor makes
+  // them Authors, so author queries need reasoning, as in the other
+  // generators.
+  std::vector<TermId> author_ids(authors);
+  for (int i = 0; i < authors; ++i) {
+    author_ids[i] =
+        graph->dict().InternUri(std::string(kNs) + "author/" +
+                                std::to_string(i));
+    graph->Add(author_ids[i], p_name, ns.Lit("Author" + std::to_string(i)));
+    if (i < authors / 20 + 1) {
+      graph->Add(author_ids[i], type, c_senior);
+    } else if (rng.Chance(0.1)) {
+      graph->Add(author_ids[i], type, c_student);
+    }
+  }
+
+  // Pre-intern every document URI: citations may point forward (no
+  // topological order — that is what makes the citation graph cyclic).
+  std::vector<TermId> doc_ids(docs);
+  for (int i = 0; i < docs; ++i) {
+    doc_ids[i] = graph->dict().InternUri(DocumentUri(i));
+  }
+
+  // The skewed draws. Popularity rank == pool index, so author 0 is the
+  // most prolific and doc 0 the most cited ("classic papers" effect).
+  const ZipfSampler author_zipf(author_ids.size(), config.zipf_s);
+  const ZipfSampler doc_zipf(doc_ids.size(), config.zipf_s);
+  const ZipfSampler venue_zipf(venue_ids.size(), config.zipf_s);
+  // Citation fan-out: heavy tail via a Zipf rank over [0, 8*mean), so a few
+  // surveys cite dozens while the median document cites a handful.
+  const int max_citations = std::max(1, config.mean_citations * 8);
+  const ZipfSampler fanout_zipf(static_cast<size_t>(max_citations), 0.7);
+
+  struct LeafClass {
+    TermId klass;
+    double weight;
+  };
+  const LeafClass leaves[] = {
+      {c_research, 0.30},   {c_full, 0.20},     {c_short, 0.10},
+      {c_survey, 0.06},     {c_benchmark, 0.05}, {c_best, 0.03},
+      {c_demo, 0.05},       {c_invited, 0.04},  {c_phd, 0.05},
+      {c_masters, 0.04},    {c_monograph, 0.04}, {c_proceedings, 0.04},
+  };
+
+  for (int i = 0; i < docs; ++i) {
+    const TermId doc = doc_ids[i];
+    // Most-specific class, skewed towards the common kinds.
+    double pick = rng.UniformDouble();
+    TermId klass = leaves[0].klass;
+    for (const LeafClass& leaf : leaves) {
+      if (pick < leaf.weight) {
+        klass = leaf.klass;
+        break;
+      }
+      pick -= leaf.weight;
+    }
+    graph->Add(doc, type, klass);
+    graph->Add(doc, p_title, ns.Lit("Title" + std::to_string(i)));
+    // Publication years skew recent (rank 0 = current year).
+    graph->Add(doc, p_year,
+               ns.Lit(std::to_string(
+                   2026 - static_cast<int>(rng.Uniform(30) * rng.Uniform(2)))));
+    if (rng.Chance(0.6)) {
+      graph->Add(doc, p_pages,
+                 ns.Lit(std::to_string(1 + rng.Uniform(500))));
+    }
+
+    // Contributors: Zipf-skewed author picks; the first author uses the
+    // deeper sub-property. Proceedings get editors instead.
+    if (klass == c_proceedings) {
+      const int editors = 1 + static_cast<int>(rng.Uniform(3));
+      for (int e = 0; e < editors; ++e) {
+        graph->Add(doc, p_has_editor, author_ids[author_zipf.Sample(&rng)]);
+      }
+    } else {
+      const int coauthors = 1 + static_cast<int>(rng.Uniform(4));
+      graph->Add(doc, p_first_author, author_ids[author_zipf.Sample(&rng)]);
+      for (int a = 1; a < coauthors; ++a) {
+        graph->Add(doc, p_has_author, author_ids[author_zipf.Sample(&rng)]);
+      }
+    }
+
+    // Venue, via the sub-property matching the venue kind.
+    const size_t v = venue_zipf.Sample(&rng);
+    const TermId venue_prop = venue_kinds[v] == kJournal ? p_in_journal
+                              : venue_kinds[v] == kBookSeries
+                                  ? p_in_series
+                                  : p_presented_at;
+    graph->Add(doc, venue_prop, venue_ids[v]);
+
+    // Citations: Zipf-popular targets drawn from the whole pool (forward
+    // references included — cycles by construction), mostly via cites,
+    // sometimes via its specific sub-properties.
+    const int citations = static_cast<int>(fanout_zipf.Sample(&rng));
+    for (int c = 0; c < citations; ++c) {
+      const size_t target = doc_zipf.Sample(&rng);
+      if (doc_ids[target] == doc) continue;  // no self-citations
+      const double flavor = rng.UniformDouble();
+      const TermId cite_prop = flavor < 0.80   ? p_cites
+                               : flavor < 0.90 ? p_extends
+                               : flavor < 0.95 ? p_refutes
+                                               : p_reproduces;
+      graph->Add(doc, cite_prop, doc_ids[target]);
+    }
+  }
+
+  // Guarantee at least one tight citation cycle at every scale, so the
+  // cyclic-join queries never degenerate on tiny test configs.
+  if (docs >= 2) {
+    graph->Add(doc_ids[0], p_cites, doc_ids[1]);
+    graph->Add(doc_ids[1], p_cites, doc_ids[0]);
+  }
+}
+
+}  // namespace datagen
+}  // namespace rdfref

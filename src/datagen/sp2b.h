@@ -1,0 +1,88 @@
+#ifndef RDFREF_DATAGEN_SP2B_H_
+#define RDFREF_DATAGEN_SP2B_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "rdf/graph.h"
+
+namespace rdfref {
+namespace datagen {
+
+/// \brief Configuration of the SP2Bench-style generator. `documents` is the
+/// scale knob (SP2Bench scales by triple count; we scale by the document
+/// population everything else hangs off), `scale` multiplies it so callers
+/// can shrink a pinned shape the way LubmConfig::scale does.
+struct Sp2bConfig {
+  int documents = 1000;
+  uint64_t seed = 11;
+  double scale = 1.0;
+  /// Zipf exponent of the skewed draws (author productivity, citation
+  /// popularity, venue size). 0 degenerates to uniform; SP2Bench's DBLP
+  /// measurements sit near 1.
+  double zipf_s = 1.0;
+  /// Mean outgoing citations per document (the realized distribution is
+  /// heavy-tailed; a few surveys cite far more).
+  int mean_citations = 4;
+};
+
+/// \brief SP2Bench-inspired bibliographic scenario [PAPERS.md]: the
+/// workload-diversity counterpart to the LUBM-style suite. Everything the
+/// LUBM shape lacks is here by construction:
+///
+///   - *Deeper hierarchies.* The class chain Work ⊒ Document ⊒ Publication
+///     ⊒ Article ⊒ JournalArticle ⊒ RefereedArticle ⊒ ResearchArticle ⊒
+///     BenchmarkArticle is depth 8 (LUBM tops out at 5), and the citation
+///     property chain relatedTo ⊒ references ⊒ cites ⊒ extends ⊒ reproduces
+///     is depth 5 (LUBM: 3) — so reformulations of Document- or
+///     references-atoms fan out much wider than anything in the LUBM suite.
+///   - *Cyclic, high-fanout joins.* Documents cite each other with Zipf-
+///     skewed popularity and no topological order: citation cycles exist by
+///     construction, and a few "classic" documents accumulate most
+///     in-edges, which stresses join-order and cover choices.
+///   - *Skewed value distributions.* Author productivity, venue size and
+///     citation in-degree are Zipf(zipf_s); uniform-assumption cardinality
+///     estimates are reliably wrong on them.
+///
+/// As in the other generators, instances carry their most specific type
+/// only and the specific sub-properties (hasFirstAuthor, extends, ...) are
+/// asserted instead of their ancestors, so reformulation or saturation is
+/// required for complete answers.
+class Sp2b {
+ public:
+  static constexpr const char* kNs = "http://rdfref.org/sp2b#";
+
+  /// \brief Adds the RDFS constraint triples (direct edges only).
+  static void AddOntology(rdf::Graph* graph);
+
+  /// \brief Generates ontology + instances (deterministic per config).
+  static void Generate(const Sp2bConfig& config, rdf::Graph* graph);
+
+  /// \brief URI of an sp2b class or property, e.g. Uri("cites").
+  static std::string Uri(const std::string& local);
+
+  /// \brief URI of document `i`, e.g. DocumentUri(42).
+  static std::string DocumentUri(int i);
+};
+
+/// \brief A Zipf(s) sampler over ranks 0..n-1 (rank 0 most popular):
+/// P(k) ∝ 1/(k+1)^s, drawn by binary search over the cumulative weights.
+/// Deterministic given the caller's Rng; shared by the generator and the
+/// workload mix (skewed constants in point queries).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// \brief Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace datagen
+}  // namespace rdfref
+
+#endif  // RDFREF_DATAGEN_SP2B_H_

@@ -1,8 +1,10 @@
 #include "testing/scenario.h"
 
+#include <set>
 #include <string>
 #include <utility>
 
+#include "datagen/sp2b.h"
 #include "rdf/vocab.h"
 
 namespace rdfref {
@@ -16,7 +18,64 @@ using query::QTerm;
 using query::VarId;
 }  // namespace
 
+namespace {
+
+/// Builds a Scenario out of a generated sp2b graph: triples partition into
+/// schema/data by predicate (SortedTriples keeps it deterministic), pools
+/// by term role so GenerateQuery draws sp2b vocabulary.
+Scenario GenerateSp2bScenario(uint64_t seed, const ScenarioOptions& options) {
+  Scenario sc;
+  Rng rng(seed);
+  datagen::Sp2bConfig config;
+  config.documents = static_cast<int>(
+      rng.Between(options.sp2b_min_documents, options.sp2b_extra_documents));
+  config.seed = rng.Next();
+  datagen::Sp2b::Generate(config, &sc.graph);
+
+  std::set<rdf::TermId> classes, properties, subjects, literals;
+  const std::vector<rdf::Triple> sorted = sc.graph.SortedTriples();
+  for (const rdf::Triple& t : sorted) {
+    if (vocab::IsSchemaProperty(t.p)) {
+      sc.schema_triples.push_back(t);
+      if (t.p == vocab::kSubClassOfId) {
+        classes.insert(t.s);
+        classes.insert(t.o);
+      } else if (t.p == vocab::kSubPropertyOfId) {
+        properties.insert(t.s);
+        properties.insert(t.o);
+      } else {
+        properties.insert(t.s);  // domain/range constrain a property...
+        classes.insert(t.o);     // ...to a class
+      }
+    } else {
+      sc.data_triples.push_back(t);
+      if (t.p == vocab::kTypeId) {
+        subjects.insert(t.s);
+        classes.insert(t.o);
+      } else {
+        subjects.insert(t.s);
+        properties.insert(t.p);
+        if (sc.graph.dict().Lookup(t.o).is_literal()) {
+          literals.insert(t.o);
+        } else {
+          subjects.insert(t.o);
+        }
+      }
+    }
+  }
+  sc.classes.assign(classes.begin(), classes.end());
+  sc.properties.assign(properties.begin(), properties.end());
+  sc.subjects.assign(subjects.begin(), subjects.end());
+  sc.literals.assign(literals.begin(), literals.end());
+  return sc;
+}
+
+}  // namespace
+
 Scenario GenerateScenario(uint64_t seed, const ScenarioOptions& options) {
+  if (options.source == ScenarioSource::kSp2b) {
+    return GenerateSp2bScenario(seed, options);
+  }
   Scenario sc;
   Rng rng(seed);
   rdf::Dictionary& dict = sc.graph.dict();

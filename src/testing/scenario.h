@@ -13,12 +13,28 @@
 namespace rdfref {
 namespace testing {
 
+/// \brief Where a scenario's graph comes from.
+enum class ScenarioSource {
+  /// The random pool generator below (the default).
+  kRandom,
+  /// The SP2Bench-style bibliographic generator (datagen::Sp2b): deep
+  /// class/property hierarchies, cyclic Zipf-skewed citations. The pool
+  /// knobs below are ignored; `sp2b_documents` scales the graph. Queries
+  /// then draw constants from the sp2b vocabulary, which reaches shapes
+  /// the uniform pools never produce (8-deep reformulation fans, cycles).
+  kSp2b,
+};
+
 /// \brief Knobs of the random scenario generator. The defaults reproduce
 /// the shapes the original equivalence property test used; the fuzz driver
 /// scales them up and down to hunt corner cases (tiny schemas where one
 /// constraint dominates, dense DAGs where closures explode, sparse data
 /// where most reformulation members are empty).
 struct ScenarioOptions {
+  ScenarioSource source = ScenarioSource::kRandom;
+  /// Document count of a kSp2b scenario: min + U(extra + 1), seed-drawn so
+  /// different fuzz seeds exercise different population sizes.
+  int sp2b_min_documents = 24, sp2b_extra_documents = 40;
   /// Vocabulary pools: count = min + U(extra + 1).
   int min_classes = 4, extra_classes = 3;
   int min_properties = 3, extra_properties = 2;

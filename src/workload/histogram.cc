@@ -1,0 +1,60 @@
+#include "workload/histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace rdfref {
+namespace workload {
+
+size_t LatencyHistogram::SlotFor(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  // bit_width - 1 = index of the most significant set bit (>= kSubBucketBits).
+  const int exponent = std::bit_width(value) - 1;
+  const int shift = exponent - kSubBucketBits;
+  // top in [kSubBuckets, 2*kSubBuckets): the kSubBucketBits bits below the
+  // leading one select the linear sub-bucket within this power of two.
+  const uint64_t top = value >> shift;
+  return static_cast<size_t>((shift + 1) * kSubBuckets +
+                             (top - kSubBuckets));
+}
+
+uint64_t LatencyHistogram::SlotUpperBound(size_t slot) {
+  if (slot < kSubBuckets) return static_cast<uint64_t>(slot);
+  const int shift = static_cast<int>(slot / kSubBuckets) - 1;
+  const uint64_t top = kSubBuckets + (slot % kSubBuckets);
+  return ((top + 1) << shift) - 1;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kSlots; ++i) {
+    const uint64_t n = other.counts_[i].load(std::memory_order_relaxed);
+    if (n != 0) counts_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  total_.fetch_add(other.total_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::ValueAtQuantile(double q) const {
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kSlots; ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return SlotUpperBound(i);
+  }
+  return SlotUpperBound(kSlots - 1);
+}
+
+void LatencyHistogram::Clear() {
+  for (size_t i = 0; i < kSlots; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  total_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace workload
+}  // namespace rdfref

@@ -1,0 +1,74 @@
+#ifndef RDFREF_WORKLOAD_HISTOGRAM_H_
+#define RDFREF_WORKLOAD_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace rdfref {
+namespace workload {
+
+/// \brief A lock-free streaming latency histogram (HdrHistogram-style):
+/// fixed power-of-two buckets split into 2^kSubBucketBits linear
+/// sub-buckets, one relaxed atomic counter each. Record() is wait-free and
+/// allocation-free, so closed-loop client threads can share one instance
+/// without perturbing the latencies they measure.
+///
+/// Precision: values below kSubBuckets (32 µs at microsecond resolution)
+/// land in exact singleton buckets; larger values carry a relative error of
+/// at most 1/kSubBuckets (~3%). Quantiles report the bucket's upper bound,
+/// so a reported p99 never understates the true p99 by more than that
+/// factor. Reading quantiles concurrently with writers is safe (relaxed
+/// loads) but yields a momentary mixture; the driver reads after joining.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;
+  static constexpr uint64_t kSubBuckets = 1ULL << kSubBucketBits;
+  /// The exact linear range plus one group of kSubBuckets slots per
+  /// magnitude above it (values with bit-width kSubBucketBits+1 .. 64).
+  static constexpr size_t kSlots = (64 - kSubBucketBits + 1) * kSubBuckets;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// \brief Records one measurement (wait-free, any thread).
+  void Record(uint64_t value) {
+    counts_[SlotFor(value)].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// \brief Adds every count of `other` into this histogram (per-thread
+  /// histograms merge into one report).
+  void Merge(const LatencyHistogram& other);
+
+  /// \brief Total measurements recorded.
+  uint64_t TotalCount() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief The smallest bucket upper bound `v` such that at least
+  /// ceil(q * TotalCount()) measurements are <= v. q in [0, 1]; returns 0
+  /// on an empty histogram. Exact for values in the linear range.
+  uint64_t ValueAtQuantile(double q) const;
+
+  /// \brief ValueAtQuantile with a percent argument (p50 => 50.0).
+  uint64_t Percentile(double p) const { return ValueAtQuantile(p / 100.0); }
+
+  /// \brief Resets every counter to zero (single-threaded use only).
+  void Clear();
+
+  /// \brief The bucket slot a value lands in, and the largest value that
+  /// shares that slot (exposed for the unit tests' error-bound checks).
+  static size_t SlotFor(uint64_t value);
+  static uint64_t SlotUpperBound(size_t slot);
+
+ private:
+  std::array<std::atomic<uint64_t>, kSlots> counts_{};
+  std::atomic<uint64_t> total_{0};
+};
+
+}  // namespace workload
+}  // namespace rdfref
+
+#endif  // RDFREF_WORKLOAD_HISTOGRAM_H_

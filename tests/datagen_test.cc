@@ -1,11 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "datagen/bibliography.h"
 #include "datagen/dblp.h"
 #include "datagen/geo.h"
 #include "datagen/lubm.h"
+#include "datagen/sp2b.h"
+#include "rdf/parser.h"
 #include "rdf/vocab.h"
 #include "schema/schema.h"
+#include "storage/serialize.h"
 #include "storage/store.h"
 #include "testing/scenario.h"
 #include "testing/schema_check.h"
@@ -214,6 +221,185 @@ TEST(SchemaConsistencyTest, CheckerFlagsViolations) {
   g.Add(s, dict.InternUri("http://t/q"), d);
   auto violations = testing::CheckSchemaConsistency(g);
   ASSERT_EQ(violations.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// SP2Bench-style scenario (sp2b): the workload-diversity generator — deeper
+// hierarchies than LUBM, cyclic Zipf-skewed citations, literal attributes.
+
+TEST(Sp2bTest, HierarchiesAreDeeperThanLubm) {
+  rdf::Graph g;
+  Sp2b::AddOntology(&g);
+  schema::Schema s = schema::Schema::FromGraph(g);
+  s.Saturate();
+  // The article chain: BenchmarkArticle ⊑* Work crosses 7 subClassOf edges.
+  rdf::TermId benchmark = g.dict().InternUri(Sp2b::Uri("BenchmarkArticle"));
+  rdf::TermId work = g.dict().InternUri(Sp2b::Uri("Work"));
+  EXPECT_TRUE(s.SuperClassesOf(benchmark).count(work));
+  EXPECT_GE(s.SuperClassesOf(benchmark).size(), 7u);
+  // The citation chain: reproduces ⊑* relatedTo crosses 4 subPropertyOf
+  // edges (deeper than any LUBM property chain).
+  rdf::TermId reproduces = g.dict().InternUri(Sp2b::Uri("reproduces"));
+  rdf::TermId related = g.dict().InternUri(Sp2b::Uri("relatedTo"));
+  EXPECT_TRUE(s.SuperPropertiesOf(reproduces).count(related));
+  EXPECT_GE(s.SuperPropertiesOf(reproduces).size(), 4u);
+}
+
+TEST(Sp2bTest, GenerationIsDeterministic) {
+  Sp2bConfig config;
+  config.documents = 200;
+  rdf::Graph g1, g2;
+  Sp2b::Generate(config, &g1);
+  Sp2b::Generate(config, &g2);
+  ASSERT_EQ(g1.size(), g2.size());
+  EXPECT_EQ(rdf::ToNTriples(g1), rdf::ToNTriples(g2));
+}
+
+TEST(Sp2bTest, ScaleGrowsData) {
+  Sp2bConfig small, large;
+  small.documents = large.documents = 400;
+  small.scale = 0.25;
+  large.scale = 1.0;
+  rdf::Graph gs, gl;
+  Sp2b::Generate(small, &gs);
+  Sp2b::Generate(large, &gl);
+  EXPECT_GT(gl.size(), 2 * gs.size());
+}
+
+TEST(Sp2bTest, InstancesUseMostSpecificTypesOnly) {
+  Sp2bConfig config;
+  config.documents = 300;
+  rdf::Graph g;
+  Sp2b::Generate(config, &g);
+  storage::Store store(g);
+  // Interior classes are never asserted — reasoning must supply them.
+  for (const char* interior :
+       {"Work", "Document", "Publication", "Article", "JournalArticle",
+        "Person", "Author", "Venue"}) {
+    rdf::TermId c = g.dict().InternUri(Sp2b::Uri(interior));
+    EXPECT_EQ(store.CountMatches(storage::kAny, vocab::kTypeId, c), 0u)
+        << interior;
+  }
+  // Leaves exist.
+  rdf::TermId research = g.dict().InternUri(Sp2b::Uri("ResearchArticle"));
+  EXPECT_GT(store.CountMatches(storage::kAny, vocab::kTypeId, research), 0u);
+  // Citations are asserted via cites and its sub-properties, never via the
+  // abstract ancestors references/relatedTo.
+  rdf::TermId references = g.dict().InternUri(Sp2b::Uri("references"));
+  rdf::TermId related = g.dict().InternUri(Sp2b::Uri("relatedTo"));
+  EXPECT_EQ(store.CountMatches(storage::kAny, references, storage::kAny), 0u);
+  EXPECT_EQ(store.CountMatches(storage::kAny, related, storage::kAny), 0u);
+}
+
+TEST(Sp2bTest, CitationGraphHasCycles) {
+  Sp2bConfig config;
+  config.documents = 60;
+  rdf::Graph g;
+  Sp2b::Generate(config, &g);
+  storage::Store store(g);
+  // The guaranteed tight cycle: doc0 and doc1 cite each other.
+  rdf::TermId d0 = g.dict().InternUri(Sp2b::DocumentUri(0));
+  rdf::TermId d1 = g.dict().InternUri(Sp2b::DocumentUri(1));
+  rdf::TermId cites = g.dict().InternUri(Sp2b::Uri("cites"));
+  EXPECT_EQ(store.CountMatches(d0, cites, d1), 1u);
+  EXPECT_EQ(store.CountMatches(d1, cites, d0), 1u);
+}
+
+TEST(Sp2bTest, CitationPopularityIsZipfSkewed) {
+  Sp2bConfig config;
+  config.documents = 500;
+  rdf::Graph g;
+  Sp2b::Generate(config, &g);
+  storage::Store store(g);
+  rdf::TermId cites = g.dict().InternUri(Sp2b::Uri("cites"));
+  // The head of the popularity ranking (doc 0) collects far more in-edges
+  // than a mid-tail document — the "classic papers" effect uniform draws
+  // never produce.
+  rdf::TermId d0 = g.dict().InternUri(Sp2b::DocumentUri(0));
+  size_t head = store.CountMatches(storage::kAny, cites, d0);
+  size_t tail = 0;
+  for (int i = 200; i < 210; ++i) {
+    rdf::TermId d = g.dict().InternUri(Sp2b::DocumentUri(i));
+    tail += store.CountMatches(storage::kAny, cites, d);
+  }
+  EXPECT_GT(head, tail);  // one head doc out-draws ten tail docs combined
+}
+
+TEST(Sp2bTest, ZipfSamplerIsSkewedAndUniformAtZero) {
+  Rng rng(7);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], 4 * counts[50]);  // rank 0 ≫ mid-tail under s=1
+  ZipfSampler uniform(100, 0.0);
+  std::vector<int> ucounts(100, 0);
+  for (int i = 0; i < 10000; ++i) ++ucounts[uniform.Sample(&rng)];
+  EXPECT_LT(ucounts[0], 3 * ucounts[50]);  // s=0 degenerates to uniform
+}
+
+TEST(SchemaConsistencyTest, Sp2bIsSchemaConsistentStrict) {
+  Sp2bConfig config;
+  config.documents = 300;
+  rdf::Graph g;
+  Sp2b::Generate(config, &g);
+  // Strict mode: every literal attribute (title, year, ...) is declared
+  // with a domain, so even the strict checker stays clean.
+  auto violations = testing::CheckSchemaConsistency(g);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violation(s), first: " << violations.front();
+}
+
+TEST(SchemaConsistencyTest, Sp2bUndeclaredAttributeNeedsRelaxedMode) {
+  Sp2bConfig config;
+  config.documents = 20;
+  rdf::Graph g;
+  Sp2b::Generate(config, &g);
+  // An ad-hoc literal attribute outside the ontology: strict flags it,
+  // literal-attribute mode tolerates it.
+  rdf::TermId doc = g.dict().InternUri(Sp2b::DocumentUri(0));
+  g.Add(doc, g.dict().InternUri(Sp2b::Uri("doi")),
+        g.dict().InternLiteral("10.1000/xyz"));
+  auto strict = testing::CheckSchemaConsistency(g);
+  EXPECT_EQ(strict.size(), 1u);
+  testing::SchemaCheckOptions relaxed;
+  relaxed.allow_undeclared_literal_properties = true;
+  EXPECT_TRUE(testing::CheckSchemaConsistency(g, relaxed).empty());
+}
+
+TEST(Sp2bTest, ScenarioSourceBuildsConsistentPools) {
+  testing::ScenarioOptions options;
+  options.source = testing::ScenarioSource::kSp2b;
+  testing::Scenario sc = testing::GenerateScenario(42, options);
+  EXPECT_FALSE(sc.classes.empty());
+  EXPECT_FALSE(sc.properties.empty());
+  EXPECT_FALSE(sc.subjects.empty());
+  EXPECT_FALSE(sc.literals.empty());
+  EXPECT_FALSE(sc.schema_triples.empty());
+  EXPECT_FALSE(sc.data_triples.empty());
+  // Partition is exact: schema + data == the whole graph.
+  EXPECT_EQ(sc.schema_triples.size() + sc.data_triples.size(),
+            sc.graph.size());
+  // Deterministic per seed.
+  testing::Scenario sc2 = testing::GenerateScenario(42, options);
+  EXPECT_EQ(rdf::ToNTriples(sc.graph), rdf::ToNTriples(sc2.graph));
+  // And the shrinker's rebuild path round-trips it id-identically.
+  testing::Scenario restricted =
+      testing::RestrictScenario(sc, sc.schema_triples, sc.data_triples);
+  EXPECT_EQ(rdf::ToNTriples(restricted.graph), rdf::ToNTriples(sc.graph));
+}
+
+TEST(Sp2bTest, SerializeRoundTrip) {
+  Sp2bConfig config;
+  config.documents = 80;
+  rdf::Graph g;
+  Sp2b::Generate(config, &g);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/sp2b.rdfb";
+  ASSERT_TRUE(storage::SaveGraph(g, path).ok());
+  auto loaded = storage::LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(rdf::ToNTriples(*loaded), rdf::ToNTriples(g));
+  std::remove(path.c_str());
 }
 
 TEST(SchemaConsistencyTest, FuzzScenariosAreSchemaConsistent) {

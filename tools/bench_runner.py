@@ -6,8 +6,10 @@ strategy comparison (Q6, the largest UCQ of the LUBM suite: 462 CQs after
 reformulation), the parallel-evaluation suite at 1 and 8 threads, the
 snapshot-isolation read-path overhead (pristine store vs sealed delta runs
 vs a racing writer), and the hierarchy-encoding comparison (classic
-per-subclass UCQ members vs collapsed interval range scans, T15) — and
-writes one JSON document per run (default BENCH_PR7.json).
+per-subclass UCQ members vs collapsed interval range scans, T15) — plus
+the sp2b macro benchmark (T16): the closed-loop workload_driver replaying
+the pinned query mix from concurrent clients, with and without a churning
+writer. Writes one JSON document per run (default BENCH_PR8.json).
 
 The subset is pinned so numbers stay comparable across commits: same
 queries, same scenario (the shared LUBM dataset the bench binaries build),
@@ -20,10 +22,19 @@ every binary's results into one document:
       "generated_by": "tools/bench_runner.py",
       "git_rev": "<short rev or null>",
       "config": {"pinned": [["bench/bench_strategies", "<filter>"], ...],
-                 "min_time": null},
+                 "min_time": null,
+                 "macro": {"scenario": "sp2b", "scale": 0.25,
+                           "clients": [1, 4, 16], "duration_ms": 300,
+                           "strategies": ["REF-UCQ", "REF-JUCQ"],
+                           "host_threads": 8}},
       "benchmarks": [
         {"binary": "bench_strategies", "name": "BM_Q6_RefUcq",
          "real_time_ms": 5.43, "cpu_time_ms": 5.42, "iterations": 130},
+        ...
+      ],
+      "macro": [
+        {"strategy": "REF-UCQ", "clients": 4, "writer": false,
+         "qps": 3729.8, "p50_ms": 0.1, "p95_ms": 3.8, "p99_ms": 5.6, ...},
         ...
       ]
     }
@@ -63,6 +74,17 @@ PINNED = [
     ("bench/bench_encoding",
      "BM_Encoding_(Classic|Interval)/(0|1|2)$"),
 ]
+
+# The pinned macro configuration (T16): the sp2b closed-loop mix swept over
+# client counts and writer on/off for the two cover-based Ref strategies.
+MACRO = {
+    "scenario": "sp2b",
+    "scale": 0.25,
+    "clients": [1, 4, 16],
+    "strategies": ["REF-UCQ", "REF-JUCQ"],
+    "duration_ms": 300,
+    "seed": 1,
+}
 
 
 def git_rev(root):
@@ -121,16 +143,52 @@ def fold(binary, raw):
     return rows
 
 
+def run_macro(build_dir, macro):
+    """Runs workload_driver over the pinned macro sweep; returns its parsed
+    per-configuration results (or None on failure)."""
+    binary = os.path.join(build_dir, "tools", "workload_driver")
+    if not os.path.exists(binary):
+        print(f"bench_runner: missing binary {binary} "
+              "(build the workload_driver target first)", file=sys.stderr)
+        return None
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    try:
+        cmd = [
+            binary,
+            "--scale", str(macro["scale"]),
+            "--seed", str(macro["seed"]),
+            "--clients", ",".join(str(c) for c in macro["clients"]),
+            "--strategies", ",".join(macro["strategies"]),
+            "--duration-ms", str(macro["duration_ms"]),
+            "--writer-sweep",
+            "--require-progress",
+            "--json", out_path,
+        ]
+        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                              stderr=subprocess.PIPE, text=True)
+        if proc.returncode != 0:
+            print(f"bench_runner: workload_driver failed:\n{proc.stderr}",
+                  file=sys.stderr)
+            return None
+        with open(out_path, encoding="utf-8") as f:
+            return json.load(f).get("results", [])
+    finally:
+        os.unlink(out_path)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build",
                         help="CMake build directory with bench binaries")
-    parser.add_argument("--out", default="BENCH_PR7.json",
+    parser.add_argument("--out", default="BENCH_PR8.json",
                         help="output JSON path")
     parser.add_argument("--min-time", default=None,
                         help="per-benchmark min time in seconds "
                              "(default: library default)")
+    parser.add_argument("--no-macro", action="store_true",
+                        help="skip the sp2b closed-loop macro benchmark")
     args = parser.parse_args(argv)
 
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -151,24 +209,43 @@ def main(argv=None):
             return 1
         results.extend(rows)
 
+    macro_results = None
+    if not args.no_macro:
+        macro_results = run_macro(args.build_dir, MACRO)
+        if macro_results is None:
+            return 1
+
+    # Self-describing artifact: the exact pinned scenario measured, plus
+    # the host parallelism the concurrency numbers depend on.
+    config = {
+        "pinned": [list(entry) for entry in PINNED],
+        "min_time": args.min_time,
+    }
+    if macro_results is not None:
+        config["macro"] = dict(MACRO, host_threads=os.cpu_count())
     doc = {
         "schema": "rdfref-bench/1",
         "generated_by": "tools/bench_runner.py",
         "git_rev": git_rev(root),
-        # Self-describing artifact: the exact pinned scenario measured.
-        "config": {
-            "pinned": [list(entry) for entry in PINNED],
-            "min_time": args.min_time,
-        },
+        "config": config,
         "benchmarks": results,
     }
+    if macro_results is not None:
+        doc["macro"] = macro_results
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
     for row in results:
         print(f"{row['binary']:>18} {row['name']:<40} "
               f"{row['real_time_ms']:>10.3f} ms")
-    print(f"bench_runner: wrote {len(results)} result(s) to {args.out}")
+    for row in macro_results or []:
+        tag = "+writer" if row["writer"] else "       "
+        print(f"   workload_driver {row['strategy']:<9} x{row['clients']:<3}"
+              f"{tag} {row['qps']:>9.0f} qps  p50 {row['p50_ms']:>7.3f} ms"
+              f"  p99 {row['p99_ms']:>7.3f} ms")
+    n_macro = len(macro_results or [])
+    print(f"bench_runner: wrote {len(results)} micro + {n_macro} macro "
+          f"result(s) to {args.out}")
     return 0
 
 

@@ -23,6 +23,9 @@
 //                     reformulation vs the classic UCQ it fuses, at load,
 //                     after a schema insert, and across Reencode()
 //   --no-shrink       report the unshrunk failing case
+//   --scenario NAME   graph source: random (default) or sp2b (the
+//                     SP2Bench-style bibliographic generator — deep
+//                     hierarchies, cyclic Zipf-skewed citations)
 //   --updates-concurrent
 //                     ONLY the threaded snapshot relation: a churning
 //                     writer (with background compaction) races reader
@@ -154,6 +157,18 @@ int main(int argc, char** argv) {
       options.check_concurrent = true;
     } else if (arg == "--no-shrink") {
       options.shrink = false;
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (!v) return 2;
+      const std::string name = v;
+      if (name == "random") {
+        options.scenario.source = rdfref::testing::ScenarioSource::kRandom;
+      } else if (name == "sp2b") {
+        options.scenario.source = rdfref::testing::ScenarioSource::kSp2b;
+      } else {
+        std::fprintf(stderr, "unknown --scenario %s (random|sp2b)\n", v);
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;

@@ -108,6 +108,10 @@ ALLOWED_DEPS = {
                    "reformulation", "schema", "storage"},
     "api": {"common", "datalog", "engine", "optimizer", "query", "rdf",
             "reasoner", "reformulation", "schema", "storage"},
+    # Closed-loop workload driver: sits above api (it drives a shared
+    # QueryAnswerer) and uses datagen's sp2b scenario for its pinned mix.
+    "workload": {"api", "common", "datagen", "engine", "query", "rdf",
+                 "storage"},
     "testing": {"api", "common", "engine", "federation", "query", "rdf",
                 "reformulation", "schema", "storage", "datagen"},
 }
