@@ -112,14 +112,14 @@ void PrintSaturationSeries() {
     storage::DeltaStore overlay(&base);
     rdf::TermId works_for =
         g.dict().InternUri(datagen::Lubm::Uri("worksFor"));
-    rdf::TermId dept =
+    rdf::TermId new_dept =
         g.dict().InternUri("http://www.Department0.University0.edu");
     Timer t;
     constexpr int kUpdates = 1000;
     for (int i = 0; i < kUpdates; ++i) {
       rdf::TermId subj = g.dict().InternUri(
           "http://www.example.org/new" + std::to_string(i));
-      overlay.Insert(rdf::Triple(subj, works_for, dept));
+      overlay.Insert(rdf::Triple(subj, works_for, new_dept));
     }
     std::printf("  Ref-side updates (delta overlay): %.3f us each — no "
                 "maintenance needed\n\n",

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/annotations.h"
 #include "common/deadline.h"
 #include "common/result.h"
 #include "datalog/rdf_datalog.h"
@@ -151,7 +152,7 @@ class QueryAnswerer {
   schema::EncodingReport Reencode(const schema::EncoderOptions& options = {});
 
   /// \brief The load-time (or latest Reencode) hierarchy-encoder report.
-  const schema::EncodingReport& encoding_report() const {
+  const schema::EncodingReport& encoding_report() const RDFREF_LIFETIME_BOUND {
     return encoding_report_;
   }
 
@@ -164,19 +165,25 @@ class QueryAnswerer {
 
   /// \brief The versioned explicit database (updates, snapshots, and
   /// freeze/compact maintenance).
-  storage::VersionSet& versions() { return *versions_; }
-  const storage::VersionSet& versions() const { return *versions_; }
+  storage::VersionSet& versions() RDFREF_LIFETIME_BOUND { return *versions_; }
+  const storage::VersionSet& versions() const RDFREF_LIFETIME_BOUND {
+    return *versions_;
+  }
 
   /// \brief Dictionary for parsing queries against this database.
-  rdf::Dictionary& dict() { return graph_.dict(); }
+  rdf::Dictionary& dict() RDFREF_LIFETIME_BOUND { return graph_.dict(); }
 
-  const schema::Schema& schema() const { return schema_; }
+  const schema::Schema& schema() const RDFREF_LIFETIME_BOUND {
+    return schema_;
+  }
 
   /// \brief The explicit database (with saturated schema triples).
-  const storage::Store& ref_store() const { return *ref_store_; }
+  const storage::Store& ref_store() const RDFREF_LIFETIME_BOUND {
+    return *ref_store_;
+  }
 
   /// \brief The saturated database; saturates lazily on first call.
-  const storage::Store& sat_store();
+  const storage::Store& sat_store() RDFREF_LIFETIME_BOUND;
 
   /// \brief Milliseconds the lazy saturation took (0 before it ran).
   double saturation_millis() const { return saturation_millis_; }

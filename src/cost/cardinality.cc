@@ -24,12 +24,12 @@ double CardinalityEstimator::EstimateAtom(const Atom& atom) const {
     // Interval atom (hierarchy encoding): the [lo, hi] id range IS the
     // subtree, so the estimate is the sum of the member statistics — the
     // exact analogue of summing the classic UCQ members it replaces.
-    // rdfref-lint: allow(termid-arith)
+    // rdfref-check: allow(termid-arith)
     if (atom.range_pos == Atom::kRangeO && !atom.p.is_var &&
         atom.p.term() == rdf::vocab::kTypeId) {
       // (s?, τ, [c .. hi]): per-class cardinalities over the class subtree.
       double card = 0.0;
-      // rdfref-lint: allow(termid-arith)
+      // rdfref-check: allow(termid-arith)
       for (rdf::TermId c = atom.o.term(); c <= atom.range_hi; ++c) {
         card += static_cast<double>(stats_->ClassCardinality(c));
       }
@@ -43,7 +43,7 @@ double CardinalityEstimator::EstimateAtom(const Atom& atom) const {
     if (atom.range_pos == Atom::kRangeP) {
       // (s?, [p .. hi], o?): the property subtree's triples.
       double card = 0.0, ds = 0.0, dobj = 0.0;
-      // rdfref-lint: allow(termid-arith)
+      // rdfref-check: allow(termid-arith)
       for (rdf::TermId p = atom.p.term(); p <= atom.range_hi; ++p) {
         storage::PropertyStats ps = stats_->ForProperty(p);
         card += static_cast<double>(ps.count);
@@ -110,7 +110,7 @@ double CardinalityEstimator::DistinctValues(const Atom& atom,
     if (atom.has_range() && atom.range_pos == Atom::kRangeP) {
       // Property interval: union the subtree's stats (an upper bound; the
       // final clamp against `card` keeps it sane).
-      // rdfref-lint: allow(termid-arith)
+      // rdfref-check: allow(termid-arith)
       for (rdf::TermId p = atom.p.term() + 1; p <= atom.range_hi; ++p) {
         storage::PropertyStats more = stats_->ForProperty(p);
         ps.distinct_subjects += more.distinct_subjects;

@@ -29,7 +29,7 @@ DatalogAnswerer::DatalogAnswerer(const storage::TripleSource* source)
                });
   const rdf::Dictionary& dict = store_->dict();
   // Dense 0..size-1 enumeration of every dictionary entry — valid under
-  // any id permutation.  // rdfref-lint: allow(termid-arith)
+  // any id permutation.  // rdfref-check: allow(termid-arith)
   for (rdf::TermId id = 0; id < dict.size(); ++id) {
     if (!dict.Lookup(id).is_literal()) {
       (void)program_.AddFact(resource_, {id});

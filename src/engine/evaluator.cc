@@ -162,7 +162,7 @@ Status UcqDeadlineError(size_t evaluated, size_t total) {
 // frame's cursor buffer, which is reused across re-openings at the same
 // depth), the iteration position, and the undo record of the variables the
 // current row bound.
-struct JoinFrame {
+struct RDFREF_BORROWS_FROM(source, cursor) JoinFrame {
   std::span<const rdf::Triple> range;
   size_t pos = 0;
   storage::PatternCursor cursor;

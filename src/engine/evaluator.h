@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/deadline.h"
 #include "common/result.h"
 #include "engine/table.h"
@@ -139,7 +140,9 @@ class Evaluator {
                           const std::vector<query::Cq>& fragment_queries,
                           const std::vector<query::Ucq>& fragment_ucqs) const;
 
-  const storage::TripleSource& source() const { return *store_; }
+  const storage::TripleSource& source() const RDFREF_LIFETIME_BOUND {
+    return *store_;
+  }
 
  private:
   // Appends q's answer rows (head tuples) to `out` (no dedup), resolving

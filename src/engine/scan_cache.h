@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/hash.h"
 #include "common/synchronization.h"
 #include "rdf/triple.h"
@@ -71,7 +72,7 @@ class ScanCache {
   /// distinct pattern and shared by every later caller (and every thread).
   std::span<const rdf::Triple> LeafRange(rdf::TermId s, rdf::TermId p,
                                          rdf::TermId o) const
-      RDFREF_EXCLUDES(mu_);
+      RDFREF_LIFETIME_BOUND RDFREF_EXCLUDES(mu_);
 
   /// \brief Interval analogue of LeafRange: zero-copy when the source
   /// exposes the interval contiguously, else one shared materialization of
@@ -79,9 +80,11 @@ class ScanCache {
   std::span<const rdf::Triple> LeafIntervalRange(rdf::TermId s, rdf::TermId p,
                                                  rdf::TermId o, int range_pos,
                                                  rdf::TermId hi) const
-      RDFREF_EXCLUDES(mu_);
+      RDFREF_LIFETIME_BOUND RDFREF_EXCLUDES(mu_);
 
-  const storage::TripleSource& source() const { return *source_; }
+  const storage::TripleSource& source() const RDFREF_LIFETIME_BOUND {
+    return *source_;
+  }
 
   /// \brief Introspection for tests: distinct patterns memoized so far.
   size_t num_cached_counts() const RDFREF_EXCLUDES(mu_) {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/hash.h"
 #include "query/cq.h"
 #include "rdf/dictionary.h"
@@ -88,19 +89,19 @@ class Table {
   void SetArity(size_t arity);
 
   /// \brief Stride-slice view of row `i` (empty span for zero arity).
-  std::span<const rdf::TermId> row(size_t i) const {
+  std::span<const rdf::TermId> row(size_t i) const RDFREF_LIFETIME_BOUND {
     return {data_.data() + i * arity_, arity_};
   }
 
   /// \brief Mutable view of row `i` (testing hooks / answer mutators).
-  std::span<rdf::TermId> MutableRow(size_t i) {
+  std::span<rdf::TermId> MutableRow(size_t i) RDFREF_LIFETIME_BOUND {
     return {data_.data() + i * arity_, arity_};
   }
 
   /// \brief Hot-path append: grows the arena by one row and returns the
   /// pointer to its `arity()` uninitialized slots (nullptr for zero-arity
   /// rows, whose count is still bumped). SetArity must have been called.
-  rdf::TermId* AppendUninitialized() {
+  rdf::TermId* AppendUninitialized() RDFREF_LIFETIME_BOUND {
     if (arity_ == 0) {
       ++zero_arity_rows_;
       return nullptr;
@@ -130,7 +131,9 @@ class Table {
   void Append(const Table& other);
 
   /// \brief The raw arena: NumRows() * arity() ids, row-major.
-  const std::vector<rdf::TermId>& data() const { return data_; }
+  const std::vector<rdf::TermId>& data() const RDFREF_LIFETIME_BOUND {
+    return data_;
+  }
 
   /// \brief Materializes rows as vectors (tests, diagnostics — not hot).
   std::vector<std::vector<rdf::TermId>> RowVectors() const;

@@ -29,7 +29,7 @@ TermId Dictionary::Find(const Term& term) const {
 }
 
 void Dictionary::ApplyPermutation(const std::vector<TermId>& old_to_new) {
-  // rdfref-lint: allow(termid-arith) — the dictionary owns id assignment.
+  // The dictionary owns id assignment; raw TermId arithmetic is expected.
   std::vector<Term> permuted(terms_.size());
   for (TermId old_id = 0; old_id < terms_.size(); ++old_id) {
     permuted[old_to_new[old_id]] = std::move(terms_[old_id]);

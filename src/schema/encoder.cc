@@ -13,7 +13,7 @@ namespace rdfref {
 namespace schema {
 namespace {
 
-// rdfref-lint: allow(termid-arith) — the encoder assigns the id space.
+// The encoder assigns the id space, so raw TermId arithmetic is its job.
 
 /// One hierarchy (class or property) on pre-encoding ids: the direct edges,
 /// not the saturated closure — the saturation is derivable and the direct
@@ -221,7 +221,6 @@ void CollectNodes(Hierarchy* h) {
 
 EncodingResult EncodeGraphHierarchy(rdf::Graph* graph,
                                     const EncoderOptions& options) {
-  // rdfref-lint: allow(termid-arith)
   EncodingResult result;
   rdf::Dictionary& dict = graph->dict();
   const size_t n = dict.size();

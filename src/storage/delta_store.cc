@@ -40,7 +40,7 @@ std::unique_ptr<Store> DeltaStore::Compact() const {
 
 void DeltaStore::Scan(
     rdf::TermId s, rdf::TermId p, rdf::TermId o,
-    const std::function<void(const rdf::Triple&)>& fn) const {  // rdfref-lint: allow(std-function)
+    const std::function<void(const rdf::Triple&)>& fn) const {  // rdfref-check: allow(std-function)
   if (removed_.empty()) {
     base_->Scan(s, p, o, fn);
   } else {

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/annotations.h"
 #include "rdf/triple.h"
 #include "storage/store.h"
 #include "storage/triple_source.h"
@@ -46,12 +47,13 @@ class DeltaStore : public TripleSource {
 
   void Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
             const std::function<void(const rdf::Triple&)>& fn)
-      const override;  // rdfref-lint: allow(std-function)
+      const override;  // rdfref-check: allow(std-function)
 
   /// \brief Batch fast path: the base store's contiguous range is the whole
   /// answer (zero-copy) whenever the overlay cannot intersect the pattern —
   /// tracked conservatively by per-position presence sets, so a non-empty
   /// overlay only forces the buffered path on scans it may actually affect.
+  RDFREF_BORROWS_FROM(base)
   bool TryGetRange(rdf::TermId s, rdf::TermId p, rdf::TermId o,
                    std::span<const rdf::Triple>* out) const override {
     if (OverlayMayAffect(s, p, o)) return false;
@@ -61,6 +63,7 @@ class DeltaStore : public TripleSource {
   /// \brief Hinted fast path: forwarded to the base store's galloping
   /// search while the overlay cannot intersect the pattern (the hint stays
   /// valid — it points into the immutable base indexes).
+  RDFREF_BORROWS_FROM(base)
   bool TryGetRangeHinted(rdf::TermId s, rdf::TermId p, rdf::TermId o,
                          std::span<const rdf::Triple>* out,
                          RangeHint* hint) const override {
@@ -75,9 +78,11 @@ class DeltaStore : public TripleSource {
 
   size_t CountMatches(rdf::TermId s, rdf::TermId p,
                       rdf::TermId o) const override;
-  const rdf::Dictionary& dict() const override { return base_->dict(); }
+  const rdf::Dictionary& dict() const RDFREF_LIFETIME_BOUND override {
+    return base_->dict();
+  }
 
-  const Store& base() const { return *base_; }
+  const Store& base() const RDFREF_LIFETIME_BOUND { return *base_; }
   size_t num_added() const { return added_.size(); }
   size_t num_removed() const { return removed_.size(); }
 

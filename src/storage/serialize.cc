@@ -50,7 +50,7 @@ Status SaveGraph(const rdf::Graph& graph, const std::string& path) {
   WriteU32(out, static_cast<uint32_t>(graph.size()));
 
   // Dictionary ids are dense 0..size-1 under any permutation; the image
-  // records terms in id order.  // rdfref-lint: allow(termid-arith)
+  // records terms in id order.  // rdfref-check: allow(termid-arith)
   for (rdf::TermId id = 0; id < dict.size(); ++id) {
     const rdf::Term& term = dict.Lookup(id);
     char kind = static_cast<char>(term.kind);

@@ -288,7 +288,7 @@ bool Store::TryGetIntervalRange(rdf::TermId s, rdf::TermId p, rdf::TermId o,
 }
 
 void Store::Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
-                 const std::function<void(const rdf::Triple&)>& fn) const {  // rdfref-lint: allow(std-function)
+                 const std::function<void(const rdf::Triple&)>& fn) const {  // rdfref-check: allow(std-function)
   Range r = EqualRange(s, p, o);
   for (const rdf::Triple* t = r.first; t != r.second; ++t) fn(*t);
 }

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.h"
 #include "rdf/dictionary.h"
 #include "rdf/graph.h"
 #include "rdf/triple.h"
@@ -48,14 +49,15 @@ class Store : public TripleSource {
   /// wildcards any position. Legacy path — the engine drives the
   /// zero-overhead range API below.
   void Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
-            const std::function<void(const rdf::Triple&)>& fn) const override;  // rdfref-lint: allow(std-function)
+            const std::function<void(const rdf::Triple&)>& fn) const override;  // rdfref-check: allow(std-function)
 
   /// \brief Zero-overhead range scan: every pattern is a binary-searched
   /// contiguous run of one clustered permutation (SPO/PSO/POS/OSP), so the
   /// matches come back as one span into the index — no callback, no copy.
   /// Valid for the store's lifetime (the store is immutable after build).
   std::span<const rdf::Triple> EqualRangeSpan(rdf::TermId s, rdf::TermId p,
-                                              rdf::TermId o) const;
+                                              rdf::TermId o) const
+      RDFREF_LIFETIME_BOUND;
 
   /// \brief Hinted range scan: identical result to EqualRangeSpan, found by
   /// galloping forward from the previous lookup's position when the hint is
@@ -66,9 +68,11 @@ class Store : public TripleSource {
   std::span<const rdf::Triple> EqualRangeSpanHinted(rdf::TermId s,
                                                     rdf::TermId p,
                                                     rdf::TermId o,
-                                                    RangeHint* hint) const;
+                                                    RangeHint* hint) const
+      RDFREF_LIFETIME_BOUND;
 
   /// \brief Batch fast path: always succeeds (see EqualRangeSpan).
+  RDFREF_BORROWS_FROM(this)
   bool TryGetRange(rdf::TermId s, rdf::TermId p, rdf::TermId o,
                    std::span<const rdf::Triple>* out) const override {
     *out = EqualRangeSpan(s, p, o);
@@ -76,6 +80,7 @@ class Store : public TripleSource {
   }
 
   /// \brief Hinted batch fast path (see EqualRangeSpanHinted).
+  RDFREF_BORROWS_FROM(this)
   bool TryGetRangeHinted(rdf::TermId s, rdf::TermId p, rdf::TermId o,
                          std::span<const rdf::Triple>* out,
                          RangeHint* hint) const override {
@@ -104,8 +109,10 @@ class Store : public TripleSource {
 
   size_t size() const { return spo_.size(); }
 
-  const rdf::Dictionary& dict() const override { return *dict_; }
-  const Statistics& stats() const { return stats_; }
+  const rdf::Dictionary& dict() const RDFREF_LIFETIME_BOUND override {
+    return *dict_;
+  }
+  const Statistics& stats() const RDFREF_LIFETIME_BOUND { return stats_; }
 
  private:
   // Returns [begin, end) of the index range matching the bound prefix.

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/annotations.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple.h"
 
@@ -93,13 +94,18 @@ class TripleSource {
   /// Legacy path: hot code should use TryGetRange/ScanInto instead.
   virtual void Scan(
       rdf::TermId s, rdf::TermId p, rdf::TermId o,
-      const std::function<void(const rdf::Triple&)>& fn) const = 0;  // rdfref-lint: allow(std-function)
+      const std::function<void(const rdf::Triple&)>& fn) const = 0;  // rdfref-check: allow(std-function)
 
   /// \brief Batch fast path: when the source can expose every match as one
   /// contiguous block (valid until the source is modified), sets `*out`
   /// and returns true. The local Store answers every pattern this way from
   /// its clustered permutation indexes; overlay and mediator sources
   /// return false and are served by ScanInto.
+  ///
+  /// Borrow contract: `*out` points into storage owned (or pinned) by this
+  /// source and is invalidated by its modification or destruction — never
+  /// store it in a field or by-value capture that outlives the source.
+  RDFREF_BORROWS_FROM(this)
   virtual bool TryGetRange(rdf::TermId s, rdf::TermId p, rdf::TermId o,
                            std::span<const rdf::Triple>* out) const {
     (void)s;
@@ -117,6 +123,7 @@ class TripleSource {
   /// from the hint (O(log gap)) instead of binary-searching the whole
   /// index (O(log n)). The hint is advisory — results are always exactly
   /// the pattern's matches — and sources without a fast path ignore it.
+  RDFREF_BORROWS_FROM(this)
   virtual bool TryGetRangeHinted(rdf::TermId s, rdf::TermId p, rdf::TermId o,
                                  std::span<const rdf::Triple>* out,
                                  RangeHint* hint) const {
@@ -146,6 +153,7 @@ class TripleSource {
   /// Range-capable sources answer when one of their clustered orders makes
   /// the interval contiguous; everyone else returns false and is served by
   /// ScanIntervalInto.
+  RDFREF_BORROWS_FROM(this)
   virtual bool TryGetIntervalRange(rdf::TermId s, rdf::TermId p, rdf::TermId o,
                                    int range_pos, rdf::TermId hi,
                                    std::span<const rdf::Triple>* out) const {
@@ -193,7 +201,7 @@ class TripleSource {
   }
 
   /// \brief The dictionary the triples are encoded against.
-  virtual const rdf::Dictionary& dict() const = 0;
+  virtual const rdf::Dictionary& dict() const RDFREF_LIFETIME_BOUND = 0;
 };
 
 /// \brief Residual equality constraints a triple-pattern scan cannot
@@ -218,15 +226,15 @@ struct ResidualEq {
 /// allocations. The optional residual filter materializes only the triples
 /// satisfying intra-atom equality constraints (the "thin filtering cursor"
 /// for patterns a prefix range cannot express).
-class PatternCursor {
+class RDFREF_BORROWS_FROM(source, this) PatternCursor {
  public:
   /// \brief Re-binds the cursor. The returned span (also available via
   /// triples()) is valid until the next Reset or the cursor's destruction;
   /// for zero-copy sources, until the source is modified.
-  std::span<const rdf::Triple> Reset(const TripleSource& source,
-                                     rdf::TermId s, rdf::TermId p,
-                                     rdf::TermId o, ResidualEq residual = {},
-                                     RangeHint* hint = nullptr) {
+  std::span<const rdf::Triple> Reset(
+      const TripleSource& source RDFREF_LIFETIME_BOUND, rdf::TermId s,
+      rdf::TermId p, rdf::TermId o, ResidualEq residual = {},
+      RangeHint* hint = nullptr) RDFREF_LIFETIME_BOUND {
     if (!residual.any()) {
       if (source.TryGetRangeHinted(s, p, o, &view_, hint)) return view_;
       source.ScanInto(s, p, o, &buffer_);
@@ -254,11 +262,10 @@ class PatternCursor {
   /// \brief Re-binds the cursor to an interval pattern (the ranged position
   /// holds the interval's low endpoint; see TryGetIntervalRange). Zero-copy
   /// when the source exposes the interval contiguously, buffered otherwise.
-  std::span<const rdf::Triple> ResetInterval(const TripleSource& source,
-                                             rdf::TermId s, rdf::TermId p,
-                                             rdf::TermId o, int range_pos,
-                                             rdf::TermId hi,
-                                             ResidualEq residual = {}) {
+  std::span<const rdf::Triple> ResetInterval(
+      const TripleSource& source RDFREF_LIFETIME_BOUND, rdf::TermId s,
+      rdf::TermId p, rdf::TermId o, int range_pos, rdf::TermId hi,
+      ResidualEq residual = {}) RDFREF_LIFETIME_BOUND {
     if (!residual.any()) {
       if (source.TryGetIntervalRange(s, p, o, range_pos, hi, &view_)) {
         return view_;
@@ -284,7 +291,9 @@ class PatternCursor {
     return view_;
   }
 
-  std::span<const rdf::Triple> triples() const { return view_; }
+  std::span<const rdf::Triple> triples() const RDFREF_LIFETIME_BOUND {
+    return view_;
+  }
 
  private:
   std::span<const rdf::Triple> view_;

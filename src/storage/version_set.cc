@@ -146,7 +146,7 @@ void SnapshotSource::ScanInto(rdf::TermId s, rdf::TermId p, rdf::TermId o,
 
 void SnapshotSource::Scan(
     rdf::TermId s, rdf::TermId p, rdf::TermId o,
-    const std::function<void(const rdf::Triple&)>& fn) const {  // rdfref-lint: allow(std-function)
+    const std::function<void(const rdf::Triple&)>& fn) const {  // rdfref-check: allow(std-function)
   std::vector<rdf::Triple> buffer;
   ScanInto(s, p, o, &buffer);
   for (const rdf::Triple& t : buffer) fn(t);

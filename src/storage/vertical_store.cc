@@ -29,7 +29,7 @@ VerticalStore::VerticalStore(const rdf::Graph& graph)
 
 void VerticalStore::ScanTable(
     const PropertyTable& table, rdf::TermId p, rdf::TermId s, rdf::TermId o,
-    const std::function<void(const rdf::Triple&)>& fn) {  // rdfref-lint: allow(std-function)
+    const std::function<void(const rdf::Triple&)>& fn) {  // rdfref-check: allow(std-function)
   const bool bs = s != kAny, bo = o != kAny;
   if (bs) {
     auto begin = std::lower_bound(
@@ -88,7 +88,7 @@ size_t VerticalStore::CountTable(const PropertyTable& table, rdf::TermId s,
 
 void VerticalStore::Scan(
     rdf::TermId s, rdf::TermId p, rdf::TermId o,
-    const std::function<void(const rdf::Triple&)>& fn) const {  // rdfref-lint: allow(std-function)
+    const std::function<void(const rdf::Triple&)>& fn) const {  // rdfref-check: allow(std-function)
   if (p != kAny) {
     auto it = tables_.find(p);
     if (it != tables_.end()) ScanTable(it->second, p, s, o, fn);

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "rdf/dictionary.h"
 #include "rdf/graph.h"
 #include "storage/triple_source.h"
@@ -31,11 +32,13 @@ class VerticalStore : public TripleSource {
   VerticalStore& operator=(const VerticalStore&) = delete;
 
   void Scan(rdf::TermId s, rdf::TermId p, rdf::TermId o,
-            const std::function<void(const rdf::Triple&)>& fn)  // rdfref-lint: allow(std-function)
+            const std::function<void(const rdf::Triple&)>& fn)  // rdfref-check: allow(std-function)
       const override;
   size_t CountMatches(rdf::TermId s, rdf::TermId p,
                       rdf::TermId o) const override;
-  const rdf::Dictionary& dict() const override { return *dict_; }
+  const rdf::Dictionary& dict() const RDFREF_LIFETIME_BOUND override {
+    return *dict_;
+  }
 
   size_t size() const { return total_; }
   size_t num_properties() const { return tables_.size(); }
@@ -49,7 +52,7 @@ class VerticalStore : public TripleSource {
   // Scans one property table under the given subject/object bounds.
   static void ScanTable(const PropertyTable& table, rdf::TermId p,
                         rdf::TermId s, rdf::TermId o,
-                        const std::function<void(const rdf::Triple&)>& fn);  // rdfref-lint: allow(std-function)
+                        const std::function<void(const rdf::Triple&)>& fn);  // rdfref-check: allow(std-function)
   static size_t CountTable(const PropertyTable& table, rdf::TermId s,
                            rdf::TermId o);
 

@@ -165,7 +165,7 @@ Scenario RestrictScenario(const Scenario& base,
   Scenario out;
   // An id-identical dictionary but none of the triples (dense 0..size-1
   // enumeration, valid under any permutation).
-  // rdfref-lint: allow(termid-arith)
+  // rdfref-check: allow(termid-arith)
   for (rdf::TermId id = vocab::kNumBuiltins; id < base.graph.dict().size();
        ++id) {
     out.graph.dict().Intern(base.graph.dict().Lookup(id));

@@ -1,0 +1,62 @@
+// Negative-compilation probe for the span-escape discipline
+// (DESIGN.md section 14): a borrowed span must not outlive its source,
+// and span-holding types must name what they borrow from.
+//
+// Two independent backends reject the violations below:
+//   - the compiler itself: RDFREF_LIFETIME_BOUND expands to
+//     [[clang::lifetimebound]] under Clang, so binding View()'s result to
+//     a temporary argument is a -Wdangling error
+//     (-Werror=dangling in the gate);
+//   - tools/rdfref_check.py: the un-annotated span field is a
+//     span-escape finding (`--probe` on this file, plus the pregenerated
+//     AST fixture span_escape_violation_ast.json for clang-less runs).
+//
+// Compiled twice by tests/negative/CMakeLists.txt:
+//   - without RDFREF_NEGATIVE: the control build — must SUCCEED (the
+//     annotated borrow patterns below are the blessed forms);
+//   - with -DRDFREF_NEGATIVE: adds the violations — must FAIL the gate.
+
+#include <span>
+#include <vector>
+
+#include "common/annotations.h"
+#include "rdf/triple.h"
+
+namespace {
+
+// Blessed: the parameter the result borrows from carries the macro, so
+// Clang tracks the borrow through every call site.
+std::span<const int> View(const std::vector<int>& v RDFREF_LIFETIME_BOUND) {
+  return {v.data(), v.size()};
+}
+
+// Blessed: a span-holding type declares its borrow contract up front.
+struct RDFREF_BORROWS_FROM(source_table) RowView {
+  std::span<const rdfref::rdf::Triple> rows;
+};
+
+int UseSafe() {
+  std::vector<int> owned{1, 2, 3};
+  std::span<const int> view = View(owned);  // source outlives the view
+  return static_cast<int>(view.size());
+}
+
+#ifdef RDFREF_NEGATIVE
+// Violation 1 — compiler-visible: the vector temporary dies at the end of
+// the full-expression; `view` dangles immediately (-Wdangling via
+// [[clang::lifetimebound]]).
+int UseDangling() {
+  std::span<const int> view = View(std::vector<int>{1, 2, 3});
+  return static_cast<int>(view.size());
+}
+
+// Violation 2 — checker-visible: a borrowed span stored in a field of a
+// holder with no RDFREF_BORROWS_FROM contract (rdfref_check span-escape).
+struct LeakyHolder {
+  std::span<const rdfref::rdf::Triple> rows;
+};
+#endif
+
+}  // namespace
+
+int main() { return UseSafe() == 3 ? 0 : 1; }

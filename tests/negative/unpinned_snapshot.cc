@@ -1,0 +1,48 @@
+// Negative probe for the snapshot-pin discipline (DESIGN.md section 14):
+// a raw SnapshotSource pointer is only valid while some SnapshotPtr
+// (std::shared_ptr pin) keeps its epoch alive. Storing the raw pointer in
+// a field, or calling .get() on the *temporary* returned by
+// VersionSet::snapshot(), detaches the pointer from its pin — the epoch
+// can be reclaimed by background compaction mid-read.
+//
+// Both violations are semantic, not syntactic: every variant of this file
+// compiles. The gate is tools/rdfref_check.py's snapshot-pin rule
+// (`--probe` on this file under -DRDFREF_NEGATIVE, plus the pregenerated
+// AST fixture unpinned_snapshot_ast.json for clang-less runs).
+//
+//   - without RDFREF_NEGATIVE: the control — the blessed named-pin
+//     pattern, zero findings;
+//   - with -DRDFREF_NEGATIVE: adds the violations — the check must fire.
+
+#include <cstddef>
+
+#include "storage/version_set.h"
+
+namespace {
+
+// Blessed: bind the pin to a named local whose scope covers every use of
+// the raw pointer (exactly what api::QueryAnswerer does around
+// evaluation).
+size_t CountPinned(rdfref::storage::VersionSet& versions) {
+  rdfref::storage::SnapshotPtr snap = versions.snapshot();
+  return snap->CountMatches(1, 2, 3);
+}
+
+#ifdef RDFREF_NEGATIVE
+// Violation 1: raw SnapshotSource pointer stored in a field outside the
+// pinning shared_ptr — nothing keeps the epoch alive.
+struct CachedReader {
+  const rdfref::storage::SnapshotSource* snap;
+};
+
+// Violation 2: .get() on the temporary pin; the shared_ptr dies at the
+// end of this full-expression and the returned pointer dangles.
+const rdfref::storage::SnapshotSource* Grab(
+    rdfref::storage::VersionSet& versions) {
+  return versions.snapshot().get();
+}
+#endif
+
+}  // namespace
+
+int main() { return 0; }

@@ -194,7 +194,7 @@ TEST_F(SnapshotTest, IntervalProbesAreConservativeAgainstMidIntervalOverlays) {
   // id must still gate the zero-copy interval fast path, which is why the
   // probe wildcards the ranged position before consulting any presence set
   // (see PatternPresence in triple_source.h).
-  ASSERT_EQ(o2_, o1_ + 1);  // rdfref-lint: allow(termid-arith)
+  ASSERT_EQ(o2_, o1_ + 1);
   constexpr int kRangeO = 2;  // query::Atom::kRangeO
 
   VersionSet v(base_.get());
@@ -287,6 +287,58 @@ TEST_F(SnapshotTest, BackgroundMaintenanceFreezesAndCompacts) {
   SnapshotPtr snap = v.snapshot();
   EXPECT_EQ(snap->epoch(), 100u);
   EXPECT_EQ(snap->Materialize().size(), 105u);
+  for (const rdf::Triple& t : inserted) EXPECT_TRUE(snap->Contains(t));
+}
+
+// Regression test for the `maintenance_` guard gap found by the first
+// full-tree rdfref_check sweep (guard-completeness rule). The thread
+// handle is assigned in StartBackgroundCompaction and moved out in
+// StopBackgroundCompaction, both under mu_, but the field carried no
+// RDFREF_GUARDED_BY(mu_) — so thread-safety analysis silently skipped
+// it, and a future unlocked touch (e.g. a joinable() fast-path check
+// before taking the lock) would have raced undetected.
+//
+// Fuzz-style repro: interleave start/stop cycles on one thread with a
+// writer on another. Any unguarded access to the handle shows up under
+// TSan as a data race on the std::thread object itself; with the
+// annotation in place, such an access no longer even compiles under
+// -Werror=thread-safety.
+TEST_F(SnapshotTest, BackgroundMaintenanceStartStopCycleStress) {
+  // Intern everything before the threads start; the dictionary is not
+  // synchronized.
+  std::vector<rdf::Triple> inserted;
+  inserted.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    inserted.emplace_back(U("cyc" + std::to_string(i)), p_, o1_);
+  }
+
+  VersionSet v(base_.get());
+  VersionSetOptions opts;
+  opts.freeze_threshold = 4;
+  opts.compact_min_runs = 2;
+
+  std::thread cycler([&] {
+    for (int round = 0; round < 25; ++round) {
+      v.StartBackgroundCompaction(opts);
+      // Redundant start while enabled must be a locked no-op, not a
+      // second thread stomping the handle.
+      v.StartBackgroundCompaction(opts);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      v.StopBackgroundCompaction();
+      // Redundant stop while disabled must also be a locked no-op.
+      v.StopBackgroundCompaction();
+    }
+  });
+  for (const rdf::Triple& t : inserted) {
+    ASSERT_TRUE(v.Insert(t));
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  cycler.join();
+  v.StopBackgroundCompaction();
+
+  SnapshotPtr snap = v.snapshot();
+  EXPECT_EQ(snap->epoch(), 64u);
+  EXPECT_EQ(snap->Materialize().size(), 69u);
   for (const rdf::Triple& t : inserted) EXPECT_TRUE(snap->Contains(t));
 }
 

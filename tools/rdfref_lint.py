@@ -4,7 +4,8 @@
 Run from anywhere: `python3 tools/rdfref_lint.py` (add --root to point at a
 checkout). Exits non-zero when any finding is reported; CI runs it as a
 blocking step of the `static-analysis` job, and `ctest -R rdfref_lint`
-runs it locally.
+runs it locally. `--self-test` checks the lint against a synthetic tree
+(every rule must fire, every escape state must be classified).
 
 Rules (see DESIGN.md section 8):
 
@@ -20,13 +21,6 @@ Rules (see DESIGN.md section 8):
                 srand, time(...)): every random stream in rdfref is
                 seeded explicitly so fault injection, fuzzing and jitter
                 replay bit-exactly.
-  std-function  No std::function parameters in the src/engine/ and
-                src/storage/ hot paths: the per-triple virtual callback
-                was the seed scan API and survives only as a
-                compatibility shim (see DESIGN.md section 9). New code
-                takes spans (TryGetRange), buffers (ScanInto) or
-                cursors (PatternCursor) — all inlineable, none
-                type-erased.
   delta-mutation
                 The engine evaluates immutable TripleSource views; naming
                 the mutable storage types (DeltaStore, VersionSet) from
@@ -35,20 +29,22 @@ Rules (see DESIGN.md section 8):
                 immutable SnapshotSource (storage/version_set.h) — engine
                 code reaching for the mutable overlay would bypass epoch
                 isolation.
-  termid-arith  No raw TermId arithmetic (id-space loops, `id + 1`-style
-                offsets, interval-endpoint math) outside rdf/ and the
-                hierarchy encoder (schema/encoder.*). Encoded ids are an
-                interval layout that Reencode() re-permutes at will; code
-                elsewhere doing arithmetic on ids bakes in an id-space
-                assumption that the next re-encoding silently breaks.
-                Sites where the interval invariant is load-bearing carry
-                an explicit allow with a justification.
-  layering      Library-level include DAG: each of the 15 src/ libraries
+  layering      Library-level include DAG: each of the src/ libraries
                 may only include the libraries listed in ALLOWED_DEPS
                 (common at the bottom, engine never includes federation,
                 ...). New edges are a design decision: add them here in
                 the same PR, with a reason.
   include-cycle No #include cycles among src/ headers (file-level DFS).
+  stale-escape / unknown-escape
+                Escape hygiene: a `// rdfref-lint: allow(<rule>)` comment
+                that no longer suppresses anything, or that names a rule
+                this lint does not have, is itself a finding. Escapes must
+                die with the code they excused.
+
+The former `std-function` and `termid-arith` regex rules moved to the
+Clang-AST backend (tools/rdfref_check.py, DESIGN.md section 14), which
+sees real types instead of token patterns; their escapes are spelled
+`// rdfref-check: allow(...)` there.
 
 A finding can be silenced for one line with a trailing
 `// rdfref-lint: allow(<rule>)` comment — pair it with a justification.
@@ -60,6 +56,7 @@ import argparse
 import os
 import re
 import sys
+import tempfile
 from collections import defaultdict
 
 # --------------------------------------------------------------------------
@@ -120,6 +117,15 @@ ALLOW_RE = re.compile(r"//\s*rdfref-lint:\s*allow\(([a-z-]+)\)")
 
 INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
 
+# Rules this lint owns (escape targets). include-cycle deliberately has no
+# allow path — a cycle cannot be excused, only broken.
+LINT_RULES = ("raw-sync", "rng-seed", "delta-mutation", "nodiscard",
+              "layering", "include-cycle")
+# Rules that live on the AST backend now; escapes naming them here get a
+# pointed hint instead of a generic unknown-rule message.
+CHECK_RULES = ("std-function", "termid-arith", "span-escape", "snapshot-pin",
+               "guard-completeness")
+
 # Answer*/Evaluate* declarations in headers must be [[nodiscard]], either
 # on the declaration itself or via a [[nodiscard]] return type
 # (Result<T>/Status are class-level [[nodiscard]]).
@@ -138,9 +144,24 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def allowed(line: str, rule: str) -> bool:
-    m = ALLOW_RE.search(line)
-    return bool(m) and m.group(1) == rule
+class Lint:
+    """One lint run: findings plus the set of escapes that earned their
+    keep, so the post-pass can flag the stale ones."""
+
+    def __init__(self, src_root):
+        self.src_root = src_root
+        self.findings = []
+        self.used_escapes = set()  # (rel, line_no)
+
+    def allowed(self, line, rule, rel, line_no):
+        m = ALLOW_RE.search(line)
+        if m and m.group(1) == rule:
+            self.used_escapes.add((rel, line_no))
+            return True
+        return False
+
+    def add(self, path, line, rule, message):
+        self.findings.append(Finding(path, line, rule, message))
 
 
 def iter_source_files(src_root):
@@ -154,82 +175,26 @@ def iter_source_files(src_root):
 # Rules
 # --------------------------------------------------------------------------
 
-def check_raw_sync(path, rel, lines, findings):
+def check_raw_sync(lint, path, rel, lines):
     if rel == SYNC_SHIM:
         return
     for i, line in enumerate(lines, 1):
         for pattern, what in RAW_SYNC_PATTERNS:
-            if pattern.search(line) and not allowed(line, "raw-sync"):
-                findings.append(Finding(path, i, "raw-sync",
+            if pattern.search(line) and not lint.allowed(line, "raw-sync",
+                                                         rel, i):
+                lint.add(path, i, "raw-sync",
                     f"{what} outside common/synchronization.h — use "
-                    "common::Mutex / common::MutexLock / common::CondVar"))
+                    "common::Mutex / common::MutexLock / common::CondVar")
 
 
-def check_rng_seed(path, rel, lines, findings):
+def check_rng_seed(lint, path, rel, lines):
     for i, line in enumerate(lines, 1):
         for pattern, what in RNG_SEED_PATTERNS:
-            if pattern.search(line) and not allowed(line, "rng-seed"):
-                findings.append(Finding(path, i, "rng-seed",
+            if pattern.search(line) and not lint.allowed(line, "rng-seed",
+                                                         rel, i):
+                lint.add(path, i, "rng-seed",
                     f"{what}: rdfref randomness must be explicitly seeded "
-                    "(deterministic replay of faults/fuzzing/jitter)"))
-
-
-# Directories whose scan/join inner loops are performance-critical: a
-# std::function parameter there forces a type-erased indirect call per
-# triple. The legacy Scan() overrides carry explicit allows.
-STD_FUNCTION_DIRS = ("engine", "storage")
-STD_FUNCTION_RE = re.compile(r"\bstd::function\s*<")
-
-
-def check_std_function(path, rel, lines, findings):
-    if rel.split(os.sep, 1)[0] not in STD_FUNCTION_DIRS:
-        return
-    for i, line in enumerate(lines, 1):
-        code = line.split("//", 1)[0]  # prose mentions in comments are fine
-        if not STD_FUNCTION_RE.search(code):
-            continue
-        # Wrapped signatures may carry the allow on the closing line.
-        nxt = lines[i] if i < len(lines) else ""
-        if allowed(line, "std-function") or allowed(nxt, "std-function"):
-            continue
-        findings.append(Finding(path, i, "std-function",
-            "std::function parameter in a storage/engine hot path — use "
-            "TryGetRange/ScanInto/PatternCursor (DESIGN.md section 9); "
-            "legacy Scan shims need an explicit allow"))
-
-
-# Hierarchy-encoded TermIds are opaque handles outside the id-assignment
-# layer: the interval layout is owned by rdf/ (dictionary + encoding) and
-# schema/encoder, and Reencode() permutes the entire id space at will.
-# Arithmetic on ids anywhere else assumes a layout the next re-encoding
-# breaks. The allow comment may sit on the flagged line or up to two lines
-# above it (loop headers often carry a justification block).
-TERMID_ARITH_ALLOWED_PREFIXES = ("rdf" + os.sep, "schema" + os.sep + "encoder")
-TERMID_ARITH_PATTERNS = [
-    (re.compile(r"for\s*\(\s*(rdf::)?TermId\s+\w+\s*="),
-     "TermId loop over the id space"),
-    (re.compile(r"\.term\(\)\s*[+\-]\s*\w"),
-     "arithmetic on a term id"),
-    (re.compile(r"\brange_hi\s*[+\-]\s*\w"),
-     "arithmetic on an interval endpoint"),
-]
-
-
-def check_termid_arith(path, rel, lines, findings):
-    if rel.startswith(TERMID_ARITH_ALLOWED_PREFIXES):
-        return
-    for i, line in enumerate(lines, 1):
-        code = line.split("//", 1)[0]
-        for pattern, what in TERMID_ARITH_PATTERNS:
-            if not pattern.search(code):
-                continue
-            context = lines[max(0, i - 3):i]  # flagged line + two above
-            if any(allowed(entry, "termid-arith") for entry in context):
-                continue
-            findings.append(Finding(path, i, "termid-arith",
-                f"{what} outside rdf/ and schema/encoder — Reencode() "
-                "permutes ids; resolve terms through the dictionary, or "
-                "justify with rdfref-lint: allow(termid-arith)"))
+                    "(deterministic replay of faults/fuzzing/jitter)")
 
 
 # The engine must see the database only through immutable TripleSource
@@ -240,37 +205,37 @@ DELTA_MUTATION_DIRS = ("engine",)
 DELTA_MUTATION_RE = re.compile(r"\b(DeltaStore|VersionSet)\b")
 
 
-def check_delta_mutation(path, rel, lines, findings):
+def check_delta_mutation(lint, path, rel, lines):
     if rel.split(os.sep, 1)[0] not in DELTA_MUTATION_DIRS:
         return
     for i, line in enumerate(lines, 1):
         code = line.split("//", 1)[0]  # prose mentions in comments are fine
         if not DELTA_MUTATION_RE.search(code):
             continue
-        if allowed(line, "delta-mutation"):
+        if lint.allowed(line, "delta-mutation", rel, i):
             continue
-        findings.append(Finding(path, i, "delta-mutation",
+        lint.add(path, i, "delta-mutation",
             "engine code must not name the mutable storage types "
             "(DeltaStore/VersionSet) — evaluate an immutable TripleSource; "
-            "pin a SnapshotSource via api::QueryAnswerer::PinSnapshot()"))
+            "pin a SnapshotSource via api::QueryAnswerer::PinSnapshot()")
 
 
-def check_nodiscard_classes(src_root, findings):
+def check_nodiscard_classes(lint, src_root):
     for rel, cls in (("common/result.h", "Result"),
                      ("common/status.h", "Status")):
         path = os.path.join(src_root, rel)
         try:
             text = open(path, encoding="utf-8").read()
         except OSError:
-            findings.append(Finding(path, 1, "nodiscard", "file missing"))
+            lint.add(path, 1, "nodiscard", "file missing")
             continue
         if not re.search(r"class\s+\[\[nodiscard\]\]\s+" + cls, text):
-            findings.append(Finding(path, 1, "nodiscard",
+            lint.add(path, 1, "nodiscard",
                 f"class {cls} must be declared `class [[nodiscard]] {cls}` "
-                "(dropped statuses are correctness bugs)"))
+                "(dropped statuses are correctness bugs)")
 
 
-def check_entry_points(path, rel, lines, findings):
+def check_entry_points(lint, path, rel, lines):
     if not rel.endswith(".h"):
         return
     for i, line in enumerate(lines, 1):
@@ -283,11 +248,11 @@ def check_entry_points(path, rel, lines, findings):
         window = (lines[i - 2] if i >= 2 else "") + " " + line
         if "[[nodiscard]]" in window:
             continue
-        if allowed(line, "nodiscard"):
+        if lint.allowed(line, "nodiscard", rel, i):
             continue
-        findings.append(Finding(path, i, "nodiscard",
+        lint.add(path, i, "nodiscard",
             f"{m.group('name')}() returns {ret} without [[nodiscard]] — "
-            "answer-producing entry points must not be silently droppable"))
+            "answer-producing entry points must not be silently droppable")
 
 
 def library_of(rel):
@@ -295,7 +260,7 @@ def library_of(rel):
     return head if head in ALLOWED_DEPS else None
 
 
-def check_layering_and_cycles(src_root, findings):
+def check_layering_and_cycles(lint, src_root):
     includes = {}  # rel path -> [(line_no, included rel path)]
     for path in iter_source_files(src_root):
         rel = os.path.relpath(path, src_root)
@@ -308,7 +273,7 @@ def check_layering_and_cycles(src_root, findings):
                 inc = m.group(1)
                 if library_of(inc) is None:
                     continue  # not an intra-src include
-                if allowed(line, "layering"):
+                if lint.allowed(line, "layering", rel, i):
                     continue
                 entries.append((i, inc, line))
         includes[rel] = entries
@@ -323,11 +288,11 @@ def check_layering_and_cycles(src_root, findings):
             if target == lib:
                 continue
             if target not in ALLOWED_DEPS[lib]:
-                findings.append(Finding(
+                lint.add(
                     os.path.join(src_root, rel), line_no, "layering",
                     f'library "{lib}" must not include "{target}" '
                     f'("{inc}"); allowed deps: '
-                    f'{sorted(ALLOWED_DEPS[lib]) or "none"}'))
+                    f'{sorted(ALLOWED_DEPS[lib]) or "none"}')
 
     # File-level include cycles among headers (iterative DFS).
     graph = {rel: [inc for _, inc, _ in entries if inc in includes]
@@ -346,9 +311,9 @@ def check_layering_and_cycles(src_root, findings):
             for nxt in it:
                 if color[nxt] == GRAY:
                     cycle = trail[trail.index(nxt):] + [nxt]
-                    findings.append(Finding(
+                    lint.add(
                         os.path.join(src_root, nxt), 1, "include-cycle",
-                        "#include cycle: " + " -> ".join(cycle)))
+                        "#include cycle: " + " -> ".join(cycle))
                 elif color[nxt] == WHITE:
                     color[nxt] = GRAY
                     stack.append((nxt, iter(graph.get(nxt, ()))))
@@ -361,9 +326,114 @@ def check_layering_and_cycles(src_root, findings):
                 trail.pop()
 
 
+def check_escape_hygiene(lint, src_root):
+    """Every `rdfref-lint: allow(...)` must (a) name a rule this lint has
+    and (b) still suppress a live finding. Anything else rots: an escape
+    that outlives its violation is a suppression waiting to hide the next
+    real one."""
+    for path in iter_source_files(src_root):
+        rel = os.path.relpath(path, src_root)
+        with open(path, encoding="utf-8") as f:
+            for i, line in enumerate(f, 1):
+                for m in ALLOW_RE.finditer(line):
+                    rule = m.group(1)
+                    if rule in CHECK_RULES:
+                        lint.add(path, i, "unknown-escape",
+                            f"'{rule}' is a tools/rdfref_check.py rule; "
+                            "spell the escape `// rdfref-check: "
+                            f"allow({rule})`")
+                    elif rule not in LINT_RULES:
+                        lint.add(path, i, "unknown-escape",
+                            f"escape names unknown rule '{rule}'; known "
+                            f"rules: {', '.join(LINT_RULES)}")
+                    elif (rel, i) not in lint.used_escapes:
+                        lint.add(path, i, "stale-escape",
+                            f"escape for '{rule}' no longer suppresses "
+                            "anything on this line; delete it")
+
+
 # --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
+
+def run_lint(root):
+    src_root = os.path.join(root, "src")
+    if not os.path.isdir(src_root):
+        return None
+    lint = Lint(src_root)
+    for path in iter_source_files(src_root):
+        rel = os.path.relpath(path, src_root)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        check_raw_sync(lint, path, rel, lines)
+        check_rng_seed(lint, path, rel, lines)
+        check_delta_mutation(lint, path, rel, lines)
+        check_entry_points(lint, path, rel, lines)
+    check_nodiscard_classes(lint, src_root)
+    check_layering_and_cycles(lint, src_root)
+    check_escape_hygiene(lint, src_root)
+    return lint
+
+
+def self_test():
+    """Synthetic tree: every rule must fire where expected, escapes must
+    be classified used / stale / unknown, and the clean files must stay
+    clean. Runs without touching the real checkout."""
+    files = {
+        # Minimal [[nodiscard]] carriers so check_nodiscard_classes passes.
+        "common/result.h": "template <typename T>\nclass [[nodiscard]] Result {};\n",
+        "common/status.h": "class [[nodiscard]] Status {};\n",
+        "common/synchronization.h": "#include <mutex>\n",  # the one shim
+        "engine/bad.cc":
+            "#include <mutex>\n"                      # raw-sync
+            "std::mutex m;  // rdfref-lint: allow(raw-sync) justified\n"  # used escape
+            "std::random_device rd;\n"                # rng-seed
+            "storage::VersionSet* vs;\n"              # delta-mutation
+            "int x;  // rdfref-lint: allow(rng-seed) nothing here\n"  # stale
+            "int y;  // rdfref-lint: allow(no-such-rule)\n"           # unknown
+            "int z;  // rdfref-lint: allow(termid-arith)\n",          # moved rule
+        "engine/bad.h":
+            '#include "federation/federation.h"\n'    # layering
+            "bool AnswerFast(const Q& q);\n",         # nodiscard entry point
+        "federation/federation.h": "#pragma once\n",
+        # Include cycle pair.
+        "rdf/a.h": '#include "rdf/b.h"\n',
+        "rdf/b.h": '#include "rdf/a.h"\n',
+    }
+    expect = {
+        ("engine/bad.cc", 1, "raw-sync"),
+        ("engine/bad.cc", 3, "rng-seed"),
+        ("engine/bad.cc", 4, "delta-mutation"),
+        ("engine/bad.cc", 5, "stale-escape"),
+        ("engine/bad.cc", 6, "unknown-escape"),
+        ("engine/bad.cc", 7, "unknown-escape"),
+        ("engine/bad.h", 1, "layering"),
+        ("engine/bad.h", 2, "nodiscard"),
+        ("rdf/a.h", 1, "include-cycle"),
+    }
+    with tempfile.TemporaryDirectory(prefix="rdfref_lint_selftest") as tmp:
+        src = os.path.join(tmp, "src")
+        for rel, content in files.items():
+            path = os.path.join(src, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        lint = run_lint(tmp)
+        got = {(os.path.relpath(f.path, src), f.line, f.rule)
+               for f in lint.findings}
+    # The cycle may be reported from either header; normalize.
+    got = {(p.replace("rdf/b.h", "rdf/a.h") if r == "include-cycle" else p,
+            l if r != "include-cycle" else 1, r) for p, l, r in got}
+    missing = expect - got
+    extra = got - expect
+    for what, items in (("missing", missing), ("unexpected", extra)):
+        for item in sorted(items):
+            print(f"self-test {what}: {item}")
+    ok = not missing and not extra
+    print(f"rdfref_lint --self-test: {'PASS' if ok else 'FAIL'} "
+          f"({len(got)} finding(s) on the synthetic tree)")
+    return 0 if ok else 1
+
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -371,36 +441,27 @@ def main(argv=None):
                         help="repo root (default: parent of this script)")
     parser.add_argument("--quiet", action="store_true",
                         help="print findings only, no summary")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the lint against its synthetic tree")
     args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
 
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
-    src_root = os.path.join(root, "src")
-    if not os.path.isdir(src_root):
+    lint = run_lint(root)
+    if lint is None:
         print(f"rdfref_lint: no src/ under {root}", file=sys.stderr)
         return 2
 
-    findings = []
-    for path in iter_source_files(src_root):
-        rel = os.path.relpath(path, src_root)
-        with open(path, encoding="utf-8") as f:
-            lines = f.read().splitlines()
-        check_raw_sync(path, rel, lines, findings)
-        check_rng_seed(path, rel, lines, findings)
-        check_std_function(path, rel, lines, findings)
-        check_termid_arith(path, rel, lines, findings)
-        check_delta_mutation(path, rel, lines, findings)
-        check_entry_points(path, rel, lines, findings)
-    check_nodiscard_classes(src_root, findings)
-    check_layering_and_cycles(src_root, findings)
-
-    for finding in findings:
+    for finding in lint.findings:
         print(finding)
     if not args.quiet:
-        n_files = sum(1 for _ in iter_source_files(src_root))
-        print(f"rdfref_lint: {len(findings)} finding(s) across "
+        n_files = sum(1 for _ in iter_source_files(lint.src_root))
+        print(f"rdfref_lint: {len(lint.findings)} finding(s) across "
               f"{n_files} files", file=sys.stderr)
-    return 1 if findings else 0
+    return 1 if lint.findings else 0
 
 
 if __name__ == "__main__":
