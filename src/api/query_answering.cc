@@ -139,8 +139,56 @@ Status QueryAnswerer::RemoveTriple(const rdf::Triple& t) {
   return Status::OK();
 }
 
+void QueryAnswerer::EnableViewCache(const engine::ViewCacheOptions& options) {
+  if (view_cache_ != nullptr) return;
+  view_cache_ = std::make_unique<engine::ViewCache>(options);
+  if (!view_hints_.empty()) {
+    std::vector<std::string> preferred;
+    preferred.reserve(view_hints_.cached_rows.size());
+    for (const auto& [key, rows] : view_hints_.cached_rows) {
+      preferred.push_back(key);
+    }
+    view_cache_->SetPreferred(std::move(preferred));
+  }
+  versions_->SetWriteObserver(view_cache_.get());
+}
+
+void QueryAnswerer::DisableViewCache() {
+  if (view_cache_ == nullptr) return;
+  versions_->SetWriteObserver(nullptr);
+  view_cache_.reset();
+}
+
+void QueryAnswerer::ApplyViewSelection(
+    const optimizer::ViewSelectionResult& selection) {
+  view_hints_ = selection.hints;
+  if (view_cache_ != nullptr) {
+    view_cache_->SetPreferred(selection.chosen_keys);
+  }
+}
+
+Result<optimizer::ViewSelectionResult> QueryAnswerer::SelectViews(
+    const std::vector<optimizer::WorkloadQueryProfile>& workload,
+    const optimizer::ViewSelectionOptions& selection,
+    const reformulation::ReformulationOptions& reform) {
+  reformulation::Reformulator ref(&schema_, reform, &graph_.dict());
+  cost::CostModel cost_model(&ref_store_->stats());
+  optimizer::ViewSelector selector(&ref, &cost_model);
+  RDFREF_ASSIGN_OR_RETURN(optimizer::ViewSelectionResult result,
+                          selector.Select(workload, selection));
+  ApplyViewSelection(result);
+  return result;
+}
+
 schema::EncodingReport QueryAnswerer::Reencode(
     const schema::EncoderOptions& options) {
+  // The id space is about to shift: every cached view keyed on old ids is
+  // garbage. Detach the observer before tearing down the version set.
+  if (view_cache_ != nullptr) {
+    versions_->SetWriteObserver(nullptr);
+    view_cache_->Clear();
+  }
+  view_hints_ = optimizer::ViewHints{};  // hint keys embed old ids too
   // Fold every sealed and pending update into one flat explicit set.
   versions_->StopBackgroundCompaction();
   versions_->Compact();
@@ -166,6 +214,9 @@ schema::EncodingReport QueryAnswerer::Reencode(
   ref_store_ = std::make_unique<storage::Store>(&graph_.dict(),
                                                 std::move(explicit_triples));
   versions_ = std::make_unique<storage::VersionSet>(ref_store_.get());
+  if (view_cache_ != nullptr) {
+    versions_->SetWriteObserver(view_cache_.get());
+  }
   encoding_report_ = result.report;
   return encoding_report_;
 }
@@ -208,6 +259,9 @@ Result<engine::Table> QueryAnswerer::AnswerJucq(
   storage::SnapshotPtr snap =
       options.snapshot != nullptr ? options.snapshot : versions_->snapshot();
   engine::Evaluator evaluator(snap.get(), options.threads);
+  if (view_cache_ != nullptr && options.use_view_cache) {
+    evaluator.set_view_cache(view_cache_.get(), snap->epoch());
+  }
   engine::JucqProfile jucq_profile;
   RDFREF_ASSIGN_OR_RETURN(
       engine::Table table,
@@ -295,8 +349,12 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
                                       ? options.snapshot
                                       : versions_->snapshot();
       engine::Evaluator evaluator(snap.get(), options.threads);
-      RDFREF_ASSIGN_OR_RETURN(engine::Table table,
-                              evaluator.EvaluateUcq(ucq, options.deadline));
+      if (view_cache_ != nullptr && options.use_view_cache) {
+        evaluator.set_view_cache(view_cache_.get(), snap->epoch());
+      }
+      RDFREF_ASSIGN_OR_RETURN(
+          engine::Table table,
+          evaluator.EvaluateUcqView(q, ucq, options.deadline));
       if (profile != nullptr) {
         profile->prepare_millis = prepare_ms;
         profile->eval_millis = eval.ElapsedMillis();
@@ -320,7 +378,8 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
       reformulation::Reformulator ref(&schema_, options.reform,
                                       &graph_.dict());
       cost::CostModel cost_model(&ref_store_->stats());
-      optimizer::CoverOptimizer optimizer(&ref, &cost_model);
+      optimizer::CoverOptimizer optimizer(
+          &ref, &cost_model, view_hints_.empty() ? nullptr : &view_hints_);
       Timer search;
       optimizer::GcovTrace trace;
       RDFREF_ASSIGN_OR_RETURN(query::Cover cover, optimizer.Greedy(q, &trace));
@@ -342,8 +401,12 @@ Result<engine::Table> QueryAnswerer::Answer(const query::Cq& q,
                                       ? options.snapshot
                                       : versions_->snapshot();
       engine::Evaluator evaluator(snap.get(), options.threads);
-      RDFREF_ASSIGN_OR_RETURN(engine::Table table,
-                              evaluator.EvaluateUcq(ucq, options.deadline));
+      if (view_cache_ != nullptr && options.use_view_cache) {
+        evaluator.set_view_cache(view_cache_.get(), snap->epoch());
+      }
+      RDFREF_ASSIGN_OR_RETURN(
+          engine::Table table,
+          evaluator.EvaluateUcqView(q, ucq, options.deadline));
       if (profile != nullptr) {
         profile->prepare_millis = prepare_ms;
         profile->eval_millis = eval.ElapsedMillis();

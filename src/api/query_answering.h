@@ -10,7 +10,9 @@
 #include "datalog/rdf_datalog.h"
 #include "engine/evaluator.h"
 #include "engine/table.h"
+#include "engine/view_cache.h"
 #include "optimizer/gcov.h"
+#include "optimizer/view_selection.h"
 #include "query/cover.h"
 #include "query/cq.h"
 #include "reasoner/saturation.h"
@@ -67,6 +69,12 @@ struct AnswerOptions {
   /// kDatalog evaluates the snapshot it pinned when its program was built —
   /// updates reset the program, so it is never stale.
   storage::SnapshotPtr snapshot;
+  /// Per-call opt-out of the cross-query view cache: when false, this call
+  /// neither probes nor populates it. No effect unless EnableViewCache()
+  /// was called. Cached and uncached answers are bit-identical — this knob
+  /// exists for measurement (cold-vs-warm comparisons) and for oracle
+  /// tests that need an independent evaluation.
+  bool use_view_cache = true;
 };
 
 /// \brief Measurements of one Answer() call — what the demonstration's
@@ -151,6 +159,42 @@ class QueryAnswerer {
   /// first. Returns the fresh encoder report.
   schema::EncodingReport Reencode(const schema::EncoderOptions& options = {});
 
+  /// \brief Turns on the cross-query view cache (DESIGN.md §15): the Ref
+  /// strategies then probe it before materializing whole reformulated
+  /// unions (kRefUcq, kRefIncomplete) and JUCQ fragments (kRefScq,
+  /// kRefJucq, kRefGcov), and every visibility-changing update feeds its
+  /// epoch-invalidation window. Idempotent (a second call with the cache
+  /// already on keeps the existing cache). Call before concurrent
+  /// answering starts — like the lazy Sat/Dat builds, cache setup is not
+  /// synchronized against in-flight Answer calls.
+  void EnableViewCache(const engine::ViewCacheOptions& options = {});
+
+  /// \brief Detaches and destroys the view cache (same synchronization
+  /// caveat as EnableViewCache).
+  void DisableViewCache();
+
+  bool view_cache_enabled() const { return view_cache_ != nullptr; }
+
+  /// \brief Counters of the enabled cache (zeros when disabled).
+  engine::ViewCacheStats view_cache_stats() const {
+    return view_cache_ != nullptr ? view_cache_->Stats()
+                                  : engine::ViewCacheStats{};
+  }
+
+  /// \brief Runs the workload-driven view-selection pass over a weighted
+  /// query mix (optimizer::ViewSelector with this answerer's schema and
+  /// statistics) and applies the outcome: chosen canonical fragments get
+  /// eviction protection in the view cache and rescan-cost hints in GCov
+  /// cover selection. Returns the scored selection for reporting. Same
+  /// synchronization caveat as EnableViewCache.
+  Result<optimizer::ViewSelectionResult> SelectViews(
+      const std::vector<optimizer::WorkloadQueryProfile>& workload,
+      const optimizer::ViewSelectionOptions& selection = {},
+      const reformulation::ReformulationOptions& reform = {});
+
+  /// \brief Applies an externally computed selection (see SelectViews).
+  void ApplyViewSelection(const optimizer::ViewSelectionResult& selection);
+
   /// \brief The load-time (or latest Reencode) hierarchy-encoder report.
   const schema::EncodingReport& encoding_report() const RDFREF_LIFETIME_BOUND {
     return encoding_report_;
@@ -206,6 +250,11 @@ class QueryAnswerer {
   rdf::Graph graph_;
   schema::Schema schema_;
   schema::EncodingReport encoding_report_;
+  // The view cache is registered as versions_'s write observer: keep it
+  // declared before the version set so it is destroyed after it and the
+  // observer pointer can never dangle during teardown.
+  std::unique_ptr<engine::ViewCache> view_cache_;
+  optimizer::ViewHints view_hints_;  // from the latest view selection
   // versions_ references ref_store_ as its initial base: keep the store
   // declared first so the version set is destroyed before it.
   std::unique_ptr<storage::Store> ref_store_;

@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "engine/scan_cache.h"
+#include "engine/view_cache.h"
 #include "storage/store.h"
 
 namespace rdfref {
@@ -380,6 +381,35 @@ Result<Table> Evaluator::EvaluateUcq(const query::Ucq& ucq,
   return EvaluateUcqWithCache(ucq, deadline, &cache);
 }
 
+Result<Table> Evaluator::EvaluateUcqView(const query::Cq& q,
+                                         const query::Ucq& ucq,
+                                         const Deadline& deadline) const {
+  if (view_cache_ == nullptr) return EvaluateUcq(ucq, deadline);
+  const ViewKey key = view_cache_->KeyFor(q, ucq);
+  if (!key.ok()) return EvaluateUcq(ucq, deadline);
+  if (std::optional<Table> hit = view_cache_->Lookup(key.full, view_epoch_)) {
+    // Relabel with *this* union's head: the cached entry may have been
+    // installed by an α-equivalent plan whose VarIds differ. Values are
+    // bit-identical (equal plan keys evaluate identically); only the
+    // column labels belong to the caller.
+    Table table = std::move(*hit);
+    table.columns.clear();
+    for (const QTerm& h : ucq.members()[0].head()) {
+      table.columns.push_back(h.is_var ? h.var() : kConstColumn);
+    }
+    return table;
+  }
+  Timer fill;
+  Result<Table> computed = EvaluateUcq(ucq, deadline);
+  if (computed.ok()) {
+    ViewFootprint footprint;
+    footprint.AddUcq(ucq);
+    view_cache_->Install(key, view_epoch_, computed.value(),
+                         std::move(footprint), fill.ElapsedMillis());
+  }
+  return computed;
+}
+
 Result<Table> Evaluator::EvaluateUcqWithCache(const query::Ucq& ucq,
                                               const Deadline& deadline,
                                               ScanCache* cache) const {
@@ -478,6 +508,35 @@ Result<Table> Evaluator::EvaluateJucq(
   std::vector<double> fragment_millis(nf, 0.0);
   auto materialize_one = [&](size_t i) {
     Timer t;
+    if (view_cache_ != nullptr) {
+      // Cross-query path: probe the view cache for this fragment's plan at
+      // the source snapshot's epoch before touching the store; install
+      // successful materializations (outside the cache lock) for the next
+      // query that covers the same fragment. Columns are relabeled below
+      // from the fragment query either way, so hits and misses feed the
+      // join identically.
+      const ViewKey key =
+          view_cache_->KeyFor(fragment_queries[i], fragment_ucqs[i]);
+      if (key.ok()) {
+        if (std::optional<Table> hit =
+                view_cache_->Lookup(key.full, view_epoch_)) {
+          materialized[i] = Result<Table>(std::move(*hit));
+          fragment_millis[i] = t.ElapsedMillis();
+          return;
+        }
+        Result<Table> computed =
+            EvaluateUcqWithCache(fragment_ucqs[i], deadline, &cache);
+        if (computed.ok()) {
+          ViewFootprint footprint;
+          footprint.AddUcq(fragment_ucqs[i]);
+          view_cache_->Install(key, view_epoch_, computed.value(),
+                               std::move(footprint), t.ElapsedMillis());
+        }
+        materialized[i] = std::move(computed);
+        fragment_millis[i] = t.ElapsedMillis();
+        return;
+      }
+    }
     materialized[i] = EvaluateUcqWithCache(fragment_ucqs[i], deadline, &cache);
     fragment_millis[i] = t.ElapsedMillis();
   };

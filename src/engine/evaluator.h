@@ -19,6 +19,7 @@ namespace rdfref {
 namespace engine {
 
 class ScanCache;
+class ViewCache;
 
 /// \brief Per-fragment measurements of a JUCQ evaluation — the numbers the
 /// demonstration displays in step 3 ("cardinalities and costs of
@@ -86,6 +87,20 @@ class Evaluator {
   void set_threads(int threads);
   int threads() const { return threads_; }
 
+  /// \brief Attaches the process-wide cross-query view cache (DESIGN.md
+  /// §15); nullptr detaches. `epoch` must be the write epoch of this
+  /// evaluator's source snapshot — it scopes every probe and install, so a
+  /// cached table is only ever replayed for the exact visible-triple set
+  /// it was computed against. With a cache attached, EvaluateJucq probes
+  /// it before materializing each fragment UCQ and installs successful
+  /// materializations, and EvaluateUcqView does the same for whole
+  /// reformulated unions. `cache` must outlive the evaluator.
+  void set_view_cache(ViewCache* cache, uint64_t epoch) {
+    view_cache_ = cache;
+    view_epoch_ = epoch;
+  }
+  ViewCache* view_cache() const { return view_cache_; }
+
   /// \brief Evaluates one CQ; returns head tuples, deduplicated.
   [[nodiscard]] Table EvaluateCq(const query::Cq& q) const;
 
@@ -100,6 +115,16 @@ class Evaluator {
   /// evaluated completely.
   Result<Table> EvaluateUcq(const query::Ucq& ucq,
                             const Deadline& deadline) const;
+
+  /// \brief EvaluateUcq through the attached view cache: `q` is the user
+  /// query `ucq` reformulates (its canonical form is the cache's grouping
+  /// key). On a hit the cached table is replayed (relabeled with `ucq`'s
+  /// head columns) without touching the store; on a miss the union is
+  /// evaluated normally and, when it succeeds, installed. Without an
+  /// attached cache this is exactly EvaluateUcq. Answers are bit-identical
+  /// to the uncached path in every case.
+  Result<Table> EvaluateUcqView(const query::Cq& q, const query::Ucq& ucq,
+                                const Deadline& deadline) const;
 
   /// \brief Evaluates a JUCQ: `fragment_queries[i]` is the (unreformulated)
   /// subquery of fragment i — its head gives the column variables — and
@@ -169,6 +194,8 @@ class Evaluator {
 
   const storage::TripleSource* store_;
   int threads_;
+  ViewCache* view_cache_ = nullptr;  // not owned; optional
+  uint64_t view_epoch_ = 0;          // source snapshot epoch for the cache
 };
 
 }  // namespace engine

@@ -1,0 +1,322 @@
+#include "engine/view_cache.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "query/canonical.h"
+#include "storage/triple_source.h"
+
+namespace rdfref {
+namespace engine {
+
+namespace {
+
+std::tuple<rdf::TermId, rdf::TermId, rdf::TermId, uint8_t, rdf::TermId,
+           rdf::TermId>
+PatternTuple(const ViewFootprint::Pattern& p) {
+  return {p.s, p.p, p.o, p.range_pos, p.range_lo, p.range_hi};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ViewFootprint
+// ---------------------------------------------------------------------------
+
+void ViewFootprint::AddCq(const query::Cq& q) {
+  for (const query::Atom& a : q.body()) {
+    Pattern pat;
+    pat.s = a.s.is_var ? storage::kAny : a.s.term();
+    pat.p = a.p.is_var ? storage::kAny : a.p.term();
+    pat.o = a.o.is_var ? storage::kAny : a.o.term();
+    pat.range_pos = a.range_pos;
+    pat.range_lo = a.has_range() ? a.range_lo() : 0;
+    pat.range_hi = a.range_hi;
+    patterns_.push_back(pat);
+    if (a.range_pos == query::Atom::kRangeP || a.p.is_var) {
+      any_property_ = true;
+    } else {
+      properties_.insert(a.p.term());
+    }
+  }
+  std::sort(patterns_.begin(), patterns_.end(),
+            [](const Pattern& x, const Pattern& y) {
+              return PatternTuple(x) < PatternTuple(y);
+            });
+  patterns_.erase(std::unique(patterns_.begin(), patterns_.end(),
+                              [](const Pattern& x, const Pattern& y) {
+                                return PatternTuple(x) == PatternTuple(y);
+                              }),
+                  patterns_.end());
+}
+
+void ViewFootprint::AddUcq(const query::Ucq& ucq) {
+  for (const query::Cq& member : ucq.members()) AddCq(member);
+}
+
+bool ViewFootprint::MayTouch(const rdf::Triple& t) const {
+  if (!any_property_ && properties_.find(t.p) == properties_.end()) {
+    return false;
+  }
+  for (const Pattern& pat : patterns_) {
+    bool s_ok = pat.s == storage::kAny || pat.s == t.s;
+    bool p_ok = pat.range_pos == query::Atom::kRangeP
+                    ? (t.p >= pat.range_lo && t.p <= pat.range_hi)
+                    : (pat.p == storage::kAny || pat.p == t.p);
+    bool o_ok = pat.range_pos == query::Atom::kRangeO
+                    ? (t.o >= pat.range_lo && t.o <= pat.range_hi)
+                    : (pat.o == storage::kAny || pat.o == t.o);
+    if (s_ok && p_ok && o_ok) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// ViewCache::Stored
+// ---------------------------------------------------------------------------
+
+Table ViewCache::Stored::Materialize() const {
+  if (!factorized) {
+    Table out = flat;
+    out.columns = columns;
+    return out;
+  }
+  Table out;
+  out.columns = columns;
+  out.SetArity(arity);
+  out.ReserveRows(rows);
+  const size_t trail = arity - 1;
+  size_t row = 0;
+  for (size_t i = 0; i < lead.size(); ++i) {
+    for (uint32_t k = 0; k < run_length[i]; ++k) {
+      rdf::TermId* slots = out.AppendUninitialized();
+      slots[0] = lead[i];
+      std::copy(rest.begin() + row * trail, rest.begin() + (row + 1) * trail,
+                slots + 1);
+      ++row;
+    }
+  }
+  return out;
+}
+
+ViewCache::Stored ViewCache::Encode(const Table& result) const {
+  Stored s;
+  s.columns = result.columns;
+  s.arity = result.arity();
+  s.rows = result.NumRows();
+  const size_t flat_bytes = result.data().size() * sizeof(rdf::TermId) +
+                            s.columns.size() * sizeof(query::VarId) +
+                            sizeof(Entry);
+  if (s.arity >= 2 && s.rows >= options_.factorize_min_rows) {
+    // Count adjacent lead-column runs: nested-loop emission naturally
+    // groups rows by their first binding, so high-fanout answers collapse.
+    size_t runs = 0;
+    const std::vector<rdf::TermId>& data = result.data();
+    for (size_t r = 0; r < s.rows; ++r) {
+      if (r == 0 || data[r * s.arity] != data[(r - 1) * s.arity]) ++runs;
+    }
+    const size_t fact_bytes =
+        runs * (sizeof(rdf::TermId) + sizeof(uint32_t)) +
+        s.rows * (s.arity - 1) * sizeof(rdf::TermId) +
+        s.columns.size() * sizeof(query::VarId) + sizeof(Entry);
+    if (runs * 2 <= s.rows) {
+      s.factorized = true;
+      s.lead.reserve(runs);
+      s.run_length.reserve(runs);
+      s.rest.reserve(s.rows * (s.arity - 1));
+      for (size_t r = 0; r < s.rows; ++r) {
+        rdf::TermId v = data[r * s.arity];
+        if (s.lead.empty() || v != s.lead.back() ||
+            s.run_length.back() == UINT32_MAX) {
+          s.lead.push_back(v);
+          s.run_length.push_back(1);
+        } else {
+          ++s.run_length.back();
+        }
+        s.rest.insert(s.rest.end(), data.begin() + r * s.arity + 1,
+                      data.begin() + (r + 1) * s.arity);
+      }
+      s.bytes = fact_bytes;
+      return s;
+    }
+  }
+  s.flat = result;
+  s.bytes = flat_bytes;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ViewCache
+// ---------------------------------------------------------------------------
+
+ViewCache::ViewCache(const ViewCacheOptions& options) : options_(options) {}
+
+ViewKey ViewCache::KeyFor(const query::Cq& view_query,
+                          const query::Ucq& plan) const {
+  ViewKey key;
+  key.canonical = query::Canonicalize(view_query).key;
+  if (plan.empty() || plan.size() > options_.max_plan_members) return key;
+  key.full = key.canonical + '|' + query::UcqPlanKey(plan);
+  return key;
+}
+
+bool ViewCache::AdvanceLocked(Entry* e, uint64_t target) {
+  if (target <= e->valid_hi) return true;
+  if (e->capped) return false;
+  // The window holds consecutive epochs front..applied_epoch_; the entry
+  // needs (valid_hi, target]. When the writes just past its edge have
+  // already scrolled out, the entry can never prove itself current again.
+  if (writes_.empty() || writes_.front().epoch > e->valid_hi + 1) {
+    e->capped = true;
+    ++stats_.invalidations;
+    return false;
+  }
+  size_t idx = static_cast<size_t>(e->valid_hi + 1 - writes_.front().epoch);
+  while (e->valid_hi < target && idx < writes_.size()) {
+    const WriteRec& w = writes_[idx];
+    if (e->footprint.MayTouch(w.triple)) {
+      e->capped = true;
+      ++stats_.invalidations;
+      return false;
+    }
+    e->valid_hi = w.epoch;
+    ++idx;
+  }
+  return e->valid_hi >= target;
+}
+
+std::optional<Table> ViewCache::Lookup(const std::string& full_key,
+                                       uint64_t epoch) {
+  std::shared_ptr<Entry> hit;
+  {
+    common::MutexLock lock(&mu_);
+    auto it = entries_.find(full_key);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    Entry* e = it->second.get();
+    if (epoch < e->computed_epoch || !AdvanceLocked(e, epoch)) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    ++e->hits;
+    e->last_use = ++tick_;
+    hit = it->second;
+  }
+  // Payloads are immutable after install and shared_ptr-held, so the copy
+  // runs outside the lock and survives a concurrent eviction.
+  return hit->stored.Materialize();
+}
+
+bool ViewCache::MakeRoomLocked(size_t needed) {
+  if (needed > options_.byte_budget) return false;
+  while (bytes_ + needed > options_.byte_budget) {
+    auto victim = entries_.end();
+    // Eviction order: non-preferred before preferred, capped (dead to new
+    // epochs) before live, then lowest benefit, LRU-tiebroken.
+    std::tuple<bool, bool, double, uint64_t> best_score{};
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      const Entry& e = *it->second;
+      double benefit = e.fill_millis * (1.0 + static_cast<double>(e.hits)) /
+                       static_cast<double>(e.stored.bytes ? e.stored.bytes : 1);
+      std::tuple<bool, bool, double, uint64_t> score{e.preferred, !e.capped,
+                                                     benefit, e.last_use};
+      if (victim == entries_.end() || score < best_score) {
+        victim = it;
+        best_score = score;
+      }
+    }
+    if (victim == entries_.end()) return false;
+    bytes_ -= victim->second->stored.bytes;
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+void ViewCache::Install(const ViewKey& key, uint64_t epoch,
+                        const Table& result, ViewFootprint footprint,
+                        double fill_millis) {
+  if (!key.ok()) return;
+  // Encode the payload before taking the lock: a large factorization must
+  // not serialize concurrent probes (same discipline as ScanCache fills).
+  auto entry = std::make_shared<Entry>();
+  entry->stored = Encode(result);
+  entry->footprint = std::move(footprint);
+  entry->stored.bytes +=
+      key.full.size() + key.canonical.size() +
+      entry->footprint.patterns().size() * sizeof(ViewFootprint::Pattern);
+  entry->canonical_key = key.canonical;
+  entry->computed_epoch = epoch;
+  entry->valid_hi = epoch;
+  entry->fill_millis = fill_millis;
+
+  common::MutexLock lock(&mu_);
+  entry->preferred = preferred_.find(key.canonical) != preferred_.end();
+  // Bind the window to the present if the write log can prove the result
+  // unaffected by writes that landed while it was being computed.
+  AdvanceLocked(entry.get(), applied_epoch_);
+  auto it = entries_.find(key.full);
+  if (it != entries_.end()) {
+    const Entry& old = *it->second;
+    // A capped incumbent below this fill's window is dead to every epoch
+    // the cache will ever be probed at again: replace it, or the one
+    // invalidation would poison the key forever. A live incumbent wins
+    // over the racing fill (first insert wins).
+    if (!(old.capped && old.valid_hi < entry->computed_epoch)) {
+      ++stats_.lost_races;
+      return;
+    }
+    bytes_ -= old.stored.bytes;
+    entries_.erase(it);
+  }
+  if (!MakeRoomLocked(entry->stored.bytes)) {
+    ++stats_.rejected;
+    return;
+  }
+  bytes_ += entry->stored.bytes;
+  ++stats_.installs;
+  entries_.emplace(key.full, std::move(entry));
+}
+
+void ViewCache::OnEpochWrite(const rdf::Triple& t, uint64_t epoch,
+                             bool /*added*/) {
+  // Adds and removes invalidate identically: any visibility change inside
+  // a view's footprint may change its answer.
+  common::MutexLock lock(&mu_);
+  writes_.push_back(WriteRec{epoch, t});
+  while (writes_.size() > options_.write_log_window) writes_.pop_front();
+  applied_epoch_ = epoch;
+}
+
+void ViewCache::SetPreferred(std::vector<std::string> canonical_keys) {
+  common::MutexLock lock(&mu_);
+  preferred_.clear();
+  preferred_.insert(std::make_move_iterator(canonical_keys.begin()),
+                    std::make_move_iterator(canonical_keys.end()));
+  for (auto& [full, entry] : entries_) {
+    entry->preferred = preferred_.find(entry->canonical_key) != preferred_.end();
+  }
+}
+
+void ViewCache::Clear() {
+  common::MutexLock lock(&mu_);
+  entries_.clear();
+  writes_.clear();
+  applied_epoch_ = 0;
+  bytes_ = 0;
+}
+
+ViewCacheStats ViewCache::Stats() const {
+  common::MutexLock lock(&mu_);
+  ViewCacheStats out = stats_;
+  out.bytes = bytes_;
+  out.entries = entries_.size();
+  return out;
+}
+
+}  // namespace engine
+}  // namespace rdfref

@@ -6,6 +6,8 @@
 #include <set>
 #include <sstream>
 
+#include "query/canonical.h"
+
 namespace rdfref {
 namespace optimizer {
 
@@ -46,11 +48,23 @@ Result<double> CoverOptimizer::CostOfCoverCached(const Cq& q,
       FragmentCost fc;
       fc.eval_cost = cost_model_->CostUcq(ucq);
       fc.rows = cost_model_->EstimateUcqRows(ucq);
+      if (hints_ != nullptr && !hints_->empty()) {
+        fc.canonical = query::Canonicalize(fq).key;
+      }
       it = cache->emplace(std::move(key), fc).first;
     }
     cost::CostModel::FragmentCostInput in;
     in.eval_cost = it->second.eval_cost;
     in.rows = it->second.rows;
+    if (hints_ != nullptr) {
+      auto hint = hints_->cached_rows.find(it->second.canonical);
+      if (hint != hints_->cached_rows.end()) {
+        // A view-backed fragment costs a rescan of its materialized rows,
+        // not a fresh union evaluation.
+        double rescan = hint->second * cost_model_->params().scan_per_row;
+        in.eval_cost = std::min(in.eval_cost, rescan);
+      }
+    }
     in.fragment_query = &fq;
     inputs.push_back(in);
   }

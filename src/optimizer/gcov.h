@@ -33,6 +33,19 @@ struct GcovTrace {
   std::string ToString(size_t max_entries = 30) const;
 };
 
+/// \brief Cached-view hints for cover selection (DESIGN.md §15): fragments
+/// whose canonical form (query::Canonicalize of the fragment subquery) has
+/// a materialized view are costed as a rescan of the view's rows instead
+/// of a fresh union evaluation, so the greedy search preferentially picks
+/// covers aligned with what the view cache (or the view-selection pass)
+/// already holds.
+struct ViewHints {
+  /// Canonical fragment key -> (estimated or actual) materialized rows.
+  std::map<std::string, double> cached_rows;
+
+  bool empty() const { return cached_rows.empty(); }
+};
+
 /// \brief GCov, the greedy cost-based cover selection of [5] (Section 4):
 /// starts from the cover where each atom is alone in a fragment and
 /// repeatedly applies the best cost-improving move "add one atom to one
@@ -40,10 +53,13 @@ struct GcovTrace {
 /// improves the estimated cost.
 class CoverOptimizer {
  public:
-  /// \brief Both pointees must outlive the optimizer.
+  /// \brief Both pointees must outlive the optimizer; `hints` (optional,
+  /// may be null) discounts fragments backed by materialized views and
+  /// must outlive it too.
   CoverOptimizer(const reformulation::Reformulator* reformulator,
-                 const cost::CostModel* cost_model)
-      : reformulator_(reformulator), cost_model_(cost_model) {}
+                 const cost::CostModel* cost_model,
+                 const ViewHints* hints = nullptr)
+      : reformulator_(reformulator), cost_model_(cost_model), hints_(hints) {}
 
   /// \brief Estimated cost of answering q through the JUCQ induced by
   /// `cover` (reformulates each fragment; fails if a fragment's UCQ
@@ -67,6 +83,7 @@ class CoverOptimizer {
   struct FragmentCost {
     double eval_cost;
     double rows;
+    std::string canonical;  // query::Canonicalize key, for hint lookups
   };
   using FragmentCache = std::map<std::string, FragmentCost>;
 
@@ -76,6 +93,7 @@ class CoverOptimizer {
 
   const reformulation::Reformulator* reformulator_;
   const cost::CostModel* cost_model_;
+  const ViewHints* hints_;  // not owned; may be null
 };
 
 }  // namespace optimizer

@@ -1,0 +1,62 @@
+#ifndef RDFREF_QUERY_CANONICAL_H_
+#define RDFREF_QUERY_CANONICAL_H_
+
+#include <string>
+
+#include "query/cq.h"
+#include "query/ucq.h"
+
+namespace rdfref {
+namespace query {
+
+/// \file
+/// \brief CQ canonicalization — the grouping keys of the cross-query view
+/// cache (DESIGN.md §15).
+///
+/// Two keys with different guarantees serve different cache roles:
+///
+///  - `Canonicalize` produces a *canonical form*: interval atoms
+///    normalized, duplicate atoms dropped, body atoms sorted, variables
+///    renamed by first occurrence. It is idempotent and α-invariant
+///    (renaming a query's variables never changes its canonical key), so
+///    the view-selection pass can aggregate "the same fragment asked under
+///    different variable names" into one frequency bucket. It is a
+///    *grouping* key, not a correctness key: atom reordering usually — but
+///    not provably always — converges to the same representative.
+///
+///  - `UcqPlanKey` is the *correctness* key: the exact, order-sensitive
+///    serialization of an evaluation plan. Two UCQs with equal plan keys
+///    are α-equivalent member-by-member in the same member and atom order,
+///    and the engine's evaluation of them is bit-identical (same join
+///    orders, same emission order, same dedup order) — which is what lets
+///    a cached table be replayed verbatim.
+
+/// \brief A canonicalized CQ: the representative query plus its
+/// CanonicalKey() (which, on a canonical form, is an exact serialization —
+/// the canonical renaming is the identity on it).
+struct CanonicalCq {
+  Cq cq;
+  std::string key;
+};
+
+/// \brief Canonicalizes `q`.
+///
+/// Normalization: a degenerate interval atom with range_hi == the ranged
+/// position's id collapses to a classic atom; exact-duplicate body atoms
+/// are dropped (conjunction idempotence). Then rename-by-first-occurrence
+/// (head, then body, left to right) and sort-body are iterated to a
+/// fixpoint; if the iteration cycles (renaming and sorting feed each
+/// other), the lexicographically smallest key state of the cycle is the
+/// canonical representative, which keeps the map deterministic and
+/// idempotent: Canonicalize(Canonicalize(q).cq) == Canonicalize(q).
+CanonicalCq Canonicalize(const Cq& q);
+
+/// \brief The exact plan key of a UCQ: member CanonicalKey()s joined with
+/// '\n' (keys never contain '\n', so the concatenation is unambiguous).
+/// Rename-invariant, member/atom-order-sensitive.
+std::string UcqPlanKey(const Ucq& ucq);
+
+}  // namespace query
+}  // namespace rdfref
+
+#endif  // RDFREF_QUERY_CANONICAL_H_

@@ -1,0 +1,38 @@
+#ifndef RDFREF_STORAGE_EPOCH_OBSERVER_H_
+#define RDFREF_STORAGE_EPOCH_OBSERVER_H_
+
+#include <cstdint>
+
+#include "rdf/triple.h"
+
+namespace rdfref {
+namespace storage {
+
+/// \brief Write-notification interface of the versioned explicit database.
+///
+/// The version set invokes the registered observer once per
+/// *visibility-changing* update (no-op inserts/removes are silent), in
+/// strict epoch order with no gaps, passing the *new* write epoch — the
+/// first epoch at which the change is visible to snapshots. This is the
+/// invalidation feed of the cross-query view cache (DESIGN.md §15): the
+/// cache compares each written triple against the pattern footprints of
+/// its cached views and either extends or caps their validity windows.
+///
+/// Contract: the callback runs UNDER the version set's internal mutex, on
+/// the writer's thread. Implementations must be O(1)-ish, may take only
+/// their own (leaf) locks, and must never call back into the notifying
+/// version set — doing so would self-deadlock.
+class EpochWriteObserver {
+ public:
+  virtual ~EpochWriteObserver() = default;
+
+  /// \brief `t` became visible (`added`) or stopped being visible
+  /// (!`added`) at epoch `epoch`.
+  virtual void OnEpochWrite(const rdf::Triple& t, uint64_t epoch,
+                            bool added) = 0;
+};
+
+}  // namespace storage
+}  // namespace rdfref
+
+#endif  // RDFREF_STORAGE_EPOCH_OBSERVER_H_

@@ -289,7 +289,10 @@ bool VersionSet::Insert(const rdf::Triple& t) {
       head_.added_presence.Add(t);
       changed = true;
     }
-    if (changed) ++epoch_;
+    if (changed) {
+      ++epoch_;
+      if (observer_ != nullptr) observer_->OnEpochWrite(t, epoch_, true);
+    }
     signal = maintenance_enabled_ && head_.size() >= options_.freeze_threshold;
   }
   if (signal) work_cv_.Signal();
@@ -308,11 +311,19 @@ bool VersionSet::Remove(const rdf::Triple& t) {
       head_.removed_presence.Add(t);
       changed = true;
     }
-    if (changed) ++epoch_;
+    if (changed) {
+      ++epoch_;
+      if (observer_ != nullptr) observer_->OnEpochWrite(t, epoch_, false);
+    }
     signal = maintenance_enabled_ && head_.size() >= options_.freeze_threshold;
   }
   if (signal) work_cv_.Signal();
   return changed;
+}
+
+void VersionSet::SetWriteObserver(EpochWriteObserver* observer) {
+  common::MutexLock lock(&mu_);
+  observer_ = observer;
 }
 
 bool VersionSet::Contains(const rdf::Triple& t) const {

@@ -11,6 +11,7 @@
 #include "common/annotations.h"
 #include "common/synchronization.h"
 #include "rdf/triple.h"
+#include "storage/epoch_observer.h"
 #include "storage/store.h"
 #include "storage/triple_source.h"
 
@@ -274,6 +275,12 @@ class VersionSet {
   /// by the destructor). In-flight compaction completes first.
   void StopBackgroundCompaction() RDFREF_EXCLUDES(mu_);
 
+  /// \brief Registers (or, with nullptr, unregisters) the write observer
+  /// fed by every visibility-changing Insert/Remove — see
+  /// storage/epoch_observer.h for the callback contract. At most one
+  /// observer; it must outlive the VersionSet or be unregistered first.
+  void SetWriteObserver(EpochWriteObserver* observer) RDFREF_EXCLUDES(mu_);
+
   /// \brief Entries currently in the mutable head overlay.
   size_t head_size() const RDFREF_EXCLUDES(mu_);
 
@@ -296,6 +303,9 @@ class VersionSet {
   std::shared_ptr<const Version> current_ RDFREF_GUARDED_BY(mu_);
   HeadDelta head_ RDFREF_GUARDED_BY(mu_);
   uint64_t epoch_ RDFREF_GUARDED_BY(mu_) = 0;
+  // Notified under mu_ right after the epoch bump, so the observer sees
+  // writes in epoch order with no gaps (see epoch_observer.h).
+  EpochWriteObserver* observer_ RDFREF_GUARDED_BY(mu_) = nullptr;
 
   // Background maintenance (StartBackgroundCompaction).
   common::CondVar work_cv_;

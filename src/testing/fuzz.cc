@@ -74,9 +74,19 @@ Divergence RunChecks(const Scenario& sc, const query::Cq& q,
         CheckSnapshotIsolation(sc, q, &snap_rng, options.num_snapshot_ops));
     if (d.found) return d;
   }
+  if (options.check_cached) {
+    // Cached vs cold, bit-for-bit, across load/update/compact phases.
+    Rng cache_rng(SubSeed(seed, trial, 0xCAC4E));
+    Divergence d = count(
+        CheckCachedEquivalence(sc, q, &cache_rng, options.num_cached_ops));
+    if (d.found) return d;
+  }
   if (options.check_concurrent) {
     Divergence d = count(CheckConcurrentSnapshots(
         sc, q, SubSeed(seed, trial, 0xC0C), options.concurrent));
+    if (d.found) return d;
+    d = count(CheckConcurrentCached(sc, q, SubSeed(seed, trial, 0xCAC),
+                                    options.concurrent_cached));
     if (d.found) return d;
   }
   return Divergence::None();

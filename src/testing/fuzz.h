@@ -12,6 +12,7 @@
 #include "testing/scenario.h"
 #include "testing/shrink.h"
 #include "testing/snapshot_oracle.h"
+#include "testing/view_oracle.h"
 
 namespace rdfref {
 namespace testing {
@@ -35,6 +36,11 @@ struct FuzzOptions {
   /// Hierarchy-encoding equivalence: interval reformulation vs the classic
   /// UCQ it fuses, at load, after a schema insert, and across Reencode().
   bool check_encoded = true;
+  /// View-cache equivalence: cache-mediated evaluation (fill then replay,
+  /// whole unions and JUCQ fragments) vs cold evaluation, bit-for-bit,
+  /// across load/update/compact phases. The threaded variant rides the
+  /// check_concurrent battery unconditionally.
+  bool check_cached = true;
   /// Threaded snapshot churn (fuzz_driver --updates-concurrent): a writer
   /// thread + background compaction race reader threads pinning epochs.
   /// Off by default — concurrent failures are timing-dependent and are
@@ -45,7 +51,9 @@ struct FuzzOptions {
   int num_inserts = 2;       ///< insertions per monotonicity check
   int num_update_ops = 4;    ///< ops per insert/delete consistency check
   int num_snapshot_ops = 6;  ///< ops per snapshot-isolation check
+  int num_cached_ops = 6;    ///< ops per view-cache equivalence check
   ConcurrentSnapshotOptions concurrent;
+  ConcurrentCachedOptions concurrent_cached;
 
   /// Corrupts a strategy's answer before the oracle compares — the
   /// mutation check: with a bug injected, the harness MUST catch and

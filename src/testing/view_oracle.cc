@@ -1,0 +1,273 @@
+#include "testing/view_oracle.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/synchronization.h"
+#include "engine/evaluator.h"
+#include "engine/view_cache.h"
+#include "query/cover.h"
+#include "reformulation/reformulator.h"
+#include "rdf/vocab.h"
+#include "schema/schema.h"
+#include "storage/store.h"
+#include "storage/version_set.h"
+#include "testing/reference_eval.h"
+
+namespace rdfref {
+namespace testing {
+
+namespace {
+
+namespace vocab = rdf::vocab;
+
+/// The fixed part of both relations: the scenario's database indexed as
+/// the VersionSet's base, q's UCQ reformulation, and (for the JUCQ leg)
+/// the singleton-cover fragments with their reformulations. The schema
+/// never changes during the churn, so everything is valid at every epoch.
+struct ViewHarness {
+  rdf::Graph graph;
+  schema::Schema schema;
+  std::unique_ptr<storage::Store> base;
+  query::Ucq ucq;
+  std::vector<query::Cq> fragment_queries;
+  std::vector<query::Ucq> fragment_ucqs;
+  bool reformulated = false;  // false: budget blown, relations are vacuous
+  bool jucq = false;          // fragments reformulated too
+};
+
+ViewHarness BuildHarness(const Scenario& sc, const query::Cq& q) {
+  ViewHarness h;
+  h.graph = sc.graph.Clone();
+  h.schema = schema::Schema::FromGraph(h.graph);
+  h.schema.Saturate();
+  h.schema.EmitTriples(&h.graph);
+  h.base = std::make_unique<storage::Store>(h.graph);
+  reformulation::Reformulator ref(&h.schema, {}, &h.graph.dict());
+  auto ucq = ref.Reformulate(q);
+  if (!ucq.ok()) return h;
+  h.ucq = std::move(*ucq);
+  h.reformulated = true;
+  if (q.body().size() >= 2) {
+    query::Cover cover = query::Cover::Singletons(q.body().size());
+    h.fragment_queries = cover.FragmentQueries(q);
+    h.jucq = true;
+    for (const query::Cq& fq : h.fragment_queries) {
+      auto fucq = ref.Reformulate(fq);
+      if (!fucq.ok()) {
+        h.jucq = false;
+        break;
+      }
+      h.fragment_ucqs.push_back(std::move(*fucq));
+    }
+  }
+  return h;
+}
+
+/// One random operation against the versioned store (the snapshot-oracle
+/// recipe): inserts draw fresh facts over the scenario's vocabulary — the
+/// dictionary is never touched, essential for the threaded relation —
+/// removes drain the live pool of currently visible instance triples.
+void ApplyRandomOp(const Scenario& sc, Rng* rng, storage::VersionSet* versions,
+                   std::vector<rdf::Triple>* pool, bool allow_maintenance) {
+  const double roll = rng->UniformDouble();
+  if (allow_maintenance && roll < 0.15) {
+    versions->Freeze();
+    return;
+  }
+  if (allow_maintenance && roll < 0.25) {
+    versions->Compact();
+    return;
+  }
+  if (roll < 0.55 && !pool->empty()) {
+    const size_t at = rng->Uniform(pool->size());
+    versions->Remove((*pool)[at]);
+    pool->erase(pool->begin() + at);
+    return;
+  }
+  rdf::TermId s = sc.subjects[rng->Uniform(sc.subjects.size())];
+  rdf::Triple t =
+      rng->Chance(0.3)
+          ? rdf::Triple(s, vocab::kTypeId,
+                        sc.classes[rng->Uniform(sc.classes.size())])
+          : rdf::Triple(s, sc.properties[rng->Uniform(sc.properties.size())],
+                        sc.subjects[rng->Uniform(sc.subjects.size())]);
+  if (versions->Insert(t)) pool->push_back(t);
+}
+
+/// Cold-vs-cached round at one pinned snapshot: fill, then replay. Every
+/// table must be bit-identical to the uncached evaluation — the cached
+/// path promises the exact same plan on the exact same visible set.
+Divergence CheckAtSnapshot(const ViewHarness& h, engine::ViewCache* cache,
+                           const storage::SnapshotPtr& snap,
+                           const query::Cq& q, const std::string& tag) {
+  const rdf::Dictionary& dict = h.graph.dict();
+  engine::Evaluator cold(snap.get());
+  const engine::Table expected = cold.EvaluateUcq(h.ucq);
+
+  engine::Evaluator cached(snap.get());
+  cached.set_view_cache(cache, snap->epoch());
+  for (const char* phase : {"fill", "hit"}) {
+    Result<engine::Table> got = cached.EvaluateUcqView(q, h.ucq, Deadline());
+    if (!got.ok()) {
+      Divergence d;
+      d.found = true;
+      d.relation = "cached:" + std::string(phase) + tag;
+      d.detail = "cached evaluation failed: " + got.status().ToString();
+      return d;
+    }
+    Divergence d = CompareBitForBit("cached:" + std::string(phase) + tag,
+                                    *got, expected, q, dict);
+    if (d.found) return d;
+  }
+
+  if (h.jucq) {
+    engine::Table jucq_expected =
+        cold.EvaluateJucq(q, h.fragment_queries, h.fragment_ucqs);
+    for (const char* phase : {"jucq-fill", "jucq-hit"}) {
+      Result<engine::Table> got = cached.EvaluateJucq(
+          q, h.fragment_queries, h.fragment_ucqs, Deadline());
+      if (!got.ok()) {
+        Divergence d;
+        d.found = true;
+        d.relation = "cached:" + std::string(phase) + tag;
+        d.detail = "cached JUCQ evaluation failed: " + got.status().ToString();
+        return d;
+      }
+      Divergence d = CompareBitForBit("cached:" + std::string(phase) + tag,
+                                      *got, jucq_expected, q, dict);
+      if (d.found) return d;
+    }
+  }
+  return Divergence::None();
+}
+
+}  // namespace
+
+Divergence CheckCachedEquivalence(const Scenario& sc, const query::Cq& q,
+                                  Rng* rng, int num_ops) {
+  ViewHarness h = BuildHarness(sc, q);
+  if (!h.reformulated) return Divergence::None();
+
+  // The cache outlives the version set that holds the observer pointer.
+  engine::ViewCache cache;
+  storage::VersionSet versions(h.base.get());
+  versions.SetWriteObserver(&cache);
+
+  // Load phase: fill and replay on the pristine database.
+  Divergence d = CheckAtSnapshot(h, &cache, versions.snapshot(), q, ":load");
+  if (d.found) return d;
+
+  // Insert/remove/maintenance phase: every op moves the epoch (or reshapes
+  // the run structure); the cache must re-prove or re-fill, never go
+  // stale.
+  std::vector<rdf::Triple> pool = sc.data_triples;
+  for (int op = 0; op < num_ops; ++op) {
+    ApplyRandomOp(sc, rng, &versions, &pool, /*allow_maintenance=*/true);
+    storage::SnapshotPtr snap = versions.snapshot();
+    d = CheckAtSnapshot(h, &cache, snap, q,
+                        ":epoch=" + std::to_string(snap->epoch()));
+    if (d.found) return d;
+  }
+
+  // Compact phase: fold everything flat, then check once more — the
+  // republished base must serve the same answers through the same cache.
+  versions.Freeze();
+  versions.Compact();
+  d = CheckAtSnapshot(h, &cache, versions.snapshot(), q, ":compacted");
+  if (d.found) return d;
+
+  versions.SetWriteObserver(nullptr);
+  return Divergence::None();
+}
+
+Divergence CheckConcurrentCached(const Scenario& sc, const query::Cq& q,
+                                 uint64_t seed,
+                                 const ConcurrentCachedOptions& options) {
+  ViewHarness h = BuildHarness(sc, q);
+  if (!h.reformulated) return Divergence::None();
+  const rdf::Dictionary& dict = h.graph.dict();
+
+  engine::ViewCache cache;
+  storage::VersionSet versions(h.base.get());
+  versions.SetWriteObserver(&cache);
+  storage::VersionSetOptions maintenance;
+  maintenance.freeze_threshold = 24;  // small: force churn inside the test
+  maintenance.compact_min_runs = 2;
+  versions.StartBackgroundCompaction(maintenance);
+
+  common::Mutex mu;
+  Divergence first;
+  auto record = [&mu, &first](const Divergence& d) {
+    if (!d.found) return;
+    common::MutexLock lock(&mu);
+    if (!first.found) first = d;
+  };
+
+  // The writer: random inserts/removes with explicit Freeze/Compact
+  // interleaved, racing the background maintenance thread and the readers'
+  // cache probes/installs.
+  std::thread writer([&] {
+    Rng wrng(seed * 0x9E3779B97F4A7C15ULL + 0xCAC4E);
+    std::vector<rdf::Triple> pool = sc.data_triples;
+    int freezes = 0;
+    for (int op = 0; op < options.writer_ops; ++op) {
+      ApplyRandomOp(sc, &wrng, &versions, &pool, /*allow_maintenance=*/false);
+      if (options.freeze_every > 0 && (op + 1) % options.freeze_every == 0) {
+        ++freezes;
+        if (options.compact_every > 0 && freezes % options.compact_every == 0) {
+          versions.Compact();
+        } else {
+          versions.Freeze();
+        }
+      }
+    }
+  });
+
+  // Readers: whatever epoch a pin lands on and whatever install/invalidate
+  // interleaving the shared cache goes through, cache-mediated evaluation
+  // must match cold evaluation of the same plan on the same snapshot —
+  // twice, so at least one call per round exercises the replay path.
+  std::vector<std::thread> readers;
+  readers.reserve(options.reader_threads);
+  for (int r = 0; r < options.reader_threads; ++r) {
+    readers.emplace_back([&] {
+      for (int c = 0; c < options.checks_per_reader; ++c) {
+        storage::SnapshotPtr snap = versions.snapshot();
+        engine::Evaluator cold(snap.get());
+        engine::Table expected = cold.EvaluateUcq(h.ucq);
+        engine::Evaluator cached(snap.get());
+        cached.set_view_cache(&cache, snap->epoch());
+        for (const char* phase : {"probe", "redo"}) {
+          Result<engine::Table> got =
+              cached.EvaluateUcqView(q, h.ucq, Deadline());
+          if (!got.ok()) {
+            Divergence d;
+            d.found = true;
+            d.relation = std::string("concurrent:cached:") + phase;
+            d.detail = "cached evaluation failed: " + got.status().ToString();
+            record(d);
+            continue;
+          }
+          record(CompareBitForBit(
+              std::string("concurrent:cached:") + phase +
+                  ":epoch=" + std::to_string(snap->epoch()),
+              *got, expected, q, dict));
+        }
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  versions.StopBackgroundCompaction();
+  versions.SetWriteObserver(nullptr);
+  common::MutexLock lock(&mu);
+  return first;
+}
+
+}  // namespace testing
+}  // namespace rdfref

@@ -1,0 +1,63 @@
+#ifndef RDFREF_TESTING_VIEW_ORACLE_H_
+#define RDFREF_TESTING_VIEW_ORACLE_H_
+
+#include <cstdint>
+
+#include "query/cq.h"
+#include "testing/oracle.h"
+#include "testing/scenario.h"
+
+namespace rdfref {
+namespace testing {
+
+/// \brief Knobs of the concurrent view-cache metamorphic check.
+struct ConcurrentCachedOptions {
+  /// Reader threads probing the shared cache.
+  int reader_threads = 2;
+  /// Insert/remove operations the churning writer performs.
+  int writer_ops = 96;
+  /// The writer calls Freeze() every this many operations...
+  int freeze_every = 12;
+  /// ...and Compact() every `compact_every` freezes.
+  int compact_every = 3;
+  /// Snapshot pin+evaluate rounds per reader.
+  int checks_per_reader = 6;
+};
+
+/// \brief Deterministic (single-threaded) view-cache equivalence relation:
+/// over a VersionSet seeded with the scenario's explicit database and a
+/// ViewCache registered as its write observer, demands at load time, after
+/// every one of `num_ops` random update/maintenance operations, and again
+/// after a final Freeze()+Compact() that
+///
+///   1. cache-mediated evaluation (Evaluator::EvaluateUcqView — the first
+///      call fills, the second replays the install) is bit-identical to
+///      cold evaluation of the same reformulation on the same snapshot
+///      (relations "cached:fill" / "cached:hit"), and
+///   2. when the query has ≥ 2 atoms, JUCQ evaluation under the singleton
+///      cover with fragment-level cache probes agrees bit-for-bit with the
+///      uncached JUCQ path (relations "cached:jucq-fill" /
+///      "cached:jucq-hit").
+///
+/// Updates between rounds exercise the epoch-window machinery: entries
+/// installed at earlier epochs must either prove themselves untouched
+/// (footprint-disjoint writes) or miss — never serve a stale answer.
+Divergence CheckCachedEquivalence(const Scenario& sc, const query::Cq& q,
+                                  Rng* rng, int num_ops);
+
+/// \brief Threaded view-cache relation (fuzz_driver --updates-concurrent,
+/// TSan in CI): one writer thread churns the VersionSet (with background
+/// compaction running) while reader threads repeatedly pin snapshots and
+/// demand that cache-mediated evaluation stays bit-identical to cold
+/// evaluation at the pinned epoch — whatever interleaving of installs,
+/// window advances, invalidations, and evictions they race through.
+/// Relations are prefixed "concurrent:cached"; failures are
+/// timing-dependent, so the harness skips shrinking for them.
+Divergence CheckConcurrentCached(const Scenario& sc, const query::Cq& q,
+                                 uint64_t seed,
+                                 const ConcurrentCachedOptions& options);
+
+}  // namespace testing
+}  // namespace rdfref
+
+#endif  // RDFREF_TESTING_VIEW_ORACLE_H_

@@ -147,17 +147,50 @@ Result<WorkloadReport> RunClosedLoop(api::QueryAnswerer* answerer,
         "kDatalog evaluation is single-threaded; use clients=1");
   }
 
+  if (options.view_cache && !IsRefStrategy(options.strategy)) {
+    return Status::InvalidArgument(
+        "the view cache serves the Ref strategies only");
+  }
+
   const size_t num_queries = mix.queries.size();
   // Per-query AnswerOptions, fixed for the whole run: the JUCQ strategy
   // takes each query's cover, everything else carries only the thread knob.
   std::vector<api::AnswerOptions> per_query(num_queries);
   for (size_t i = 0; i < num_queries; ++i) {
     per_query[i].threads = options.eval_threads;
+    // Off-knob runs must stay cold even when the caller's answerer already
+    // carries an enabled (and warm) cache — e.g. the cold leg of a sweep.
+    per_query[i].use_view_cache = options.view_cache;
     if (options.strategy == api::Strategy::kRefJucq) {
       per_query[i].cover =
           mix.queries[i].cover.num_fragments() > 0
               ? mix.queries[i].cover
               : query::Cover::SingleFragment(mix.queries[i].cq.body().size());
+    }
+  }
+
+  // View-cache setup happens before warm-up: the warm-up pass then doubles
+  // as the cache fill, and the measured window reports steady-state rates.
+  // (optimizer:: types arrive through api/query_answering.h — the workload
+  // layer deliberately has no direct optimizer dependency.)
+  std::vector<std::string> selected_views;
+  if (options.view_cache) {
+    answerer->EnableViewCache();
+    if (options.view_selection) {
+      std::vector<optimizer::WorkloadQueryProfile> profiles;
+      profiles.reserve(num_queries);
+      for (const WorkloadQuery& wq : mix.queries) {
+        optimizer::WorkloadQueryProfile p;
+        p.cq = wq.cq;
+        p.weight = wq.weight;
+        if (wq.cover.num_fragments() > 0 && wq.cover.Validate(wq.cq).ok()) {
+          p.covers.push_back(wq.cover);
+        }
+        profiles.push_back(std::move(p));
+      }
+      RDFREF_ASSIGN_OR_RETURN(optimizer::ViewSelectionResult selection,
+                              answerer->SelectViews(profiles));
+      selected_views = std::move(selection.chosen_keys);
     }
   }
 
@@ -172,6 +205,9 @@ Result<WorkloadReport> RunClosedLoop(api::QueryAnswerer* answerer,
                          per_query[i]));
     (void)warm;
   }
+  // Counter baseline at the warm/measured boundary: the report's deltas
+  // then describe steady-state behaviour, not the initial fill.
+  const engine::ViewCacheStats cache_baseline = answerer->view_cache_stats();
 
   // Pre-interned churn triples over a workload-only property: the writer
   // thread must never touch the (unsynchronized) dictionary. The property
@@ -324,6 +360,24 @@ Result<WorkloadReport> RunClosedLoop(api::QueryAnswerer* answerer,
     stats.p99_ms = ToMillis(query_hists[i]->Percentile(99));
     report.total_rows += stats.rows;
     report.per_query.push_back(std::move(stats));
+  }
+  if (options.view_cache) {
+    const engine::ViewCacheStats end = answerer->view_cache_stats();
+    report.view_cache = true;
+    report.cache_hits = end.hits - cache_baseline.hits;
+    report.cache_misses = end.misses - cache_baseline.misses;
+    report.cache_installs = end.installs - cache_baseline.installs;
+    report.cache_evictions = end.evictions - cache_baseline.evictions;
+    report.cache_invalidations =
+        end.invalidations - cache_baseline.invalidations;
+    const uint64_t probes = report.cache_hits + report.cache_misses;
+    report.cache_hit_rate =
+        probes > 0 ? static_cast<double>(report.cache_hits) /
+                         static_cast<double>(probes)
+                   : 0.0;
+    report.cache_bytes = end.bytes;
+    report.cache_entries = end.entries;
+    report.selected_views = std::move(selected_views);
   }
   return report;
 }

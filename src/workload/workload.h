@@ -73,6 +73,15 @@ struct DriverOptions {
   /// thread itself; the default, so saturation throughput scales with the
   /// client count, not with nested pools).
   int eval_threads = 1;
+  /// Enable the cross-query view cache for the run (Ref strategies only):
+  /// the driver turns it on before the warm-up pass, so warm-up installs
+  /// the hot views and the measured window runs against a warm cache.
+  /// Counters in the report cover the measured window only.
+  bool view_cache = false;
+  /// With view_cache: run the workload-driven view-selection pass over the
+  /// mix first, so the chosen views get eviction protection and GCov
+  /// cover-alignment hints.
+  bool view_selection = true;
 };
 
 /// \brief Latency/throughput digest of one query name within a run.
@@ -96,6 +105,20 @@ struct WorkloadReport {
   double throughput_qps = 0.0;
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
   std::vector<QueryStats> per_query;
+  /// View-cache digest of the measured window (all zero when the run had
+  /// DriverOptions::view_cache off). Counter fields are deltas from the
+  /// end of warm-up to the end of the run; bytes/entries are end gauges.
+  bool view_cache = false;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_installs = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_invalidations = 0;
+  double cache_hit_rate = 0.0;
+  uint64_t cache_bytes = 0;
+  uint64_t cache_entries = 0;
+  /// Canonical keys the selection pass chose (empty without one).
+  std::vector<std::string> selected_views;
 };
 
 /// \brief Runs one closed-loop workload: `clients` threads each replay a

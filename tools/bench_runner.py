@@ -5,11 +5,13 @@ Runs a fixed, small subset of the benchmark suite — the reformulation-heavy
 strategy comparison (Q6, the largest UCQ of the LUBM suite: 462 CQs after
 reformulation), the parallel-evaluation suite at 1 and 8 threads, the
 snapshot-isolation read-path overhead (pristine store vs sealed delta runs
-vs a racing writer), and the hierarchy-encoding comparison (classic
-per-subclass UCQ members vs collapsed interval range scans, T15) — plus
-the sp2b macro benchmark (T16): the closed-loop workload_driver replaying
-the pinned query mix from concurrent clients, with and without a churning
-writer. Writes one JSON document per run (default BENCH_PR8.json).
+vs a racing writer), the hierarchy-encoding comparison (classic
+per-subclass UCQ members vs collapsed interval range scans, T15), and the
+view-cache cold/warm/churn comparison (T17) — plus the sp2b macro
+benchmark (T16): the closed-loop workload_driver replaying the pinned
+query mix from concurrent clients, swept over writer on/off and view
+cache on/off (the cache rows carry hit/miss/invalidation counters).
+Writes one JSON document per run (default BENCH_PR10.json).
 
 The subset is pinned so numbers stay comparable across commits: same
 queries, same scenario (the shared LUBM dataset the bench binaries build),
@@ -73,6 +75,8 @@ PINNED = [
      "BM_Snapshot_(Pristine|SealedRuns|UnderWriter)$"),
     ("bench/bench_encoding",
      "BM_Encoding_(Classic|Interval)/(0|1|2)$"),
+    ("bench/bench_view_cache",
+     "BM_ViewCache_((Cold|Warm)_Ref(Ucq|Gcov)|WarmUnderChurn)$"),
 ]
 
 # The pinned macro configuration (T16): the sp2b closed-loop mix swept over
@@ -108,7 +112,9 @@ def run_one(binary, bench_filter, min_time):
             "--benchmark_out_format=json",
         ]
         if min_time is not None:
-            cmd.append(f"--benchmark_min_time={min_time}s")
+            # This benchmark library version parses a bare double (no
+            # "s" suffix).
+            cmd.append(f"--benchmark_min_time={min_time}")
         proc = subprocess.run(cmd, stdout=subprocess.DEVNULL,
                               stderr=subprocess.PIPE, text=True)
         if proc.returncode != 0:
@@ -162,6 +168,7 @@ def run_macro(build_dir, macro):
             "--strategies", ",".join(macro["strategies"]),
             "--duration-ms", str(macro["duration_ms"]),
             "--writer-sweep",
+            "--view-cache-sweep",
             "--require-progress",
             "--json", out_path,
         ]
@@ -182,7 +189,7 @@ def main(argv=None):
         description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build",
                         help="CMake build directory with bench binaries")
-    parser.add_argument("--out", default="BENCH_PR8.json",
+    parser.add_argument("--out", default="BENCH_PR10.json",
                         help="output JSON path")
     parser.add_argument("--min-time", default=None,
                         help="per-benchmark min time in seconds "
@@ -240,9 +247,13 @@ def main(argv=None):
               f"{row['real_time_ms']:>10.3f} ms")
     for row in macro_results or []:
         tag = "+writer" if row["writer"] else "       "
+        cache = "+cache " if row.get("view_cache") else "       "
+        rate = (f"  hit {row['cache_hit_rate']:.2f}"
+                if row.get("view_cache") else "")
         print(f"   workload_driver {row['strategy']:<9} x{row['clients']:<3}"
-              f"{tag} {row['qps']:>9.0f} qps  p50 {row['p50_ms']:>7.3f} ms"
-              f"  p99 {row['p99_ms']:>7.3f} ms")
+              f"{tag}{cache} {row['qps']:>9.0f} qps"
+              f"  p50 {row['p50_ms']:>7.3f} ms"
+              f"  p99 {row['p99_ms']:>7.3f} ms{rate}")
     n_macro = len(macro_results or [])
     print(f"bench_runner: wrote {len(results)} micro + {n_macro} macro "
           f"result(s) to {args.out}")

@@ -22,6 +22,11 @@
 //   --check-encoded   ONLY the hierarchy-encoding relation: interval
 //                     reformulation vs the classic UCQ it fuses, at load,
 //                     after a schema insert, and across Reencode()
+//   --no-cached       skip the view-cache equivalence relation
+//   --check-cached    ONLY the view-cache relation: cache-mediated
+//                     evaluation (fill then replay, whole unions and JUCQ
+//                     fragments) vs cold evaluation, bit-for-bit, across
+//                     load/update/compact phases
 //   --no-shrink       report the unshrunk failing case
 //   --scenario NAME   graph source: random (default) or sp2b (the
 //                     SP2Bench-style bibliographic generator — deep
@@ -30,8 +35,9 @@
 //                     ONLY the threaded snapshot relation: a churning
 //                     writer (with background compaction) races reader
 //                     threads whose pinned epochs must answer bit-
-//                     identically to from-scratch evaluation; divergences
-//                     are reported unshrunk (timing-dependent)
+//                     identically to from-scratch evaluation — both
+//                     directly and through the shared view cache;
+//                     divergences are reported unshrunk (timing-dependent)
 //   --out PATH        write the shrunken repro test here (default
 //                     fuzz_repro.cc next to the seed file fuzz_repro.seed)
 //
@@ -136,6 +142,8 @@ int main(int argc, char** argv) {
       options.check_updates = false;
     } else if (arg == "--no-encoded") {
       options.check_encoded = false;
+    } else if (arg == "--no-cached") {
+      options.check_cached = false;
     } else if (arg == "--check-encoded") {
       // Focused mode: every cycle goes to the encoding-equivalence relation.
       options.check_oracle = false;
@@ -144,9 +152,10 @@ int main(int argc, char** argv) {
       options.check_federation = false;
       options.check_updates = false;
       options.check_snapshots = false;
+      options.check_cached = false;
       options.check_encoded = true;
-    } else if (arg == "--updates-concurrent") {
-      // Focused mode: every cycle goes to the threaded snapshot relation.
+    } else if (arg == "--check-cached") {
+      // Focused mode: every cycle goes to the view-cache relation.
       options.check_oracle = false;
       options.check_columnar = false;
       options.check_metamorphic = false;
@@ -154,6 +163,18 @@ int main(int argc, char** argv) {
       options.check_updates = false;
       options.check_snapshots = false;
       options.check_encoded = false;
+      options.check_cached = true;
+    } else if (arg == "--updates-concurrent") {
+      // Focused mode: every cycle goes to the threaded relations (the
+      // snapshot one, then the view-cache one).
+      options.check_oracle = false;
+      options.check_columnar = false;
+      options.check_metamorphic = false;
+      options.check_federation = false;
+      options.check_updates = false;
+      options.check_snapshots = false;
+      options.check_encoded = false;
+      options.check_cached = false;
       options.check_concurrent = true;
     } else if (arg == "--no-shrink") {
       options.shrink = false;

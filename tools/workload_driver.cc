@@ -36,8 +36,11 @@ struct Flags {
   double duration_ms = 500;
   int ops_per_client = 0;  // 0 = duration mode
   int writer_mode = 2;     // 0 = off, 1 = on, 2 = sweep both
+  int cache_mode = 0;      // 0 = off, 1 = on, 2 = sweep both
+  bool view_selection = true;
   std::string json_path;
   bool require_progress = false;
+  bool require_cache_hits = false;
 };
 
 bool ParseStrategy(const std::string& name, Strategy* out) {
@@ -77,6 +80,8 @@ int Usage() {
       << "usage: workload_driver [--scale F] [--seed N] [--clients A,B,C]\n"
          "         [--strategies REF-UCQ,REF-JUCQ,...] [--duration-ms F]\n"
          "         [--ops N] [--writer | --no-writer | --writer-sweep]\n"
+         "         [--view-cache | --no-view-cache | --view-cache-sweep]\n"
+         "         [--no-view-selection] [--require-cache-hits]\n"
          "         [--json PATH] [--require-progress]\n";
   return 2;
 }
@@ -126,6 +131,16 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->writer_mode = 0;
     } else if (arg == "--writer-sweep") {
       flags->writer_mode = 2;
+    } else if (arg == "--view-cache") {
+      flags->cache_mode = 1;
+    } else if (arg == "--no-view-cache") {
+      flags->cache_mode = 0;
+    } else if (arg == "--view-cache-sweep") {
+      flags->cache_mode = 2;
+    } else if (arg == "--no-view-selection") {
+      flags->view_selection = false;
+    } else if (arg == "--require-cache-hits") {
+      flags->require_cache_hits = true;
     } else if (arg == "--json") {
       if (i + 1 >= argc) return false;
       flags->json_path = argv[++i];
@@ -145,6 +160,8 @@ std::string JsonEscape(const std::string& s) {
     if (c == '"' || c == '\\') {
       out += '\\';
       out += c;
+    } else if (c == '\n') {
+      out += "\\n";  // canonical view keys separate atoms with newlines
     } else {
       out += c;
     }
@@ -156,6 +173,7 @@ struct RunRecord {
   Strategy strategy;
   int clients;
   bool writer;
+  bool cache;
   WorkloadReport report;
 };
 
@@ -188,7 +206,22 @@ void WriteJson(std::ostream& os, const Flags& flags,
        << ", \"qps\": " << num(rep.throughput_qps)
        << ", \"p50_ms\": " << num(rep.p50_ms)
        << ", \"p95_ms\": " << num(rep.p95_ms)
-       << ", \"p99_ms\": " << num(rep.p99_ms) << ",\n     \"per_query\": [";
+       << ", \"p99_ms\": " << num(rep.p99_ms)
+       << ",\n     \"view_cache\": " << (r.cache ? "true" : "false")
+       << ", \"cache_hits\": " << rep.cache_hits
+       << ", \"cache_misses\": " << rep.cache_misses
+       << ", \"cache_hit_rate\": " << num(rep.cache_hit_rate)
+       << ", \"cache_installs\": " << rep.cache_installs
+       << ", \"cache_evictions\": " << rep.cache_evictions
+       << ", \"cache_invalidations\": " << rep.cache_invalidations
+       << ", \"cache_bytes\": " << rep.cache_bytes
+       << ", \"cache_entries\": " << rep.cache_entries
+       << ",\n     \"selected_views\": [";
+    for (size_t v = 0; v < rep.selected_views.size(); ++v) {
+      if (v) os << ", ";
+      os << "\"" << JsonEscape(rep.selected_views[v]) << "\"";
+    }
+    os << "],\n     \"per_query\": [";
     for (size_t q = 0; q < rep.per_query.size(); ++q) {
       const auto& stats = rep.per_query[q];
       if (q) os << ", ";
@@ -221,6 +254,10 @@ int main(int argc, char** argv) {
   if (flags.writer_mode == 0) writer_settings = {false};
   if (flags.writer_mode == 1) writer_settings = {true};
   if (flags.writer_mode == 2) writer_settings = {false, true};
+  std::vector<bool> cache_settings;
+  if (flags.cache_mode == 0) cache_settings = {false};
+  if (flags.cache_mode == 1) cache_settings = {true};
+  if (flags.cache_mode == 2) cache_settings = {false, true};
 
   std::vector<RunRecord> runs;
   bool ok = true;
@@ -232,30 +269,49 @@ int main(int argc, char** argv) {
           continue;  // lazy strategy state is not update-safe; skip quietly
         }
         if (strategy == Strategy::kDatalog && clients > 1) continue;
-        DriverOptions options;
-        options.strategy = strategy;
-        options.clients = clients;
-        options.seed = flags.seed;
-        options.ops_per_client = flags.ops_per_client;
-        options.duration_ms = flags.duration_ms;
-        options.concurrent_writer = writer;
-        Result<WorkloadReport> report =
-            rdfref::workload::RunClosedLoop(answerer.get(), *mix, options);
-        if (!report.ok()) {
+        for (bool cache : cache_settings) {
+          if (cache && (strategy == Strategy::kSaturation ||
+                        strategy == Strategy::kDatalog)) {
+            continue;  // the view cache serves the Ref strategies only
+          }
+          DriverOptions options;
+          options.strategy = strategy;
+          options.clients = clients;
+          options.seed = flags.seed;
+          options.ops_per_client = flags.ops_per_client;
+          options.duration_ms = flags.duration_ms;
+          options.concurrent_writer = writer;
+          options.view_cache = cache;
+          options.view_selection = flags.view_selection;
+          Result<WorkloadReport> report =
+              rdfref::workload::RunClosedLoop(answerer.get(), *mix, options);
+          if (!report.ok()) {
+            std::cerr << rdfref::api::StrategyName(strategy) << " x" << clients
+                      << (writer ? " +writer" : "") << (cache ? " +cache" : "")
+                      << " failed: " << report.status().ToString() << "\n";
+            ok = false;
+            continue;
+          }
           std::cerr << rdfref::api::StrategyName(strategy) << " x" << clients
-                    << (writer ? " +writer" : "")
-                    << " failed: " << report.status().ToString() << "\n";
-          ok = false;
-          continue;
+                    << (writer ? " +writer" : "") << (cache ? " +cache" : "")
+                    << ": " << report->total_queries << " queries, "
+                    << static_cast<int>(report->throughput_qps)
+                    << " qps, p50 " << report->p50_ms << " ms, p99 "
+                    << report->p99_ms << " ms, errors " << report->errors;
+          if (cache) {
+            std::cerr << ", hit-rate " << report->cache_hit_rate
+                      << " (" << report->cache_hits << "/"
+                      << (report->cache_hits + report->cache_misses) << ")";
+          }
+          std::cerr << "\n";
+          if (report->total_queries == 0 || report->errors != 0) ok = false;
+          if (cache && flags.require_cache_hits && report->cache_hits == 0) {
+            std::cerr << "FAIL: cache-on run recorded zero hits\n";
+            ok = false;
+          }
+          runs.push_back({strategy, clients, writer, cache,
+                          std::move(*report)});
         }
-        std::cerr << rdfref::api::StrategyName(strategy) << " x" << clients
-                  << (writer ? " +writer" : "") << ": "
-                  << report->total_queries << " queries, "
-                  << static_cast<int>(report->throughput_qps) << " qps, p50 "
-                  << report->p50_ms << " ms, p99 " << report->p99_ms
-                  << " ms, errors " << report->errors << "\n";
-        if (report->total_queries == 0 || report->errors != 0) ok = false;
-        runs.push_back({strategy, clients, writer, std::move(*report)});
       }
     }
   }
